@@ -1,0 +1,47 @@
+"""Ablation — the α weight between worker distance-quality and POI influence.
+
+The paper fixes α = 0.5 in Equation 8.  This ablation sweeps α over
+{0, 0.25, 0.5, 0.75, 1} on the Beijing Deployment-1 corpus: α = 1 ignores the
+POI influence entirely, α = 0 ignores the worker's own distance profile.  The
+middle settings are expected to be at least as accurate as either extreme,
+which is the justification for combining both signals.
+"""
+
+from __future__ import annotations
+
+from bench_common import write_result
+
+from repro.analysis.reporting import format_series_table
+from repro.core.inference import InferenceConfig, LocationAwareInference
+from repro.framework.metrics import labelling_accuracy
+
+ALPHAS = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def _accuracy_for_alpha(campaign, alpha: float) -> float:
+    config = InferenceConfig(alpha=alpha, max_iterations=40)
+    model = LocationAwareInference(
+        campaign.dataset.tasks,
+        campaign.worker_pool.workers,
+        campaign.distance_model,
+        config=config,
+    )
+    model.fit(campaign.answers)
+    return labelling_accuracy(model.predict_all(), campaign.dataset.tasks)
+
+
+def test_ablation_alpha(benchmark, campaigns):
+    campaign = campaigns["Beijing"]
+    accuracies = [_accuracy_for_alpha(campaign, alpha) for alpha in ALPHAS]
+
+    benchmark.pedantic(
+        lambda: _accuracy_for_alpha(campaign, 0.5), rounds=1, iterations=1
+    )
+
+    table = format_series_table("alpha", list(ALPHAS), {"accuracy": accuracies})
+    write_result("ablation_alpha", table)
+
+    # The combined setting must not be materially worse than either extreme.
+    combined = accuracies[ALPHAS.index(0.5)]
+    assert combined >= min(accuracies[0], accuracies[-1]) - 0.02
+    assert all(0.5 <= value <= 1.0 for value in accuracies)

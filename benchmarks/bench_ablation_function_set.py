@@ -1,0 +1,65 @@
+"""Ablation — the distance-function set F.
+
+The paper argues that a *set* of fixed bell-shaped functions expresses
+distance sensitivity better than a single function (Definition 4).  This
+ablation compares the paper's set {0.1, 10, 100} against single-function sets
+and a denser set, measuring labelling accuracy on the Beijing corpus.
+"""
+
+from __future__ import annotations
+
+from bench_common import write_result
+
+from repro.analysis.reporting import format_table
+from repro.core.distance_functions import DistanceFunctionSet
+from repro.core.inference import InferenceConfig, LocationAwareInference
+from repro.framework.metrics import labelling_accuracy
+
+FUNCTION_SETS = {
+    "single f0.1": (0.1,),
+    "single f10": (10.0,),
+    "single f100": (100.0,),
+    "paper {0.1,10,100}": (0.1, 10.0, 100.0),
+    "dense {0.1,1,10,50,100}": (0.1, 1.0, 10.0, 50.0, 100.0),
+}
+
+
+def _accuracy_for_set(campaign, lambdas) -> float:
+    config = InferenceConfig(
+        function_set=DistanceFunctionSet(lambdas), max_iterations=40
+    )
+    model = LocationAwareInference(
+        campaign.dataset.tasks,
+        campaign.worker_pool.workers,
+        campaign.distance_model,
+        config=config,
+    )
+    model.fit(campaign.answers)
+    return labelling_accuracy(model.predict_all(), campaign.dataset.tasks)
+
+
+def test_ablation_function_set(benchmark, campaigns):
+    campaign = campaigns["Beijing"]
+    accuracies = {
+        name: _accuracy_for_set(campaign, lambdas)
+        for name, lambdas in FUNCTION_SETS.items()
+    }
+
+    benchmark.pedantic(
+        lambda: _accuracy_for_set(campaign, (0.1, 10.0, 100.0)), rounds=1, iterations=1
+    )
+
+    table = format_table(
+        ["function set", "accuracy"],
+        [[name, value] for name, value in accuracies.items()],
+    )
+    write_result("ablation_function_set", table)
+
+    paper_set = accuracies["paper {0.1,10,100}"]
+    worst_single = min(
+        accuracies["single f0.1"], accuracies["single f10"], accuracies["single f100"]
+    )
+    # The paper's set must not lose to the worst single-function choice; this is
+    # the robustness argument for learning weights over a set.
+    assert paper_set >= worst_single - 0.01
+    assert all(0.5 <= value <= 1.0 for value in accuracies.values())

@@ -1,0 +1,93 @@
+"""Ablation — incremental EM versus full EM re-runs (Section III-D).
+
+The paper refreshes the model with cheap incremental updates between full EM
+runs.  This ablation simulates a stream of answer batches and compares (a) the
+wall-clock cost and (b) the final accuracy of three refresh policies:
+full EM after every batch, incremental-only updates after an initial fit, and
+the paper's hybrid (incremental with periodic full refresh).
+"""
+
+from __future__ import annotations
+
+import time
+
+from bench_common import write_result
+
+from repro.analysis.reporting import format_table
+from repro.core.incremental import IncrementalUpdater
+from repro.core.inference import InferenceConfig, LocationAwareInference
+from repro.data.models import AnswerSet
+from repro.framework.metrics import labelling_accuracy
+from repro.utils.rng import default_rng
+
+
+def _stream_batches(campaign, batch_size=50, seed=3):
+    """Split the Deployment-1 corpus into an initial half plus streamed batches."""
+    answers = list(campaign.answers)
+    rng = default_rng(seed)
+    order = rng.permutation(len(answers))
+    answers = [answers[i] for i in order]
+    half = len(answers) // 2
+    initial = AnswerSet(answers[:half])
+    batches = [
+        answers[start:start + batch_size]
+        for start in range(half, len(answers), batch_size)
+    ]
+    return initial, batches
+
+
+def _run_policy(campaign, policy: str) -> tuple[float, float]:
+    """Return (elapsed seconds, final accuracy) for a refresh policy."""
+    config = InferenceConfig(max_iterations=40)
+    model = LocationAwareInference(
+        campaign.dataset.tasks,
+        campaign.worker_pool.workers,
+        campaign.distance_model,
+        config=config,
+    )
+    initial, batches = _stream_batches(campaign)
+    current = initial.copy()
+
+    started = time.perf_counter()
+    model.fit(current)
+    updater = IncrementalUpdater(model, full_refresh_interval=100)
+    for batch in batches:
+        for answer in batch:
+            current.add(answer)
+        if policy == "full":
+            model.fit(current)
+        elif policy == "incremental":
+            updater.apply(current, batch)
+        else:  # hybrid: the paper's policy
+            if updater.full_refresh_due:
+                model.fit(current)
+                updater.notify_full_refresh()
+            else:
+                updater.apply(current, batch)
+    elapsed = time.perf_counter() - started
+    accuracy = labelling_accuracy(model.predict_all(), campaign.dataset.tasks)
+    return elapsed, accuracy
+
+
+def test_ablation_incremental_updates(benchmark, campaigns):
+    campaign = campaigns["Beijing"]
+
+    results = {policy: _run_policy(campaign, policy) for policy in ("full", "incremental", "hybrid")}
+
+    benchmark.pedantic(lambda: _run_policy(campaign, "hybrid"), rounds=1, iterations=1)
+
+    table = format_table(
+        ["policy", "elapsed (s)", "final accuracy"],
+        [[policy, elapsed, accuracy] for policy, (elapsed, accuracy) in results.items()],
+    )
+    write_result("ablation_incremental", table)
+
+    full_time, full_accuracy = results["full"]
+    hybrid_time, hybrid_accuracy = results["hybrid"]
+    incremental_time, incremental_accuracy = results["incremental"]
+    # The cheap policies must actually be cheaper than re-running full EM...
+    assert incremental_time <= full_time
+    assert hybrid_time <= full_time * 1.2
+    # ...without giving up much accuracy.
+    assert hybrid_accuracy >= full_accuracy - 0.05
+    assert incremental_accuracy >= full_accuracy - 0.08

@@ -1,0 +1,115 @@
+"""Shared helpers for the benchmark harness (profiles, corpus builders, output).
+
+Kept separate from ``conftest.py`` so benchmark modules can import these
+helpers by name without depending on pytest's conftest loading rules.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.crowd.worker_pool import WorkerPoolSpec
+from repro.framework.experiment import build_platform, build_worker_pool
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@dataclass(frozen=True)
+class BenchProfile:
+    """Sizing knobs for the benchmark harness."""
+
+    name: str
+    num_workers: int
+    answers_per_task: int
+    inference_budgets: tuple[int, ...]
+    assignment_budget: int
+    assignment_checkpoints: tuple[int, ...]
+    workers_per_round: int
+    scalability_assignments: tuple[int, ...]
+    scalability_tasks: tuple[int, ...]
+    scalability_workers: tuple[int, ...]
+    seed: int = 2016
+
+
+QUICK_PROFILE = BenchProfile(
+    name="quick",
+    num_workers=40,
+    answers_per_task=5,
+    inference_budgets=(600, 700, 800, 900, 1000),
+    assignment_budget=240,
+    assignment_checkpoints=(120, 180, 240),
+    workers_per_round=5,
+    scalability_assignments=(1000, 2000, 4000),
+    scalability_tasks=(500, 1000, 2000),
+    scalability_workers=(10, 20, 40),
+)
+
+PAPER_PROFILE = BenchProfile(
+    name="paper",
+    num_workers=60,
+    answers_per_task=5,
+    inference_budgets=(600, 700, 800, 900, 1000),
+    assignment_budget=1000,
+    assignment_checkpoints=(600, 700, 800, 900, 1000),
+    workers_per_round=5,
+    scalability_assignments=(10_000, 20_000, 30_000, 40_000, 50_000),
+    scalability_tasks=(2000, 4000, 6000, 8000, 10_000),
+    scalability_workers=(50, 100, 150, 200, 250),
+)
+
+
+def current_profile() -> BenchProfile:
+    """Profile selected via the REPRO_BENCH_PROFILE environment variable."""
+    name = os.environ.get("REPRO_BENCH_PROFILE", "quick").lower()
+    if name == "paper":
+        return PAPER_PROFILE
+    return QUICK_PROFILE
+
+
+def write_result(name: str, content: str) -> Path:
+    """Persist a rendered table under benchmarks/results/ and echo it."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(content + "\n", encoding="utf-8")
+    print(f"\n=== {name} ===\n{content}\n")
+    return path
+
+
+@dataclass
+class Campaign:
+    """A Deployment-1 style corpus: dataset + platform + collected answers."""
+
+    dataset: object
+    platform: object
+    answers: object
+
+    @property
+    def worker_pool(self):
+        return self.platform.worker_pool
+
+    @property
+    def distance_model(self):
+        return self.platform.distance_model
+
+
+def collect_campaign(dataset, prof: BenchProfile) -> Campaign:
+    """Collect the Deployment-1 corpus (``answers_per_task`` answers per task)."""
+    pool = build_worker_pool(
+        dataset,
+        spec=WorkerPoolSpec(num_workers=prof.num_workers),
+        seed=prof.seed,
+    )
+    budget = prof.answers_per_task * len(dataset.tasks)
+    platform = build_platform(
+        dataset,
+        budget=budget,
+        worker_pool=pool,
+        workers_per_round=prof.workers_per_round,
+        seed=prof.seed,
+    )
+    answers = platform.collect_batch_answers(
+        answers_per_task=prof.answers_per_task, seed=prof.seed
+    )
+    return Campaign(dataset=dataset, platform=platform, answers=answers)

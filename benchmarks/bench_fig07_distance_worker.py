@@ -1,0 +1,47 @@
+"""Figure 7 — Impact of Distance on Worker Quality.
+
+For the five most active workers, the paper plots answer accuracy against the
+worker-POI distance (0.2-wide bins) and observes that (a) accuracy generally
+degrades with distance and (b) the degradation rate differs per worker.  This
+bench reproduces those curves and checks the aggregate trend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from bench_common import write_result
+
+from repro.analysis.reporting import format_series_table
+from repro.analysis.worker_analysis import distance_accuracy_curves
+
+
+def _curves(campaign):
+    return distance_accuracy_curves(
+        campaign.answers,
+        campaign.dataset,
+        campaign.worker_pool.workers,
+        campaign.distance_model,
+        top_k=5,
+    )
+
+
+def test_fig07_distance_vs_worker_accuracy(benchmark, campaigns):
+    all_curves = {name: _curves(campaign) for name, campaign in campaigns.items()}
+    benchmark.pedantic(lambda: _curves(campaigns["Beijing"]), rounds=1, iterations=1)
+
+    bins = ["[0,0.2)", "[0.2,0.4)", "[0.4,0.6)", "[0.6,0.8)", "[0.8,1.0]"]
+    for name, curves in all_curves.items():
+        series = {curve.worker_id: curve.accuracies for curve in curves}
+        table = format_series_table("distance", bins, series, precision=3)
+        write_result(f"fig07_distance_worker_{name.lower()}", table)
+
+        # Aggregate trend: near-bin accuracy exceeds far-bin accuracy on average
+        # over the plotted workers (individual curves can be noisy).
+        near, far = [], []
+        for curve in curves:
+            observed = [v for v in curve.accuracies if v is not None]
+            if len(observed) >= 2:
+                near.append(observed[0])
+                far.append(observed[-1])
+        if near and far:
+            assert float(np.mean(near)) >= float(np.mean(far)) - 0.05

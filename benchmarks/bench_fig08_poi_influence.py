@@ -1,0 +1,43 @@
+"""Figure 8 — Impact of Distance on the POI-Influence.
+
+POIs are bucketed by review count (>2500, >1000, >500, <500) and answer
+accuracy is plotted against distance per bucket.  Popular POIs receive accurate
+answers even from distant workers; obscure POIs degrade quickly.  This bench
+reproduces the four curves and checks the popular-vs-obscure ordering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from bench_common import write_result
+
+from repro.analysis.poi_analysis import poi_influence_curves
+from repro.analysis.reporting import format_series_table
+
+
+def _curves(campaign):
+    return poi_influence_curves(
+        campaign.answers,
+        campaign.dataset,
+        campaign.worker_pool.workers,
+        campaign.distance_model,
+    )
+
+
+def test_fig08_poi_influence(benchmark, campaigns):
+    all_curves = {name: _curves(campaign) for name, campaign in campaigns.items()}
+    benchmark.pedantic(lambda: _curves(campaigns["Beijing"]), rounds=1, iterations=1)
+
+    bins = ["[0,0.2)", "[0.2,0.4)", "[0.4,0.6)", "[0.6,0.8)", "[0.8,1.0]"]
+    for name, curves in all_curves.items():
+        series = {curve.review_class: curve.accuracies for curve in curves}
+        table = format_series_table("distance", bins, series, precision=3)
+        write_result(f"fig08_poi_influence_{name.lower()}", table)
+
+        # The paper's ordering: POIs with the most reviews keep higher average
+        # accuracy than POIs with the fewest reviews.
+        by_class = {curve.review_class: curve for curve in curves}
+        popular = [v for v in by_class["Rev>2500"].accuracies if v is not None]
+        obscure = [v for v in by_class["Rev<500"].accuracies if v is not None]
+        if popular and obscure:
+            assert float(np.mean(popular)) >= float(np.mean(obscure)) - 0.02

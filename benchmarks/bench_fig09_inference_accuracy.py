@@ -1,0 +1,53 @@
+"""Figure 9 — Accuracy of the Inference Models (MV vs EM vs IM).
+
+The paper subsamples the Deployment-1 corpus at budgets of 600–1000 assignments
+and reports the labelling accuracy of majority voting (MV), the Dawid–Skene
+confusion-matrix EM (EM) and the location-aware inference model (IM).  The
+expected shape: IM on top, EM in the middle, MV last, and all three improving
+with budget.
+
+The shared ``inference_comparisons`` fixture computes the full sweep once per
+session (it is reused by the Figure 12 runtime bench); this bench times one
+representative IM fit on the full corpus and prints/validates the accuracy
+series.
+"""
+
+from __future__ import annotations
+
+from bench_common import write_result
+
+from repro.analysis.reporting import format_series_table
+from repro.core.inference import LocationAwareInference
+
+
+def test_fig09_inference_accuracy(benchmark, campaigns, inference_comparisons):
+    campaign = campaigns["Beijing"]
+
+    def fit_im():
+        model = LocationAwareInference(
+            campaign.dataset.tasks,
+            campaign.worker_pool.workers,
+            campaign.distance_model,
+        )
+        return model.fit(campaign.answers)
+
+    benchmark.pedantic(fit_im, rounds=1, iterations=1)
+
+    for name, result in inference_comparisons.items():
+        table = format_series_table(
+            "assignments",
+            result.budgets,
+            {method: result.accuracy[method] for method in ("MV", "EM", "IM")},
+            precision=3,
+        )
+        write_result(f"fig09_inference_accuracy_{name.lower()}", table)
+
+        largest = result.budgets[-1]
+        im = result.accuracy_of("IM", largest)
+        mv = result.accuracy_of("MV", largest)
+        em = result.accuracy_of("EM", largest)
+        # Paper shape: the location-aware model does not trail either baseline.
+        assert im >= mv - 0.02
+        assert im >= em - 0.02
+        # Accuracy should not collapse as the budget grows.
+        assert result.accuracy["IM"][-1] >= result.accuracy["IM"][0] - 0.05

@@ -1,0 +1,40 @@
+"""Figure 12 — Elapsed Time of Inference on the Real Datasets.
+
+The paper reports the average runtime of MV, EM and IM when fitting the
+Deployment-1 corpus at budgets of 600–1000 assignments: MV is essentially free,
+EM and IM take comparable (sub-second to ~1 s) time.  This bench reuses the
+sweep computed by the shared ``inference_comparisons`` fixture (the same runs
+that produced Figure 9), prints the runtime series and times a single MV fit as
+the benchmark unit.
+"""
+
+from __future__ import annotations
+
+from bench_common import write_result
+
+from repro.analysis.reporting import format_series_table
+from repro.baselines.majority_vote import MajorityVoteInference
+
+
+def test_fig12_inference_time(benchmark, campaigns, inference_comparisons):
+    campaign = campaigns["Beijing"]
+
+    benchmark.pedantic(
+        lambda: MajorityVoteInference(campaign.dataset.tasks).fit(campaign.answers),
+        rounds=1,
+        iterations=1,
+    )
+
+    for name, result in inference_comparisons.items():
+        table = format_series_table(
+            "assignments",
+            result.budgets,
+            {method: result.runtime_ms[method] for method in ("MV", "EM", "IM")},
+            precision=1,
+        )
+        write_result(f"fig12_inference_time_ms_{name.lower()}", table)
+
+        # Paper shape: MV is by far the cheapest method at every budget.
+        for index in range(len(result.budgets)):
+            assert result.runtime_ms["MV"][index] <= result.runtime_ms["IM"][index]
+            assert result.runtime_ms["MV"][index] <= result.runtime_ms["EM"][index]

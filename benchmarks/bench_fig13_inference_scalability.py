@@ -1,0 +1,96 @@
+"""Figure 13 — Scalability of the Inference Model.
+
+On a synthetic dataset the paper varies the number of assignments from 10k to
+50k and reports (a) the EM runtime, which grows linearly, and (b) the number of
+iterations to convergence, which grows slowly.  This bench reproduces both
+series (at reduced sizes in the quick profile) and checks the near-linear
+scaling of the per-iteration cost.
+"""
+
+from __future__ import annotations
+
+import time
+
+from bench_common import current_profile, write_result
+
+from repro.analysis.reporting import format_series_table
+from repro.core.inference import InferenceConfig, LocationAwareInference
+from repro.crowd.answer_model import AnswerSimulator
+from repro.crowd.worker_pool import WorkerPool, WorkerPoolSpec
+from repro.data.generators import generate_scalability_dataset
+from repro.data.models import AnswerSet
+from repro.framework.experiment import build_distance_model
+from repro.spatial.bbox import BoundingBox
+from repro.utils.rng import default_rng
+
+
+def _build_corpus(num_assignments: int, seed: int = 5):
+    """Synthetic corpus with `num_assignments` (worker, task) answers."""
+    num_tasks = max(200, num_assignments // 5)
+    dataset = generate_scalability_dataset(num_tasks=num_tasks, seed=seed)
+    distance_model = build_distance_model(dataset)
+    bounds = BoundingBox.from_points(dataset.poi_locations)
+    pool = WorkerPool.generate(
+        bounds, spec=WorkerPoolSpec(num_workers=100), seed=seed
+    )
+    simulator = AnswerSimulator(distance_model, noise=0.05)
+    rng = default_rng(seed)
+    answers = AnswerSet()
+    worker_ids = pool.worker_ids
+    tasks = dataset.tasks
+    produced = 0
+    task_cursor = 0
+    while produced < num_assignments:
+        task = tasks[task_cursor % len(tasks)]
+        worker_id = worker_ids[int(rng.integers(len(worker_ids)))]
+        if answers.get(worker_id, task.task_id) is None:
+            profile = pool.profile(worker_id)
+            answers.add(simulator.sample_answer(profile, task, seed=rng))
+            produced += 1
+        task_cursor += 1
+    return dataset, pool, distance_model, answers
+
+
+def test_fig13_inference_scalability(benchmark):
+    profile = current_profile()
+    sizes = list(profile.scalability_assignments)
+
+    runtimes_s = []
+    iterations = []
+    for size in sizes:
+        dataset, pool, distance_model, answers = _build_corpus(size)
+        config = InferenceConfig(max_iterations=30, convergence_threshold=0.005)
+        model = LocationAwareInference(
+            dataset.tasks, pool.workers, distance_model, config=config
+        )
+        started = time.perf_counter()
+        result = model.run_em(answers)
+        runtimes_s.append(time.perf_counter() - started)
+        iterations.append(result.iterations)
+
+    # The timed unit: one EM run at the smallest size.
+    dataset, pool, distance_model, answers = _build_corpus(sizes[0])
+    model = LocationAwareInference(
+        dataset.tasks,
+        pool.workers,
+        distance_model,
+        config=InferenceConfig(max_iterations=30),
+    )
+    benchmark.pedantic(lambda: model.run_em(answers), rounds=1, iterations=1)
+
+    table = format_series_table(
+        "assignments",
+        sizes,
+        {"runtime (s)": runtimes_s, "iterations": iterations},
+        precision=2,
+    )
+    write_result("fig13_inference_scalability", table)
+
+    # Paper shape: runtime grows roughly linearly with the number of
+    # assignments.  Compare per-assignment-per-iteration cost across the
+    # extremes; it should stay within a small factor.
+    unit_cost_small = runtimes_s[0] / (sizes[0] * max(1, iterations[0]))
+    unit_cost_large = runtimes_s[-1] / (sizes[-1] * max(1, iterations[-1]))
+    assert unit_cost_large <= unit_cost_small * 3.0
+    # Iterations grow slowly (the paper sees 29 -> 38 over a 5x size increase).
+    assert max(iterations) <= 3 * max(1, min(iterations))

@@ -1,0 +1,98 @@
+"""Figure 14 — Scalability of the Task Assignment Algorithm.
+
+The paper measures the AccOpt batch-assignment runtime (a) for 100 available
+workers while varying the number of tasks from 2k to 10k, and (b) for 10k tasks
+while varying the number of workers.  Both curves grow linearly.  This bench
+reproduces both sweeps (reduced sizes in the quick profile) and checks the
+near-linear growth.
+"""
+
+from __future__ import annotations
+
+import time
+
+from bench_common import current_profile, write_result
+
+from repro.analysis.reporting import format_series_table
+from repro.core.assignment import AccOptAssigner
+from repro.crowd.worker_pool import WorkerPool, WorkerPoolSpec
+from repro.data.generators import generate_scalability_dataset
+from repro.data.models import AnswerSet
+from repro.framework.experiment import build_distance_model
+from repro.spatial.bbox import BoundingBox
+
+
+def _setup(num_tasks: int, num_workers: int, seed: int = 9):
+    dataset = generate_scalability_dataset(num_tasks=num_tasks, labels_per_task=10, seed=seed)
+    distance_model = build_distance_model(dataset)
+    bounds = BoundingBox.from_points(dataset.poi_locations)
+    pool = WorkerPool.generate(
+        bounds, spec=WorkerPoolSpec(num_workers=num_workers), seed=seed
+    )
+    assigner = AccOptAssigner(dataset.tasks, pool.workers, distance_model)
+    return assigner, pool
+
+
+def _time_assignment(assigner: AccOptAssigner, pool: WorkerPool, batch_size: int) -> float:
+    batch = pool.worker_ids[:batch_size]
+    started = time.perf_counter()
+    assigner.assign(batch, 2, AnswerSet())
+    return (time.perf_counter() - started) * 1000.0
+
+
+def test_fig14a_varying_tasks(benchmark):
+    profile = current_profile()
+    task_counts = list(profile.scalability_tasks)
+    batch_size = profile.scalability_workers[0]
+
+    runtimes_ms = []
+    for num_tasks in task_counts:
+        assigner, pool = _setup(num_tasks, num_workers=batch_size)
+        runtimes_ms.append(_time_assignment(assigner, pool, batch_size))
+
+    assigner, pool = _setup(task_counts[0], num_workers=batch_size)
+    benchmark.pedantic(
+        lambda: assigner.assign(pool.worker_ids[:batch_size], 2, AnswerSet()),
+        rounds=1,
+        iterations=1,
+    )
+
+    table = format_series_table(
+        "tasks", task_counts, {"assignment time (ms)": runtimes_ms}, precision=1
+    )
+    write_result("fig14a_assignment_scalability_tasks", table)
+
+    # Near-linear growth: the per-task cost at the largest size stays within a
+    # small factor of the per-task cost at the smallest size.
+    per_task_small = runtimes_ms[0] / task_counts[0]
+    per_task_large = runtimes_ms[-1] / task_counts[-1]
+    assert per_task_large <= per_task_small * 4.0
+
+
+def test_fig14b_varying_workers(benchmark):
+    profile = current_profile()
+    worker_counts = list(profile.scalability_workers)
+    num_tasks = profile.scalability_tasks[-1]
+
+    assigner, pool = _setup(num_tasks, num_workers=max(worker_counts))
+    runtimes_ms = []
+    for batch_size in worker_counts:
+        runtimes_ms.append(_time_assignment(assigner, pool, batch_size))
+
+    benchmark.pedantic(
+        lambda: assigner.assign(pool.worker_ids[: worker_counts[0]], 2, AnswerSet()),
+        rounds=1,
+        iterations=1,
+    )
+
+    table = format_series_table(
+        "workers", worker_counts, {"assignment time (ms)": runtimes_ms}, precision=1
+    )
+    write_result("fig14b_assignment_scalability_workers", table)
+
+    # Runtime must grow with the batch size, and the growth should stay far
+    # below quadratic blow-up over the measured range.
+    assert runtimes_ms[-1] >= runtimes_ms[0] * 0.8
+    per_worker_small = runtimes_ms[0] / worker_counts[0]
+    per_worker_large = runtimes_ms[-1] / worker_counts[-1]
+    assert per_worker_large <= per_worker_small * 6.0

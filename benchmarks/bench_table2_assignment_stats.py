@@ -1,0 +1,55 @@
+"""Table II — Evaluation of the Task Assignment Algorithms.
+
+For each assignment strategy the paper reports three statistics over the
+completed campaign: the average worker quality of the collected answers, the
+distribution of tasks over "< 3 / 3–7 / > 7 assigned workers" buckets, and the
+average ``Acc_{t,k}`` of all labels.  AccOpt achieves the best average accuracy
+with an even assignment distribution; Spatial-First skews the distribution
+because the spatial layout of workers and tasks is uneven.
+
+This bench reuses the campaigns run by the Figure 11 fixture, times the
+statistics computation and prints the table.
+"""
+
+from __future__ import annotations
+
+from bench_common import write_result
+
+from repro.analysis.reporting import format_table
+from repro.framework.metrics import assignment_distribution, worker_average_accuracy
+
+
+def test_table2_assignment_stats(benchmark, campaigns, assignment_comparisons):
+    campaign = campaigns["Beijing"]
+
+    benchmark.pedantic(
+        lambda: (
+            worker_average_accuracy(campaign.answers, campaign.dataset),
+            assignment_distribution(campaign.answers, campaign.dataset),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    for name, result in assignment_comparisons.items():
+        rows = []
+        for method in ("Random", "SF", "AccOpt"):
+            stats = result.stats[method]
+            few, medium, many = stats.assignment_distribution
+            rows.append(
+                [
+                    method,
+                    f"{stats.worker_quality * 100:.1f}%",
+                    f"[{few:.0f}%, {medium:.0f}%, {many:.0f}%]",
+                    f"{stats.average_acc * 100:.1f}%",
+                ]
+            )
+        table = format_table(
+            ["Method", "Worker Quality", "Assigned Workers [<3, 3-7, >7]", "Average Acc"],
+            rows,
+        )
+        write_result(f"table2_assignment_stats_{name.lower()}", table)
+
+        # Paper shape: AccOpt achieves the best (or tied-best) average Acc_{t,k}.
+        acc_values = {m: result.stats[m].average_acc for m in ("Random", "SF", "AccOpt")}
+        assert acc_values["AccOpt"] >= acc_values["Random"] - 0.02

@@ -1,0 +1,84 @@
+"""Scalability study: how inference and assignment scale with problem size.
+
+Reproduces the spirit of the paper's Figures 13 and 14 at laptop-friendly
+sizes: EM inference runtime versus the number of collected answers, and AccOpt
+batch-assignment runtime versus the number of tasks.  Useful as a template for
+sizing your own deployment.
+
+Run with::
+
+    python examples/scalability_study.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.reporting import format_series_table
+from repro.core.assignment import AccOptAssigner
+from repro.core.inference import InferenceConfig, LocationAwareInference
+from repro.crowd.worker_pool import WorkerPool, WorkerPoolSpec
+from repro.data.generators import generate_scalability_dataset
+from repro.data.models import AnswerSet
+from repro.framework.experiment import build_distance_model, build_platform
+from repro.spatial.bbox import BoundingBox
+
+ANSWER_COUNTS = (500, 1000, 2000)
+TASK_COUNTS = (250, 500, 1000)
+
+
+def inference_scaling() -> None:
+    print("EM inference runtime vs number of answers:")
+    runtimes = []
+    iterations = []
+    for count in ANSWER_COUNTS:
+        dataset = generate_scalability_dataset(num_tasks=max(100, count // 5), seed=3)
+        platform = build_platform(dataset, budget=count, seed=3)
+        answers_per_task = max(1, count // len(dataset.tasks))
+        answers = platform.collect_batch_answers(answers_per_task=answers_per_task, seed=3)
+        model = LocationAwareInference(
+            dataset.tasks,
+            platform.worker_pool.workers,
+            platform.distance_model,
+            config=InferenceConfig(max_iterations=25),
+        )
+        started = time.perf_counter()
+        result = model.run_em(answers)
+        runtimes.append(time.perf_counter() - started)
+        iterations.append(result.iterations)
+    print(
+        format_series_table(
+            "answers",
+            [len_ for len_ in ANSWER_COUNTS],
+            {"runtime (s)": runtimes, "iterations": iterations},
+            precision=2,
+        )
+    )
+
+
+def assignment_scaling() -> None:
+    print("\nAccOpt batch-assignment runtime vs number of tasks (10 workers, h=2):")
+    runtimes_ms = []
+    for num_tasks in TASK_COUNTS:
+        dataset = generate_scalability_dataset(num_tasks=num_tasks, seed=5)
+        distance_model = build_distance_model(dataset)
+        bounds = BoundingBox.from_points(dataset.poi_locations)
+        pool = WorkerPool.generate(bounds, spec=WorkerPoolSpec(num_workers=10), seed=5)
+        assigner = AccOptAssigner(dataset.tasks, pool.workers, distance_model)
+        started = time.perf_counter()
+        assigner.assign(pool.worker_ids, 2, AnswerSet())
+        runtimes_ms.append((time.perf_counter() - started) * 1000.0)
+    print(
+        format_series_table(
+            "tasks", list(TASK_COUNTS), {"assignment time (ms)": runtimes_ms}, precision=1
+        )
+    )
+
+
+def main() -> None:
+    inference_scaling()
+    assignment_scaling()
+
+
+if __name__ == "__main__":
+    main()

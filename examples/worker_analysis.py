@@ -1,0 +1,74 @@
+"""Worker and POI analysis: reproduce the paper's data-analysis figures.
+
+Collects a Deployment-1 corpus on the China scenic-spot dataset and prints the
+three analyses of Section V-B:
+
+* the per-worker accuracy histogram for nearby answers (Figure 6),
+* the distance-vs-accuracy curves of the most active workers (Figure 7),
+* the distance-vs-accuracy curves per POI popularity class (Figure 8).
+
+Run with::
+
+    python examples/worker_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro import generate_china_dataset
+from repro.analysis.poi_analysis import poi_influence_curves
+from repro.analysis.reporting import format_series_table
+from repro.analysis.worker_analysis import (
+    distance_accuracy_curves,
+    worker_quality_histogram,
+)
+from repro.framework.experiment import build_platform
+
+DISTANCE_BINS = ["[0,0.2)", "[0.2,0.4)", "[0.4,0.6)", "[0.6,0.8)", "[0.8,1.0]"]
+
+
+def main() -> None:
+    dataset = generate_china_dataset(seed=11)
+    platform = build_platform(dataset, budget=1000, seed=23)
+    answers = platform.collect_batch_answers(answers_per_task=5, seed=23)
+    workers = platform.worker_pool.workers
+    distance_model = platform.distance_model
+    print(f"collected {len(answers)} answers on {dataset.name}")
+
+    histogram = worker_quality_histogram(
+        answers, dataset, workers, distance_model, max_distance=0.2
+    )
+    print("\nFigure 6 — % of workers per accuracy range (answers within distance 0.2):")
+    print(
+        format_series_table(
+            "accuracy range",
+            ["0-20%", "20-40%", "40-60%", "60-80%", "80-100%"],
+            {"% of workers": list(histogram.percentages)},
+            precision=1,
+        )
+    )
+
+    curves = distance_accuracy_curves(
+        answers, dataset, workers, distance_model, top_k=5
+    )
+    print("\nFigure 7 — accuracy vs distance for the five most active workers:")
+    print(
+        format_series_table(
+            "distance",
+            DISTANCE_BINS,
+            {curve.worker_id: curve.accuracies for curve in curves},
+        )
+    )
+
+    influence = poi_influence_curves(answers, dataset, workers, distance_model)
+    print("\nFigure 8 — accuracy vs distance per POI review-count class:")
+    print(
+        format_series_table(
+            "distance",
+            DISTANCE_BINS,
+            {curve.review_class: curve.accuracies for curve in influence},
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Reproduction of "Crowdsourced POI Labelling: Location-Aware Result Inference
+and Task Assignment" (Hu, Zheng, Bao, Li, Feng, Cheng — ICDE 2016).
+
+The package is organised as a small number of substrates plus the paper's core
+contribution:
+
+* :mod:`repro.spatial`   — geometry, normalised distances and a grid spatial index.
+* :mod:`repro.data`      — POI/task/worker/answer data model, label vocabularies and
+  synthetic dataset generators standing in for the paper's Beijing/China datasets.
+* :mod:`repro.crowd`     — a crowdsourcing-platform simulator (worker pool, arrival
+  process, HIT lifecycle, budget accounting) replacing the ChinaCrowds deployment.
+* :mod:`repro.core`      — the location-aware inference model (EM over worker
+  inherent quality, distance-aware quality and POI influence), accuracy estimation
+  and the AccOpt greedy task assigner.
+* :mod:`repro.baselines` — majority voting and Dawid–Skene EM inference baselines.
+* :mod:`repro.assign`    — Random / Spatial-First / AccOpt assignment strategies
+  behind a common interface.
+* :mod:`repro.framework` — the alternating inference/assignment loop from the
+  paper's Figure 1 plus experiment drivers and evaluation metrics.
+* :mod:`repro.analysis`  — the data-analysis routines behind every figure and table
+  in the paper's evaluation section.
+
+Typical usage::
+
+    from repro import (
+        generate_beijing_dataset, WorkerPool, CrowdPlatform,
+        LocationAwareInference, PoiLabellingFramework,
+    )
+
+See ``examples/quickstart.py`` for an end-to-end run.
+"""
+
+from repro.data.models import (
+    POI,
+    Answer,
+    AnswerSet,
+    Task,
+    Worker,
+)
+from repro.data.generators import (
+    generate_beijing_dataset,
+    generate_china_dataset,
+    generate_scalability_dataset,
+)
+from repro.spatial.geometry import GeoPoint
+from repro.spatial.distance import DistanceModel
+from repro.crowd.worker_pool import WorkerPool, WorkerProfile
+from repro.crowd.platform import CrowdPlatform
+from repro.core.distance_functions import BellShapedFunction, DistanceFunctionSet
+from repro.core.inference import LocationAwareInference
+from repro.core.assignment import AccOptAssigner
+from repro.baselines.majority_vote import MajorityVoteInference
+from repro.baselines.dawid_skene import DawidSkeneInference
+from repro.assign.random_assigner import RandomAssigner
+from repro.assign.spatial_first import SpatialFirstAssigner
+from repro.framework.framework import PoiLabellingFramework
+from repro.framework.config import FrameworkConfig
+from repro.framework.metrics import labelling_accuracy
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "POI",
+    "Answer",
+    "AnswerSet",
+    "Task",
+    "Worker",
+    "GeoPoint",
+    "DistanceModel",
+    "WorkerPool",
+    "WorkerProfile",
+    "CrowdPlatform",
+    "BellShapedFunction",
+    "DistanceFunctionSet",
+    "LocationAwareInference",
+    "AccOptAssigner",
+    "MajorityVoteInference",
+    "DawidSkeneInference",
+    "RandomAssigner",
+    "SpatialFirstAssigner",
+    "PoiLabellingFramework",
+    "FrameworkConfig",
+    "labelling_accuracy",
+    "generate_beijing_dataset",
+    "generate_china_dataset",
+    "generate_scalability_dataset",
+    "__version__",
+]

@@ -1,0 +1,32 @@
+"""Data-analysis routines behind every figure and table of the paper's evaluation.
+
+* :mod:`repro.analysis.worker_analysis` — worker quality histogram (Figure 6)
+  and the distance-vs-accuracy curves of the most active workers (Figure 7).
+* :mod:`repro.analysis.poi_analysis` — distance-vs-accuracy per POI popularity
+  class (Figure 8).
+* :mod:`repro.analysis.convergence` — EM convergence traces (Figure 10).
+* :mod:`repro.analysis.case_study` — the per-task case study of Table I.
+* :mod:`repro.analysis.reporting` — plain-text rendering of series and tables
+  so benchmarks can print paper-style output.
+"""
+
+from repro.analysis.worker_analysis import (
+    distance_accuracy_curves,
+    worker_quality_histogram,
+)
+from repro.analysis.poi_analysis import poi_influence_curves, review_count_class
+from repro.analysis.convergence import convergence_trace
+from repro.analysis.case_study import CaseStudyRow, build_case_study
+from repro.analysis.reporting import format_series_table, format_table
+
+__all__ = [
+    "worker_quality_histogram",
+    "distance_accuracy_curves",
+    "poi_influence_curves",
+    "review_count_class",
+    "convergence_trace",
+    "CaseStudyRow",
+    "build_case_study",
+    "format_series_table",
+    "format_table",
+]

@@ -1,0 +1,64 @@
+"""EM convergence analysis (Figure 10 of the paper).
+
+The paper tracks the "maximum variance of parameters" — the largest absolute
+change of any parameter between consecutive EM iterations — and declares
+convergence when it drops below 0.005.  The
+:class:`~repro.core.inference.InferenceResult` already records this trace; the
+helper here re-runs the model with a fixed (large) iteration cap so that the
+full curve is available even when the default configuration would stop early.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.inference import InferenceConfig, LocationAwareInference
+from repro.data.models import AnswerSet, Dataset, Worker
+from repro.spatial.distance import DistanceModel
+
+
+@dataclass
+class ConvergenceTrace:
+    """Per-iteration maximum parameter change and log-likelihood."""
+
+    max_parameter_change: list[float]
+    log_likelihood: list[float]
+    iterations_to_threshold: int | None
+    threshold: float
+
+    @property
+    def iterations(self) -> int:
+        return len(self.max_parameter_change)
+
+
+def convergence_trace(
+    dataset: Dataset,
+    workers: list[Worker],
+    answers: AnswerSet,
+    distance_model: DistanceModel,
+    config: InferenceConfig | None = None,
+    max_iterations: int = 30,
+    threshold: float = 0.005,
+) -> ConvergenceTrace:
+    """Run EM for ``max_iterations`` iterations and return the convergence trace."""
+    base = config or InferenceConfig()
+    trace_config = replace(
+        base, max_iterations=max_iterations, convergence_threshold=0.0
+    )
+    model = LocationAwareInference(
+        dataset.tasks, workers, distance_model, config=trace_config
+    )
+    result = model.run_em(answers)
+
+    iterations_to_threshold = None
+    for index, change in enumerate(result.convergence_trace):
+        if change <= threshold:
+            iterations_to_threshold = index + 1
+            break
+
+    return ConvergenceTrace(
+        max_parameter_change=list(result.convergence_trace),
+        log_likelihood=list(result.log_likelihood_trace),
+        iterations_to_threshold=iterations_to_threshold,
+        threshold=threshold,
+    )

@@ -1,0 +1,84 @@
+"""POI-centric data analysis (Figure 8 of the paper).
+
+POIs are bucketed by their review count (the paper's proxy for real-world
+influence: >2500, >1000, >500, <500 reviews) and, within each bucket, answer
+accuracy is averaged per distance range.  Popular POIs keep high accuracy even
+for distant workers; obscure POIs degrade quickly — the behaviour the model's
+POI-influence component captures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.models import AnswerSet, Dataset, Worker
+from repro.spatial.distance import DistanceModel
+from repro.utils.binning import bin_edges, mean_by_bin
+
+#: The paper's review-count classes, from most to least popular.
+REVIEW_CLASSES: tuple[str, ...] = ("Rev>2500", "Rev>1000", "Rev>500", "Rev<500")
+
+
+def review_count_class(review_count: int) -> str:
+    """Map a review count to its Figure 8 popularity class."""
+    if review_count > 2500:
+        return "Rev>2500"
+    if review_count > 1000:
+        return "Rev>1000"
+    if review_count > 500:
+        return "Rev>500"
+    return "Rev<500"
+
+
+@dataclass
+class PoiInfluenceCurve:
+    """Average accuracy per distance bin for one POI popularity class."""
+
+    review_class: str
+    edges: np.ndarray
+    accuracies: list[float | None]
+    answer_count: int
+
+
+def poi_influence_curves(
+    answers: AnswerSet,
+    dataset: Dataset,
+    workers: list[Worker],
+    distance_model: DistanceModel,
+    num_bins: int = 5,
+) -> list[PoiInfluenceCurve]:
+    """Distance-bucketed answer accuracy per POI popularity class (Figure 8)."""
+    worker_map = {worker.worker_id: worker for worker in workers}
+    task_map = dataset.task_index
+
+    per_class: dict[str, list[tuple[float, float]]] = {name: [] for name in REVIEW_CLASSES}
+    for answer in answers:
+        worker = worker_map.get(answer.worker_id)
+        task = task_map.get(answer.task_id)
+        if worker is None or task is None:
+            continue
+        distance = distance_model.worker_task_distance(worker.locations, task.location)
+        accuracy = answer.accuracy_against(task.truth)
+        per_class[review_count_class(task.poi.review_count)].append((distance, accuracy))
+
+    edges = bin_edges(0.0, 1.0, num_bins)
+    curves = []
+    for review_class in REVIEW_CLASSES:
+        observations = per_class[review_class]
+        if observations:
+            distances = [d for d, _ in observations]
+            accuracies = [a for _, a in observations]
+            means = mean_by_bin(distances, accuracies, edges)
+        else:
+            means = [None] * num_bins
+        curves.append(
+            PoiInfluenceCurve(
+                review_class=review_class,
+                edges=edges,
+                accuracies=means,
+                answer_count=len(observations),
+            )
+        )
+    return curves

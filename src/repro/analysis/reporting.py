@@ -1,0 +1,69 @@
+"""Plain-text rendering of series and tables.
+
+The benchmark harness prints each figure as the series of points the paper
+plots and each table as aligned text, so the reproduction output can be read
+side by side with the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def _format_cell(value: object, precision: int) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    precision: int = 3,
+) -> str:
+    """Render ``rows`` as an aligned plain-text table with ``headers``."""
+    if not headers:
+        raise ValueError("a table needs at least one column")
+    formatted_rows = [[_format_cell(cell, precision) for cell in row] for row in rows]
+    for row in formatted_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [
+        max(len(str(headers[col])), *(len(row[col]) for row in formatted_rows))
+        if formatted_rows
+        else len(str(headers[col]))
+        for col in range(len(headers))
+    ]
+    lines = [
+        "  ".join(str(header).ljust(width) for header, width in zip(headers, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in formatted_rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series_table(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[object]],
+    precision: int = 3,
+) -> str:
+    """Render several aligned series (one column per named series).
+
+    This is how each figure is printed: ``x_values`` along the first column
+    (budget, distance bin, iteration, ...) and one column per plotted line.
+    """
+    headers = [x_label] + list(series)
+    rows = []
+    for index, x_value in enumerate(x_values):
+        row: list[object] = [x_value]
+        for name in series:
+            values = series[name]
+            row.append(values[index] if index < len(values) else None)
+        rows.append(row)
+    return format_table(headers, rows, precision=precision)

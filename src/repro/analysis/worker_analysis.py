@@ -1,0 +1,126 @@
+"""Worker-centric data analysis (Figures 6 and 7 of the paper).
+
+* Figure 6: the distribution of per-worker accuracy restricted to answers where
+  the worker-to-POI distance is at most 0.2 — showing that even nearby tasks
+  receive low-quality answers from some workers (inherent quality).
+* Figure 7: per-worker accuracy as a function of distance for the most active
+  workers — showing that accuracy decays with distance and that the decay rate
+  differs across workers (distance-aware quality).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.models import AnswerSet, Dataset, Worker
+from repro.spatial.distance import DistanceModel
+from repro.utils.binning import bin_edges, histogram_percentages, mean_by_bin
+
+
+@dataclass
+class WorkerQualityHistogram:
+    """Percentage of workers per accuracy range (Figure 6)."""
+
+    edges: np.ndarray
+    percentages: np.ndarray
+    worker_accuracies: dict[str, float]
+
+
+def _worker_index(workers: list[Worker]) -> dict[str, Worker]:
+    return {worker.worker_id: worker for worker in workers}
+
+
+def worker_quality_histogram(
+    answers: AnswerSet,
+    dataset: Dataset,
+    workers: list[Worker],
+    distance_model: DistanceModel,
+    max_distance: float = 0.2,
+    num_bins: int = 5,
+) -> WorkerQualityHistogram:
+    """Per-worker accuracy histogram over answers within ``max_distance``.
+
+    Workers with no nearby answers are excluded (they contribute nothing to the
+    figure), matching the paper's methodology of controlling for distance
+    before attributing differences to inherent quality.
+    """
+    worker_map = _worker_index(workers)
+    task_map = dataset.task_index
+
+    sums: dict[str, float] = {}
+    counts: dict[str, int] = {}
+    for answer in answers:
+        worker = worker_map.get(answer.worker_id)
+        task = task_map.get(answer.task_id)
+        if worker is None or task is None:
+            continue
+        distance = distance_model.worker_task_distance(worker.locations, task.location)
+        if distance > max_distance:
+            continue
+        accuracy = answer.accuracy_against(task.truth)
+        sums[answer.worker_id] = sums.get(answer.worker_id, 0.0) + accuracy
+        counts[answer.worker_id] = counts.get(answer.worker_id, 0) + 1
+
+    worker_accuracies = {
+        worker_id: sums[worker_id] / counts[worker_id] for worker_id in sums
+    }
+    edges = bin_edges(0.0, 1.0, num_bins)
+    percentages = histogram_percentages(list(worker_accuracies.values()), edges)
+    return WorkerQualityHistogram(
+        edges=edges, percentages=percentages, worker_accuracies=worker_accuracies
+    )
+
+
+@dataclass
+class DistanceAccuracyCurve:
+    """Average accuracy per distance bin for one worker (one line of Figure 7)."""
+
+    worker_id: str
+    edges: np.ndarray
+    accuracies: list[float | None]
+    answer_count: int
+
+
+def distance_accuracy_curves(
+    answers: AnswerSet,
+    dataset: Dataset,
+    workers: list[Worker],
+    distance_model: DistanceModel,
+    top_k: int = 5,
+    num_bins: int = 5,
+) -> list[DistanceAccuracyCurve]:
+    """Distance-bucketed accuracy of the ``top_k`` most active workers (Figure 7)."""
+    worker_map = _worker_index(workers)
+    task_map = dataset.task_index
+
+    per_worker: dict[str, list[tuple[float, float]]] = {}
+    for answer in answers:
+        worker = worker_map.get(answer.worker_id)
+        task = task_map.get(answer.task_id)
+        if worker is None or task is None:
+            continue
+        distance = distance_model.worker_task_distance(worker.locations, task.location)
+        accuracy = answer.accuracy_against(task.truth)
+        per_worker.setdefault(answer.worker_id, []).append((distance, accuracy))
+
+    most_active = sorted(
+        per_worker, key=lambda worker_id: (-len(per_worker[worker_id]), worker_id)
+    )[:top_k]
+
+    edges = bin_edges(0.0, 1.0, num_bins)
+    curves = []
+    for worker_id in most_active:
+        observations = per_worker[worker_id]
+        distances = [d for d, _ in observations]
+        accuracies = [a for _, a in observations]
+        curves.append(
+            DistanceAccuracyCurve(
+                worker_id=worker_id,
+                edges=edges,
+                accuracies=mean_by_bin(distances, accuracies, edges),
+                answer_count=len(observations),
+            )
+        )
+    return curves

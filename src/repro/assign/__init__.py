@@ -1,0 +1,29 @@
+"""Task-assignment strategies behind a common interface.
+
+* :class:`~repro.assign.random_assigner.RandomAssigner` — the RANDOM baseline:
+  each available worker receives ``h`` uniformly random tasks they have not yet
+  answered.
+* :class:`~repro.assign.spatial_first.SpatialFirstAssigner` — the SF baseline:
+  each worker receives the closest not-yet-answered tasks.
+* :class:`~repro.assign.uncertainty.UncertaintyFirstAssigner` — an extension
+  beyond the paper: entropy-based task selection in the spirit of the CDAS
+  baseline discussed in the related work.
+* :class:`~repro.assign.accopt.AccOptAssigner` — the paper's greedy
+  accuracy-improvement assigner (defined in :mod:`repro.core.assignment`,
+  re-exported here so all strategies are importable from one place).
+
+All strategies implement :class:`repro.core.assignment.TaskAssigner`.
+"""
+
+from repro.core.assignment import AccOptAssigner, TaskAssigner
+from repro.assign.random_assigner import RandomAssigner
+from repro.assign.spatial_first import SpatialFirstAssigner
+from repro.assign.uncertainty import UncertaintyFirstAssigner
+
+__all__ = [
+    "TaskAssigner",
+    "AccOptAssigner",
+    "RandomAssigner",
+    "SpatialFirstAssigner",
+    "UncertaintyFirstAssigner",
+]

@@ -1,0 +1,10 @@
+"""Re-export of the AccOpt greedy assigner.
+
+The implementation lives in :mod:`repro.core.assignment` because it is part of
+the paper's core contribution; it is re-exported here so that all assignment
+strategies can be imported from the :mod:`repro.assign` package uniformly.
+"""
+
+from repro.core.assignment import AccOptAssigner
+
+__all__ = ["AccOptAssigner"]

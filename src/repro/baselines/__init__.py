@@ -1,0 +1,22 @@
+"""Baseline result-inference methods the paper compares against.
+
+* :class:`~repro.baselines.majority_vote.MajorityVoteInference` — MV: a label is
+  inferred correct if strictly more than half the answering workers ticked it.
+* :class:`~repro.baselines.dawid_skene.DawidSkeneInference` — EM: the classic
+  Dawid–Skene estimator with a per-worker 2×2 confusion matrix, iterating
+  between estimating label truths and worker confusion matrices.
+
+Both implement :class:`~repro.baselines.base.LabelInferenceModel`, the same
+interface the location-aware model implements, so the experiment harness can
+swap them freely.
+"""
+
+from repro.baselines.base import LabelInferenceModel
+from repro.baselines.majority_vote import MajorityVoteInference
+from repro.baselines.dawid_skene import DawidSkeneInference
+
+__all__ = [
+    "LabelInferenceModel",
+    "MajorityVoteInference",
+    "DawidSkeneInference",
+]

@@ -1,0 +1,65 @@
+"""Common interface for label-inference methods (MV, Dawid–Skene EM, and IM)."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.data.models import AnswerSet, Task
+
+
+class LabelInferenceModel(ABC):
+    """A method that infers the binary truth of every candidate label.
+
+    The lifecycle is ``fit(answers)`` followed by any number of
+    :meth:`label_probabilities` / :meth:`predict` queries.  Implementations must
+    be re-fittable: calling :meth:`fit` again with a larger answer set replaces
+    the previous estimate.
+    """
+
+    def __init__(self, tasks: list[Task]) -> None:
+        if not tasks:
+            raise ValueError("an inference model needs at least one task")
+        self._tasks = {task.task_id: task for task in tasks}
+        self._fitted = False
+
+    @property
+    def tasks(self) -> dict[str, Task]:
+        return dict(self._tasks)
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    @abstractmethod
+    def fit(self, answers: AnswerSet) -> "LabelInferenceModel":
+        """Estimate the model from the answer set and return ``self``."""
+
+    @abstractmethod
+    def label_probabilities(self, task_id: str) -> np.ndarray:
+        """``P(z_{t,k} = 1)`` for every label ``k`` of ``task_id``."""
+
+    def predict(self, task_id: str, threshold: float = 0.5) -> np.ndarray:
+        """Binary decision per label: 1 iff ``P(z=1) >= threshold``."""
+        probs = self.label_probabilities(task_id)
+        return (probs >= threshold).astype(int)
+
+    def predict_all(self, threshold: float = 0.5) -> dict[str, np.ndarray]:
+        """Predictions for every task, keyed by task id."""
+        return {
+            task_id: self.predict(task_id, threshold=threshold)
+            for task_id in self._tasks
+        }
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError(
+                f"{type(self).__name__} must be fitted before querying predictions"
+            )
+
+    def _require_task(self, task_id: str) -> Task:
+        task = self._tasks.get(task_id)
+        if task is None:
+            raise KeyError(f"unknown task {task_id!r}")
+        return task

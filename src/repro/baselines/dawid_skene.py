@@ -1,0 +1,190 @@
+"""Dawid–Skene confusion-matrix EM baseline (the "EM" method in the paper).
+
+The classic estimator from Dawid & Skene (1979), applied label-wise to the
+binary POI-labelling setting:
+
+* every worker ``w`` has a 2×2 confusion matrix ``π_w[z][r]`` — the probability
+  of answering ``r`` when the truth is ``z``;
+* every label carries a Bernoulli truth prior;
+* EM alternates between (E) computing the posterior of each label's truth given
+  the current confusion matrices and (M) re-estimating confusion matrices and
+  class priors from those posteriors.
+
+Unlike the paper's model this estimator is *location-unaware*: a worker's
+quality is the same regardless of how far the POI is, which is exactly the
+deficiency the case study in Table I illustrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.base import LabelInferenceModel
+from repro.data.models import AnswerSet, Task
+
+
+@dataclass
+class DawidSkeneConfig:
+    """Hyper-parameters of the Dawid–Skene EM baseline."""
+
+    max_iterations: int = 100
+    convergence_threshold: float = 1e-4
+    smoothing: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_iterations <= 0:
+            raise ValueError(f"max_iterations must be positive, got {self.max_iterations}")
+        if self.convergence_threshold < 0:
+            raise ValueError(
+                f"convergence_threshold must be non-negative, got "
+                f"{self.convergence_threshold}"
+            )
+        if self.smoothing < 0:
+            raise ValueError(f"smoothing must be non-negative, got {self.smoothing}")
+
+
+@dataclass
+class DawidSkeneResult:
+    """Diagnostics of one Dawid–Skene EM run."""
+
+    iterations: int
+    converged: bool
+    convergence_trace: list[float] = field(default_factory=list)
+
+
+class DawidSkeneInference(LabelInferenceModel):
+    """Binary Dawid–Skene EM over (task, label) items."""
+
+    def __init__(self, tasks: list[Task], config: DawidSkeneConfig | None = None) -> None:
+        super().__init__(tasks)
+        self._config = config or DawidSkeneConfig()
+        self._probabilities: dict[str, np.ndarray] = {}
+        self._confusion: dict[str, np.ndarray] = {}
+        self._last_result: DawidSkeneResult | None = None
+
+    @property
+    def config(self) -> DawidSkeneConfig:
+        return self._config
+
+    @property
+    def last_result(self) -> DawidSkeneResult | None:
+        return self._last_result
+
+    def worker_confusion(self, worker_id: str) -> np.ndarray:
+        """The 2×2 confusion matrix ``π_w[z][r]`` estimated for ``worker_id``."""
+        self._require_fitted()
+        return self._confusion[worker_id].copy()
+
+    def worker_accuracy(self, worker_id: str) -> float:
+        """Average diagonal of the confusion matrix — the scalar quality EM uses."""
+        matrix = self.worker_confusion(worker_id)
+        return float((matrix[0, 0] + matrix[1, 1]) / 2.0)
+
+    def fit(self, answers: AnswerSet) -> "DawidSkeneInference":
+        items, observations = self._flatten(answers)
+        worker_ids = sorted({worker_id for worker_id, _, _ in observations})
+
+        # Initialise truth posteriors with the majority-vote fraction.
+        posterior = {}
+        for item in items:
+            votes = [r for _, key, r in observations if key == item]
+            posterior[item] = float(np.mean(votes)) if votes else 0.5
+
+        # Index observations per item and per worker once.
+        obs_by_item: dict[tuple[str, int], list[tuple[str, int]]] = {item: [] for item in items}
+        obs_by_worker: dict[str, list[tuple[tuple[str, int], int]]] = {
+            worker_id: [] for worker_id in worker_ids
+        }
+        for worker_id, item, response in observations:
+            obs_by_item[item].append((worker_id, response))
+            obs_by_worker[worker_id].append((item, response))
+
+        confusion = {
+            worker_id: np.array([[0.7, 0.3], [0.3, 0.7]]) for worker_id in worker_ids
+        }
+        prior_positive = 0.5
+        smoothing = self._config.smoothing
+
+        trace: list[float] = []
+        converged = False
+        iterations = 0
+        for iteration in range(self._config.max_iterations):
+            iterations = iteration + 1
+
+            # M-step: confusion matrices and class prior from current posteriors.
+            new_confusion = {}
+            for worker_id in worker_ids:
+                counts = np.full((2, 2), smoothing)
+                for item, response in obs_by_worker[worker_id]:
+                    p1 = posterior[item]
+                    counts[1, response] += p1
+                    counts[0, response] += 1.0 - p1
+                counts /= counts.sum(axis=1, keepdims=True)
+                new_confusion[worker_id] = counts
+            confusion = new_confusion
+            if posterior:
+                prior_positive = float(np.mean(list(posterior.values())))
+                prior_positive = min(1.0 - 1e-6, max(1e-6, prior_positive))
+
+            # E-step: truth posteriors from the confusion matrices.
+            max_change = 0.0
+            new_posterior = {}
+            for item in items:
+                log_p1 = np.log(prior_positive)
+                log_p0 = np.log(1.0 - prior_positive)
+                for worker_id, response in obs_by_item[item]:
+                    matrix = confusion[worker_id]
+                    log_p1 += np.log(max(matrix[1, response], 1e-12))
+                    log_p0 += np.log(max(matrix[0, response], 1e-12))
+                denominator = np.logaddexp(log_p1, log_p0)
+                value = float(np.exp(log_p1 - denominator))
+                max_change = max(max_change, abs(value - posterior[item]))
+                new_posterior[item] = value
+            posterior = new_posterior
+            trace.append(max_change)
+            if max_change <= self._config.convergence_threshold:
+                converged = True
+                break
+
+        self._confusion = confusion
+        self._probabilities = {}
+        for task_id, task in self._tasks.items():
+            probs = np.array(
+                [posterior.get((task_id, k), 0.5) for k in range(task.num_labels)]
+            )
+            self._probabilities[task_id] = probs
+        self._last_result = DawidSkeneResult(
+            iterations=iterations, converged=converged, convergence_trace=trace
+        )
+        self._fitted = True
+        return self
+
+    def label_probabilities(self, task_id: str) -> np.ndarray:
+        self._require_fitted()
+        self._require_task(task_id)
+        return self._probabilities[task_id].copy()
+
+    # ------------------------------------------------------------------ internal
+    def _flatten(
+        self, answers: AnswerSet
+    ) -> tuple[list[tuple[str, int]], list[tuple[str, tuple[str, int], int]]]:
+        """Flatten answers into (task, label-index) items and per-item observations."""
+        items: set[tuple[str, int]] = set()
+        observations: list[tuple[str, tuple[str, int], int]] = []
+        for answer in answers:
+            task = self._tasks.get(answer.task_id)
+            if task is None:
+                raise KeyError(f"answer references unknown task {answer.task_id!r}")
+            if answer.num_labels != task.num_labels:
+                raise ValueError(
+                    f"answer for task {task.task_id!r} has {answer.num_labels} labels, "
+                    f"task has {task.num_labels}"
+                )
+            for k, response in enumerate(answer.responses):
+                item = (answer.task_id, k)
+                items.add(item)
+                observations.append((answer.worker_id, item, int(response)))
+        # Items with no answers are handled at prediction time (probability 0.5).
+        return sorted(items), observations

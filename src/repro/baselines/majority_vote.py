@@ -1,0 +1,49 @@
+"""Majority-voting inference baseline (MV in the paper's evaluation).
+
+For each label, the fraction of answering workers who ticked it is used as the
+probability of the label being correct; a label is inferred correct when a
+strict majority voted "yes" (ties default to "not correct", matching the
+``P(z=1) >= 0.5`` convention only when more than half the votes are positive —
+with an even worker count, exactly half the votes give probability 0.5 which is
+reported as-is, so the caller's threshold decides).  Labels of tasks with no
+answers at all get an uninformative probability of 0.5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import LabelInferenceModel
+from repro.data.models import AnswerSet, Task
+
+
+class MajorityVoteInference(LabelInferenceModel):
+    """The MV baseline: label probability = fraction of positive votes."""
+
+    def __init__(self, tasks: list[Task]) -> None:
+        super().__init__(tasks)
+        self._probabilities: dict[str, np.ndarray] = {}
+
+    def fit(self, answers: AnswerSet) -> "MajorityVoteInference":
+        self._probabilities = {}
+        for task_id, task in self._tasks.items():
+            task_answers = answers.answers_of_task(task_id)
+            if not task_answers:
+                self._probabilities[task_id] = np.full(task.num_labels, 0.5)
+                continue
+            votes = np.zeros(task.num_labels)
+            for answer in task_answers:
+                if answer.num_labels != task.num_labels:
+                    raise ValueError(
+                        f"answer for task {task_id!r} has {answer.num_labels} labels, "
+                        f"task has {task.num_labels}"
+                    )
+                votes += np.asarray(answer.responses)
+            self._probabilities[task_id] = votes / len(task_answers)
+        self._fitted = True
+        return self
+
+    def label_probabilities(self, task_id: str) -> np.ndarray:
+        self._require_fitted()
+        self._require_task(task_id)
+        return self._probabilities[task_id].copy()

@@ -1,0 +1,43 @@
+"""The paper's core contribution.
+
+* :mod:`repro.core.distance_functions` — the bell-shaped distance quality
+  functions ``f_λ(d) = (1 + e^{-λ d²}) / 2`` and the fixed distance-function set
+  ``F`` (Definitions 3–4).
+* :mod:`repro.core.params` — containers for the model parameters
+  ``P(z_{t,k})``, ``P(i_w)``, ``P(d_w)`` and ``P(d_t)``.
+* :mod:`repro.core.inference` — the location-aware graphical model and its EM
+  parameter estimation (Section III).
+* :mod:`repro.core.incremental` — the incremental EM update applied between
+  full re-runs (Section III-D).
+* :mod:`repro.core.accuracy` — accuracy estimation for hypothetical
+  assignments (Equations 15–20, Lemmas 1–2).
+* :mod:`repro.core.assignment` — the AccOpt greedy assignment algorithm
+  (Algorithm 1).
+"""
+
+from repro.core.distance_functions import (
+    BellShapedFunction,
+    DistanceFunctionSet,
+    PAPER_FUNCTION_SET,
+)
+from repro.core.params import ModelParameters, TaskParameters, WorkerParameters
+from repro.core.inference import InferenceConfig, InferenceResult, LocationAwareInference
+from repro.core.incremental import IncrementalUpdater
+from repro.core.accuracy import AccuracyEstimator, LabelAccuracy
+from repro.core.assignment import AccOptAssigner
+
+__all__ = [
+    "BellShapedFunction",
+    "DistanceFunctionSet",
+    "PAPER_FUNCTION_SET",
+    "ModelParameters",
+    "WorkerParameters",
+    "TaskParameters",
+    "InferenceConfig",
+    "InferenceResult",
+    "LocationAwareInference",
+    "IncrementalUpdater",
+    "AccuracyEstimator",
+    "LabelAccuracy",
+    "AccOptAssigner",
+]

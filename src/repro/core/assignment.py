@@ -1,0 +1,214 @@
+"""Task assignment: the common assigner interface and the AccOpt greedy algorithm.
+
+Section IV of the paper formulates the optimal task assignment problem: given
+the set ``W`` of currently available workers and a per-worker HIT size ``h``,
+choose ``A(W)`` maximising the total expected accuracy improvement
+``Σ_t Σ_k ΔAcc_{t,k}(Ŵ(t))``.  The exact problem is NP-hard (Lemma 3), so the
+paper uses the greedy Algorithm 1: repeatedly pick the (worker, task) pair with
+the largest marginal ΔAcc, update the affected task's hypothetical accuracy via
+Lemma 2's recursion, and stop when every worker has ``h`` tasks.
+
+:class:`TaskAssigner` is the interface shared with the Random and Spatial-First
+baselines in :mod:`repro.assign`; :class:`AccOptAssigner` is the paper's
+algorithm.
+"""
+
+from __future__ import annotations
+
+import heapq
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro.core.accuracy import AccuracyEstimator, LabelAccuracy
+from repro.core.params import ModelParameters
+from repro.data.models import AnswerSet, Task, Worker
+from repro.spatial.distance import DistanceModel
+
+
+class TaskAssigner(ABC):
+    """A strategy that assigns ``h`` tasks to each available worker.
+
+    Implementations must never assign a task the worker has already answered
+    (the platform refuses duplicate completions) and must not assign the same
+    task twice to one worker within a single call.
+    """
+
+    def __init__(self, tasks: list[Task], workers: list[Worker]) -> None:
+        if not tasks:
+            raise ValueError("an assigner needs at least one task")
+        if not workers:
+            raise ValueError("an assigner needs at least one worker")
+        self._tasks = {task.task_id: task for task in tasks}
+        self._workers = {worker.worker_id: worker for worker in workers}
+
+    @property
+    def tasks(self) -> dict[str, Task]:
+        return dict(self._tasks)
+
+    @property
+    def workers(self) -> dict[str, Worker]:
+        return dict(self._workers)
+
+    def update_parameters(self, parameters: ModelParameters) -> None:
+        """Receive the latest inference parameters.
+
+        The default is a no-op; quality-aware assigners (AccOpt) override it.
+        The framework calls this after every inference update so the assigner
+        always works with fresh worker qualities and POI influences.
+        """
+
+    @abstractmethod
+    def assign(
+        self, available_workers: Sequence[str], h: int, answers: AnswerSet
+    ) -> dict[str, list[str]]:
+        """Return ``{worker_id: [task_id, ...]}`` with up to ``h`` tasks per worker."""
+
+    # ------------------------------------------------------------ shared helpers
+    def _validate_request(self, available_workers: Sequence[str], h: int) -> None:
+        if h <= 0:
+            raise ValueError(f"h must be positive, got {h}")
+        unknown = [w for w in available_workers if w not in self._workers]
+        if unknown:
+            raise KeyError(f"unknown workers requested tasks: {unknown}")
+        if len(set(available_workers)) != len(available_workers):
+            raise ValueError("available_workers must not contain duplicates")
+
+    def _candidate_tasks(self, worker_id: str, answers: AnswerSet) -> list[str]:
+        """Tasks the worker has not answered yet, in deterministic order."""
+        done = answers.tasks_of_worker(worker_id)
+        return [task_id for task_id in sorted(self._tasks) if task_id not in done]
+
+
+class AccOptAssigner(TaskAssigner):
+    """The paper's greedy accuracy-optimal assigner (Algorithm 1).
+
+    The assigner consumes the latest :class:`~repro.core.params.ModelParameters`
+    (worker qualities, POI influences, label probabilities) via
+    :meth:`update_parameters` and greedily maximises the expected accuracy
+    improvement of the batch.
+
+    Complexity matches the paper: ``O(|W|·|T|·|L| + h·|W|²·|L|)`` per batch — the
+    initial scoring of every (worker, task) pair dominates, and each greedy pick
+    only re-scores the chosen task for the remaining workers.
+    """
+
+    def __init__(
+        self,
+        tasks: list[Task],
+        workers: list[Worker],
+        distance_model: DistanceModel,
+        parameters: ModelParameters | None = None,
+    ) -> None:
+        super().__init__(tasks, workers)
+        self._distance_model = distance_model
+        self._parameters = parameters or ModelParameters()
+
+    @property
+    def parameters(self) -> ModelParameters:
+        return self._parameters
+
+    def update_parameters(self, parameters: ModelParameters) -> None:
+        self._parameters = parameters
+
+    def assign(
+        self, available_workers: Sequence[str], h: int, answers: AnswerSet
+    ) -> dict[str, list[str]]:
+        self._validate_request(available_workers, h)
+        estimator = AccuracyEstimator(
+            tasks=self._tasks,
+            workers=self._workers,
+            distance_model=self._distance_model,
+            parameters=self._parameters,
+            answers=answers,
+        )
+
+        assignment: dict[str, list[str]] = {w: [] for w in available_workers}
+        if not available_workers:
+            return assignment
+
+        # Per-task baseline accuracy pairs (Equation 15) and the evolving state
+        # reflecting the workers tentatively assigned this round (Ŵ(t)).
+        baselines: dict[str, list[LabelAccuracy]] = {}
+        current_states: dict[str, list[LabelAccuracy]] = {}
+        assigned_workers_per_task: dict[str, set[str]] = {}
+
+        # Cache of estimated answer accuracies P(z = r_w) per (worker, task).
+        answer_accuracy: dict[tuple[str, str], float] = {}
+
+        def states_for(task_id: str) -> list[LabelAccuracy]:
+            if task_id not in baselines:
+                base = estimator.current_label_accuracies(task_id)
+                baselines[task_id] = base
+                current_states[task_id] = list(base)
+                assigned_workers_per_task[task_id] = set()
+            return current_states[task_id]
+
+        def improvement_for(worker_id: str, task_id: str) -> tuple[float, list[LabelAccuracy]]:
+            key = (worker_id, task_id)
+            if key not in answer_accuracy:
+                answer_accuracy[key] = estimator.answer_accuracy(worker_id, task_id)
+            states = states_for(task_id)
+            new_states = [state.add_worker(answer_accuracy[key]) for state in states]
+            gain = sum(
+                new.expected_improvement_over(base)
+                for new, base in zip(new_states, baselines[task_id])
+            )
+            # Subtract the gain already banked by previously selected workers so
+            # the heap ranks *marginal* improvements, as line 19 of Algorithm 1.
+            already = sum(
+                state.expected_improvement_over(base)
+                for state, base in zip(states, baselines[task_id])
+            )
+            return gain - already, new_states
+
+        # Candidate tasks per worker (tasks not yet answered by that worker).
+        candidates: dict[str, set[str]] = {
+            worker_id: set(self._candidate_tasks(worker_id, answers))
+            for worker_id in available_workers
+        }
+
+        # Max-heap of (-marginal_gain, version, worker, task).  Entries are lazily
+        # invalidated: whenever a task receives a new tentative worker its version
+        # bumps and stale heap entries are discarded on pop.
+        task_version: dict[str, int] = {}
+        heap: list[tuple[float, int, str, str]] = []
+
+        def push(worker_id: str, task_id: str) -> None:
+            gain, _ = improvement_for(worker_id, task_id)
+            version = task_version.get(task_id, 0)
+            heapq.heappush(heap, (-gain, version, worker_id, task_id))
+
+        for worker_id in available_workers:
+            for task_id in candidates[worker_id]:
+                push(worker_id, task_id)
+
+        remaining_capacity = {worker_id: h for worker_id in available_workers}
+        total_to_assign = sum(
+            min(h, len(candidates[worker_id])) for worker_id in available_workers
+        )
+        assigned_total = 0
+
+        while assigned_total < total_to_assign and heap:
+            neg_gain, version, worker_id, task_id = heapq.heappop(heap)
+            if remaining_capacity[worker_id] <= 0:
+                continue
+            if task_id not in candidates[worker_id]:
+                continue
+            if version != task_version.get(task_id, 0):
+                # Stale entry: the task's tentative worker set changed since this
+                # gain was computed — recompute and reinsert.
+                push(worker_id, task_id)
+                continue
+
+            # Commit the pick.
+            _, new_states = improvement_for(worker_id, task_id)
+            current_states[task_id] = new_states
+            assigned_workers_per_task.setdefault(task_id, set()).add(worker_id)
+            task_version[task_id] = task_version.get(task_id, 0) + 1
+
+            assignment[worker_id].append(task_id)
+            candidates[worker_id].discard(task_id)
+            remaining_capacity[worker_id] -= 1
+            assigned_total += 1
+
+        return assignment

@@ -1,0 +1,132 @@
+"""Bell-shaped distance quality functions and the distance-function set.
+
+The paper (Definition 3) models the probability of a qualified worker answering
+correctly as a function of the normalised worker-to-POI distance ``d``::
+
+    f_λ(d) = (1 + exp(-λ · d²)) / 2
+
+The function starts at 1 for ``d = 0``, decays towards 0.5 (random guessing)
+as ``d`` grows, and the rate of decay is controlled by ``λ``.  Rather than
+learning a continuous ``λ`` (which has no closed-form EM update), the paper
+fixes a small *distance-function set* ``F = {f_λ1, ..., f_λ|F|}`` (Definition 4)
+and learns, for each worker and each POI, a multinomial weight vector over the
+set.  The paper's experiments use ``F = {f_0.1, f_10, f_100}``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BellShapedFunction:
+    """One bell-shaped quality function ``f_λ(d) = (1 + e^{-λ d²}) / 2``."""
+
+    lam: float
+
+    def __post_init__(self) -> None:
+        if self.lam < 0 or not math.isfinite(self.lam):
+            raise ValueError(f"lambda must be non-negative and finite, got {self.lam}")
+
+    def __call__(self, distance: float) -> float:
+        """Evaluate the function at a normalised distance in ``[0, 1]``."""
+        if distance < 0.0 or distance > 1.0:
+            raise ValueError(f"distance must be normalised to [0, 1], got {distance}")
+        return (1.0 + math.exp(-self.lam * distance * distance)) / 2.0
+
+    def evaluate_many(self, distances: Sequence[float] | np.ndarray) -> np.ndarray:
+        """Vectorised evaluation over an array of normalised distances."""
+        arr = np.asarray(distances, dtype=float)
+        if np.any(arr < 0.0) or np.any(arr > 1.0):
+            raise ValueError("all distances must be normalised to [0, 1]")
+        return (1.0 + np.exp(-self.lam * arr * arr)) / 2.0
+
+
+class DistanceFunctionSet:
+    """An ordered, immutable set of bell-shaped functions (Definition 4).
+
+    The set is shared by the worker distance-aware quality (``d_w``) and the
+    POI influence (``d_t``): both are multinomial distributions over the same
+    functions.  Functions are kept sorted by ``λ`` ascending, so index 0 is the
+    *flattest* curve (distance barely matters — "global knowledge" / "famous
+    POI") and the last index is the *steepest* one ("local knowledge only").
+    """
+
+    def __init__(self, lambdas: Sequence[float]) -> None:
+        if len(lambdas) == 0:
+            raise ValueError("the distance-function set needs at least one function")
+        unique = sorted(set(float(lam) for lam in lambdas))
+        if len(unique) != len(lambdas):
+            raise ValueError(f"lambdas must be distinct, got {list(lambdas)}")
+        self._functions = tuple(BellShapedFunction(lam) for lam in unique)
+
+    def __len__(self) -> int:
+        return len(self._functions)
+
+    def __iter__(self) -> Iterator[BellShapedFunction]:
+        return iter(self._functions)
+
+    def __getitem__(self, index: int) -> BellShapedFunction:
+        return self._functions[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DistanceFunctionSet):
+            return NotImplemented
+        return self.lambdas == other.lambdas
+
+    def __hash__(self) -> int:
+        return hash(self.lambdas)
+
+    def __repr__(self) -> str:
+        return f"DistanceFunctionSet(lambdas={list(self.lambdas)})"
+
+    @property
+    def lambdas(self) -> tuple[float, ...]:
+        return tuple(fn.lam for fn in self._functions)
+
+    @property
+    def flattest_index(self) -> int:
+        """Index of the smallest-λ function (quality least affected by distance)."""
+        return 0
+
+    @property
+    def steepest_index(self) -> int:
+        """Index of the largest-λ function (quality most affected by distance)."""
+        return len(self._functions) - 1
+
+    def evaluate(self, distance: float) -> np.ndarray:
+        """Evaluate every function in the set at ``distance`` (vector of length |F|)."""
+        return np.array([fn(distance) for fn in self._functions])
+
+    def weighted_quality(self, weights: Sequence[float] | np.ndarray, distance: float) -> float:
+        """``Σ_i weights[i] · f_λi(distance)`` — Definitions 5 and 6."""
+        weights_arr = np.asarray(weights, dtype=float)
+        if weights_arr.shape != (len(self._functions),):
+            raise ValueError(
+                f"weights must have length {len(self._functions)}, got shape "
+                f"{weights_arr.shape}"
+            )
+        return float(np.dot(weights_arr, self.evaluate(distance)))
+
+    def uniform_weights(self) -> np.ndarray:
+        """The uniform multinomial over the set (the EM initialisation)."""
+        return np.full(len(self._functions), 1.0 / len(self._functions))
+
+    def best_quality_weights(self) -> np.ndarray:
+        """All mass on the flattest function.
+
+        This is the paper's footnote-3 prior for brand-new workers and tasks:
+        assume the best quality / largest influence so that they are prioritised
+        during assignment and their real quality is estimated quickly.
+        """
+        weights = np.zeros(len(self._functions))
+        weights[self.flattest_index] = 1.0
+        return weights
+
+
+#: The function set used throughout the paper's experiments: ``{f_0.1, f_10, f_100}``.
+PAPER_FUNCTION_SET = DistanceFunctionSet((0.1, 10.0, 100.0))

@@ -1,0 +1,200 @@
+"""Containers for the inference model's parameters.
+
+The graphical model of Section III has four groups of parameters:
+
+* ``P(z_{t,k} = 1)`` — per task ``t`` and label index ``k``, the probability the
+  label is a correct label of the POI (:class:`TaskParameters.label_probs`);
+* ``P(d_t)``        — per task, the multinomial weights over the
+  distance-function set representing the POI's influence
+  (:class:`TaskParameters.influence_weights`);
+* ``P(i_w = 1)``    — per worker, the probability the worker is qualified
+  (:class:`WorkerParameters.p_qualified`);
+* ``P(d_w)``        — per worker, the multinomial weights representing the
+  worker's distance sensitivity (:class:`WorkerParameters.distance_weights`).
+
+:class:`ModelParameters` bundles them with the distance-function set and offers
+the derived quantities every consumer needs: the distance-aware quality
+(Definition 5), the POI influence quality (Definition 6) and the answer
+accuracy ``P(r_{w,t,k} = z_{t,k})`` (Equation 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.distance_functions import DistanceFunctionSet, PAPER_FUNCTION_SET
+from repro.utils.validation import check_probability, check_probability_vector
+
+
+@dataclass
+class WorkerParameters:
+    """Estimated parameters of one worker: ``P(i_w = 1)`` and ``P(d_w)``."""
+
+    p_qualified: float
+    distance_weights: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.p_qualified = check_probability(self.p_qualified, "p_qualified")
+        self.distance_weights = check_probability_vector(
+            self.distance_weights, "distance_weights"
+        )
+
+    def copy(self) -> "WorkerParameters":
+        return WorkerParameters(self.p_qualified, self.distance_weights.copy())
+
+
+@dataclass
+class TaskParameters:
+    """Estimated parameters of one task: ``P(z_{t,k} = 1)`` per label and ``P(d_t)``."""
+
+    label_probs: np.ndarray
+    influence_weights: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.label_probs = np.asarray(self.label_probs, dtype=float)
+        if self.label_probs.ndim != 1 or self.label_probs.size == 0:
+            raise ValueError(
+                f"label_probs must be a non-empty vector, got shape {self.label_probs.shape}"
+            )
+        if np.any(self.label_probs < -1e-9) or np.any(self.label_probs > 1.0 + 1e-9):
+            raise ValueError("label_probs must lie in [0, 1]")
+        self.label_probs = np.clip(self.label_probs, 0.0, 1.0)
+        self.influence_weights = check_probability_vector(
+            self.influence_weights, "influence_weights"
+        )
+
+    @property
+    def num_labels(self) -> int:
+        return int(self.label_probs.size)
+
+    def inferred_labels(self, threshold: float = 0.5) -> np.ndarray:
+        """Binary decision per label: correct iff ``P(z=1) >= threshold``."""
+        return (self.label_probs >= threshold).astype(int)
+
+    def copy(self) -> "TaskParameters":
+        return TaskParameters(self.label_probs.copy(), self.influence_weights.copy())
+
+
+@dataclass
+class ModelParameters:
+    """All estimated parameters of the location-aware inference model."""
+
+    function_set: DistanceFunctionSet = field(default_factory=lambda: PAPER_FUNCTION_SET)
+    alpha: float = 0.5
+    workers: dict[str, WorkerParameters] = field(default_factory=dict)
+    tasks: dict[str, TaskParameters] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {self.alpha}")
+
+    # --------------------------------------------------------------- accessors
+    def worker(self, worker_id: str) -> WorkerParameters:
+        """Parameters of ``worker_id``; unseen workers get the footnote-3 prior.
+
+        A brand-new worker is optimistically assumed to be fully qualified with
+        all mass on the flattest distance function, so that the assigner
+        prioritises them and their real quality is learned quickly.
+        """
+        params = self.workers.get(worker_id)
+        if params is not None:
+            return params
+        return WorkerParameters(
+            p_qualified=1.0,
+            distance_weights=self.function_set.best_quality_weights(),
+        )
+
+    def task(self, task_id: str, num_labels: int | None = None) -> TaskParameters:
+        """Parameters of ``task_id``; unseen tasks get uninformative labels and
+        the footnote-3 best-influence prior."""
+        params = self.tasks.get(task_id)
+        if params is not None:
+            return params
+        if num_labels is None:
+            raise KeyError(
+                f"task {task_id!r} has no estimated parameters and num_labels was "
+                "not provided to build a prior"
+            )
+        return TaskParameters(
+            label_probs=np.full(num_labels, 0.5),
+            influence_weights=self.function_set.best_quality_weights(),
+        )
+
+    def has_worker(self, worker_id: str) -> bool:
+        return worker_id in self.workers
+
+    def has_task(self, task_id: str) -> bool:
+        return task_id in self.tasks
+
+    # ------------------------------------------------------- derived quantities
+    def worker_distance_quality(self, worker_id: str, distance: float) -> float:
+        """Distance-aware quality ``DQ_w`` at ``distance`` (Definition 5)."""
+        params = self.worker(worker_id)
+        return self.function_set.weighted_quality(params.distance_weights, distance)
+
+    def poi_influence_quality(self, task_id: str, distance: float) -> float:
+        """POI-influence quality ``IQ_t`` at ``distance`` (Definition 6)."""
+        params = self.task(task_id, num_labels=1)
+        return self.function_set.weighted_quality(params.influence_weights, distance)
+
+    def qualified_answer_accuracy(
+        self, worker_id: str, task_id: str, distance: float
+    ) -> float:
+        """``P(r = z | i_w = 1)`` — Equation 8's linear combination."""
+        return (
+            self.alpha * self.worker_distance_quality(worker_id, distance)
+            + (1.0 - self.alpha) * self.poi_influence_quality(task_id, distance)
+        )
+
+    def answer_accuracy(self, worker_id: str, task_id: str, distance: float) -> float:
+        """``P(r_{w,t,k} = z_{t,k})`` — Equation 9.
+
+        The probability that the worker's answer on any label of the task
+        agrees with the (unknown) truth, marginalised over the worker being
+        qualified or not.
+        """
+        p_qualified = self.worker(worker_id).p_qualified
+        qualified = self.qualified_answer_accuracy(worker_id, task_id, distance)
+        return p_qualified * qualified + (1.0 - p_qualified) * 0.5
+
+    # ------------------------------------------------------------------- misc
+    def copy(self) -> "ModelParameters":
+        return ModelParameters(
+            function_set=self.function_set,
+            alpha=self.alpha,
+            workers={wid: params.copy() for wid, params in self.workers.items()},
+            tasks={tid: params.copy() for tid, params in self.tasks.items()},
+        )
+
+    def max_difference(self, other: "ModelParameters") -> float:
+        """Maximum absolute parameter change between two estimates.
+
+        This is the "maximum variance of parameters" convergence criterion the
+        paper plots in Figure 10.  Workers or tasks present in only one of the
+        two estimates contribute their full parameter magnitude.
+        """
+        worst = 0.0
+        worker_ids = set(self.workers) | set(other.workers)
+        for worker_id in worker_ids:
+            a = self.worker(worker_id)
+            b = other.worker(worker_id)
+            worst = max(worst, abs(a.p_qualified - b.p_qualified))
+            worst = max(worst, float(np.max(np.abs(a.distance_weights - b.distance_weights))))
+        task_ids = set(self.tasks) | set(other.tasks)
+        for task_id in task_ids:
+            if task_id in self.tasks and task_id in other.tasks:
+                a_t = self.tasks[task_id]
+                b_t = other.tasks[task_id]
+                if a_t.num_labels == b_t.num_labels:
+                    worst = max(worst, float(np.max(np.abs(a_t.label_probs - b_t.label_probs))))
+                else:
+                    worst = 1.0
+                worst = max(
+                    worst,
+                    float(np.max(np.abs(a_t.influence_weights - b_t.influence_weights))),
+                )
+            else:
+                worst = 1.0
+        return worst

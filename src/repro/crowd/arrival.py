@@ -1,0 +1,118 @@
+"""Worker arrival processes.
+
+The paper's online setting has workers "dynamically coming" to the platform and
+requesting tasks in small batches; the assigner sees only the currently
+available set ``W``.  These classes model who shows up in each round:
+
+* :class:`UniformRandomArrival` — each round a random subset of the pool
+  arrives (the default; approximates an open crowd market);
+* :class:`RoundRobinArrival` — workers arrive in a fixed rotation (useful for
+  deterministic tests and for stressing the "every worker participates"
+  scenario the paper's Deployment 1 approximates).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.crowd.worker_pool import WorkerPool
+from repro.utils.rng import SeedLike, default_rng
+
+
+class WorkerArrivalProcess(ABC):
+    """Produces the batch of available workers for each assignment round."""
+
+    @abstractmethod
+    def next_batch(self, round_index: int) -> list[str]:
+        """Return the worker ids arriving in round ``round_index``."""
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Reset any internal state so the process can be replayed."""
+
+
+class UniformRandomArrival(WorkerArrivalProcess):
+    """Each round, ``batch_size`` workers are drawn uniformly without replacement."""
+
+    def __init__(
+        self, pool: WorkerPool, batch_size: int = 5, seed: SeedLike = None
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if batch_size > len(pool):
+            raise ValueError(
+                f"batch_size ({batch_size}) cannot exceed pool size ({len(pool)})"
+            )
+        self._pool = pool
+        self._batch_size = batch_size
+        self._seed = seed
+        self._rng = default_rng(seed)
+
+    def next_batch(self, round_index: int) -> list[str]:
+        ids = self._pool.worker_ids
+        chosen = self._rng.choice(len(ids), size=self._batch_size, replace=False)
+        return [ids[i] for i in sorted(chosen)]
+
+    def reset(self) -> None:
+        self._rng = default_rng(self._seed)
+
+
+class RoundRobinArrival(WorkerArrivalProcess):
+    """Workers arrive in a fixed rotation of ``batch_size`` per round."""
+
+    def __init__(self, pool: WorkerPool, batch_size: int = 5) -> None:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self._pool = pool
+        self._batch_size = batch_size
+
+    def next_batch(self, round_index: int) -> list[str]:
+        ids = self._pool.worker_ids
+        start = (round_index * self._batch_size) % len(ids)
+        batch = []
+        for offset in range(self._batch_size):
+            batch.append(ids[(start + offset) % len(ids)])
+        # A batch larger than the pool would repeat workers; deduplicate while
+        # preserving order so the assigner never sees the same worker twice.
+        seen: set[str] = set()
+        unique = []
+        for worker_id in batch:
+            if worker_id not in seen:
+                seen.add(worker_id)
+                unique.append(worker_id)
+        return unique
+
+    def reset(self) -> None:  # stateless
+        return None
+
+
+class PoissonArrival(WorkerArrivalProcess):
+    """Batch sizes follow a Poisson distribution (at least one worker per round).
+
+    Models the burstiness of a real platform: some rounds only one worker shows
+    up, other rounds several do.  Used by the robustness examples.
+    """
+
+    def __init__(
+        self, pool: WorkerPool, mean_batch_size: float = 4.0, seed: SeedLike = None
+    ) -> None:
+        if mean_batch_size <= 0:
+            raise ValueError(
+                f"mean_batch_size must be positive, got {mean_batch_size}"
+            )
+        self._pool = pool
+        self._mean = mean_batch_size
+        self._seed = seed
+        self._rng = default_rng(seed)
+
+    def next_batch(self, round_index: int) -> list[str]:
+        ids = self._pool.worker_ids
+        size = int(self._rng.poisson(self._mean))
+        size = max(1, min(size, len(ids)))
+        chosen = self._rng.choice(len(ids), size=size, replace=False)
+        return [ids[i] for i in sorted(chosen)]
+
+    def reset(self) -> None:
+        self._rng = default_rng(self._seed)

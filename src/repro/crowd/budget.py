@@ -1,0 +1,67 @@
+"""Budget accounting for the crowdsourcing campaign.
+
+The paper gives each dataset a budget ``B`` of task assignments (1000 in the
+deployments, 0.2 RMB each).  Each (worker, task) assignment consumes one unit.
+The framework's alternating loop stops when the budget is exhausted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class BudgetExhaustedError(RuntimeError):
+    """Raised when an assignment is attempted after the budget has run out."""
+
+
+@dataclass
+class Budget:
+    """A simple consumable budget of task assignments."""
+
+    total: int
+    spent: int = 0
+    cost_per_assignment: float = 0.2
+    history: list[int] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.total < 0:
+            raise ValueError(f"total budget must be non-negative, got {self.total}")
+        if self.spent < 0 or self.spent > self.total:
+            raise ValueError(
+                f"spent must lie in [0, total], got {self.spent} of {self.total}"
+            )
+        if self.cost_per_assignment < 0:
+            raise ValueError(
+                f"cost_per_assignment must be non-negative, got {self.cost_per_assignment}"
+            )
+
+    @property
+    def remaining(self) -> int:
+        return self.total - self.spent
+
+    @property
+    def exhausted(self) -> bool:
+        return self.remaining <= 0
+
+    @property
+    def monetary_cost(self) -> float:
+        """Total money spent so far, using the paper's per-assignment price."""
+        return self.spent * self.cost_per_assignment
+
+    def can_afford(self, count: int = 1) -> bool:
+        return count <= self.remaining
+
+    def charge(self, count: int = 1) -> None:
+        """Consume ``count`` assignment units; raises if the budget cannot cover them."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if count > self.remaining:
+            raise BudgetExhaustedError(
+                f"budget exhausted: requested {count}, remaining {self.remaining}"
+            )
+        self.spent += count
+        self.history.append(count)
+
+    def reset(self) -> None:
+        self.spent = 0
+        self.history.clear()

@@ -1,0 +1,234 @@
+"""The crowdsourcing platform simulator (HIT lifecycle + answer collection).
+
+:class:`CrowdPlatform` stands in for the ChinaCrowds deployment.  It owns:
+
+* the task set (a :class:`~repro.data.models.Dataset`),
+* the worker pool with latent profiles,
+* the budget,
+* the growing answer set.
+
+Two interaction styles are supported, matching the paper's two deployments:
+
+* **Batch collection** (Deployment 1): :meth:`collect_batch_answers` asks a
+  fixed number of randomly chosen workers to answer every task — this is how
+  the paper gathered the 5-answers-per-task corpus used to compare the
+  inference models (Figures 6–10).
+* **Online assignment** (Deployment 2): the experiment driver repeatedly asks
+  the platform for the next batch of arriving workers
+  (:meth:`next_worker_batch`), lets an assigner pick ``h`` tasks per worker and
+  posts the assignment back via :meth:`execute_assignment`, which simulates the
+  answers and charges the budget.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+from repro.crowd.answer_model import AnswerSimulator
+from repro.crowd.arrival import WorkerArrivalProcess
+from repro.crowd.budget import Budget
+from repro.crowd.worker_pool import WorkerPool
+from repro.data.models import Answer, AnswerSet, Assignment, Dataset, Task, Worker
+from repro.spatial.distance import DistanceModel
+from repro.utils.rng import SeedLike, default_rng, derive_seed
+
+
+@dataclass
+class PlatformStats:
+    """Aggregate counters exposed for the evaluation tables."""
+
+    rounds: int = 0
+    assignments: int = 0
+    answers: int = 0
+    assignments_per_task: dict[str, int] = field(default_factory=dict)
+    assignments_per_worker: dict[str, int] = field(default_factory=dict)
+
+
+class CrowdPlatform:
+    """Simulated crowdsourcing platform over one dataset and one worker pool."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        worker_pool: WorkerPool,
+        budget: Budget,
+        distance_model: DistanceModel | None = None,
+        answer_simulator: AnswerSimulator | None = None,
+        arrival_process: WorkerArrivalProcess | None = None,
+        seed: SeedLike = None,
+    ) -> None:
+        self._dataset = dataset
+        self._tasks = dataset.task_index
+        self._pool = worker_pool
+        self._budget = budget
+        if distance_model is None:
+            if dataset.max_distance is None:
+                distance_model = DistanceModel.from_pois(
+                    dataset.poi_locations,
+                    metric="haversine" if dataset.metric == "haversine" else "euclidean",
+                )
+            else:
+                distance_model = DistanceModel(
+                    max_distance=dataset.max_distance,
+                    metric="haversine" if dataset.metric == "haversine" else "euclidean",
+                )
+        self._distance_model = distance_model
+        self._simulator = answer_simulator or AnswerSimulator(distance_model)
+        self._arrival = arrival_process
+        self._seed = seed if isinstance(seed, int) else None
+        self._rng = default_rng(seed)
+        self._answers = AnswerSet()
+        self._assignments: list[Assignment] = []
+        self._stats = PlatformStats()
+
+    # ------------------------------------------------------------------ state
+    @property
+    def dataset(self) -> Dataset:
+        return self._dataset
+
+    @property
+    def worker_pool(self) -> WorkerPool:
+        return self._pool
+
+    @property
+    def workers(self) -> list[Worker]:
+        return self._pool.workers
+
+    @property
+    def budget(self) -> Budget:
+        return self._budget
+
+    @property
+    def distance_model(self) -> DistanceModel:
+        return self._distance_model
+
+    @property
+    def answer_simulator(self) -> AnswerSimulator:
+        return self._simulator
+
+    @property
+    def answers(self) -> AnswerSet:
+        return self._answers
+
+    @property
+    def assignments(self) -> list[Assignment]:
+        return list(self._assignments)
+
+    @property
+    def stats(self) -> PlatformStats:
+        return self._stats
+
+    def task(self, task_id: str) -> Task:
+        return self._tasks[task_id]
+
+    def tasks_not_done_by(self, worker_id: str) -> list[Task]:
+        """Tasks that ``worker_id`` has not yet answered (candidates for assignment)."""
+        done = self._answers.tasks_of_worker(worker_id)
+        return [task for task in self._dataset.tasks if task.task_id not in done]
+
+    # ------------------------------------------------------ deployment 1 style
+    def collect_batch_answers(
+        self, answers_per_task: int = 5, seed: SeedLike = None
+    ) -> AnswerSet:
+        """Ask ``answers_per_task`` random workers to answer every task.
+
+        Reproduces the paper's Deployment 1 corpus (each task answered by five
+        workers).  Respects and charges the budget; raises
+        :class:`~repro.crowd.budget.BudgetExhaustedError` if it cannot afford
+        the full collection.
+        """
+        rng = default_rng(seed if seed is not None else self._rng)
+        worker_ids = self._pool.worker_ids
+        if answers_per_task > len(worker_ids):
+            raise ValueError(
+                f"answers_per_task ({answers_per_task}) exceeds pool size "
+                f"({len(worker_ids)})"
+            )
+        needed = answers_per_task * len(self._dataset.tasks)
+        self._budget.charge(needed)
+        for task in self._dataset.tasks:
+            chosen = rng.choice(len(worker_ids), size=answers_per_task, replace=False)
+            for index in sorted(chosen):
+                worker_id = worker_ids[index]
+                self._record_answer(worker_id, task, rng)
+        return self._answers
+
+    # ------------------------------------------------------ deployment 2 style
+    def next_worker_batch(self, round_index: int | None = None) -> list[str]:
+        """Return the worker ids arriving in the next round (online setting)."""
+        if self._arrival is None:
+            raise RuntimeError(
+                "no arrival process configured; pass arrival_process= to CrowdPlatform"
+            )
+        index = self._stats.rounds if round_index is None else round_index
+        return self._arrival.next_batch(index)
+
+    def execute_assignment(
+        self, assignment: dict[str, list[str]], seed: SeedLike = None
+    ) -> list[Answer]:
+        """Execute an assignment ``{worker_id: [task_id, ...]}`` and collect answers.
+
+        Charges the budget one unit per (worker, task) pair, simulates each
+        worker's answer and appends it to the platform's answer log.  Pairs the
+        worker has already answered are rejected to mirror real platforms that
+        refuse duplicate HIT completions.
+        """
+        pairs: list[tuple[str, str]] = []
+        for worker_id, task_ids in assignment.items():
+            if worker_id not in self._pool:
+                raise KeyError(f"unknown worker {worker_id!r}")
+            for task_id in task_ids:
+                if task_id not in self._tasks:
+                    raise KeyError(f"unknown task {task_id!r}")
+                if self._answers.get(worker_id, task_id) is not None:
+                    raise ValueError(
+                        f"worker {worker_id!r} has already answered task {task_id!r}"
+                    )
+                pairs.append((worker_id, task_id))
+
+        self._budget.charge(len(pairs))
+        rng = default_rng(seed if seed is not None else self._rng)
+        collected: list[Answer] = []
+        for worker_id, task_id in pairs:
+            answer = self._record_answer(worker_id, self._tasks[task_id], rng)
+            collected.append(answer)
+            self._assignments.append(
+                Assignment(
+                    worker_id=worker_id,
+                    task_id=task_id,
+                    round_index=self._stats.rounds,
+                )
+            )
+        self._stats.rounds += 1
+        self._stats.assignments += len(pairs)
+        return collected
+
+    # ---------------------------------------------------------------- internal
+    def _record_answer(self, worker_id: str, task: Task, rng) -> Answer:
+        profile = self._pool.profile(worker_id)
+        # zlib.crc32 gives a stable per-(worker, task) salt across processes,
+        # unlike hash(), which Python randomises per interpreter run.
+        pair_salt = zlib.crc32(f"{worker_id}|{task.task_id}".encode("utf-8"))
+        answer_seed = derive_seed(self._seed, pair_salt)
+        answer = self._simulator.sample_answer(
+            profile, task, seed=answer_seed if answer_seed is not None else rng
+        )
+        self._answers.add(answer)
+        self._stats.answers += 1
+        self._stats.assignments_per_task[task.task_id] = (
+            self._stats.assignments_per_task.get(task.task_id, 0) + 1
+        )
+        self._stats.assignments_per_worker[worker_id] = (
+            self._stats.assignments_per_worker.get(worker_id, 0) + 1
+        )
+        return answer
+
+    def reset(self) -> None:
+        """Clear answers, assignments, stats and the budget (new campaign)."""
+        self._answers = AnswerSet()
+        self._assignments.clear()
+        self._stats = PlatformStats()
+        self._budget.reset()
+        if self._arrival is not None:
+            self._arrival.reset()

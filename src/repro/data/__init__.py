@@ -1,0 +1,49 @@
+"""Data substrate: POIs, tasks, workers, answers and dataset generators.
+
+The paper's experiments ran on two hand-collected datasets (Beijing and China,
+200 POIs each, 10 candidate labels per POI, ground truth checked against
+Dianping).  Those datasets are not public; :mod:`repro.data.generators` builds
+synthetic stand-ins matching the published marginals (POI counts, label
+cardinality, correct/incorrect label split, review-count popularity classes)
+so that every experiment in the paper can be exercised end to end.
+"""
+
+from repro.data.models import (
+    POI,
+    Answer,
+    AnswerSet,
+    Assignment,
+    Dataset,
+    Task,
+    Worker,
+)
+from repro.data.vocab import LabelVocabulary, PoiNamePool
+from repro.data.generators import (
+    DatasetSpec,
+    generate_beijing_dataset,
+    generate_china_dataset,
+    generate_dataset,
+    generate_scalability_dataset,
+)
+from repro.data.io import dataset_from_dict, dataset_to_dict, load_dataset, save_dataset
+
+__all__ = [
+    "POI",
+    "Answer",
+    "AnswerSet",
+    "Assignment",
+    "Dataset",
+    "Task",
+    "Worker",
+    "LabelVocabulary",
+    "PoiNamePool",
+    "DatasetSpec",
+    "generate_beijing_dataset",
+    "generate_china_dataset",
+    "generate_dataset",
+    "generate_scalability_dataset",
+    "dataset_from_dict",
+    "dataset_to_dict",
+    "load_dataset",
+    "save_dataset",
+]

@@ -1,0 +1,187 @@
+"""Label vocabularies and POI name pools for the synthetic datasets.
+
+The paper's task of Figure 2 ("Beijing Olympic Forest Park") mixes labels that
+genuinely describe the POI (park, Olympics, sports, stadium, relax zone, take a
+walk) with distractors drawn from other categories (the Fragrant Hill, palace,
+business, flag-rising).  The synthetic generator mimics this: each POI category
+has a pool of plausible "correct" labels, and distractor labels are sampled
+from the pools of *other* categories so that the candidate set is realistic but
+the ground truth stays unambiguous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+#: Per-category label pools.  Keys are POI categories used by the generators.
+CATEGORY_LABELS: dict[str, tuple[str, ...]] = {
+    "park": (
+        "park", "garden", "green space", "take a walk", "relax zone", "lake",
+        "picnic", "jogging", "flowers", "open air",
+    ),
+    "university": (
+        "university", "campus", "library", "students", "lecture hall",
+        "research", "historic buildings", "education", "dormitory", "academia",
+    ),
+    "restaurant": (
+        "restaurant", "local cuisine", "dinner", "roast duck", "noodles",
+        "family friendly", "late night food", "dumplings", "hot pot", "dessert",
+    ),
+    "museum": (
+        "museum", "exhibition", "history", "art", "artifacts", "guided tour",
+        "culture", "gallery", "ancient relics", "architecture",
+    ),
+    "shopping": (
+        "shopping mall", "boutique", "fashion", "electronics", "souvenirs",
+        "market", "luxury brands", "bargain", "food court", "department store",
+    ),
+    "stadium": (
+        "stadium", "sports", "Olympics", "concerts", "events", "arena",
+        "athletics", "football", "big screen", "cheering crowds",
+    ),
+    "temple": (
+        "temple", "incense", "prayer", "monks", "pagoda", "pilgrimage",
+        "quiet courtyard", "traditional architecture", "festival", "heritage",
+    ),
+    "scenic_spot": (
+        "scenic spot", "landmark", "sightseeing", "photography", "panoramic view",
+        "tour groups", "sunrise view", "cable car", "hiking", "natural wonder",
+    ),
+    "transport": (
+        "railway station", "subway", "transport hub", "tickets", "waiting hall",
+        "departures", "high-speed rail", "luggage", "taxi rank", "platforms",
+    ),
+    "business": (
+        "business district", "office towers", "conference", "finance",
+        "coworking", "skyscraper", "corporate", "trade center", "startups", "CBD",
+    ),
+}
+
+#: Name stems per category; the generator appends district names and ordinals.
+CATEGORY_NAME_STEMS: dict[str, tuple[str, ...]] = {
+    "park": ("Forest Park", "Botanical Garden", "Riverside Park", "People's Park"),
+    "university": ("University", "Institute of Technology", "Normal University"),
+    "restaurant": ("Roast Duck House", "Noodle House", "Dumpling Restaurant"),
+    "museum": ("Museum", "Art Gallery", "Science Museum"),
+    "shopping": ("Shopping Mall", "Market Street", "Department Store"),
+    "stadium": ("Stadium", "Sports Center", "Gymnasium"),
+    "temple": ("Temple", "Lama Monastery", "Pagoda"),
+    "scenic_spot": ("Scenic Area", "Great Wall Section", "Mountain Resort", "Ancient Town"),
+    "transport": ("Railway Station", "Airport Terminal", "Metro Hub"),
+    "business": ("Financial Center", "Trade Tower", "Convention Center"),
+}
+
+#: District names used to diversify generated POI names.
+DISTRICT_NAMES: tuple[str, ...] = (
+    "Chaoyang", "Haidian", "Dongcheng", "Xicheng", "Fengtai", "Shijingshan",
+    "Tongzhou", "Changping", "Daxing", "Shunyi", "Western Hills", "Olympic Green",
+)
+
+#: Province / city names used by the country-scale (China) dataset.
+REGION_NAMES: tuple[str, ...] = (
+    "Beijing", "Shanghai", "Hangzhou", "Chengdu", "Xi'an", "Guilin", "Suzhou",
+    "Lhasa", "Kunming", "Qingdao", "Harbin", "Guangzhou", "Sanya", "Dunhuang",
+)
+
+
+@dataclass
+class LabelVocabulary:
+    """Per-category pools of candidate labels.
+
+    The vocabulary answers two queries used by the dataset generator: sample
+    ``k`` correct labels for a POI of a given category, and sample ``m``
+    distractor labels drawn from other categories (never colliding with the
+    correct ones).
+    """
+
+    pools: dict[str, tuple[str, ...]] = field(
+        default_factory=lambda: dict(CATEGORY_LABELS)
+    )
+
+    def __post_init__(self) -> None:
+        if not self.pools:
+            raise ValueError("the vocabulary needs at least one category")
+        for category, labels in self.pools.items():
+            if len(labels) < 1:
+                raise ValueError(f"category {category!r} has an empty label pool")
+            if len(set(labels)) != len(labels):
+                raise ValueError(f"category {category!r} has duplicate labels")
+
+    @property
+    def categories(self) -> tuple[str, ...]:
+        return tuple(sorted(self.pools))
+
+    def correct_labels(
+        self, category: str, count: int, rng: np.random.Generator
+    ) -> list[str]:
+        """Sample ``count`` distinct labels from ``category``'s pool."""
+        pool = self.pools.get(category)
+        if pool is None:
+            raise KeyError(f"unknown category {category!r}")
+        if count > len(pool):
+            raise ValueError(
+                f"requested {count} correct labels but category {category!r} "
+                f"only has {len(pool)}"
+            )
+        chosen = rng.choice(len(pool), size=count, replace=False)
+        return [pool[i] for i in chosen]
+
+    def distractor_labels(
+        self,
+        category: str,
+        count: int,
+        rng: np.random.Generator,
+        forbidden: Sequence[str] = (),
+    ) -> list[str]:
+        """Sample ``count`` labels from *other* categories, avoiding ``forbidden``."""
+        forbidden_set = set(forbidden) | set(self.pools.get(category, ()))
+        candidates = sorted(
+            {
+                label
+                for other, labels in self.pools.items()
+                if other != category
+                for label in labels
+                if label not in forbidden_set
+            }
+        )
+        if count > len(candidates):
+            raise ValueError(
+                f"requested {count} distractors but only {len(candidates)} are available"
+            )
+        chosen = rng.choice(len(candidates), size=count, replace=False)
+        return [candidates[i] for i in chosen]
+
+
+@dataclass
+class PoiNamePool:
+    """Generates human-readable, unique POI names per category."""
+
+    stems: dict[str, tuple[str, ...]] = field(
+        default_factory=lambda: dict(CATEGORY_NAME_STEMS)
+    )
+    districts: tuple[str, ...] = DISTRICT_NAMES
+    _used: set[str] = field(default_factory=set, repr=False)
+
+    def next_name(self, category: str, rng: np.random.Generator) -> str:
+        """Return a fresh name such as "Haidian Forest Park" or "... II"."""
+        stems = self.stems.get(category)
+        if not stems:
+            raise KeyError(f"unknown category {category!r}")
+        for _ in range(64):
+            district = self.districts[int(rng.integers(len(self.districts)))]
+            stem = stems[int(rng.integers(len(stems)))]
+            name = f"{district} {stem}"
+            if name not in self._used:
+                self._used.add(name)
+                return name
+        # Fall back to an ordinal suffix once plain combinations are exhausted.
+        ordinal = 2
+        base = f"{self.districts[0]} {stems[0]}"
+        while f"{base} {ordinal}" in self._used:
+            ordinal += 1
+        name = f"{base} {ordinal}"
+        self._used.add(name)
+        return name

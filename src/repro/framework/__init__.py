@@ -1,0 +1,42 @@
+"""The POI-Labelling Framework (Figure 1 of the paper) and experiment drivers.
+
+* :mod:`repro.framework.config`    — configuration of the alternating loop.
+* :mod:`repro.framework.metrics`   — the accuracy metric (Equation 1) and the
+  worker-quality / assignment-distribution statistics of Table II.
+* :mod:`repro.framework.framework` — the alternating inference/assignment loop.
+* :mod:`repro.framework.experiment` — budget sweeps and scalability drivers used
+  by the benchmark harness.
+"""
+
+from repro.framework.config import FrameworkConfig
+from repro.framework.metrics import (
+    answer_accuracy_against_truth,
+    assignment_distribution,
+    average_label_accuracy,
+    labelling_accuracy,
+    worker_average_accuracy,
+)
+from repro.framework.framework import FrameworkResult, PoiLabellingFramework
+from repro.framework.experiment import (
+    AssignmentComparisonResult,
+    InferenceComparisonResult,
+    compare_assigners,
+    compare_inference_models,
+    subsample_answers,
+)
+
+__all__ = [
+    "FrameworkConfig",
+    "labelling_accuracy",
+    "answer_accuracy_against_truth",
+    "worker_average_accuracy",
+    "assignment_distribution",
+    "average_label_accuracy",
+    "FrameworkResult",
+    "PoiLabellingFramework",
+    "InferenceComparisonResult",
+    "AssignmentComparisonResult",
+    "compare_inference_models",
+    "compare_assigners",
+    "subsample_answers",
+]

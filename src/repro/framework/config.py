@@ -1,0 +1,50 @@
+"""Configuration of the POI-Labelling Framework's alternating loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.inference import InferenceConfig
+
+
+@dataclass
+class FrameworkConfig:
+    """Parameters of the alternating inference/assignment loop.
+
+    Defaults follow the paper's deployment: ``h = 2`` tasks per HIT, a total
+    budget of 1000 assignments, a batch of 5 workers arriving per round and a
+    full EM refresh every 100 submitted answers with incremental EM updates in
+    between.
+    """
+
+    budget: int = 1000
+    tasks_per_worker: int = 2
+    workers_per_round: int = 5
+    full_refresh_interval: int = 100
+    use_incremental_updates: bool = True
+    inference: InferenceConfig = field(default_factory=InferenceConfig)
+    evaluation_checkpoints: tuple[int, ...] = (600, 700, 800, 900, 1000)
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.budget <= 0:
+            raise ValueError(f"budget must be positive, got {self.budget}")
+        if self.tasks_per_worker <= 0:
+            raise ValueError(
+                f"tasks_per_worker must be positive, got {self.tasks_per_worker}"
+            )
+        if self.workers_per_round <= 0:
+            raise ValueError(
+                f"workers_per_round must be positive, got {self.workers_per_round}"
+            )
+        if self.full_refresh_interval <= 0:
+            raise ValueError(
+                f"full_refresh_interval must be positive, got {self.full_refresh_interval}"
+            )
+        if any(checkpoint <= 0 for checkpoint in self.evaluation_checkpoints):
+            raise ValueError("evaluation checkpoints must be positive")
+        if any(checkpoint > self.budget for checkpoint in self.evaluation_checkpoints):
+            raise ValueError(
+                "evaluation checkpoints cannot exceed the budget: "
+                f"{self.evaluation_checkpoints} vs {self.budget}"
+            )

@@ -1,0 +1,204 @@
+"""The POI-Labelling Framework: the alternating inference/assignment loop.
+
+Figure 1 of the paper: workers arrive, the task assigner hands each of them
+``h`` tasks, the platform collects the answers, the inference model refreshes
+the worker qualities / POI influences / label probabilities, and the updated
+estimates feed the next round of assignment.  The loop stops when the
+assignment budget is exhausted.
+
+:class:`PoiLabellingFramework` orchestrates a :class:`~repro.crowd.platform.CrowdPlatform`
+(which owns the budget, the arrival process and the simulated answers), a
+:class:`~repro.core.inference.LocationAwareInference` model and any
+:class:`~repro.core.assignment.TaskAssigner`.  Accuracy snapshots are recorded
+whenever the number of spent assignments crosses one of the configured
+checkpoints, which is how the budget-sweep figures (9 and 11) are produced in a
+single campaign run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.assignment import TaskAssigner
+from repro.core.incremental import IncrementalUpdater
+from repro.core.inference import LocationAwareInference
+from repro.crowd.platform import CrowdPlatform
+from repro.framework.config import FrameworkConfig
+from repro.framework.metrics import average_label_accuracy, labelling_accuracy
+
+
+@dataclass
+class AccuracySnapshot:
+    """Accuracy of the current inference at a given number of spent assignments."""
+
+    assignments_spent: int
+    accuracy: float
+    average_acc: float
+
+
+@dataclass
+class FrameworkResult:
+    """Outcome of one full campaign."""
+
+    snapshots: list[AccuracySnapshot] = field(default_factory=list)
+    rounds: int = 0
+    assignments_spent: int = 0
+    final_accuracy: float = 0.0
+    final_average_acc: float = 0.0
+
+    def accuracy_at(self, assignments: int) -> float:
+        """Accuracy at the last snapshot not exceeding ``assignments``."""
+        eligible = [s for s in self.snapshots if s.assignments_spent <= assignments]
+        if not eligible:
+            raise ValueError(
+                f"no snapshot at or below {assignments} assignments "
+                f"(first snapshot at {self.snapshots[0].assignments_spent if self.snapshots else 'n/a'})"
+            )
+        return eligible[-1].accuracy
+
+    @property
+    def accuracy_series(self) -> list[tuple[int, float]]:
+        return [(s.assignments_spent, s.accuracy) for s in self.snapshots]
+
+
+class PoiLabellingFramework:
+    """Orchestrates the alternating inference / task-assignment loop."""
+
+    def __init__(
+        self,
+        platform: CrowdPlatform,
+        inference: LocationAwareInference,
+        assigner: TaskAssigner,
+        config: FrameworkConfig | None = None,
+    ) -> None:
+        self._platform = platform
+        self._inference = inference
+        self._assigner = assigner
+        self._config = config or FrameworkConfig()
+        self._updater = IncrementalUpdater(
+            inference=inference,
+            full_refresh_interval=self._config.full_refresh_interval,
+        )
+
+    @property
+    def platform(self) -> CrowdPlatform:
+        return self._platform
+
+    @property
+    def inference(self) -> LocationAwareInference:
+        return self._inference
+
+    @property
+    def assigner(self) -> TaskAssigner:
+        return self._assigner
+
+    @property
+    def config(self) -> FrameworkConfig:
+        return self._config
+
+    # ----------------------------------------------------------------- running
+    def run(self, max_rounds: int | None = None) -> FrameworkResult:
+        """Run the campaign until the budget runs out (or ``max_rounds`` is hit)."""
+        result = FrameworkResult()
+        checkpoints = sorted(self._config.evaluation_checkpoints)
+        next_checkpoint_index = 0
+        rounds = 0
+
+        while not self._platform.budget.exhausted and self._remaining_budget() > 0:
+            if max_rounds is not None and rounds >= max_rounds:
+                break
+            batch = self._platform.next_worker_batch(rounds)
+            if not batch:
+                break
+
+            assignment = self._assigner.assign(
+                batch, self._config.tasks_per_worker, self._platform.answers
+            )
+            assignment = self._fit_to_budget(assignment)
+            total_pairs = sum(len(task_ids) for task_ids in assignment.values())
+            if total_pairs == 0:
+                break
+
+            new_answers = self._platform.execute_assignment(assignment)
+            self._refresh_inference(new_answers)
+            self._assigner.update_parameters(self._inference.parameters)
+
+            rounds += 1
+            spent = self._platform.budget.spent
+            while (
+                next_checkpoint_index < len(checkpoints)
+                and spent >= checkpoints[next_checkpoint_index]
+            ):
+                result.snapshots.append(self._snapshot(spent))
+                next_checkpoint_index += 1
+
+        # Final full refresh so the reported accuracy uses the complete answer set.
+        if len(self._platform.answers) > 0:
+            self._inference.fit(self._platform.answers)
+            self._updater.notify_full_refresh()
+            self._assigner.update_parameters(self._inference.parameters)
+
+        final = self._snapshot(self._platform.budget.spent)
+        if not result.snapshots or result.snapshots[-1].assignments_spent != final.assignments_spent:
+            result.snapshots.append(final)
+        result.rounds = rounds
+        result.assignments_spent = self._platform.budget.spent
+        result.final_accuracy = final.accuracy
+        result.final_average_acc = final.average_acc
+        return result
+
+    # ---------------------------------------------------------------- internals
+    def _remaining_budget(self) -> int:
+        """Assignments still allowed: bounded by both the campaign budget in the
+        configuration and the platform's own (monetary) budget."""
+        configured = self._config.budget - self._platform.budget.spent
+        return max(0, min(configured, self._platform.budget.remaining))
+
+    def _fit_to_budget(self, assignment: dict[str, list[str]]) -> dict[str, list[str]]:
+        """Trim an assignment so it never exceeds the remaining budget.
+
+        Trimming removes one task at a time from the workers with the most
+        tasks, preserving as much of the assigner's intent as possible.
+        """
+        remaining = self._remaining_budget()
+        total = sum(len(task_ids) for task_ids in assignment.values())
+        if total <= remaining:
+            return assignment
+        trimmed = {worker_id: list(task_ids) for worker_id, task_ids in assignment.items()}
+        excess = total - remaining
+        while excess > 0:
+            worker_id = max(trimmed, key=lambda w: len(trimmed[w]))
+            if not trimmed[worker_id]:
+                break
+            trimmed[worker_id].pop()
+            excess -= 1
+        return trimmed
+
+    def _refresh_inference(self, new_answers) -> None:
+        """Full EM when due (or incremental updates disabled), incremental otherwise."""
+        answers = self._platform.answers
+        if not self._config.use_incremental_updates or self._updater.full_refresh_due:
+            self._inference.fit(answers)
+            self._updater.notify_full_refresh()
+        elif self._inference.is_fitted:
+            self._updater.apply(answers, new_answers)
+        else:
+            self._inference.fit(answers)
+            self._updater.notify_full_refresh()
+
+    def _snapshot(self, spent: int) -> AccuracySnapshot:
+        tasks = self._platform.dataset.tasks
+        if self._inference.is_fitted:
+            predictions = self._inference.predict_all()
+            probabilities = {
+                task.task_id: self._inference.label_probabilities(task.task_id)
+                for task in tasks
+            }
+            accuracy = labelling_accuracy(predictions, tasks)
+            average_acc = average_label_accuracy(probabilities, tasks)
+        else:
+            accuracy = 0.5
+            average_acc = 0.5
+        return AccuracySnapshot(
+            assignments_spent=spent, accuracy=accuracy, average_acc=average_acc
+        )

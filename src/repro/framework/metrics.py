@@ -1,0 +1,129 @@
+"""Evaluation metrics: the paper's accuracy measure and Table II statistics.
+
+* :func:`labelling_accuracy` — Equation 1: the average, over tasks, of the
+  fraction of labels whose inferred binary value matches the ground truth
+  (both correct and incorrect labels count).
+* :func:`answer_accuracy_against_truth` — per-answer accuracy used by the data
+  analysis of Figures 6–8.
+* :func:`worker_average_accuracy` — a worker's mean answer accuracy (Table II
+  column "Worker Quality").
+* :func:`assignment_distribution` — the percentage of tasks with <3, 3–7 and >7
+  assigned workers (Table II middle column).
+* :func:`average_label_accuracy` — the average ``Acc_{t,k}`` over all labels
+  given the true label values (Table II last column).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.data.models import AnswerSet, Dataset, Task
+
+
+def labelling_accuracy(
+    predictions: Mapping[str, Sequence[int] | np.ndarray], tasks: Sequence[Task]
+) -> float:
+    """The paper's accuracy metric (Equation 1).
+
+    ``predictions`` maps task ids to binary vectors (1 = label inferred
+    correct).  Tasks missing from ``predictions`` count as all-labels-wrong for
+    zero credit on the matching positions they would have earned — callers
+    should predict every task.
+    """
+    if not tasks:
+        raise ValueError("labelling_accuracy needs at least one task")
+    total = 0.0
+    for task in tasks:
+        predicted = predictions.get(task.task_id)
+        if predicted is None:
+            continue
+        predicted_arr = np.asarray(predicted, dtype=int)
+        if predicted_arr.shape != (task.num_labels,):
+            raise ValueError(
+                f"prediction for task {task.task_id!r} has shape {predicted_arr.shape}, "
+                f"expected ({task.num_labels},)"
+            )
+        truth = np.asarray(task.truth, dtype=int)
+        total += float(np.mean(predicted_arr == truth))
+    return total / len(tasks)
+
+
+def answer_accuracy_against_truth(answers: AnswerSet, dataset: Dataset) -> dict[tuple[str, str], float]:
+    """Per-answer accuracy: fraction of labels answered in agreement with the truth."""
+    task_index = dataset.task_index
+    accuracies: dict[tuple[str, str], float] = {}
+    for answer in answers:
+        task = task_index.get(answer.task_id)
+        if task is None:
+            raise KeyError(f"answer references unknown task {answer.task_id!r}")
+        accuracies[(answer.worker_id, answer.task_id)] = answer.accuracy_against(task.truth)
+    return accuracies
+
+
+def worker_average_accuracy(answers: AnswerSet, dataset: Dataset) -> dict[str, float]:
+    """Mean per-answer accuracy of every worker present in ``answers``."""
+    per_answer = answer_accuracy_against_truth(answers, dataset)
+    sums: dict[str, float] = {}
+    counts: dict[str, int] = {}
+    for (worker_id, _), accuracy in per_answer.items():
+        sums[worker_id] = sums.get(worker_id, 0.0) + accuracy
+        counts[worker_id] = counts.get(worker_id, 0) + 1
+    return {worker_id: sums[worker_id] / counts[worker_id] for worker_id in sums}
+
+
+def assignment_distribution(
+    answers: AnswerSet,
+    dataset: Dataset,
+    boundaries: tuple[int, int] = (3, 7),
+) -> tuple[float, float, float]:
+    """Percentages of tasks with few / medium / many answering workers.
+
+    The paper's Table II buckets tasks into "< 3 workers", "3–7 workers" and
+    "> 7 workers"; ``boundaries`` keeps those cut points configurable.
+    Returns percentages over all tasks of the dataset (tasks with zero answers
+    fall into the first bucket).
+    """
+    low, high = boundaries
+    if low <= 0 or high < low:
+        raise ValueError(f"boundaries must satisfy 0 < low <= high, got {boundaries}")
+    few = medium = many = 0
+    for task in dataset.tasks:
+        count = answers.answer_count_of_task(task.task_id)
+        if count < low:
+            few += 1
+        elif count <= high:
+            medium += 1
+        else:
+            many += 1
+    total = len(dataset.tasks)
+    return (100.0 * few / total, 100.0 * medium / total, 100.0 * many / total)
+
+
+def average_label_accuracy(
+    probabilities: Mapping[str, Sequence[float] | np.ndarray], tasks: Sequence[Task]
+) -> float:
+    """Average ``Acc_{t,k}`` (Equation 15) over all labels, using the ground truth.
+
+    For a truly correct label the inference accuracy is ``P(z=1)``; for a truly
+    incorrect one it is ``P(z=0)``.  This is the quantity the paper reports in
+    the last column of Table II.
+    """
+    if not tasks:
+        raise ValueError("average_label_accuracy needs at least one task")
+    values: list[float] = []
+    for task in tasks:
+        probs = probabilities.get(task.task_id)
+        if probs is None:
+            values.extend([0.5] * task.num_labels)
+            continue
+        probs_arr = np.asarray(probs, dtype=float)
+        if probs_arr.shape != (task.num_labels,):
+            raise ValueError(
+                f"probabilities for task {task.task_id!r} have shape {probs_arr.shape}, "
+                f"expected ({task.num_labels},)"
+            )
+        for k, truth in enumerate(task.truth):
+            values.append(float(probs_arr[k]) if truth == 1 else 1.0 - float(probs_arr[k]))
+    return float(np.mean(values))

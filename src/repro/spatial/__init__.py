@@ -1,0 +1,25 @@
+"""Spatial substrate: geometry primitives, normalised distances and a grid index.
+
+The inference model and the Spatial-First assignment baseline only ever consume
+*normalised* worker-to-POI distances in ``[0, 1]``.  This package provides the
+geometry (:mod:`repro.spatial.geometry`), the normalisation and multi-location
+minimum-distance logic (:mod:`repro.spatial.distance`), bounding boxes
+(:mod:`repro.spatial.bbox`) and a uniform grid spatial index used by the
+Spatial-First assigner and the dataset generators
+(:mod:`repro.spatial.grid_index`).
+"""
+
+from repro.spatial.geometry import GeoPoint, euclidean_distance, haversine_distance
+from repro.spatial.bbox import BoundingBox
+from repro.spatial.distance import DistanceModel, normalised_distance_matrix
+from repro.spatial.grid_index import GridIndex
+
+__all__ = [
+    "GeoPoint",
+    "euclidean_distance",
+    "haversine_distance",
+    "BoundingBox",
+    "DistanceModel",
+    "normalised_distance_matrix",
+    "GridIndex",
+]

@@ -1,0 +1,89 @@
+"""Axis-aligned bounding boxes for dataset generation and spatial indexing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.spatial.geometry import GeoPoint
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """An axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]``."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.max_x < self.min_x or self.max_y < self.min_y:
+            raise ValueError(
+                "bounding box maxima must not be smaller than minima: "
+                f"({self.min_x}, {self.min_y}, {self.max_x}, {self.max_y})"
+            )
+
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def center(self) -> GeoPoint:
+        return GeoPoint((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    def contains(self, point: GeoPoint) -> bool:
+        """Whether ``point`` lies inside the box (boundary inclusive)."""
+        return (
+            self.min_x <= point.x <= self.max_x
+            and self.min_y <= point.y <= self.max_y
+        )
+
+    def clamp(self, point: GeoPoint) -> GeoPoint:
+        """Project ``point`` onto the box."""
+        return GeoPoint(
+            min(self.max_x, max(self.min_x, point.x)),
+            min(self.max_y, max(self.min_y, point.y)),
+        )
+
+    def sample(self, rng: np.random.Generator, count: int = 1) -> list[GeoPoint]:
+        """Draw ``count`` points uniformly at random from the box."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        xs = rng.uniform(self.min_x, self.max_x, size=count)
+        ys = rng.uniform(self.min_y, self.max_y, size=count)
+        return [GeoPoint(float(x), float(y)) for x, y in zip(xs, ys)]
+
+    def expand(self, margin: float) -> "BoundingBox":
+        """Return a box grown by ``margin`` on every side."""
+        if margin < 0:
+            raise ValueError(f"margin must be non-negative, got {margin}")
+        return BoundingBox(
+            self.min_x - margin, self.min_y - margin,
+            self.max_x + margin, self.max_y + margin,
+        )
+
+    @classmethod
+    def from_points(cls, points: Iterable[GeoPoint]) -> "BoundingBox":
+        """Tightest box covering a non-empty collection of points."""
+        points = list(points)
+        if not points:
+            raise ValueError("cannot build a bounding box from zero points")
+        xs = [p.x for p in points]
+        ys = [p.y for p in points]
+        return cls(min(xs), min(ys), max(xs), max(ys))
+
+
+#: Approximate geographic extent of urban Beijing (lon/lat degrees), used by the
+#: synthetic Beijing dataset generator.
+BEIJING_BBOX = BoundingBox(116.10, 39.70, 116.70, 40.20)
+
+#: Approximate geographic extent of mainland China (lon/lat degrees), used by the
+#: synthetic China scenic-spot dataset generator.
+CHINA_BBOX = BoundingBox(98.0, 22.0, 125.0, 45.0)

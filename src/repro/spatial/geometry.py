@@ -1,0 +1,82 @@
+"""Geometric primitives: points and distance functions.
+
+The paper works with POIs and workers located in a city (Beijing) or a country
+(China).  Internally all algorithms consume distances normalised to ``[0, 1]``,
+so the choice of metric only matters for the raw distance computation.  We
+provide both planar Euclidean distance (used by the paper's running example,
+whose coordinates are plain x/y values) and the haversine great-circle distance
+for latitude/longitude coordinates produced by the dataset generators.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+#: Mean Earth radius in kilometres, used by :func:`haversine_distance`.
+EARTH_RADIUS_KM = 6371.0088
+
+
+@dataclass(frozen=True)
+class GeoPoint:
+    """A point identified by two coordinates.
+
+    ``x``/``y`` are interpreted either as planar coordinates (Euclidean metric)
+    or as longitude/latitude in degrees (haversine metric); the metric choice is
+    made by the :class:`repro.spatial.distance.DistanceModel` that consumes the
+    points, not by the point itself.
+    """
+
+    x: float
+    y: float
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.x) and math.isfinite(self.y)):
+            raise ValueError(f"coordinates must be finite, got ({self.x}, {self.y})")
+
+    @property
+    def lon(self) -> float:
+        """Longitude alias for :attr:`x` when the point is geographic."""
+        return self.x
+
+    @property
+    def lat(self) -> float:
+        """Latitude alias for :attr:`y` when the point is geographic."""
+        return self.y
+
+    def as_tuple(self) -> tuple[float, float]:
+        return (self.x, self.y)
+
+    def offset(self, dx: float, dy: float) -> "GeoPoint":
+        """Return a new point displaced by ``(dx, dy)``."""
+        return GeoPoint(self.x + dx, self.y + dy)
+
+
+def euclidean_distance(a: GeoPoint, b: GeoPoint) -> float:
+    """Planar Euclidean distance between two points."""
+    return math.hypot(a.x - b.x, a.y - b.y)
+
+
+def haversine_distance(a: GeoPoint, b: GeoPoint) -> float:
+    """Great-circle distance in kilometres between two lon/lat points."""
+    lon1, lat1 = math.radians(a.lon), math.radians(a.lat)
+    lon2, lat2 = math.radians(b.lon), math.radians(b.lat)
+    dlon = lon2 - lon1
+    dlat = lat2 - lat1
+    h = math.sin(dlat / 2.0) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+    # Clamp to guard against floating-point overshoot for antipodal points.
+    h = min(1.0, max(0.0, h))
+    return 2.0 * EARTH_RADIUS_KM * math.asin(math.sqrt(h))
+
+
+def centroid(points: Iterable[GeoPoint]) -> GeoPoint:
+    """Arithmetic centroid of a non-empty collection of points."""
+    xs, ys, count = 0.0, 0.0, 0
+    for point in points:
+        xs += point.x
+        ys += point.y
+        count += 1
+    if count == 0:
+        raise ValueError("cannot compute the centroid of zero points")
+    return GeoPoint(xs / count, ys / count)

@@ -1,0 +1,159 @@
+"""A uniform grid spatial index over point data.
+
+The Spatial-First assignment baseline repeatedly asks "which not-yet-answered
+task is closest to this worker?".  A brute-force scan is ``O(|T|)`` per query;
+for the scalability experiments (Figure 14, up to 10,000 tasks and hundreds of
+workers) a simple uniform grid keeps queries cheap without pulling in external
+spatial libraries.  The index works on raw coordinates and any item type — items
+are registered with an id and a :class:`~repro.spatial.geometry.GeoPoint`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Hashable, Iterable, Iterator
+
+from repro.spatial.bbox import BoundingBox
+from repro.spatial.geometry import GeoPoint, euclidean_distance
+
+
+class GridIndex:
+    """Uniform grid index supporting insertion, removal and nearest queries.
+
+    The grid uses the planar Euclidean metric on raw coordinates.  For lon/lat
+    data over city- or country-scale extents this is a fine approximation for
+    *ranking* candidates by proximity, which is all the Spatial-First baseline
+    needs; exact distances are recomputed by the caller's
+    :class:`~repro.spatial.distance.DistanceModel`.
+    """
+
+    def __init__(self, bounds: BoundingBox, cells_per_axis: int = 32) -> None:
+        if cells_per_axis <= 0:
+            raise ValueError(f"cells_per_axis must be positive, got {cells_per_axis}")
+        self._bounds = bounds
+        self._cells_per_axis = cells_per_axis
+        self._cell_width = max(bounds.width, 1e-12) / cells_per_axis
+        self._cell_height = max(bounds.height, 1e-12) / cells_per_axis
+        self._cells: dict[tuple[int, int], set[Hashable]] = defaultdict(set)
+        self._locations: dict[Hashable, GeoPoint] = {}
+
+    def __len__(self) -> int:
+        return len(self._locations)
+
+    def __contains__(self, item_id: Hashable) -> bool:
+        return item_id in self._locations
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._locations)
+
+    @property
+    def bounds(self) -> BoundingBox:
+        return self._bounds
+
+    def _cell_of(self, point: GeoPoint) -> tuple[int, int]:
+        clamped = self._bounds.clamp(point)
+        col = int((clamped.x - self._bounds.min_x) / self._cell_width)
+        row = int((clamped.y - self._bounds.min_y) / self._cell_height)
+        col = min(self._cells_per_axis - 1, max(0, col))
+        row = min(self._cells_per_axis - 1, max(0, row))
+        return (col, row)
+
+    def insert(self, item_id: Hashable, location: GeoPoint) -> None:
+        """Insert (or move) ``item_id`` at ``location``."""
+        if item_id in self._locations:
+            self.remove(item_id)
+        self._locations[item_id] = location
+        self._cells[self._cell_of(location)].add(item_id)
+
+    def insert_many(self, items: Iterable[tuple[Hashable, GeoPoint]]) -> None:
+        for item_id, location in items:
+            self.insert(item_id, location)
+
+    def remove(self, item_id: Hashable) -> None:
+        """Remove ``item_id``; raises ``KeyError`` if it is not present."""
+        location = self._locations.pop(item_id)
+        cell = self._cell_of(location)
+        self._cells[cell].discard(item_id)
+        if not self._cells[cell]:
+            del self._cells[cell]
+
+    def location_of(self, item_id: Hashable) -> GeoPoint:
+        return self._locations[item_id]
+
+    def nearest(
+        self, query: GeoPoint, count: int = 1, exclude: frozenset | set | None = None
+    ) -> list[Hashable]:
+        """Return up to ``count`` item ids closest to ``query``.
+
+        The search expands ring by ring around the query cell and stops once
+        enough candidates have been found *and* the next ring cannot contain a
+        closer item.  Ties are broken by item id to keep results deterministic.
+        """
+        if count <= 0:
+            return []
+        exclude = exclude or frozenset()
+        if not self._locations:
+            return []
+
+        center_col, center_row = self._cell_of(query)
+        found: list[tuple[float, Hashable]] = []
+        max_radius = self._cells_per_axis
+
+        for radius in range(max_radius + 1):
+            newly_scanned = False
+            for col, row in self._ring_cells(center_col, center_row, radius):
+                items = self._cells.get((col, row))
+                if not items:
+                    continue
+                newly_scanned = True
+                for item_id in items:
+                    if item_id in exclude:
+                        continue
+                    d = euclidean_distance(query, self._locations[item_id])
+                    found.append((d, item_id))
+            if len(found) >= count:
+                # A ring at distance `radius` cells guarantees that everything
+                # strictly closer than (radius) * min_cell_size has been seen.
+                found.sort(key=lambda pair: (pair[0], str(pair[1])))
+                safe_distance = radius * min(self._cell_width, self._cell_height)
+                if found[count - 1][0] <= safe_distance or radius == max_radius:
+                    return [item_id for _, item_id in found[:count]]
+            if radius == max_radius and not newly_scanned and found:
+                break
+
+        found.sort(key=lambda pair: (pair[0], str(pair[1])))
+        return [item_id for _, item_id in found[:count]]
+
+    def _ring_cells(
+        self, center_col: int, center_row: int, radius: int
+    ) -> Iterator[tuple[int, int]]:
+        """Yield the cells forming the square ring at ``radius`` around a cell."""
+        if radius == 0:
+            yield (center_col, center_row)
+            return
+        low_col, high_col = center_col - radius, center_col + radius
+        low_row, high_row = center_row - radius, center_row + radius
+        for col in range(low_col, high_col + 1):
+            for row in (low_row, high_row):
+                if 0 <= col < self._cells_per_axis and 0 <= row < self._cells_per_axis:
+                    yield (col, row)
+        for row in range(low_row + 1, high_row):
+            for col in (low_col, high_col):
+                if 0 <= col < self._cells_per_axis and 0 <= row < self._cells_per_axis:
+                    yield (col, row)
+
+    def items_within(self, query: GeoPoint, radius: float) -> list[Hashable]:
+        """All item ids within Euclidean ``radius`` of ``query``."""
+        if radius < 0:
+            raise ValueError(f"radius must be non-negative, got {radius}")
+        cells_x = int(math.ceil(radius / self._cell_width)) if self._cell_width else 0
+        cells_y = int(math.ceil(radius / self._cell_height)) if self._cell_height else 0
+        center_col, center_row = self._cell_of(query)
+        result = []
+        for col in range(center_col - cells_x, center_col + cells_x + 1):
+            for row in range(center_row - cells_y, center_row + cells_y + 1):
+                for item_id in self._cells.get((col, row), ()):
+                    if euclidean_distance(query, self._locations[item_id]) <= radius:
+                        result.append(item_id)
+        return sorted(result, key=str)

@@ -1,0 +1,90 @@
+"""Binning helpers used by the analysis modules (Figures 6-8 of the paper).
+
+The paper's data analysis bins answers by distance into 0.2-wide ranges and
+bins per-worker accuracies into 20-percentage-point ranges.  These helpers keep
+that logic in one place and make the edge cases (values exactly on an edge,
+values at the maximum) explicit and tested.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def bin_edges(low: float, high: float, count: int) -> np.ndarray:
+    """Return ``count + 1`` equally spaced edges covering ``[low, high]``."""
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    if high <= low:
+        raise ValueError(f"high ({high}) must exceed low ({low})")
+    return np.linspace(low, high, count + 1)
+
+
+def bin_index(value: float, edges: Sequence[float] | np.ndarray) -> int:
+    """Return the index of the bin containing ``value``.
+
+    Bins are half-open ``[edge[i], edge[i+1])`` except the last bin which is
+    closed so the maximum value falls into the final bin.  Values outside the
+    covered range raise ``ValueError``.
+    """
+    edges_arr = np.asarray(edges, dtype=float)
+    if edges_arr.ndim != 1 or edges_arr.size < 2:
+        raise ValueError("edges must contain at least two values")
+    low, high = float(edges_arr[0]), float(edges_arr[-1])
+    if value < low or value > high:
+        raise ValueError(f"value {value} outside binned range [{low}, {high}]")
+    if value == high:
+        return edges_arr.size - 2
+    idx = int(np.searchsorted(edges_arr, value, side="right") - 1)
+    return idx
+
+
+def histogram_percentages(
+    values: Sequence[float] | np.ndarray, edges: Sequence[float] | np.ndarray
+) -> np.ndarray:
+    """Histogram ``values`` over ``edges`` and return per-bin percentages.
+
+    This is the presentation used in the paper's Figure 6 (percentage of workers
+    per accuracy range).  An empty input returns an all-zero vector.
+    """
+    edges_arr = np.asarray(edges, dtype=float)
+    n_bins = edges_arr.size - 1
+    if n_bins < 1:
+        raise ValueError("edges must define at least one bin")
+    values_arr = np.asarray(values, dtype=float)
+    if values_arr.size == 0:
+        return np.zeros(n_bins)
+    counts = np.zeros(n_bins)
+    for value in values_arr:
+        counts[bin_index(float(value), edges_arr)] += 1
+    return counts * 100.0 / values_arr.size
+
+
+def mean_by_bin(
+    keys: Sequence[float] | np.ndarray,
+    values: Sequence[float] | np.ndarray,
+    edges: Sequence[float] | np.ndarray,
+) -> list[float | None]:
+    """Average ``values`` grouped by the bin of the corresponding ``keys``.
+
+    Returns one entry per bin; bins with no observations yield ``None`` so that
+    callers can distinguish "no data" from "average of zero" when reproducing
+    the distance-bucketed accuracy curves of Figures 7 and 8.
+    """
+    keys_arr = np.asarray(keys, dtype=float)
+    values_arr = np.asarray(values, dtype=float)
+    if keys_arr.shape != values_arr.shape:
+        raise ValueError(
+            f"keys and values must align, got {keys_arr.shape} vs {values_arr.shape}"
+        )
+    edges_arr = np.asarray(edges, dtype=float)
+    n_bins = edges_arr.size - 1
+    sums = np.zeros(n_bins)
+    counts = np.zeros(n_bins)
+    for key, value in zip(keys_arr, values_arr):
+        idx = bin_index(float(key), edges_arr)
+        sums[idx] += value
+        counts[idx] += 1
+    return [float(sums[i] / counts[i]) if counts[i] else None for i in range(n_bins)]

@@ -1,0 +1,67 @@
+"""Shared fixtures: a small deterministic dataset, crowd and answer corpus.
+
+All fixtures are intentionally tiny (a dozen tasks, a handful of workers) so
+that the full-suite wall-clock stays low; the full-scale Beijing/China
+configurations are exercised by the benchmark harness instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crowd.answer_model import AnswerSimulator
+from repro.crowd.arrival import UniformRandomArrival
+from repro.crowd.budget import Budget
+from repro.crowd.platform import CrowdPlatform
+from repro.crowd.worker_pool import WorkerPool, WorkerPoolSpec
+from repro.data.generators import DatasetSpec, generate_dataset
+from repro.data.models import Dataset
+from repro.spatial.bbox import BEIJING_BBOX, BoundingBox
+from repro.spatial.distance import DistanceModel
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> Dataset:
+    """Twelve Beijing-extent tasks with four candidate labels each."""
+    spec = DatasetSpec(
+        name="TestSet",
+        num_tasks=12,
+        labels_per_task=4,
+        bbox=BEIJING_BBOX,
+        metric="euclidean",
+        num_clusters=3,
+        description="Small dataset for unit tests.",
+    )
+    return generate_dataset(spec, seed=1234)
+
+
+@pytest.fixture(scope="session")
+def distance_model(small_dataset: Dataset) -> DistanceModel:
+    return DistanceModel(max_distance=small_dataset.max_distance, metric="euclidean")
+
+
+@pytest.fixture(scope="session")
+def worker_pool(small_dataset: Dataset) -> WorkerPool:
+    bounds = BoundingBox.from_points(small_dataset.poi_locations).expand(0.05)
+    spec = WorkerPoolSpec(num_workers=8, locations_per_worker=(1, 2))
+    return WorkerPool.generate(bounds, spec=spec, seed=99)
+
+
+@pytest.fixture()
+def platform(small_dataset: Dataset, worker_pool: WorkerPool, distance_model: DistanceModel) -> CrowdPlatform:
+    """A fresh platform per test (budget and answer log are mutable)."""
+    return CrowdPlatform(
+        dataset=small_dataset,
+        worker_pool=worker_pool,
+        budget=Budget(total=200),
+        distance_model=distance_model,
+        answer_simulator=AnswerSimulator(distance_model, noise=0.05),
+        arrival_process=UniformRandomArrival(worker_pool, batch_size=3, seed=7),
+        seed=7,
+    )
+
+
+@pytest.fixture()
+def collected_answers(platform: CrowdPlatform):
+    """A Deployment-1 style corpus: every task answered by three workers."""
+    return platform.collect_batch_answers(answers_per_task=3, seed=21)

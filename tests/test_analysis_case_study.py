@@ -1,0 +1,83 @@
+"""Tests for repro.analysis.case_study (Table I)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.case_study import build_case_study, most_disagreed_task
+from repro.core.inference import LocationAwareInference
+
+
+@pytest.fixture()
+def fitted_inference(small_dataset, worker_pool, distance_model, collected_answers):
+    model = LocationAwareInference(
+        small_dataset.tasks, worker_pool.workers, distance_model
+    )
+    return model.fit(collected_answers)
+
+
+class TestMostDisagreedTask:
+    def test_returns_answered_task(self, collected_answers, small_dataset):
+        task_id = most_disagreed_task(collected_answers, small_dataset)
+        assert collected_answers.answer_count_of_task(task_id) > 0
+
+    def test_empty_answers_raise(self, small_dataset):
+        from repro.data.models import AnswerSet
+
+        with pytest.raises(ValueError):
+            most_disagreed_task(AnswerSet(), small_dataset)
+
+
+class TestBuildCaseStudy:
+    def test_rows_match_answering_workers(
+        self, fitted_inference, small_dataset, worker_pool, distance_model, collected_answers
+    ):
+        task_id = most_disagreed_task(collected_answers, small_dataset)
+        study = build_case_study(
+            task_id, small_dataset, worker_pool.workers, collected_answers,
+            fitted_inference, distance_model,
+        )
+        assert study.task_id == task_id
+        assert len(study.rows) == collected_answers.answer_count_of_task(task_id)
+        task = small_dataset.task_by_id(task_id)
+        assert study.labels == task.labels
+        assert study.truth == task.truth
+
+    def test_row_values_valid(
+        self, fitted_inference, small_dataset, worker_pool, distance_model, collected_answers
+    ):
+        task_id = most_disagreed_task(collected_answers, small_dataset)
+        study = build_case_study(
+            task_id, small_dataset, worker_pool.workers, collected_answers,
+            fitted_inference, distance_model,
+        )
+        for row in study.rows:
+            assert 0.0 <= row.distance <= 1.0
+            assert 0.0 <= row.real_accuracy <= 1.0
+            assert 0.0 <= row.modelled_accuracy <= 1.0
+            assert 0.0 <= row.average_accuracy <= 1.0
+            assert len(row.answer) == len(study.labels)
+
+    def test_inferred_labels_binary_and_fraction(self, fitted_inference, small_dataset, worker_pool, distance_model, collected_answers):
+        task_id = small_dataset.tasks[0].task_id
+        study = build_case_study(
+            task_id, small_dataset, worker_pool.workers, collected_answers,
+            fitted_inference, distance_model,
+        )
+        assert set(np.unique(study.inferred_labels)).issubset({0, 1})
+        assert 0.0 <= study.inference_correct_fraction <= 1.0
+
+    def test_unfitted_model_rejected(
+        self, small_dataset, worker_pool, distance_model, collected_answers
+    ):
+        model = LocationAwareInference(
+            small_dataset.tasks, worker_pool.workers, distance_model
+        )
+        with pytest.raises(RuntimeError):
+            build_case_study(
+                small_dataset.tasks[0].task_id,
+                small_dataset,
+                worker_pool.workers,
+                collected_answers,
+                model,
+                distance_model,
+            )

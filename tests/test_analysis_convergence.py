@@ -1,0 +1,84 @@
+"""Tests for repro.analysis.convergence (Figure 10)."""
+
+import pytest
+
+from repro.analysis.convergence import convergence_trace
+
+
+class TestConvergenceTrace:
+    def test_trace_lengths(self, small_dataset, worker_pool, distance_model, collected_answers):
+        trace = convergence_trace(
+            small_dataset,
+            worker_pool.workers,
+            collected_answers,
+            distance_model,
+            max_iterations=10,
+        )
+        assert trace.iterations == 10
+        assert len(trace.max_parameter_change) == 10
+        assert len(trace.log_likelihood) == 10
+
+    def test_parameter_change_eventually_small(
+        self, small_dataset, worker_pool, distance_model, collected_answers
+    ):
+        # The unit-test corpus is tiny (three answers per task), so we use a
+        # looser threshold than the paper's 0.005; the point is that the change
+        # shrinks and the threshold crossing is detected.
+        trace = convergence_trace(
+            small_dataset,
+            worker_pool.workers,
+            collected_answers,
+            distance_model,
+            max_iterations=30,
+            threshold=0.02,
+        )
+        assert trace.iterations_to_threshold is not None
+        assert trace.iterations_to_threshold <= 30
+        assert trace.max_parameter_change[trace.iterations_to_threshold - 1] <= trace.threshold
+        assert trace.max_parameter_change[-1] < trace.max_parameter_change[0]
+
+    def test_changes_are_non_negative(
+        self, small_dataset, worker_pool, distance_model, collected_answers
+    ):
+        trace = convergence_trace(
+            small_dataset,
+            worker_pool.workers,
+            collected_answers,
+            distance_model,
+            max_iterations=8,
+        )
+        assert all(change >= 0.0 for change in trace.max_parameter_change)
+
+    def test_log_likelihood_non_decreasing(
+        self, small_dataset, worker_pool, distance_model, collected_answers
+    ):
+        trace = convergence_trace(
+            small_dataset,
+            worker_pool.workers,
+            collected_answers,
+            distance_model,
+            max_iterations=15,
+        )
+        for earlier, later in zip(trace.log_likelihood, trace.log_likelihood[1:]):
+            assert later >= earlier - 1e-6
+
+    def test_custom_threshold(self, small_dataset, worker_pool, distance_model, collected_answers):
+        strict = convergence_trace(
+            small_dataset,
+            worker_pool.workers,
+            collected_answers,
+            distance_model,
+            max_iterations=20,
+            threshold=1e-9,
+        )
+        loose = convergence_trace(
+            small_dataset,
+            worker_pool.workers,
+            collected_answers,
+            distance_model,
+            max_iterations=20,
+            threshold=0.5,
+        )
+        assert loose.iterations_to_threshold is not None
+        if strict.iterations_to_threshold is not None:
+            assert strict.iterations_to_threshold >= loose.iterations_to_threshold

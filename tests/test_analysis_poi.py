@@ -1,0 +1,68 @@
+"""Tests for repro.analysis.poi_analysis (Figure 8)."""
+
+import pytest
+
+from repro.analysis.poi_analysis import (
+    REVIEW_CLASSES,
+    poi_influence_curves,
+    review_count_class,
+)
+
+
+class TestReviewCountClass:
+    def test_class_boundaries(self):
+        assert review_count_class(2501) == "Rev>2500"
+        assert review_count_class(2500) == "Rev>1000"
+        assert review_count_class(1001) == "Rev>1000"
+        assert review_count_class(501) == "Rev>500"
+        assert review_count_class(500) == "Rev<500"
+        assert review_count_class(0) == "Rev<500"
+
+    def test_all_classes_covered(self):
+        assert set(REVIEW_CLASSES) == {"Rev>2500", "Rev>1000", "Rev>500", "Rev<500"}
+
+
+class TestPoiInfluenceCurves:
+    def test_one_curve_per_class(
+        self, collected_answers, small_dataset, worker_pool, distance_model
+    ):
+        curves = poi_influence_curves(
+            collected_answers, small_dataset, worker_pool.workers, distance_model
+        )
+        assert [curve.review_class for curve in curves] == list(REVIEW_CLASSES)
+
+    def test_values_valid(self, collected_answers, small_dataset, worker_pool, distance_model):
+        curves = poi_influence_curves(
+            collected_answers, small_dataset, worker_pool.workers, distance_model
+        )
+        for curve in curves:
+            assert len(curve.accuracies) == 5
+            for value in curve.accuracies:
+                assert value is None or 0.0 <= value <= 1.0
+
+    def test_answer_counts_sum_to_corpus(
+        self, collected_answers, small_dataset, worker_pool, distance_model
+    ):
+        curves = poi_influence_curves(
+            collected_answers, small_dataset, worker_pool.workers, distance_model
+        )
+        assert sum(curve.answer_count for curve in curves) == len(collected_answers)
+
+    def test_empty_answers(self, small_dataset, worker_pool, distance_model):
+        from repro.data.models import AnswerSet
+
+        curves = poi_influence_curves(
+            AnswerSet(), small_dataset, worker_pool.workers, distance_model
+        )
+        assert all(curve.answer_count == 0 for curve in curves)
+        assert all(all(v is None for v in curve.accuracies) for curve in curves)
+
+    def test_custom_bin_count(self, collected_answers, small_dataset, worker_pool, distance_model):
+        curves = poi_influence_curves(
+            collected_answers,
+            small_dataset,
+            worker_pool.workers,
+            distance_model,
+            num_bins=3,
+        )
+        assert all(len(curve.accuracies) == 3 for curve in curves)

@@ -1,0 +1,55 @@
+"""Tests for repro.analysis.reporting."""
+
+import pytest
+
+from repro.analysis.reporting import format_series_table, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(["name", "value"], [["alpha", 1.23456], ["b", 2.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0]
+        assert "1.235" in lines[2]
+
+    def test_none_rendered_as_dash(self):
+        text = format_table(["a"], [[None]])
+        assert "-" in text.splitlines()[-1]
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_headers_raise(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+    def test_precision_controls_decimals(self):
+        text = format_table(["x"], [[3.14159]], precision=1)
+        assert "3.1" in text
+        assert "3.14" not in text
+
+    def test_no_rows(self):
+        text = format_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2
+
+
+class TestFormatSeriesTable:
+    def test_columns_per_series(self):
+        text = format_series_table(
+            "budget", [600, 700], {"MV": [0.6, 0.65], "IM": [0.7, 0.75]}
+        )
+        lines = text.splitlines()
+        assert "budget" in lines[0]
+        assert "MV" in lines[0]
+        assert "IM" in lines[0]
+        assert len(lines) == 4
+
+    def test_short_series_padded_with_dash(self):
+        text = format_series_table("x", [1, 2, 3], {"s": [0.1]})
+        assert text.splitlines()[-1].strip().endswith("-")
+
+    def test_integer_x_values_preserved(self):
+        text = format_series_table("x", [600], {"s": [0.5]})
+        assert "600" in text

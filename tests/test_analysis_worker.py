@@ -1,0 +1,96 @@
+"""Tests for repro.analysis.worker_analysis (Figures 6 and 7)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.worker_analysis import (
+    distance_accuracy_curves,
+    worker_quality_histogram,
+)
+
+
+class TestWorkerQualityHistogram:
+    def test_percentages_sum_to_hundred(
+        self, collected_answers, small_dataset, worker_pool, distance_model
+    ):
+        histogram = worker_quality_histogram(
+            collected_answers,
+            small_dataset,
+            worker_pool.workers,
+            distance_model,
+            max_distance=1.0,
+        )
+        assert histogram.percentages.sum() == pytest.approx(100.0)
+        assert len(histogram.edges) == 6
+
+    def test_restricting_distance_reduces_workers(
+        self, collected_answers, small_dataset, worker_pool, distance_model
+    ):
+        wide = worker_quality_histogram(
+            collected_answers, small_dataset, worker_pool.workers, distance_model, 1.0
+        )
+        narrow = worker_quality_histogram(
+            collected_answers, small_dataset, worker_pool.workers, distance_model, 0.05
+        )
+        assert len(narrow.worker_accuracies) <= len(wide.worker_accuracies)
+
+    def test_accuracies_in_unit_interval(
+        self, collected_answers, small_dataset, worker_pool, distance_model
+    ):
+        histogram = worker_quality_histogram(
+            collected_answers, small_dataset, worker_pool.workers, distance_model, 1.0
+        )
+        assert all(0.0 <= value <= 1.0 for value in histogram.worker_accuracies.values())
+
+    def test_empty_answers(self, small_dataset, worker_pool, distance_model):
+        from repro.data.models import AnswerSet
+
+        histogram = worker_quality_histogram(
+            AnswerSet(), small_dataset, worker_pool.workers, distance_model, 1.0
+        )
+        assert histogram.worker_accuracies == {}
+        assert np.allclose(histogram.percentages, 0.0)
+
+    def test_custom_bin_count(self, collected_answers, small_dataset, worker_pool, distance_model):
+        histogram = worker_quality_histogram(
+            collected_answers,
+            small_dataset,
+            worker_pool.workers,
+            distance_model,
+            max_distance=1.0,
+            num_bins=10,
+        )
+        assert len(histogram.percentages) == 10
+
+
+class TestDistanceAccuracyCurves:
+    def test_top_k_most_active_workers(
+        self, collected_answers, small_dataset, worker_pool, distance_model
+    ):
+        curves = distance_accuracy_curves(
+            collected_answers, small_dataset, worker_pool.workers, distance_model, top_k=3
+        )
+        assert len(curves) <= 3
+        counts = [curve.answer_count for curve in curves]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_curve_values_valid(
+        self, collected_answers, small_dataset, worker_pool, distance_model
+    ):
+        curves = distance_accuracy_curves(
+            collected_answers, small_dataset, worker_pool.workers, distance_model, top_k=5
+        )
+        for curve in curves:
+            assert len(curve.accuracies) == 5
+            for value in curve.accuracies:
+                assert value is None or 0.0 <= value <= 1.0
+
+    def test_empty_answers(self, small_dataset, worker_pool, distance_model):
+        from repro.data.models import AnswerSet
+
+        assert (
+            distance_accuracy_curves(
+                AnswerSet(), small_dataset, worker_pool.workers, distance_model
+            )
+            == []
+        )

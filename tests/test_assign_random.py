@@ -1,0 +1,68 @@
+"""Tests for repro.assign.random_assigner."""
+
+import pytest
+
+from repro.assign.random_assigner import RandomAssigner
+from repro.data.models import Answer, AnswerSet
+
+
+class TestRandomAssigner:
+    def test_each_worker_gets_h_tasks(self, small_dataset, worker_pool):
+        assigner = RandomAssigner(small_dataset.tasks, worker_pool.workers, seed=3)
+        workers = worker_pool.worker_ids[:4]
+        assignment = assigner.assign(workers, 2, AnswerSet())
+        assert set(assignment) == set(workers)
+        for tasks in assignment.values():
+            assert len(tasks) == 2
+            assert len(set(tasks)) == 2
+
+    def test_respects_already_answered_tasks(self, small_dataset, worker_pool):
+        worker_id = worker_pool.worker_ids[0]
+        answers = AnswerSet(
+            [
+                Answer(worker_id, task.task_id, tuple([1] * task.num_labels))
+                for task in small_dataset.tasks[:-2]
+            ]
+        )
+        assigner = RandomAssigner(small_dataset.tasks, worker_pool.workers, seed=3)
+        assignment = assigner.assign([worker_id], 5, answers)
+        remaining = {task.task_id for task in small_dataset.tasks[-2:]}
+        assert set(assignment[worker_id]) == remaining
+
+    def test_worker_with_no_candidates_gets_empty_list(self, small_dataset, worker_pool):
+        worker_id = worker_pool.worker_ids[0]
+        answers = AnswerSet(
+            [
+                Answer(worker_id, task.task_id, tuple([1] * task.num_labels))
+                for task in small_dataset.tasks
+            ]
+        )
+        assigner = RandomAssigner(small_dataset.tasks, worker_pool.workers, seed=3)
+        assert assigner.assign([worker_id], 2, answers)[worker_id] == []
+
+    def test_deterministic_for_seed(self, small_dataset, worker_pool):
+        workers = worker_pool.worker_ids[:3]
+        a = RandomAssigner(small_dataset.tasks, worker_pool.workers, seed=9).assign(
+            workers, 2, AnswerSet()
+        )
+        b = RandomAssigner(small_dataset.tasks, worker_pool.workers, seed=9).assign(
+            workers, 2, AnswerSet()
+        )
+        assert a == b
+
+    def test_different_seeds_differ(self, small_dataset, worker_pool):
+        workers = worker_pool.worker_ids[:3]
+        a = RandomAssigner(small_dataset.tasks, worker_pool.workers, seed=1).assign(
+            workers, 3, AnswerSet()
+        )
+        b = RandomAssigner(small_dataset.tasks, worker_pool.workers, seed=2).assign(
+            workers, 3, AnswerSet()
+        )
+        assert a != b
+
+    def test_validation(self, small_dataset, worker_pool):
+        assigner = RandomAssigner(small_dataset.tasks, worker_pool.workers, seed=1)
+        with pytest.raises(ValueError):
+            assigner.assign(worker_pool.worker_ids[:1], 0, AnswerSet())
+        with pytest.raises(KeyError):
+            assigner.assign(["ghost"], 1, AnswerSet())

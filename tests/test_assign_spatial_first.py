@@ -1,0 +1,73 @@
+"""Tests for repro.assign.spatial_first."""
+
+import pytest
+
+from repro.assign.spatial_first import SpatialFirstAssigner
+from repro.data.models import Answer, AnswerSet
+
+
+@pytest.fixture()
+def assigner(small_dataset, worker_pool, distance_model):
+    return SpatialFirstAssigner(small_dataset.tasks, worker_pool.workers, distance_model)
+
+
+class TestSpatialFirstAssigner:
+    def test_assigns_closest_tasks(self, assigner, small_dataset, worker_pool, distance_model):
+        worker = worker_pool.workers[0]
+        assignment = assigner.assign([worker.worker_id], 3, AnswerSet())
+        chosen = assignment[worker.worker_id]
+        assert len(chosen) == 3
+
+        distances = {
+            task.task_id: distance_model.worker_task_distance(worker.locations, task.location)
+            for task in small_dataset.tasks
+        }
+        chosen_max = max(distances[task_id] for task_id in chosen)
+        not_chosen_min = min(
+            distances[task_id] for task_id in distances if task_id not in chosen
+        )
+        assert chosen_max <= not_chosen_min + 1e-12
+
+    def test_sorted_by_distance(self, assigner, worker_pool, distance_model, small_dataset):
+        worker = worker_pool.workers[1]
+        assignment = assigner.assign([worker.worker_id], 4, AnswerSet())
+        chosen = assignment[worker.worker_id]
+        distances = [
+            distance_model.worker_task_distance(
+                worker.locations, small_dataset.task_by_id(task_id).location
+            )
+            for task_id in chosen
+        ]
+        assert distances == sorted(distances)
+
+    def test_skips_answered_tasks(self, assigner, small_dataset, worker_pool):
+        worker_id = worker_pool.worker_ids[0]
+        first = assigner.assign([worker_id], 1, AnswerSet())[worker_id][0]
+        answers = AnswerSet(
+            [Answer(worker_id, first, tuple([1] * small_dataset.task_by_id(first).num_labels))]
+        )
+        second = assigner.assign([worker_id], 1, answers)[worker_id][0]
+        assert second != first
+
+    def test_h_larger_than_tasks(self, assigner, worker_pool, small_dataset):
+        worker_id = worker_pool.worker_ids[0]
+        assignment = assigner.assign([worker_id], len(small_dataset) + 5, AnswerSet())
+        assert len(assignment[worker_id]) == len(small_dataset)
+
+    def test_multiple_workers_each_served(self, assigner, worker_pool):
+        workers = worker_pool.worker_ids[:3]
+        assignment = assigner.assign(workers, 2, AnswerSet())
+        assert set(assignment) == set(workers)
+        assert all(len(tasks) == 2 for tasks in assignment.values())
+
+    def test_deterministic(self, assigner, worker_pool):
+        workers = worker_pool.worker_ids[:3]
+        assert assigner.assign(workers, 2, AnswerSet()) == assigner.assign(
+            workers, 2, AnswerSet()
+        )
+
+    def test_validation(self, assigner, worker_pool):
+        with pytest.raises(ValueError):
+            assigner.assign(worker_pool.worker_ids[:1], -1, AnswerSet())
+        with pytest.raises(KeyError):
+            assigner.assign(["ghost"], 1, AnswerSet())

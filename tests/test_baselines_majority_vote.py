@@ -1,0 +1,82 @@
+"""Tests for repro.baselines.majority_vote."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.majority_vote import MajorityVoteInference
+from repro.data.models import Answer, AnswerSet
+
+
+class TestMajorityVote:
+    def test_unfitted_query_raises(self, small_dataset):
+        model = MajorityVoteInference(small_dataset.tasks)
+        with pytest.raises(RuntimeError):
+            model.label_probabilities(small_dataset.tasks[0].task_id)
+
+    def test_requires_tasks(self):
+        with pytest.raises(ValueError):
+            MajorityVoteInference([])
+
+    def test_probability_is_vote_fraction(self, small_dataset):
+        task = small_dataset.tasks[0]
+        n = task.num_labels
+        answers = AnswerSet(
+            [
+                Answer("w1", task.task_id, tuple([1] * n)),
+                Answer("w2", task.task_id, tuple([1] + [0] * (n - 1))),
+                Answer("w3", task.task_id, tuple([0] * n)),
+            ]
+        )
+        model = MajorityVoteInference(small_dataset.tasks).fit(answers)
+        probs = model.label_probabilities(task.task_id)
+        assert probs[0] == pytest.approx(2.0 / 3.0)
+        assert probs[1] == pytest.approx(1.0 / 3.0)
+
+    def test_unanswered_task_gets_half(self, small_dataset):
+        model = MajorityVoteInference(small_dataset.tasks).fit(AnswerSet())
+        probs = model.label_probabilities(small_dataset.tasks[1].task_id)
+        assert np.allclose(probs, 0.5)
+
+    def test_predictions_follow_majority(self, small_dataset):
+        task = small_dataset.tasks[0]
+        n = task.num_labels
+        answers = AnswerSet(
+            [
+                Answer("w1", task.task_id, tuple([1] * n)),
+                Answer("w2", task.task_id, tuple([1] * n)),
+                Answer("w3", task.task_id, tuple([0] * n)),
+            ]
+        )
+        model = MajorityVoteInference(small_dataset.tasks).fit(answers)
+        assert np.all(model.predict(task.task_id) == 1)
+
+    def test_wrong_label_count_rejected(self, small_dataset):
+        task = small_dataset.tasks[0]
+        answers = AnswerSet([Answer("w1", task.task_id, (1,))])
+        with pytest.raises(ValueError):
+            MajorityVoteInference(small_dataset.tasks).fit(answers)
+
+    def test_unknown_task_query_raises(self, small_dataset):
+        model = MajorityVoteInference(small_dataset.tasks).fit(AnswerSet())
+        with pytest.raises(KeyError):
+            model.label_probabilities("ghost")
+
+    def test_predict_all_covers_every_task(self, small_dataset, collected_answers):
+        model = MajorityVoteInference(small_dataset.tasks).fit(collected_answers)
+        predictions = model.predict_all()
+        assert set(predictions) == {task.task_id for task in small_dataset.tasks}
+
+    def test_accuracy_beats_chance_on_simulated_crowd(self, small_dataset, collected_answers):
+        from repro.framework.metrics import labelling_accuracy
+
+        model = MajorityVoteInference(small_dataset.tasks).fit(collected_answers)
+        assert labelling_accuracy(model.predict_all(), small_dataset.tasks) > 0.55
+
+    def test_refit_replaces_previous_estimate(self, small_dataset):
+        task = small_dataset.tasks[0]
+        n = task.num_labels
+        model = MajorityVoteInference(small_dataset.tasks)
+        model.fit(AnswerSet([Answer("w1", task.task_id, tuple([1] * n))]))
+        assert model.label_probabilities(task.task_id)[0] == pytest.approx(1.0)
+        model.fit(AnswerSet([Answer("w1", task.task_id, tuple([0] * n))]))
+        assert model.label_probabilities(task.task_id)[0] == pytest.approx(0.0)

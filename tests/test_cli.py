@@ -1,0 +1,141 @@
+"""Tests for the repro-poi command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.data.io import load_answers, load_dataset
+
+
+@pytest.fixture()
+def dataset_file(tmp_path):
+    path = tmp_path / "dataset.json"
+    code = main(
+        [
+            "generate",
+            "--dataset", "synthetic",
+            "--num-tasks", "10",
+            "--labels-per-task", "5",
+            "--seed", "3",
+            "--out", str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_generate_beijing(self, tmp_path, capsys):
+        out = tmp_path / "beijing.json"
+        assert main(["generate", "--dataset", "beijing", "--out", str(out)]) == 0
+        dataset = load_dataset(out)
+        assert len(dataset) == 200
+        assert "wrote Beijing" in capsys.readouterr().out
+
+    def test_generate_synthetic_size(self, dataset_file):
+        dataset = load_dataset(dataset_file)
+        assert len(dataset) == 10
+        assert dataset.tasks[0].num_labels == 5
+
+    def test_missing_out_fails(self):
+        with pytest.raises(SystemExit):
+            main(["generate", "--dataset", "beijing"])
+
+    def test_unknown_command_fails(self):
+        with pytest.raises(SystemExit):
+            main(["does-not-exist"])
+
+
+class TestCollectAndInfer:
+    def test_collect_then_infer(self, dataset_file, tmp_path, capsys):
+        answers_path = tmp_path / "answers.json"
+        code = main(
+            [
+                "collect",
+                "--dataset-file", str(dataset_file),
+                "--answers-per-task", "3",
+                "--num-workers", "10",
+                "--seed", "5",
+                "--out", str(answers_path),
+            ]
+        )
+        assert code == 0
+        answers = load_answers(answers_path)
+        assert len(answers) == 30
+
+        code = main(
+            [
+                "infer",
+                "--dataset-file", str(dataset_file),
+                "--answers-file", str(answers_path),
+                "--methods", "MV", "IM",
+                "--num-workers", "10",
+                "--seed", "5",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "MV: labelling accuracy" in output
+        assert "IM: labelling accuracy" in output
+
+    def test_infer_with_mismatched_pool_errors(self, dataset_file, tmp_path, capsys):
+        answers_path = tmp_path / "answers.json"
+        main(
+            [
+                "collect",
+                "--dataset-file", str(dataset_file),
+                "--answers-per-task", "2",
+                "--num-workers", "10",
+                "--seed", "5",
+                "--out", str(answers_path),
+            ]
+        )
+        # Requesting IM with a smaller regenerated pool must fail loudly rather
+        # than silently treating unknown workers as new ones.
+        code = main(
+            [
+                "infer",
+                "--dataset-file", str(dataset_file),
+                "--answers-file", str(answers_path),
+                "--methods", "IM",
+                "--num-workers", "3",
+                "--seed", "5",
+            ]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestCampaign:
+    def test_campaign_runs_and_reports(self, dataset_file, capsys):
+        code = main(
+            [
+                "campaign",
+                "--dataset-file", str(dataset_file),
+                "--budget", "30",
+                "--num-workers", "8",
+                "--workers-per-round", "3",
+                "--assigner", "uncertainty",
+                "--seed", "5",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "campaign finished" in output
+        assert "final accuracy (uncertainty):" in output
+
+    def test_campaign_with_accopt(self, dataset_file, capsys):
+        code = main(
+            [
+                "campaign",
+                "--dataset-file", str(dataset_file),
+                "--budget", "20",
+                "--num-workers", "8",
+                "--workers-per-round", "2",
+                "--assigner", "accopt",
+                "--seed", "5",
+            ]
+        )
+        assert code == 0
+        assert "final accuracy (accopt):" in capsys.readouterr().out

@@ -1,0 +1,113 @@
+"""Tests for repro.core.distance_functions."""
+
+import numpy as np
+import pytest
+
+from repro.core.distance_functions import (
+    BellShapedFunction,
+    DistanceFunctionSet,
+    PAPER_FUNCTION_SET,
+)
+
+
+class TestBellShapedFunction:
+    def test_value_at_zero_distance_is_one(self):
+        assert BellShapedFunction(10.0)(0.0) == pytest.approx(1.0)
+
+    def test_value_bounded_below_by_half(self):
+        fn = BellShapedFunction(100.0)
+        for d in np.linspace(0.0, 1.0, 20):
+            assert 0.5 <= fn(float(d)) <= 1.0
+
+    def test_monotonically_decreasing(self):
+        fn = BellShapedFunction(10.0)
+        values = [fn(float(d)) for d in np.linspace(0.0, 1.0, 30)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_larger_lambda_decays_faster(self):
+        assert BellShapedFunction(100.0)(0.3) < BellShapedFunction(0.1)(0.3)
+
+    def test_paper_reference_point(self):
+        # The paper notes f_100 drops to ~0.5 around distance 0.2.
+        assert BellShapedFunction(100.0)(0.2) == pytest.approx(0.509, abs=0.01)
+        # And f_0.1 stays above 0.9 even at distance 1.0.
+        assert BellShapedFunction(0.1)(1.0) > 0.9
+
+    def test_invalid_distance_rejected(self):
+        fn = BellShapedFunction(1.0)
+        with pytest.raises(ValueError):
+            fn(-0.1)
+        with pytest.raises(ValueError):
+            fn(1.1)
+
+    def test_negative_lambda_rejected(self):
+        with pytest.raises(ValueError):
+            BellShapedFunction(-1.0)
+
+    def test_lambda_zero_is_constant(self):
+        fn = BellShapedFunction(0.0)
+        assert fn(0.0) == fn(0.7) == 1.0
+
+    def test_evaluate_many_matches_scalar(self):
+        fn = BellShapedFunction(10.0)
+        distances = np.linspace(0.0, 1.0, 7)
+        vectorised = fn.evaluate_many(distances)
+        assert np.allclose(vectorised, [fn(float(d)) for d in distances])
+
+    def test_evaluate_many_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            BellShapedFunction(1.0).evaluate_many([0.2, 1.3])
+
+
+class TestDistanceFunctionSet:
+    def test_sorted_by_lambda(self):
+        fset = DistanceFunctionSet((100.0, 0.1, 10.0))
+        assert fset.lambdas == (0.1, 10.0, 100.0)
+        assert fset.flattest_index == 0
+        assert fset.steepest_index == 2
+
+    def test_duplicate_lambdas_rejected(self):
+        with pytest.raises(ValueError):
+            DistanceFunctionSet((1.0, 1.0))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DistanceFunctionSet(())
+
+    def test_indexing_and_iteration(self):
+        fset = DistanceFunctionSet((0.1, 10.0))
+        assert len(fset) == 2
+        assert fset[0].lam == 0.1
+        assert [fn.lam for fn in fset] == [0.1, 10.0]
+
+    def test_equality_and_hash(self):
+        assert DistanceFunctionSet((0.1, 10.0)) == DistanceFunctionSet((10.0, 0.1))
+        assert hash(DistanceFunctionSet((0.1, 10.0))) == hash(DistanceFunctionSet((10.0, 0.1)))
+        assert DistanceFunctionSet((0.1,)) != DistanceFunctionSet((0.2,))
+
+    def test_evaluate_shape_and_bounds(self):
+        values = PAPER_FUNCTION_SET.evaluate(0.4)
+        assert values.shape == (3,)
+        assert np.all(values >= 0.5)
+        assert np.all(values <= 1.0)
+
+    def test_weighted_quality_uniform(self):
+        fset = PAPER_FUNCTION_SET
+        weights = fset.uniform_weights()
+        value = fset.weighted_quality(weights, 0.3)
+        assert value == pytest.approx(float(np.mean(fset.evaluate(0.3))))
+
+    def test_weighted_quality_wrong_length_raises(self):
+        with pytest.raises(ValueError):
+            PAPER_FUNCTION_SET.weighted_quality([0.5, 0.5], 0.3)
+
+    def test_uniform_weights_sum_to_one(self):
+        assert PAPER_FUNCTION_SET.uniform_weights().sum() == pytest.approx(1.0)
+
+    def test_best_quality_weights_on_flattest(self):
+        weights = PAPER_FUNCTION_SET.best_quality_weights()
+        assert weights[PAPER_FUNCTION_SET.flattest_index] == 1.0
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_paper_function_set_lambdas(self):
+        assert PAPER_FUNCTION_SET.lambdas == (0.1, 10.0, 100.0)

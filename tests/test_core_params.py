@@ -1,0 +1,124 @@
+"""Tests for repro.core.params."""
+
+import numpy as np
+import pytest
+
+from repro.core.distance_functions import PAPER_FUNCTION_SET
+from repro.core.params import ModelParameters, TaskParameters, WorkerParameters
+
+
+class TestWorkerParameters:
+    def test_valid(self):
+        params = WorkerParameters(0.9, np.array([0.2, 0.3, 0.5]))
+        assert params.p_qualified == pytest.approx(0.9)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            WorkerParameters(1.5, np.array([0.5, 0.5]))
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValueError):
+            WorkerParameters(0.5, np.array([0.5, 0.2]))
+
+    def test_copy_is_deep(self):
+        params = WorkerParameters(0.9, np.array([0.5, 0.5]))
+        clone = params.copy()
+        clone.distance_weights[0] = 0.0
+        assert params.distance_weights[0] == pytest.approx(0.5)
+
+
+class TestTaskParameters:
+    def test_valid_and_inferred_labels(self):
+        params = TaskParameters(np.array([0.8, 0.3, 0.5]), np.array([0.5, 0.5]))
+        assert params.num_labels == 3
+        assert list(params.inferred_labels()) == [1, 0, 1]
+        assert list(params.inferred_labels(threshold=0.9)) == [0, 0, 0]
+
+    def test_invalid_label_probs(self):
+        with pytest.raises(ValueError):
+            TaskParameters(np.array([1.5]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            TaskParameters(np.array([]), np.array([1.0]))
+
+    def test_invalid_influence(self):
+        with pytest.raises(ValueError):
+            TaskParameters(np.array([0.5]), np.array([0.7, 0.7]))
+
+    def test_copy_is_deep(self):
+        params = TaskParameters(np.array([0.5, 0.5]), np.array([1.0]))
+        clone = params.copy()
+        clone.label_probs[0] = 0.0
+        assert params.label_probs[0] == pytest.approx(0.5)
+
+
+class TestModelParameters:
+    def make_params(self):
+        params = ModelParameters(function_set=PAPER_FUNCTION_SET, alpha=0.5)
+        params.workers["w1"] = WorkerParameters(0.8, np.array([0.6, 0.3, 0.1]))
+        params.tasks["t1"] = TaskParameters(
+            np.array([0.9, 0.2]), np.array([0.7, 0.2, 0.1])
+        )
+        return params
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            ModelParameters(alpha=1.2)
+
+    def test_known_worker_lookup(self):
+        params = self.make_params()
+        assert params.has_worker("w1")
+        assert params.worker("w1").p_qualified == pytest.approx(0.8)
+
+    def test_unknown_worker_gets_optimistic_prior(self):
+        params = self.make_params()
+        prior = params.worker("newcomer")
+        assert not params.has_worker("newcomer")
+        assert prior.p_qualified == 1.0
+        assert prior.distance_weights[PAPER_FUNCTION_SET.flattest_index] == 1.0
+
+    def test_unknown_task_needs_num_labels(self):
+        params = self.make_params()
+        with pytest.raises(KeyError):
+            params.task("ghost")
+        prior = params.task("ghost", num_labels=4)
+        assert np.allclose(prior.label_probs, 0.5)
+        assert prior.influence_weights[PAPER_FUNCTION_SET.flattest_index] == 1.0
+
+    def test_worker_distance_quality_decreases_with_distance(self):
+        params = self.make_params()
+        near = params.worker_distance_quality("w1", 0.05)
+        far = params.worker_distance_quality("w1", 0.9)
+        assert near > far
+
+    def test_answer_accuracy_combines_quality_and_random_guessing(self):
+        params = self.make_params()
+        accuracy = params.answer_accuracy("w1", "t1", 0.1)
+        qualified = params.qualified_answer_accuracy("w1", "t1", 0.1)
+        assert accuracy == pytest.approx(0.8 * qualified + 0.2 * 0.5)
+        assert 0.5 <= accuracy <= 1.0
+
+    def test_answer_accuracy_for_unknown_pair_is_high(self):
+        params = self.make_params()
+        # Footnote 3: new workers/tasks are assumed best-quality.
+        assert params.answer_accuracy("new-w", "new-t", 0.2) > 0.9
+
+    def test_copy_independent(self):
+        params = self.make_params()
+        clone = params.copy()
+        clone.workers["w1"].distance_weights[0] = 0.0
+        assert params.workers["w1"].distance_weights[0] == pytest.approx(0.6)
+
+    def test_max_difference_zero_for_identical(self):
+        params = self.make_params()
+        assert params.max_difference(params.copy()) == pytest.approx(0.0)
+
+    def test_max_difference_detects_changes(self):
+        a = self.make_params()
+        b = self.make_params()
+        b.workers["w1"] = WorkerParameters(0.3, np.array([0.6, 0.3, 0.1]))
+        assert a.max_difference(b) == pytest.approx(0.5)
+
+    def test_max_difference_missing_entity_counts_fully(self):
+        a = self.make_params()
+        b = ModelParameters(function_set=PAPER_FUNCTION_SET)
+        assert a.max_difference(b) == pytest.approx(1.0)

@@ -1,0 +1,122 @@
+"""Tests for repro.crowd.answer_model."""
+
+import numpy as np
+import pytest
+
+from repro.crowd.answer_model import AnswerSimulator, influence_lambda_for_reviews
+from repro.crowd.worker_pool import WorkerProfile
+from repro.data.models import POI, Task, Worker
+from repro.spatial.distance import DistanceModel
+from repro.spatial.geometry import GeoPoint
+
+
+def make_task(reviews=3000, location=GeoPoint(0.0, 0.0)):
+    poi = POI(poi_id="p", name="POI", location=location, review_count=reviews)
+    return Task(task_id="t", poi=poi, labels=("a", "b", "c", "d"), truth=(1, 0, 1, 0))
+
+
+def make_profile(quality=0.95, lam=0.1, location=GeoPoint(0.0, 0.0)):
+    return WorkerProfile(
+        worker=Worker("w", (location,)), inherent_quality=quality, distance_lambda=lam
+    )
+
+
+@pytest.fixture()
+def distance_model():
+    return DistanceModel(max_distance=10.0)
+
+
+class TestInfluenceLambda:
+    def test_classes(self):
+        assert influence_lambda_for_reviews(3000) == 0.1
+        assert influence_lambda_for_reviews(1500) == 2.0
+        assert influence_lambda_for_reviews(600) == 10.0
+        assert influence_lambda_for_reviews(100) == 100.0
+
+    def test_monotone_in_reviews(self):
+        lambdas = [influence_lambda_for_reviews(r) for r in (100, 600, 1500, 3000)]
+        assert lambdas == sorted(lambdas, reverse=True)
+
+
+class TestAnswerSimulator:
+    def test_invalid_alpha(self, distance_model):
+        with pytest.raises(ValueError):
+            AnswerSimulator(distance_model, alpha=1.5)
+
+    def test_invalid_noise(self, distance_model):
+        with pytest.raises(ValueError):
+            AnswerSimulator(distance_model, noise=-0.1)
+
+    def test_correct_probability_bounds(self, distance_model):
+        simulator = AnswerSimulator(distance_model)
+        p = simulator.correct_probability(make_profile(), make_task())
+        assert 0.0 <= p <= 1.0
+
+    def test_high_quality_nearby_worker_is_accurate(self, distance_model):
+        simulator = AnswerSimulator(distance_model)
+        p = simulator.correct_probability(make_profile(quality=0.98, lam=0.1), make_task())
+        assert p > 0.9
+
+    def test_spammer_is_near_random(self, distance_model):
+        simulator = AnswerSimulator(distance_model)
+        p = simulator.correct_probability(make_profile(quality=0.0), make_task())
+        assert p == pytest.approx(0.5)
+
+    def test_distance_decreases_accuracy(self, distance_model):
+        simulator = AnswerSimulator(distance_model)
+        profile_far = make_profile(quality=0.95, lam=100.0, location=GeoPoint(8.0, 0.0))
+        profile_near = make_profile(quality=0.95, lam=100.0, location=GeoPoint(0.1, 0.0))
+        task = make_task(reviews=100)
+        assert simulator.correct_probability(profile_near, task) > simulator.correct_probability(
+            profile_far, task
+        )
+
+    def test_popular_poi_resists_distance(self, distance_model):
+        simulator = AnswerSimulator(distance_model)
+        far = GeoPoint(9.0, 0.0)
+        popular = make_task(reviews=5000)
+        obscure = make_task(reviews=50)
+        profile = make_profile(quality=0.95, lam=100.0, location=far)
+        assert simulator.correct_probability(profile, popular) > simulator.correct_probability(
+            profile, obscure
+        )
+
+    def test_noise_pulls_towards_half(self, distance_model):
+        clean = AnswerSimulator(distance_model, noise=0.0)
+        noisy = AnswerSimulator(distance_model, noise=0.5)
+        profile = make_profile(quality=0.98, lam=0.1)
+        task = make_task()
+        assert noisy.correct_probability(profile, task) < clean.correct_probability(
+            profile, task
+        )
+
+    def test_sample_answer_shape_and_determinism(self, distance_model):
+        simulator = AnswerSimulator(distance_model)
+        profile = make_profile()
+        task = make_task()
+        a = simulator.sample_answer(profile, task, seed=11)
+        b = simulator.sample_answer(profile, task, seed=11)
+        assert a.responses == b.responses
+        assert a.num_labels == task.num_labels
+        assert a.worker_id == "w"
+        assert a.task_id == "t"
+
+    def test_sampled_accuracy_matches_probability(self, distance_model):
+        simulator = AnswerSimulator(distance_model)
+        profile = make_profile(quality=0.9, lam=0.1)
+        task = make_task()
+        expected = simulator.correct_probability(profile, task)
+        rng = np.random.default_rng(5)
+        accuracies = [
+            simulator.sample_answer(profile, task, seed=rng).accuracy_against(task.truth)
+            for _ in range(300)
+        ]
+        assert np.mean(accuracies) == pytest.approx(expected, abs=0.05)
+
+    def test_expected_answer_accuracy_alias(self, distance_model):
+        simulator = AnswerSimulator(distance_model)
+        profile = make_profile()
+        task = make_task()
+        assert simulator.expected_answer_accuracy(profile, task) == pytest.approx(
+            simulator.correct_probability(profile, task)
+        )

@@ -1,0 +1,84 @@
+"""Tests for repro.crowd.arrival."""
+
+import pytest
+
+from repro.crowd.arrival import PoissonArrival, RoundRobinArrival, UniformRandomArrival
+from repro.crowd.worker_pool import WorkerPool, WorkerPoolSpec
+from repro.spatial.bbox import BoundingBox
+
+
+@pytest.fixture(scope="module")
+def pool():
+    bounds = BoundingBox(0.0, 0.0, 1.0, 1.0)
+    return WorkerPool.generate(bounds, spec=WorkerPoolSpec(num_workers=10), seed=1)
+
+
+class TestUniformRandomArrival:
+    def test_batch_size(self, pool):
+        arrival = UniformRandomArrival(pool, batch_size=4, seed=3)
+        batch = arrival.next_batch(0)
+        assert len(batch) == 4
+        assert len(set(batch)) == 4
+        assert all(worker_id in pool for worker_id in batch)
+
+    def test_reset_replays_sequence(self, pool):
+        arrival = UniformRandomArrival(pool, batch_size=3, seed=9)
+        first = [arrival.next_batch(i) for i in range(3)]
+        arrival.reset()
+        second = [arrival.next_batch(i) for i in range(3)]
+        assert first == second
+
+    def test_batch_size_validation(self, pool):
+        with pytest.raises(ValueError):
+            UniformRandomArrival(pool, batch_size=0)
+        with pytest.raises(ValueError):
+            UniformRandomArrival(pool, batch_size=len(pool) + 1)
+
+
+class TestRoundRobinArrival:
+    def test_rotation_covers_all_workers(self, pool):
+        arrival = RoundRobinArrival(pool, batch_size=3)
+        seen = set()
+        for round_index in range(10):
+            seen.update(arrival.next_batch(round_index))
+        assert seen == set(pool.worker_ids)
+
+    def test_no_duplicates_within_batch(self, pool):
+        arrival = RoundRobinArrival(pool, batch_size=7)
+        for round_index in range(5):
+            batch = arrival.next_batch(round_index)
+            assert len(batch) == len(set(batch))
+
+    def test_deterministic(self, pool):
+        a = RoundRobinArrival(pool, batch_size=4)
+        b = RoundRobinArrival(pool, batch_size=4)
+        assert [a.next_batch(i) for i in range(4)] == [b.next_batch(i) for i in range(4)]
+
+    def test_batch_size_validation(self, pool):
+        with pytest.raises(ValueError):
+            RoundRobinArrival(pool, batch_size=0)
+
+    def test_reset_is_noop(self, pool):
+        arrival = RoundRobinArrival(pool, batch_size=2)
+        arrival.reset()
+        assert len(arrival.next_batch(0)) == 2
+
+
+class TestPoissonArrival:
+    def test_batches_non_empty_and_within_pool(self, pool):
+        arrival = PoissonArrival(pool, mean_batch_size=3.0, seed=5)
+        for round_index in range(20):
+            batch = arrival.next_batch(round_index)
+            assert 1 <= len(batch) <= len(pool)
+            assert len(batch) == len(set(batch))
+
+    def test_invalid_mean(self, pool):
+        with pytest.raises(ValueError):
+            PoissonArrival(pool, mean_batch_size=0.0)
+
+    def test_reset_replays(self, pool):
+        arrival = PoissonArrival(pool, mean_batch_size=2.0, seed=8)
+        first = [arrival.next_batch(i) for i in range(5)]
+        arrival.reset()
+        second = [arrival.next_batch(i) for i in range(5)]
+        assert first == second

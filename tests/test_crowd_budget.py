@@ -1,0 +1,65 @@
+"""Tests for repro.crowd.budget."""
+
+import pytest
+
+from repro.crowd.budget import Budget, BudgetExhaustedError
+
+
+class TestBudget:
+    def test_initial_state(self):
+        budget = Budget(total=100)
+        assert budget.remaining == 100
+        assert not budget.exhausted
+        assert budget.monetary_cost == 0.0
+
+    def test_charge(self):
+        budget = Budget(total=10)
+        budget.charge(4)
+        assert budget.spent == 4
+        assert budget.remaining == 6
+        assert budget.history == [4]
+
+    def test_charge_to_exhaustion(self):
+        budget = Budget(total=3)
+        budget.charge(3)
+        assert budget.exhausted
+        with pytest.raises(BudgetExhaustedError):
+            budget.charge(1)
+
+    def test_overcharge_raises_without_partial_spend(self):
+        budget = Budget(total=5)
+        with pytest.raises(BudgetExhaustedError):
+            budget.charge(6)
+        assert budget.spent == 0
+
+    def test_negative_charge_raises(self):
+        with pytest.raises(ValueError):
+            Budget(total=5).charge(-1)
+
+    def test_can_afford(self):
+        budget = Budget(total=5)
+        assert budget.can_afford(5)
+        assert not budget.can_afford(6)
+
+    def test_monetary_cost(self):
+        budget = Budget(total=10, cost_per_assignment=0.2)
+        budget.charge(5)
+        assert budget.monetary_cost == pytest.approx(1.0)
+
+    def test_reset(self):
+        budget = Budget(total=10)
+        budget.charge(7)
+        budget.reset()
+        assert budget.spent == 0
+        assert budget.history == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Budget(total=-1)
+        with pytest.raises(ValueError):
+            Budget(total=5, spent=6)
+        with pytest.raises(ValueError):
+            Budget(total=5, cost_per_assignment=-0.1)
+
+    def test_zero_total_budget_is_immediately_exhausted(self):
+        assert Budget(total=0).exhausted

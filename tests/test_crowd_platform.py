@@ -1,0 +1,140 @@
+"""Tests for repro.crowd.platform."""
+
+import pytest
+
+from repro.crowd.budget import BudgetExhaustedError
+
+
+class TestBatchCollection:
+    def test_collect_batch_answers_counts(self, platform, small_dataset):
+        answers = platform.collect_batch_answers(answers_per_task=3, seed=1)
+        assert len(answers) == 3 * len(small_dataset)
+        assert platform.budget.spent == 3 * len(small_dataset)
+        for task in small_dataset.tasks:
+            assert answers.answer_count_of_task(task.task_id) == 3
+
+    def test_collect_charges_budget_before_collecting(self, platform, small_dataset):
+        # 3 answers per task for 12 tasks = 36 <= 200 works; 20 answers per task
+        # would need 240 > 200 and must fail without recording anything.
+        with pytest.raises(ValueError):
+            platform.collect_batch_answers(answers_per_task=20, seed=1)
+        assert len(platform.answers) == 0
+
+    def test_collect_more_than_pool_raises(self, platform):
+        with pytest.raises(ValueError):
+            platform.collect_batch_answers(answers_per_task=100, seed=1)
+
+    def test_budget_exhaustion_detected(self, small_dataset, worker_pool, distance_model):
+        from repro.crowd.budget import Budget
+        from repro.crowd.platform import CrowdPlatform
+
+        tiny = CrowdPlatform(
+            dataset=small_dataset,
+            worker_pool=worker_pool,
+            budget=Budget(total=5),
+            distance_model=distance_model,
+            seed=1,
+        )
+        with pytest.raises(BudgetExhaustedError):
+            tiny.collect_batch_answers(answers_per_task=1, seed=1)
+
+
+class TestOnlineAssignment:
+    def test_next_worker_batch(self, platform):
+        batch = platform.next_worker_batch()
+        assert len(batch) == 3
+        assert all(worker_id in platform.worker_pool for worker_id in batch)
+
+    def test_next_worker_batch_requires_arrival_process(
+        self, small_dataset, worker_pool, distance_model
+    ):
+        from repro.crowd.budget import Budget
+        from repro.crowd.platform import CrowdPlatform
+
+        platform = CrowdPlatform(
+            dataset=small_dataset,
+            worker_pool=worker_pool,
+            budget=Budget(total=10),
+            distance_model=distance_model,
+        )
+        with pytest.raises(RuntimeError):
+            platform.next_worker_batch()
+
+    def test_execute_assignment_records_answers(self, platform, small_dataset):
+        worker_id = platform.worker_pool.worker_ids[0]
+        task_ids = [task.task_id for task in small_dataset.tasks[:2]]
+        collected = platform.execute_assignment({worker_id: task_ids})
+        assert len(collected) == 2
+        assert platform.budget.spent == 2
+        assert platform.answers.tasks_of_worker(worker_id) == set(task_ids)
+        assert platform.stats.rounds == 1
+        assert platform.stats.assignments == 2
+        assert len(platform.assignments) == 2
+
+    def test_duplicate_assignment_rejected(self, platform, small_dataset):
+        worker_id = platform.worker_pool.worker_ids[0]
+        task_id = small_dataset.tasks[0].task_id
+        platform.execute_assignment({worker_id: [task_id]})
+        with pytest.raises(ValueError):
+            platform.execute_assignment({worker_id: [task_id]})
+
+    def test_unknown_worker_rejected(self, platform, small_dataset):
+        with pytest.raises(KeyError):
+            platform.execute_assignment({"ghost": [small_dataset.tasks[0].task_id]})
+
+    def test_unknown_task_rejected(self, platform):
+        worker_id = platform.worker_pool.worker_ids[0]
+        with pytest.raises(KeyError):
+            platform.execute_assignment({worker_id: ["ghost-task"]})
+
+    def test_deterministic_answers_for_same_seed(
+        self, small_dataset, worker_pool, distance_model
+    ):
+        from repro.crowd.budget import Budget
+        from repro.crowd.platform import CrowdPlatform
+
+        def run():
+            platform = CrowdPlatform(
+                dataset=small_dataset,
+                worker_pool=worker_pool,
+                budget=Budget(total=50),
+                distance_model=distance_model,
+                seed=33,
+            )
+            worker_id = worker_pool.worker_ids[1]
+            task_ids = [task.task_id for task in small_dataset.tasks[:3]]
+            return [a.responses for a in platform.execute_assignment({worker_id: task_ids})]
+
+        assert run() == run()
+
+    def test_tasks_not_done_by(self, platform, small_dataset):
+        worker_id = platform.worker_pool.worker_ids[0]
+        first_task = small_dataset.tasks[0].task_id
+        platform.execute_assignment({worker_id: [first_task]})
+        remaining = platform.tasks_not_done_by(worker_id)
+        assert len(remaining) == len(small_dataset) - 1
+        assert all(task.task_id != first_task for task in remaining)
+
+    def test_reset_clears_everything(self, platform, small_dataset):
+        worker_id = platform.worker_pool.worker_ids[0]
+        platform.execute_assignment({worker_id: [small_dataset.tasks[0].task_id]})
+        platform.reset()
+        assert len(platform.answers) == 0
+        assert platform.budget.spent == 0
+        assert platform.stats.assignments == 0
+        assert platform.assignments == []
+
+
+class TestDefaultDistanceModel:
+    def test_platform_builds_distance_model_from_dataset(self, small_dataset, worker_pool):
+        from repro.crowd.budget import Budget
+        from repro.crowd.platform import CrowdPlatform
+
+        platform = CrowdPlatform(
+            dataset=small_dataset,
+            worker_pool=worker_pool,
+            budget=Budget(total=10),
+        )
+        assert platform.distance_model.max_distance == pytest.approx(
+            small_dataset.max_distance
+        )

@@ -1,0 +1,115 @@
+"""Tests for repro.crowd.worker_pool."""
+
+import pytest
+
+from repro.crowd.worker_pool import WorkerPool, WorkerPoolSpec, WorkerProfile
+from repro.data.models import Worker
+from repro.spatial.bbox import BoundingBox
+from repro.spatial.geometry import GeoPoint
+
+
+def make_profile(worker_id="w1", quality=0.9, lam=10.0):
+    worker = Worker(worker_id, (GeoPoint(0, 0),))
+    return WorkerProfile(worker=worker, inherent_quality=quality, distance_lambda=lam)
+
+
+class TestWorkerProfile:
+    def test_valid(self):
+        profile = make_profile()
+        assert profile.worker_id == "w1"
+        assert profile.locations == (GeoPoint(0, 0),)
+
+    def test_invalid_quality(self):
+        with pytest.raises(ValueError):
+            make_profile(quality=1.5)
+
+    def test_negative_lambda(self):
+        with pytest.raises(ValueError):
+            make_profile(lam=-1.0)
+
+
+class TestWorkerPoolSpec:
+    def test_defaults_valid(self):
+        WorkerPoolSpec()
+
+    def test_invalid_num_workers(self):
+        with pytest.raises(ValueError):
+            WorkerPoolSpec(num_workers=0)
+
+    def test_invalid_reliable_fraction(self):
+        with pytest.raises(ValueError):
+            WorkerPoolSpec(reliable_fraction=1.2)
+
+    def test_mismatched_lambda_weights(self):
+        with pytest.raises(ValueError):
+            WorkerPoolSpec(lambda_choices=(1.0, 2.0), lambda_weights=(1.0,))
+
+    def test_lambda_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            WorkerPoolSpec(lambda_choices=(1.0, 2.0), lambda_weights=(0.6, 0.6))
+
+    def test_invalid_locations_per_worker(self):
+        with pytest.raises(ValueError):
+            WorkerPoolSpec(locations_per_worker=(0, 2))
+        with pytest.raises(ValueError):
+            WorkerPoolSpec(locations_per_worker=(3, 2))
+
+
+class TestWorkerPool:
+    def test_construction_and_lookup(self):
+        pool = WorkerPool([make_profile("w1"), make_profile("w2")])
+        assert len(pool) == 2
+        assert "w1" in pool
+        assert pool.profile("w2").worker_id == "w2"
+        assert pool.worker("w1").worker_id == "w1"
+        assert pool.worker_ids == ["w1", "w2"]
+        assert len(pool.workers) == 2
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerPool([make_profile("w1"), make_profile("w1")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerPool([])
+
+    def test_iteration_order(self):
+        pool = WorkerPool([make_profile("b"), make_profile("a")])
+        assert [p.worker_id for p in pool] == ["b", "a"]
+
+
+class TestWorkerPoolGenerate:
+    BOUNDS = BoundingBox(0.0, 0.0, 10.0, 10.0)
+
+    def test_generate_count_and_bounds(self):
+        spec = WorkerPoolSpec(num_workers=20)
+        pool = WorkerPool.generate(self.BOUNDS, spec=spec, seed=1)
+        assert len(pool) == 20
+        for profile in pool:
+            assert all(self.BOUNDS.contains(loc) for loc in profile.locations)
+
+    def test_generate_deterministic(self):
+        spec = WorkerPoolSpec(num_workers=10)
+        a = WorkerPool.generate(self.BOUNDS, spec=spec, seed=5)
+        b = WorkerPool.generate(self.BOUNDS, spec=spec, seed=5)
+        assert [p.inherent_quality for p in a] == [p.inherent_quality for p in b]
+        assert [p.distance_lambda for p in a] == [p.distance_lambda for p in b]
+
+    def test_lambda_values_from_choices(self):
+        spec = WorkerPoolSpec(num_workers=30)
+        pool = WorkerPool.generate(self.BOUNDS, spec=spec, seed=2)
+        assert all(p.distance_lambda in spec.lambda_choices for p in pool)
+
+    def test_quality_ranges_respected(self):
+        spec = WorkerPoolSpec(
+            num_workers=50,
+            reliable_fraction=1.0,
+            reliable_quality_range=(0.9, 0.95),
+        )
+        pool = WorkerPool.generate(self.BOUNDS, spec=spec, seed=3)
+        assert all(0.9 <= p.inherent_quality <= 0.95 for p in pool)
+
+    def test_locations_per_worker_range(self):
+        spec = WorkerPoolSpec(num_workers=25, locations_per_worker=(2, 3))
+        pool = WorkerPool.generate(self.BOUNDS, spec=spec, seed=4)
+        assert all(2 <= len(p.locations) <= 3 for p in pool)

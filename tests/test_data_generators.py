@@ -1,0 +1,111 @@
+"""Tests for repro.data.generators."""
+
+import pytest
+
+from repro.data.generators import (
+    DatasetSpec,
+    generate_beijing_dataset,
+    generate_china_dataset,
+    generate_dataset,
+    generate_scalability_dataset,
+)
+from repro.spatial.bbox import BEIJING_BBOX, CHINA_BBOX
+
+
+class TestDatasetSpecValidation:
+    def test_defaults_valid(self):
+        DatasetSpec(name="x")
+
+    def test_invalid_num_tasks(self):
+        with pytest.raises(ValueError):
+            DatasetSpec(name="x", num_tasks=0)
+
+    def test_invalid_labels_per_task(self):
+        with pytest.raises(ValueError):
+            DatasetSpec(name="x", labels_per_task=0)
+
+    def test_invalid_total_correct(self):
+        with pytest.raises(ValueError):
+            DatasetSpec(name="x", num_tasks=10, labels_per_task=5, total_correct_labels=5)
+        with pytest.raises(ValueError):
+            DatasetSpec(name="x", num_tasks=10, labels_per_task=5, total_correct_labels=51)
+
+    def test_invalid_clustered_fraction(self):
+        with pytest.raises(ValueError):
+            DatasetSpec(name="x", clustered_fraction=1.5)
+
+
+class TestGenerateDataset:
+    def test_deterministic_for_seed(self):
+        spec = DatasetSpec(name="small", num_tasks=10, labels_per_task=6)
+        a = generate_dataset(spec, seed=5)
+        b = generate_dataset(spec, seed=5)
+        assert [t.labels for t in a.tasks] == [t.labels for t in b.tasks]
+        assert [t.truth for t in a.tasks] == [t.truth for t in b.tasks]
+        assert [t.location for t in a.tasks] == [t.location for t in b.tasks]
+
+    def test_different_seeds_differ(self):
+        spec = DatasetSpec(name="small", num_tasks=10, labels_per_task=6)
+        a = generate_dataset(spec, seed=5)
+        b = generate_dataset(spec, seed=6)
+        assert [t.labels for t in a.tasks] != [t.labels for t in b.tasks]
+
+    def test_every_task_has_at_least_one_correct_label(self):
+        spec = DatasetSpec(name="small", num_tasks=30, labels_per_task=8)
+        dataset = generate_dataset(spec, seed=2)
+        assert all(sum(task.truth) >= 1 for task in dataset.tasks)
+
+    def test_total_correct_labels_respected(self):
+        spec = DatasetSpec(
+            name="exact", num_tasks=20, labels_per_task=10, total_correct_labels=95
+        )
+        dataset = generate_dataset(spec, seed=9)
+        assert dataset.total_correct_labels == 95
+
+    def test_locations_within_bbox(self):
+        spec = DatasetSpec(name="bj", num_tasks=25, bbox=BEIJING_BBOX)
+        dataset = generate_dataset(spec, seed=3)
+        assert all(BEIJING_BBOX.contains(task.location) for task in dataset.tasks)
+
+    def test_unknown_category_raises(self):
+        spec = DatasetSpec(name="bad", num_tasks=5, categories=("casino",))
+        with pytest.raises(ValueError):
+            generate_dataset(spec, seed=1)
+
+    def test_labels_unique_per_task(self):
+        spec = DatasetSpec(name="small", num_tasks=20, labels_per_task=10)
+        dataset = generate_dataset(spec, seed=4)
+        for task in dataset.tasks:
+            assert len(set(task.labels)) == task.num_labels
+
+    def test_review_counts_positive(self):
+        spec = DatasetSpec(name="small", num_tasks=20)
+        dataset = generate_dataset(spec, seed=4)
+        assert all(task.poi.review_count >= 1 for task in dataset.tasks)
+
+    def test_max_distance_positive(self):
+        spec = DatasetSpec(name="small", num_tasks=10)
+        dataset = generate_dataset(spec, seed=4)
+        assert dataset.max_distance > 0
+
+
+class TestNamedDatasets:
+    def test_beijing_matches_paper_marginals(self):
+        dataset = generate_beijing_dataset(seed=7)
+        assert len(dataset) == 200
+        assert dataset.total_labels == 2000
+        assert dataset.total_correct_labels == 927
+        assert dataset.total_incorrect_labels == 1073
+        assert all(BEIJING_BBOX.contains(task.location) for task in dataset.tasks)
+
+    def test_china_matches_paper_marginals(self):
+        dataset = generate_china_dataset(seed=11)
+        assert len(dataset) == 200
+        assert dataset.total_correct_labels == 864
+        assert dataset.total_incorrect_labels == 1136
+        assert all(CHINA_BBOX.contains(task.location) for task in dataset.tasks)
+
+    def test_scalability_dataset_size(self):
+        dataset = generate_scalability_dataset(num_tasks=150, labels_per_task=5, seed=1)
+        assert len(dataset) == 150
+        assert dataset.tasks[0].num_labels == 5

@@ -1,0 +1,75 @@
+"""Tests for repro.data.vocab."""
+
+import numpy as np
+import pytest
+
+from repro.data.vocab import CATEGORY_LABELS, LabelVocabulary, PoiNamePool
+
+
+class TestLabelVocabulary:
+    def test_categories_sorted(self):
+        vocab = LabelVocabulary()
+        assert list(vocab.categories) == sorted(vocab.categories)
+        assert set(vocab.categories) == set(CATEGORY_LABELS)
+
+    def test_correct_labels_from_category_pool(self):
+        vocab = LabelVocabulary()
+        rng = np.random.default_rng(1)
+        labels = vocab.correct_labels("park", 4, rng)
+        assert len(labels) == 4
+        assert len(set(labels)) == 4
+        assert all(label in CATEGORY_LABELS["park"] for label in labels)
+
+    def test_correct_labels_unknown_category(self):
+        with pytest.raises(KeyError):
+            LabelVocabulary().correct_labels("casino", 2, np.random.default_rng(1))
+
+    def test_correct_labels_too_many(self):
+        vocab = LabelVocabulary()
+        with pytest.raises(ValueError):
+            vocab.correct_labels("park", 100, np.random.default_rng(1))
+
+    def test_distractors_avoid_category_and_forbidden(self):
+        vocab = LabelVocabulary()
+        rng = np.random.default_rng(2)
+        forbidden = ["museum"]
+        distractors = vocab.distractor_labels("park", 6, rng, forbidden=forbidden)
+        assert len(distractors) == 6
+        assert len(set(distractors)) == 6
+        assert all(label not in CATEGORY_LABELS["park"] for label in distractors)
+        assert "museum" not in distractors
+
+    def test_distractors_too_many(self):
+        vocab = LabelVocabulary(pools={"a": ("x",), "b": ("y",)})
+        with pytest.raises(ValueError):
+            vocab.distractor_labels("a", 5, np.random.default_rng(1))
+
+    def test_empty_vocabulary_rejected(self):
+        with pytest.raises(ValueError):
+            LabelVocabulary(pools={})
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ValueError):
+            LabelVocabulary(pools={"a": ("x", "x")})
+
+
+class TestPoiNamePool:
+    def test_names_are_unique(self):
+        pool = PoiNamePool()
+        rng = np.random.default_rng(3)
+        names = [pool.next_name("park", rng) for _ in range(60)]
+        assert len(set(names)) == len(names)
+
+    def test_unknown_category_raises(self):
+        with pytest.raises(KeyError):
+            PoiNamePool().next_name("casino", np.random.default_rng(1))
+
+    def test_exhaustion_falls_back_to_ordinals(self):
+        pool = PoiNamePool(stems={"park": ("Park",)}, districts=("Only",))
+        rng = np.random.default_rng(4)
+        first = pool.next_name("park", rng)
+        second = pool.next_name("park", rng)
+        third = pool.next_name("park", rng)
+        assert first == "Only Park"
+        assert second != first
+        assert third not in (first, second)

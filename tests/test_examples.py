@@ -1,0 +1,56 @@
+"""Smoke tests for the runnable examples.
+
+The heavier examples (full Beijing campaigns) are exercised by the benchmark
+harness; here we make sure every example module imports cleanly and the two
+fast ones run end to end.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+ALL_EXAMPLES = [
+    "quickstart",
+    "online_campaign",
+    "worker_analysis",
+    "custom_dataset",
+    "scalability_study",
+]
+
+
+class TestExamplesImport:
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_module_loads_and_exposes_main(self, name):
+        module = load_example(name)
+        assert callable(module.main)
+
+
+class TestFastExamplesRun:
+    def test_custom_dataset_runs(self, capsys):
+        module = load_example("custom_dataset")
+        module.main()
+        output = capsys.readouterr().out
+        assert "inferred labels for 6 hand-written POIs" in output
+        assert "Olympic Forest Park" in output
+
+    def test_custom_dataset_builds_valid_dataset(self):
+        module = load_example("custom_dataset")
+        dataset = module.build_dataset()
+        assert len(dataset) == 6
+        assert all(sum(task.truth) >= 1 for task in dataset.tasks)

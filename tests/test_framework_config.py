@@ -1,0 +1,42 @@
+"""Tests for repro.framework.config."""
+
+import pytest
+
+from repro.framework.config import FrameworkConfig
+
+
+class TestFrameworkConfig:
+    def test_defaults_match_paper_deployment(self):
+        config = FrameworkConfig()
+        assert config.budget == 1000
+        assert config.tasks_per_worker == 2
+        assert config.evaluation_checkpoints == (600, 700, 800, 900, 1000)
+        assert config.inference.alpha == 0.5
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            FrameworkConfig(budget=0)
+
+    def test_tasks_per_worker_validation(self):
+        with pytest.raises(ValueError):
+            FrameworkConfig(tasks_per_worker=0)
+
+    def test_workers_per_round_validation(self):
+        with pytest.raises(ValueError):
+            FrameworkConfig(workers_per_round=0)
+
+    def test_full_refresh_interval_validation(self):
+        with pytest.raises(ValueError):
+            FrameworkConfig(full_refresh_interval=0)
+
+    def test_checkpoints_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FrameworkConfig(evaluation_checkpoints=(0, 100))
+
+    def test_checkpoints_cannot_exceed_budget(self):
+        with pytest.raises(ValueError):
+            FrameworkConfig(budget=500, evaluation_checkpoints=(600,))
+
+    def test_custom_checkpoints(self):
+        config = FrameworkConfig(budget=100, evaluation_checkpoints=(50, 100))
+        assert config.evaluation_checkpoints == (50, 100)

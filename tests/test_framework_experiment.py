@@ -1,0 +1,105 @@
+"""Tests for repro.framework.experiment (the evaluation drivers)."""
+
+import pytest
+
+from repro.core.inference import InferenceConfig
+from repro.framework.config import FrameworkConfig
+from repro.framework.experiment import (
+    build_distance_model,
+    build_platform,
+    build_worker_pool,
+    compare_assigners,
+    compare_inference_models,
+    default_assigner_factories,
+    default_inference_factories,
+    subsample_answers,
+)
+
+
+class TestBuilders:
+    def test_build_distance_model_uses_dataset_diameter(self, small_dataset):
+        model = build_distance_model(small_dataset)
+        assert model.max_distance == pytest.approx(small_dataset.max_distance)
+
+    def test_build_worker_pool_covers_dataset(self, small_dataset):
+        pool = build_worker_pool(small_dataset, seed=3)
+        assert len(pool) > 0
+
+    def test_build_platform_ready_to_run(self, small_dataset):
+        platform = build_platform(small_dataset, budget=50, workers_per_round=3, seed=4)
+        assert platform.budget.total == 50
+        batch = platform.next_worker_batch()
+        assert len(batch) == 3
+
+
+class TestSubsampleAnswers:
+    def test_subsample_size(self, collected_answers):
+        subsample = subsample_answers(collected_answers, 10, seed=1)
+        assert len(subsample) == 10
+
+    def test_subsample_larger_than_corpus_returns_copy(self, collected_answers):
+        subsample = subsample_answers(collected_answers, 10_000, seed=1)
+        assert len(subsample) == len(collected_answers)
+
+    def test_subsample_deterministic(self, collected_answers):
+        a = subsample_answers(collected_answers, 12, seed=9)
+        b = subsample_answers(collected_answers, 12, seed=9)
+        assert sorted((x.worker_id, x.task_id) for x in a) == sorted(
+            (x.worker_id, x.task_id) for x in b
+        )
+
+    def test_subsample_is_subset(self, collected_answers):
+        subsample = subsample_answers(collected_answers, 8, seed=2)
+        original_pairs = {(a.worker_id, a.task_id) for a in collected_answers}
+        assert all((a.worker_id, a.task_id) in original_pairs for a in subsample)
+
+
+class TestCompareInferenceModels:
+    def test_all_methods_evaluated_at_all_budgets(
+        self, small_dataset, worker_pool, distance_model, collected_answers
+    ):
+        factories = default_inference_factories(
+            small_dataset,
+            worker_pool,
+            distance_model,
+            inference_config=InferenceConfig(max_iterations=20),
+        )
+        budgets = [12, 24]
+        result = compare_inference_models(
+            small_dataset, collected_answers, budgets, factories, seed=5
+        )
+        assert result.budgets == budgets
+        assert set(result.accuracy) == {"MV", "EM", "IM"}
+        for name in result.accuracy:
+            assert len(result.accuracy[name]) == 2
+            assert len(result.runtime_ms[name]) == 2
+            assert all(0.0 <= a <= 1.0 for a in result.accuracy[name])
+            assert all(t >= 0.0 for t in result.runtime_ms[name])
+        assert result.accuracy_of("IM", 24) == result.accuracy["IM"][1]
+
+
+class TestCompareAssigners:
+    def test_compare_assigners_produces_series_and_stats(self, small_dataset):
+        config = FrameworkConfig(
+            budget=60,
+            tasks_per_worker=2,
+            workers_per_round=3,
+            evaluation_checkpoints=(30, 60),
+            full_refresh_interval=30,
+            inference=InferenceConfig(max_iterations=15),
+        )
+        pool = build_worker_pool(small_dataset, seed=8)
+        distance_model = build_distance_model(small_dataset)
+        factories = default_assigner_factories(small_dataset, pool, distance_model, seed=8)
+        result = compare_assigners(
+            small_dataset, config, assigner_factories=factories, worker_pool=pool, seed=8
+        )
+        assert set(result.accuracy) == {"Random", "SF", "AccOpt"}
+        for name, series in result.accuracy.items():
+            assert len(series) == 2
+            assert all(0.0 <= value <= 1.0 for value in series)
+        for stats in result.stats.values():
+            assert 0.0 <= stats.worker_quality <= 1.0
+            assert sum(stats.assignment_distribution) == pytest.approx(100.0)
+            assert 0.0 <= stats.average_acc <= 1.0
+        assert set(result.framework_results) == {"Random", "SF", "AccOpt"}

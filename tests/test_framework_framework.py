@@ -1,0 +1,107 @@
+"""Tests for repro.framework.framework (the alternating loop)."""
+
+import pytest
+
+from repro.assign.random_assigner import RandomAssigner
+from repro.core.assignment import AccOptAssigner
+from repro.core.inference import InferenceConfig, LocationAwareInference
+from repro.framework.config import FrameworkConfig
+from repro.framework.framework import PoiLabellingFramework
+
+
+def make_framework(platform, small_dataset, worker_pool, distance_model, assigner=None, **config_kwargs):
+    defaults = dict(
+        budget=60,
+        tasks_per_worker=2,
+        workers_per_round=3,
+        evaluation_checkpoints=(20, 40, 60),
+        full_refresh_interval=30,
+        inference=InferenceConfig(max_iterations=25),
+    )
+    defaults.update(config_kwargs)
+    config = FrameworkConfig(**defaults)
+    inference = LocationAwareInference(
+        small_dataset.tasks, worker_pool.workers, distance_model, config=config.inference
+    )
+    if assigner is None:
+        assigner = AccOptAssigner(small_dataset.tasks, worker_pool.workers, distance_model)
+    return PoiLabellingFramework(platform, inference, assigner, config=config)
+
+
+class TestFrameworkRun:
+    def test_runs_until_budget_exhausted(self, platform, small_dataset, worker_pool, distance_model):
+        # The platform fixture has a budget of 200 but the framework config caps at 60.
+        framework = make_framework(platform, small_dataset, worker_pool, distance_model)
+        result = framework.run()
+        assert result.assignments_spent <= platform.budget.total
+        assert result.rounds > 0
+        assert 0.0 <= result.final_accuracy <= 1.0
+        assert result.snapshots
+
+    def test_snapshots_at_checkpoints(self, platform, small_dataset, worker_pool, distance_model):
+        framework = make_framework(platform, small_dataset, worker_pool, distance_model)
+        result = framework.run()
+        spent_values = [snapshot.assignments_spent for snapshot in result.snapshots]
+        assert spent_values == sorted(spent_values)
+        # At least one snapshot at or after every checkpoint that was reachable.
+        assert any(s >= 20 for s in spent_values)
+
+    def test_accuracy_at_lookup(self, platform, small_dataset, worker_pool, distance_model):
+        framework = make_framework(platform, small_dataset, worker_pool, distance_model)
+        result = framework.run()
+        last = result.snapshots[-1]
+        assert result.accuracy_at(last.assignments_spent) == pytest.approx(last.accuracy)
+        with pytest.raises(ValueError):
+            result.accuracy_at(0)
+
+    def test_accuracy_series_pairs(self, platform, small_dataset, worker_pool, distance_model):
+        framework = make_framework(platform, small_dataset, worker_pool, distance_model)
+        result = framework.run()
+        series = result.accuracy_series
+        assert len(series) == len(result.snapshots)
+        assert all(isinstance(spent, int) and 0.0 <= acc <= 1.0 for spent, acc in series)
+
+    def test_max_rounds_cap(self, platform, small_dataset, worker_pool, distance_model):
+        framework = make_framework(platform, small_dataset, worker_pool, distance_model)
+        result = framework.run(max_rounds=2)
+        assert result.rounds <= 2
+
+    def test_no_duplicate_worker_task_pairs(self, platform, small_dataset, worker_pool, distance_model):
+        framework = make_framework(platform, small_dataset, worker_pool, distance_model)
+        framework.run()
+        pairs = [(a.worker_id, a.task_id) for a in platform.assignments]
+        assert len(pairs) == len(set(pairs))
+
+    def test_budget_never_exceeded(self, platform, small_dataset, worker_pool, distance_model):
+        framework = make_framework(platform, small_dataset, worker_pool, distance_model)
+        framework.run()
+        assert platform.budget.spent <= platform.budget.total
+
+    def test_works_with_random_assigner(self, platform, small_dataset, worker_pool, distance_model):
+        assigner = RandomAssigner(small_dataset.tasks, worker_pool.workers, seed=5)
+        framework = make_framework(
+            platform, small_dataset, worker_pool, distance_model, assigner=assigner
+        )
+        result = framework.run()
+        assert result.final_accuracy > 0.5
+
+    def test_incremental_updates_disabled_still_works(
+        self, platform, small_dataset, worker_pool, distance_model
+    ):
+        framework = make_framework(
+            platform,
+            small_dataset,
+            worker_pool,
+            distance_model,
+            use_incremental_updates=False,
+        )
+        result = framework.run(max_rounds=3)
+        assert result.rounds == 3
+        assert framework.inference.is_fitted
+
+    def test_final_accuracy_reasonable(self, platform, small_dataset, worker_pool, distance_model):
+        framework = make_framework(platform, small_dataset, worker_pool, distance_model)
+        result = framework.run()
+        # With a mostly-reliable simulated crowd the final accuracy must beat chance.
+        assert result.final_accuracy > 0.55
+        assert 0.0 <= result.final_average_acc <= 1.0

@@ -1,0 +1,130 @@
+"""Tests for repro.framework.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.data.models import Answer, AnswerSet
+from repro.framework.metrics import (
+    answer_accuracy_against_truth,
+    assignment_distribution,
+    average_label_accuracy,
+    labelling_accuracy,
+    worker_average_accuracy,
+)
+
+
+class TestLabellingAccuracy:
+    def test_perfect_predictions(self, small_dataset):
+        predictions = {task.task_id: list(task.truth) for task in small_dataset.tasks}
+        assert labelling_accuracy(predictions, small_dataset.tasks) == pytest.approx(1.0)
+
+    def test_inverted_predictions(self, small_dataset):
+        predictions = {
+            task.task_id: [1 - v for v in task.truth] for task in small_dataset.tasks
+        }
+        assert labelling_accuracy(predictions, small_dataset.tasks) == pytest.approx(0.0)
+
+    def test_paper_example(self, small_dataset):
+        """The paper's example: 10 labels, first 3 true; predicting labels 1 and 4
+        as correct scores 7/10 on that task."""
+        from repro.data.models import POI, Task
+        from repro.spatial.geometry import GeoPoint
+
+        task = Task(
+            task_id="example",
+            poi=POI("p", "P", GeoPoint(0, 0)),
+            labels=tuple(f"l{i}" for i in range(10)),
+            truth=(1, 1, 1, 0, 0, 0, 0, 0, 0, 0),
+        )
+        predictions = {"example": [1, 0, 0, 1, 0, 0, 0, 0, 0, 0]}
+        assert labelling_accuracy(predictions, [task]) == pytest.approx(0.7)
+
+    def test_missing_task_counts_as_zero(self, small_dataset):
+        predictions = {small_dataset.tasks[0].task_id: list(small_dataset.tasks[0].truth)}
+        accuracy = labelling_accuracy(predictions, small_dataset.tasks)
+        assert accuracy == pytest.approx(1.0 / len(small_dataset))
+
+    def test_wrong_shape_raises(self, small_dataset):
+        predictions = {small_dataset.tasks[0].task_id: [1]}
+        with pytest.raises(ValueError):
+            labelling_accuracy(predictions, small_dataset.tasks)
+
+    def test_empty_tasks_raise(self):
+        with pytest.raises(ValueError):
+            labelling_accuracy({}, [])
+
+
+class TestAnswerAccuracy:
+    def test_per_answer_accuracy(self, small_dataset):
+        task = small_dataset.tasks[0]
+        answers = AnswerSet([Answer("w1", task.task_id, tuple(task.truth))])
+        accuracies = answer_accuracy_against_truth(answers, small_dataset)
+        assert accuracies[("w1", task.task_id)] == pytest.approx(1.0)
+
+    def test_unknown_task_raises(self, small_dataset):
+        answers = AnswerSet([Answer("w1", "ghost", (1, 0))])
+        with pytest.raises(KeyError):
+            answer_accuracy_against_truth(answers, small_dataset)
+
+    def test_worker_average(self, small_dataset):
+        t1, t2 = small_dataset.tasks[0], small_dataset.tasks[1]
+        answers = AnswerSet(
+            [
+                Answer("w1", t1.task_id, tuple(t1.truth)),
+                Answer("w1", t2.task_id, tuple(1 - v for v in t2.truth)),
+            ]
+        )
+        averages = worker_average_accuracy(answers, small_dataset)
+        assert averages["w1"] == pytest.approx(0.5)
+
+
+class TestAssignmentDistribution:
+    def test_buckets(self, small_dataset):
+        answers = AnswerSet()
+        # First task: 1 answer (few). Second: 4 answers (medium). Third: 8 (many).
+        tasks = small_dataset.tasks
+        answers.add(Answer("w0", tasks[0].task_id, tuple([0] * tasks[0].num_labels)))
+        for i in range(4):
+            answers.add(Answer(f"w{i}", tasks[1].task_id, tuple([0] * tasks[1].num_labels)))
+        for i in range(8):
+            answers.add(Answer(f"w{i}", tasks[2].task_id, tuple([0] * tasks[2].num_labels)))
+        few, medium, many = assignment_distribution(answers, small_dataset)
+        n = len(small_dataset)
+        # All the remaining tasks have zero answers and land in the "few" bucket.
+        assert few == pytest.approx(100.0 * (n - 2) / n)
+        assert medium == pytest.approx(100.0 / n)
+        assert many == pytest.approx(100.0 / n)
+        assert few + medium + many == pytest.approx(100.0)
+
+    def test_invalid_boundaries(self, small_dataset):
+        with pytest.raises(ValueError):
+            assignment_distribution(AnswerSet(), small_dataset, boundaries=(0, 5))
+        with pytest.raises(ValueError):
+            assignment_distribution(AnswerSet(), small_dataset, boundaries=(5, 3))
+
+
+class TestAverageLabelAccuracy:
+    def test_perfectly_confident_correct_probabilities(self, small_dataset):
+        probabilities = {
+            task.task_id: [float(v) for v in task.truth] for task in small_dataset.tasks
+        }
+        assert average_label_accuracy(probabilities, small_dataset.tasks) == pytest.approx(1.0)
+
+    def test_uninformative_probabilities(self, small_dataset):
+        probabilities = {
+            task.task_id: [0.5] * task.num_labels for task in small_dataset.tasks
+        }
+        assert average_label_accuracy(probabilities, small_dataset.tasks) == pytest.approx(0.5)
+
+    def test_missing_task_counts_as_half(self, small_dataset):
+        value = average_label_accuracy({}, small_dataset.tasks)
+        assert value == pytest.approx(0.5)
+
+    def test_wrong_shape_raises(self, small_dataset):
+        probabilities = {small_dataset.tasks[0].task_id: [0.5]}
+        with pytest.raises(ValueError):
+            average_label_accuracy(probabilities, small_dataset.tasks)
+
+    def test_empty_tasks_raise(self):
+        with pytest.raises(ValueError):
+            average_label_accuracy({}, [])

@@ -1,0 +1,165 @@
+"""Integration tests: the full pipeline on a small campaign.
+
+These tie every subsystem together the way the benchmark harness and the
+examples do: generate a dataset, simulate a crowd, run the alternating
+framework with each assignment strategy, and check the qualitative relations
+the paper reports (quality-aware inference beats majority voting on aggregate,
+accuracy grows with budget, AccOpt never trails Random by much).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.assign.random_assigner import RandomAssigner
+from repro.baselines.dawid_skene import DawidSkeneInference
+from repro.baselines.majority_vote import MajorityVoteInference
+from repro.core.assignment import AccOptAssigner
+from repro.core.inference import InferenceConfig, LocationAwareInference
+from repro.data.generators import DatasetSpec, generate_dataset
+from repro.framework.config import FrameworkConfig
+from repro.framework.experiment import (
+    build_distance_model,
+    build_platform,
+    build_worker_pool,
+    compare_inference_models,
+    default_inference_factories,
+)
+from repro.framework.framework import PoiLabellingFramework
+from repro.framework.metrics import labelling_accuracy
+from repro.spatial.bbox import BEIJING_BBOX
+
+
+@pytest.fixture(scope="module")
+def campaign_dataset():
+    spec = DatasetSpec(
+        name="Campaign",
+        num_tasks=30,
+        labels_per_task=6,
+        bbox=BEIJING_BBOX,
+        metric="euclidean",
+        num_clusters=4,
+    )
+    return generate_dataset(spec, seed=42)
+
+
+@pytest.fixture(scope="module")
+def campaign_corpus(campaign_dataset):
+    platform = build_platform(campaign_dataset, budget=200, seed=13)
+    answers = platform.collect_batch_answers(answers_per_task=5, seed=13)
+    return platform, answers
+
+
+class TestInferencePipeline:
+    def test_all_three_methods_beat_chance(self, campaign_dataset, campaign_corpus):
+        platform, answers = campaign_corpus
+        for model in (
+            MajorityVoteInference(campaign_dataset.tasks),
+            DawidSkeneInference(campaign_dataset.tasks),
+            LocationAwareInference(
+                campaign_dataset.tasks,
+                platform.worker_pool.workers,
+                platform.distance_model,
+            ),
+        ):
+            model.fit(answers)
+            accuracy = labelling_accuracy(model.predict_all(), campaign_dataset.tasks)
+            assert accuracy > 0.6
+
+    def test_im_competitive_with_baselines(self, campaign_dataset, campaign_corpus):
+        platform, answers = campaign_corpus
+        factories = default_inference_factories(
+            campaign_dataset, platform.worker_pool, platform.distance_model
+        )
+        result = compare_inference_models(
+            campaign_dataset, answers, [len(answers)], factories, seed=3
+        )
+        im = result.accuracy["IM"][0]
+        mv = result.accuracy["MV"][0]
+        em = result.accuracy["EM"][0]
+        # The location-aware model must not trail either baseline materially.
+        assert im >= mv - 0.02
+        assert im >= em - 0.02
+
+    def test_accuracy_grows_with_budget(self, campaign_dataset, campaign_corpus):
+        platform, answers = campaign_corpus
+        factories = default_inference_factories(
+            campaign_dataset, platform.worker_pool, platform.distance_model
+        )
+        budgets = [40, len(answers)]
+        result = compare_inference_models(
+            campaign_dataset, answers, budgets, factories, seed=4
+        )
+        assert result.accuracy["IM"][1] >= result.accuracy["IM"][0] - 0.03
+
+
+class TestAssignmentPipeline:
+    def _run(self, campaign_dataset, assigner_name: str, seed: int = 77) -> float:
+        pool = build_worker_pool(campaign_dataset, seed=seed)
+        platform = build_platform(
+            campaign_dataset, budget=120, worker_pool=pool, workers_per_round=4, seed=seed
+        )
+        distance_model = platform.distance_model
+        config = FrameworkConfig(
+            budget=120,
+            tasks_per_worker=2,
+            workers_per_round=4,
+            evaluation_checkpoints=(60, 120),
+            full_refresh_interval=40,
+            inference=InferenceConfig(max_iterations=25),
+        )
+        inference = LocationAwareInference(
+            campaign_dataset.tasks, pool.workers, distance_model, config=config.inference
+        )
+        if assigner_name == "AccOpt":
+            assigner = AccOptAssigner(campaign_dataset.tasks, pool.workers, distance_model)
+        else:
+            assigner = RandomAssigner(campaign_dataset.tasks, pool.workers, seed=seed)
+        framework = PoiLabellingFramework(platform, inference, assigner, config=config)
+        return framework.run().final_accuracy
+
+    def test_accopt_competitive_with_random(self, campaign_dataset):
+        accopt = self._run(campaign_dataset, "AccOpt")
+        random_acc = self._run(campaign_dataset, "Random")
+        # On a single small campaign the gap is noisy, but AccOpt must not lose badly.
+        assert accopt >= random_acc - 0.05
+
+    def test_framework_uses_full_budget(self, campaign_dataset):
+        pool = build_worker_pool(campaign_dataset, seed=5)
+        platform = build_platform(
+            campaign_dataset, budget=40, worker_pool=pool, workers_per_round=4, seed=5
+        )
+        config = FrameworkConfig(
+            budget=40,
+            tasks_per_worker=2,
+            workers_per_round=4,
+            evaluation_checkpoints=(40,),
+            inference=InferenceConfig(max_iterations=15),
+        )
+        inference = LocationAwareInference(
+            campaign_dataset.tasks, pool.workers, platform.distance_model,
+            config=config.inference,
+        )
+        assigner = AccOptAssigner(
+            campaign_dataset.tasks, pool.workers, platform.distance_model
+        )
+        result = PoiLabellingFramework(platform, inference, assigner, config=config).run()
+        assert result.assignments_spent == 40
+
+
+class TestSerialisationPipeline:
+    def test_round_trip_preserves_inference_result(self, campaign_dataset, campaign_corpus, tmp_path):
+        from repro.data.io import load_answers, load_dataset, save_answers, save_dataset
+
+        platform, answers = campaign_corpus
+        dataset_path = save_dataset(campaign_dataset, tmp_path / "dataset.json")
+        answers_path = save_answers(answers, tmp_path / "answers.json")
+
+        reloaded_dataset = load_dataset(dataset_path)
+        reloaded_answers = load_answers(answers_path)
+
+        original = MajorityVoteInference(campaign_dataset.tasks).fit(answers)
+        reloaded = MajorityVoteInference(reloaded_dataset.tasks).fit(reloaded_answers)
+        original_accuracy = labelling_accuracy(original.predict_all(), campaign_dataset.tasks)
+        reloaded_accuracy = labelling_accuracy(reloaded.predict_all(), reloaded_dataset.tasks)
+        assert original_accuracy == pytest.approx(reloaded_accuracy)

@@ -1,0 +1,121 @@
+"""Property-based tests for the spatial substrate.
+
+Complements tests/test_properties.py with invariants of the distance model,
+the bounding box and the grid index: metric symmetry, normalisation bounds,
+clamping idempotence, and grid-vs-brute-force agreement on nearest queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial.bbox import BoundingBox
+from repro.spatial.distance import DistanceModel
+from repro.spatial.geometry import GeoPoint, euclidean_distance, haversine_distance
+from repro.spatial.grid_index import GridIndex
+
+coordinate = st.floats(min_value=-180.0, max_value=180.0, allow_nan=False)
+latitude = st.floats(min_value=-85.0, max_value=85.0, allow_nan=False)
+small_coordinate = st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+
+
+class TestMetricProperties:
+    @given(x1=coordinate, y1=latitude, x2=coordinate, y2=latitude)
+    def test_haversine_symmetric_and_non_negative(self, x1, y1, x2, y2):
+        a, b = GeoPoint(x1, y1), GeoPoint(x2, y2)
+        d_ab = haversine_distance(a, b)
+        d_ba = haversine_distance(b, a)
+        assert d_ab >= 0.0
+        assert d_ab == pytest.approx(d_ba, rel=1e-9, abs=1e-9)
+
+    @given(x=coordinate, y=latitude)
+    def test_haversine_identity(self, x, y):
+        point = GeoPoint(x, y)
+        assert haversine_distance(point, point) == pytest.approx(0.0, abs=1e-6)
+
+    @given(x1=coordinate, y1=coordinate, x2=coordinate, y2=coordinate)
+    def test_euclidean_symmetric(self, x1, y1, x2, y2):
+        a, b = GeoPoint(x1, y1), GeoPoint(x2, y2)
+        assert euclidean_distance(a, b) == pytest.approx(euclidean_distance(b, a))
+
+    @given(
+        x1=coordinate, y1=coordinate, x2=coordinate, y2=coordinate,
+        x3=coordinate, y3=coordinate,
+    )
+    def test_euclidean_triangle_inequality(self, x1, y1, x2, y2, x3, y3):
+        a, b, c = GeoPoint(x1, y1), GeoPoint(x2, y2), GeoPoint(x3, y3)
+        assert euclidean_distance(a, c) <= (
+            euclidean_distance(a, b) + euclidean_distance(b, c) + 1e-6
+        )
+
+
+class TestDistanceModelProperties:
+    @given(
+        max_distance=st.floats(min_value=0.1, max_value=1000.0),
+        x1=small_coordinate, y1=small_coordinate,
+        x2=small_coordinate, y2=small_coordinate,
+    )
+    def test_normalised_in_unit_interval(self, max_distance, x1, y1, x2, y2):
+        model = DistanceModel(max_distance=max_distance)
+        value = model.normalised(GeoPoint(x1, y1), GeoPoint(x2, y2))
+        assert 0.0 <= value <= 1.0
+
+    @given(
+        locations=st.lists(
+            st.tuples(small_coordinate, small_coordinate), min_size=1, max_size=4
+        ),
+        tx=small_coordinate,
+        ty=small_coordinate,
+    )
+    def test_worker_distance_is_minimum_over_locations(self, locations, tx, ty):
+        model = DistanceModel(max_distance=20.0)
+        points = [GeoPoint(x, y) for x, y in locations]
+        task = GeoPoint(tx, ty)
+        combined = model.worker_task_distance(points, task)
+        individual = [model.normalised(p, task) for p in points]
+        assert combined == pytest.approx(min(individual))
+
+
+class TestBoundingBoxProperties:
+    @given(
+        min_x=small_coordinate, min_y=small_coordinate,
+        width=st.floats(min_value=0.0, max_value=5.0),
+        height=st.floats(min_value=0.0, max_value=5.0),
+        px=coordinate, py=coordinate,
+    )
+    def test_clamp_is_idempotent_and_contained(self, min_x, min_y, width, height, px, py):
+        box = BoundingBox(min_x, min_y, min_x + width, min_y + height)
+        clamped = box.clamp(GeoPoint(px, py))
+        assert box.contains(clamped)
+        assert box.clamp(clamped) == clamped
+
+
+class TestGridIndexProperties:
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_nearest_matches_brute_force(self, data):
+        bounds = BoundingBox(0.0, 0.0, 10.0, 10.0)
+        index = GridIndex(bounds, cells_per_axis=6)
+        count = data.draw(st.integers(min_value=1, max_value=40))
+        points = {}
+        for i in range(count):
+            x = data.draw(small_coordinate)
+            y = data.draw(small_coordinate)
+            points[f"p{i}"] = GeoPoint(x, y)
+            index.insert(f"p{i}", GeoPoint(x, y))
+        qx = data.draw(small_coordinate)
+        qy = data.draw(small_coordinate)
+        query = GeoPoint(qx, qy)
+        k = data.draw(st.integers(min_value=1, max_value=5))
+
+        got = index.nearest(query, count=k)
+        expected = sorted(
+            points, key=lambda pid: (euclidean_distance(query, points[pid]), pid)
+        )[:k]
+        got_distances = [euclidean_distance(query, points[p]) for p in got]
+        expected_distances = [euclidean_distance(query, points[p]) for p in expected]
+        assert len(got) == min(k, count)
+        assert np.allclose(got_distances, expected_distances)

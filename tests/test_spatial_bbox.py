@@ -1,0 +1,70 @@
+"""Tests for repro.spatial.bbox."""
+
+import numpy as np
+import pytest
+
+from repro.spatial.bbox import BEIJING_BBOX, CHINA_BBOX, BoundingBox
+from repro.spatial.geometry import GeoPoint
+
+
+class TestBoundingBox:
+    def test_dimensions(self):
+        box = BoundingBox(0.0, 0.0, 4.0, 2.0)
+        assert box.width == 4.0
+        assert box.height == 2.0
+        assert box.center == GeoPoint(2.0, 1.0)
+
+    def test_invalid_bounds_raise(self):
+        with pytest.raises(ValueError):
+            BoundingBox(1.0, 0.0, 0.0, 2.0)
+
+    def test_contains(self):
+        box = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        assert box.contains(GeoPoint(0.5, 0.5))
+        assert box.contains(GeoPoint(0.0, 1.0))
+        assert not box.contains(GeoPoint(1.5, 0.5))
+
+    def test_clamp(self):
+        box = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        assert box.clamp(GeoPoint(2.0, -1.0)) == GeoPoint(1.0, 0.0)
+        assert box.clamp(GeoPoint(0.3, 0.4)) == GeoPoint(0.3, 0.4)
+
+    def test_sample_inside(self):
+        box = BoundingBox(10.0, 20.0, 11.0, 21.0)
+        points = box.sample(np.random.default_rng(3), 50)
+        assert len(points) == 50
+        assert all(box.contains(p) for p in points)
+
+    def test_sample_negative_raises(self):
+        with pytest.raises(ValueError):
+            BoundingBox(0, 0, 1, 1).sample(np.random.default_rng(0), -1)
+
+    def test_expand(self):
+        box = BoundingBox(0.0, 0.0, 1.0, 1.0).expand(0.5)
+        assert box.min_x == -0.5
+        assert box.max_y == 1.5
+
+    def test_expand_negative_raises(self):
+        with pytest.raises(ValueError):
+            BoundingBox(0, 0, 1, 1).expand(-0.1)
+
+    def test_from_points(self):
+        box = BoundingBox.from_points([GeoPoint(1, 5), GeoPoint(3, 2), GeoPoint(2, 7)])
+        assert box == BoundingBox(1, 2, 3, 7)
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(ValueError):
+            BoundingBox.from_points([])
+
+
+class TestPresetBoxes:
+    def test_beijing_inside_china(self):
+        for corner in (
+            GeoPoint(BEIJING_BBOX.min_x, BEIJING_BBOX.min_y),
+            GeoPoint(BEIJING_BBOX.max_x, BEIJING_BBOX.max_y),
+        ):
+            assert CHINA_BBOX.contains(corner)
+
+    def test_positive_extent(self):
+        assert BEIJING_BBOX.width > 0
+        assert CHINA_BBOX.height > 0

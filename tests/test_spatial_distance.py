@@ -1,0 +1,100 @@
+"""Tests for repro.spatial.distance."""
+
+import numpy as np
+import pytest
+
+from repro.spatial.distance import (
+    DistanceModel,
+    max_pairwise_distance,
+    normalised_distance_matrix,
+)
+from repro.spatial.geometry import GeoPoint
+
+
+class TestMaxPairwiseDistance:
+    def test_two_points(self):
+        assert max_pairwise_distance([GeoPoint(0, 0), GeoPoint(3, 4)]) == pytest.approx(5.0)
+
+    def test_takes_maximum(self):
+        points = [GeoPoint(0, 0), GeoPoint(1, 0), GeoPoint(10, 0)]
+        assert max_pairwise_distance(points) == pytest.approx(10.0)
+
+    def test_single_point_is_zero(self):
+        assert max_pairwise_distance([GeoPoint(5, 5)]) == 0.0
+
+    def test_haversine_metric(self):
+        points = [GeoPoint(116.4, 39.9), GeoPoint(121.5, 31.2)]
+        assert max_pairwise_distance(points, metric="haversine") > 1000.0
+
+
+class TestDistanceModel:
+    def test_invalid_max_distance(self):
+        with pytest.raises(ValueError):
+            DistanceModel(max_distance=0.0)
+        with pytest.raises(ValueError):
+            DistanceModel(max_distance=-1.0)
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError):
+            DistanceModel(max_distance=1.0, metric="manhattan")  # type: ignore[arg-type]
+
+    def test_normalised_in_unit_interval(self):
+        model = DistanceModel(max_distance=10.0)
+        assert model.normalised(GeoPoint(0, 0), GeoPoint(3, 4)) == pytest.approx(0.5)
+
+    def test_normalised_clipped_at_one(self):
+        model = DistanceModel(max_distance=1.0)
+        assert model.normalised(GeoPoint(0, 0), GeoPoint(30, 40)) == 1.0
+
+    def test_worker_task_distance_uses_minimum_location(self):
+        model = DistanceModel(max_distance=10.0)
+        locations = [GeoPoint(0, 0), GeoPoint(9, 0)]
+        # The task at (10, 0) is 1 away from the second location.
+        assert model.worker_task_distance(locations, GeoPoint(10, 0)) == pytest.approx(0.1)
+
+    def test_worker_task_distance_empty_locations_raises(self):
+        model = DistanceModel(max_distance=10.0)
+        with pytest.raises(ValueError):
+            model.worker_task_distance([], GeoPoint(0, 0))
+
+    def test_from_pois(self):
+        pois = [GeoPoint(0, 0), GeoPoint(0, 4), GeoPoint(3, 0)]
+        model = DistanceModel.from_pois(pois)
+        assert model.max_distance == pytest.approx(5.0)
+
+    def test_from_pois_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            DistanceModel.from_pois([GeoPoint(1, 1), GeoPoint(1, 1)])
+
+    def test_cache_cleared(self):
+        model = DistanceModel(max_distance=5.0)
+        model.raw_distance(GeoPoint(0, 0), GeoPoint(1, 1))
+        assert len(model._cache) > 0
+        model.clear_cache()
+        assert len(model._cache) == 0
+
+    def test_raw_distance_symmetric_via_cache(self):
+        model = DistanceModel(max_distance=5.0)
+        d1 = model.raw_distance(GeoPoint(0, 0), GeoPoint(1, 1))
+        d2 = model.raw_distance(GeoPoint(1, 1), GeoPoint(0, 0))
+        assert d1 == d2
+
+
+class TestNormalisedDistanceMatrix:
+    def test_shape_and_values(self):
+        model = DistanceModel(max_distance=10.0)
+        workers = [[GeoPoint(0, 0)], [GeoPoint(10, 0), GeoPoint(0, 10)]]
+        tasks = [GeoPoint(0, 0), GeoPoint(0, 10)]
+        matrix = normalised_distance_matrix(workers, tasks, model)
+        assert matrix.shape == (2, 2)
+        assert matrix[0, 0] == 0.0
+        assert matrix[0, 1] == pytest.approx(1.0)
+        assert matrix[1, 1] == 0.0
+
+    def test_values_in_unit_interval(self):
+        model = DistanceModel(max_distance=3.0)
+        workers = [[GeoPoint(0, 0)]]
+        tasks = [GeoPoint(5, 5), GeoPoint(1, 1)]
+        matrix = normalised_distance_matrix(workers, tasks, model)
+        assert np.all(matrix >= 0.0)
+        assert np.all(matrix <= 1.0)

@@ -1,0 +1,125 @@
+"""Tests for repro.spatial.grid_index, including a brute-force cross-check."""
+
+import numpy as np
+import pytest
+
+from repro.spatial.bbox import BoundingBox
+from repro.spatial.geometry import GeoPoint, euclidean_distance
+from repro.spatial.grid_index import GridIndex
+
+
+@pytest.fixture()
+def bounds() -> BoundingBox:
+    return BoundingBox(0.0, 0.0, 10.0, 10.0)
+
+
+class TestGridIndexBasics:
+    def test_insert_and_len(self, bounds):
+        index = GridIndex(bounds)
+        index.insert("a", GeoPoint(1, 1))
+        index.insert("b", GeoPoint(2, 2))
+        assert len(index) == 2
+        assert "a" in index
+        assert set(index) == {"a", "b"}
+
+    def test_invalid_cells_per_axis(self, bounds):
+        with pytest.raises(ValueError):
+            GridIndex(bounds, cells_per_axis=0)
+
+    def test_reinsert_moves_item(self, bounds):
+        index = GridIndex(bounds)
+        index.insert("a", GeoPoint(1, 1))
+        index.insert("a", GeoPoint(9, 9))
+        assert len(index) == 1
+        assert index.location_of("a") == GeoPoint(9, 9)
+
+    def test_remove(self, bounds):
+        index = GridIndex(bounds)
+        index.insert("a", GeoPoint(1, 1))
+        index.remove("a")
+        assert len(index) == 0
+        with pytest.raises(KeyError):
+            index.remove("a")
+
+    def test_insert_many(self, bounds):
+        index = GridIndex(bounds)
+        index.insert_many([("a", GeoPoint(1, 1)), ("b", GeoPoint(2, 2))])
+        assert len(index) == 2
+
+    def test_outside_points_are_clamped_not_lost(self, bounds):
+        index = GridIndex(bounds)
+        index.insert("far", GeoPoint(100, 100))
+        assert index.nearest(GeoPoint(9, 9), count=1) == ["far"]
+
+
+class TestNearestQueries:
+    def test_single_nearest(self, bounds):
+        index = GridIndex(bounds)
+        index.insert("near", GeoPoint(1, 1))
+        index.insert("far", GeoPoint(9, 9))
+        assert index.nearest(GeoPoint(0, 0), count=1) == ["near"]
+
+    def test_count_zero(self, bounds):
+        index = GridIndex(bounds)
+        index.insert("a", GeoPoint(1, 1))
+        assert index.nearest(GeoPoint(0, 0), count=0) == []
+
+    def test_empty_index(self, bounds):
+        assert GridIndex(bounds).nearest(GeoPoint(0, 0), count=3) == []
+
+    def test_exclude(self, bounds):
+        index = GridIndex(bounds)
+        index.insert("a", GeoPoint(1, 1))
+        index.insert("b", GeoPoint(2, 2))
+        assert index.nearest(GeoPoint(0, 0), count=1, exclude={"a"}) == ["b"]
+
+    def test_count_larger_than_items(self, bounds):
+        index = GridIndex(bounds)
+        index.insert("a", GeoPoint(1, 1))
+        assert index.nearest(GeoPoint(0, 0), count=5) == ["a"]
+
+    def test_matches_brute_force(self, bounds):
+        rng = np.random.default_rng(42)
+        index = GridIndex(bounds, cells_per_axis=8)
+        points = {}
+        for i in range(200):
+            point = GeoPoint(float(rng.uniform(0, 10)), float(rng.uniform(0, 10)))
+            points[f"p{i}"] = point
+            index.insert(f"p{i}", point)
+        for _ in range(20):
+            query = GeoPoint(float(rng.uniform(0, 10)), float(rng.uniform(0, 10)))
+            got = index.nearest(query, count=5)
+            expected = sorted(
+                points, key=lambda pid: (euclidean_distance(query, points[pid]), pid)
+            )[:5]
+            got_dists = [euclidean_distance(query, points[p]) for p in got]
+            expected_dists = [euclidean_distance(query, points[p]) for p in expected]
+            assert got_dists == pytest.approx(expected_dists)
+
+
+class TestItemsWithin:
+    def test_radius_query(self, bounds):
+        index = GridIndex(bounds)
+        index.insert("a", GeoPoint(1, 1))
+        index.insert("b", GeoPoint(5, 5))
+        assert index.items_within(GeoPoint(0, 0), radius=2.0) == ["a"]
+
+    def test_negative_radius_raises(self, bounds):
+        with pytest.raises(ValueError):
+            GridIndex(bounds).items_within(GeoPoint(0, 0), radius=-1.0)
+
+    def test_matches_brute_force(self, bounds):
+        rng = np.random.default_rng(7)
+        index = GridIndex(bounds, cells_per_axis=16)
+        points = {}
+        for i in range(100):
+            point = GeoPoint(float(rng.uniform(0, 10)), float(rng.uniform(0, 10)))
+            points[f"p{i}"] = point
+            index.insert(f"p{i}", point)
+        query = GeoPoint(5.0, 5.0)
+        got = set(index.items_within(query, radius=2.5))
+        expected = {
+            pid for pid, point in points.items()
+            if euclidean_distance(query, point) <= 2.5
+        }
+        assert got == expected

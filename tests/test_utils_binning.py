@@ -1,0 +1,82 @@
+"""Tests for repro.utils.binning."""
+
+import numpy as np
+import pytest
+
+from repro.utils.binning import bin_edges, bin_index, histogram_percentages, mean_by_bin
+
+
+class TestBinEdges:
+    def test_count_and_range(self):
+        edges = bin_edges(0.0, 1.0, 5)
+        assert len(edges) == 6
+        assert edges[0] == 0.0
+        assert edges[-1] == 1.0
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            bin_edges(0.0, 1.0, 0)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            bin_edges(1.0, 0.0, 5)
+
+
+class TestBinIndex:
+    def test_interior_value(self):
+        edges = bin_edges(0.0, 1.0, 5)
+        assert bin_index(0.3, edges) == 1
+
+    def test_left_edge_inclusive(self):
+        edges = bin_edges(0.0, 1.0, 5)
+        assert bin_index(0.0, edges) == 0
+        assert bin_index(0.2, edges) == 1
+
+    def test_max_value_falls_in_last_bin(self):
+        edges = bin_edges(0.0, 1.0, 5)
+        assert bin_index(1.0, edges) == 4
+
+    def test_out_of_range_raises(self):
+        edges = bin_edges(0.0, 1.0, 5)
+        with pytest.raises(ValueError):
+            bin_index(1.5, edges)
+        with pytest.raises(ValueError):
+            bin_index(-0.1, edges)
+
+    def test_too_few_edges_raises(self):
+        with pytest.raises(ValueError):
+            bin_index(0.5, [0.0])
+
+
+class TestHistogramPercentages:
+    def test_sums_to_hundred(self):
+        edges = bin_edges(0.0, 1.0, 5)
+        out = histogram_percentages([0.1, 0.5, 0.9, 0.95], edges)
+        assert out.sum() == pytest.approx(100.0)
+
+    def test_empty_input(self):
+        edges = bin_edges(0.0, 1.0, 4)
+        assert np.allclose(histogram_percentages([], edges), np.zeros(4))
+
+    def test_known_distribution(self):
+        edges = bin_edges(0.0, 1.0, 2)
+        out = histogram_percentages([0.1, 0.2, 0.8, 0.9], edges)
+        assert np.allclose(out, [50.0, 50.0])
+
+
+class TestMeanByBin:
+    def test_basic_grouping(self):
+        edges = bin_edges(0.0, 1.0, 2)
+        means = mean_by_bin([0.1, 0.2, 0.9], [1.0, 3.0, 10.0], edges)
+        assert means[0] == pytest.approx(2.0)
+        assert means[1] == pytest.approx(10.0)
+
+    def test_empty_bin_is_none(self):
+        edges = bin_edges(0.0, 1.0, 2)
+        means = mean_by_bin([0.1], [5.0], edges)
+        assert means[1] is None
+
+    def test_mismatched_lengths_raise(self):
+        edges = bin_edges(0.0, 1.0, 2)
+        with pytest.raises(ValueError):
+            mean_by_bin([0.1, 0.2], [1.0], edges)

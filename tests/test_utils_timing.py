@@ -1,0 +1,49 @@
+"""Tests for repro.utils.timing."""
+
+import pytest
+
+from repro.utils.timing import Timer
+
+
+class TestTimer:
+    def test_context_manager_accumulates(self):
+        timer = Timer()
+        with timer:
+            sum(range(1000))
+        assert timer.elapsed > 0.0
+        assert timer.elapsed_ms == pytest.approx(timer.elapsed * 1000.0)
+
+    def test_accumulates_across_uses(self):
+        timer = Timer()
+        with timer:
+            pass
+        first = timer.elapsed
+        with timer:
+            pass
+        assert timer.elapsed >= first
+
+    def test_double_start_raises(self):
+        timer = Timer()
+        timer.start()
+        with pytest.raises(RuntimeError):
+            timer.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_reset(self):
+        timer = Timer()
+        with timer:
+            pass
+        timer.reset()
+        assert timer.elapsed == 0.0
+        assert not timer.running
+
+    def test_running_flag(self):
+        timer = Timer()
+        assert not timer.running
+        timer.start()
+        assert timer.running
+        timer.stop()
+        assert not timer.running
