@@ -10,8 +10,17 @@ import os
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.crowd.worker_pool import WorkerPoolSpec
-from repro.framework.experiment import build_platform, build_worker_pool
+from repro.crowd.answer_model import AnswerSimulator
+from repro.crowd.worker_pool import WorkerPool, WorkerPoolSpec
+from repro.data.generators import generate_scalability_dataset
+from repro.data.models import AnswerSet
+from repro.framework.experiment import (
+    build_distance_model,
+    build_platform,
+    build_worker_pool,
+)
+from repro.spatial.bbox import BoundingBox
+from repro.utils.rng import default_rng
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -75,6 +84,38 @@ def write_result(name: str, content: str) -> Path:
     path.write_text(content + "\n", encoding="utf-8")
     print(f"\n=== {name} ===\n{content}\n")
     return path
+
+
+def build_inference_corpus(num_assignments: int, seed: int = 5, num_workers: int = 100):
+    """Synthetic corpus with ``num_assignments`` (worker, task) answers.
+
+    Shared by the Figure 13 scalability bench and the inference-speed
+    regression bench so both time EM on identical inputs.  Returns
+    ``(dataset, pool, distance_model, answers)``.
+    """
+    num_tasks = max(200, num_assignments // 5)
+    dataset = generate_scalability_dataset(num_tasks=num_tasks, seed=seed)
+    distance_model = build_distance_model(dataset)
+    bounds = BoundingBox.from_points(dataset.poi_locations)
+    pool = WorkerPool.generate(
+        bounds, spec=WorkerPoolSpec(num_workers=num_workers), seed=seed
+    )
+    simulator = AnswerSimulator(distance_model, noise=0.05)
+    rng = default_rng(seed)
+    answers = AnswerSet()
+    worker_ids = pool.worker_ids
+    tasks = dataset.tasks
+    produced = 0
+    task_cursor = 0
+    while produced < num_assignments:
+        task = tasks[task_cursor % len(tasks)]
+        worker_id = worker_ids[int(rng.integers(len(worker_ids)))]
+        if answers.get(worker_id, task.task_id) is None:
+            profile = pool.profile(worker_id)
+            answers.add(simulator.sample_answer(profile, task, seed=rng))
+            produced += 1
+        task_cursor += 1
+    return dataset, pool, distance_model, answers
 
 
 @dataclass

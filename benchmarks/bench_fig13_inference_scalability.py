@@ -11,44 +11,10 @@ from __future__ import annotations
 
 import time
 
-from bench_common import current_profile, write_result
+from bench_common import build_inference_corpus, current_profile, write_result
 
 from repro.analysis.reporting import format_series_table
 from repro.core.inference import InferenceConfig, LocationAwareInference
-from repro.crowd.answer_model import AnswerSimulator
-from repro.crowd.worker_pool import WorkerPool, WorkerPoolSpec
-from repro.data.generators import generate_scalability_dataset
-from repro.data.models import AnswerSet
-from repro.framework.experiment import build_distance_model
-from repro.spatial.bbox import BoundingBox
-from repro.utils.rng import default_rng
-
-
-def _build_corpus(num_assignments: int, seed: int = 5):
-    """Synthetic corpus with `num_assignments` (worker, task) answers."""
-    num_tasks = max(200, num_assignments // 5)
-    dataset = generate_scalability_dataset(num_tasks=num_tasks, seed=seed)
-    distance_model = build_distance_model(dataset)
-    bounds = BoundingBox.from_points(dataset.poi_locations)
-    pool = WorkerPool.generate(
-        bounds, spec=WorkerPoolSpec(num_workers=100), seed=seed
-    )
-    simulator = AnswerSimulator(distance_model, noise=0.05)
-    rng = default_rng(seed)
-    answers = AnswerSet()
-    worker_ids = pool.worker_ids
-    tasks = dataset.tasks
-    produced = 0
-    task_cursor = 0
-    while produced < num_assignments:
-        task = tasks[task_cursor % len(tasks)]
-        worker_id = worker_ids[int(rng.integers(len(worker_ids)))]
-        if answers.get(worker_id, task.task_id) is None:
-            profile = pool.profile(worker_id)
-            answers.add(simulator.sample_answer(profile, task, seed=rng))
-            produced += 1
-        task_cursor += 1
-    return dataset, pool, distance_model, answers
 
 
 def test_fig13_inference_scalability(benchmark):
@@ -58,7 +24,7 @@ def test_fig13_inference_scalability(benchmark):
     runtimes_s = []
     iterations = []
     for size in sizes:
-        dataset, pool, distance_model, answers = _build_corpus(size)
+        dataset, pool, distance_model, answers = build_inference_corpus(size)
         config = InferenceConfig(max_iterations=30, convergence_threshold=0.005)
         model = LocationAwareInference(
             dataset.tasks, pool.workers, distance_model, config=config
@@ -69,7 +35,7 @@ def test_fig13_inference_scalability(benchmark):
         iterations.append(result.iterations)
 
     # The timed unit: one EM run at the smallest size.
-    dataset, pool, distance_model, answers = _build_corpus(sizes[0])
+    dataset, pool, distance_model, answers = build_inference_corpus(sizes[0])
     model = LocationAwareInference(
         dataset.tasks,
         pool.workers,

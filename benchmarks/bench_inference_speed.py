@@ -1,0 +1,84 @@
+"""Perf regression harness: vectorized vs reference EM on a fixed corpus.
+
+Times both engines on the same 20k-answer corpus (the `bench_fig13` quick
+profile scale referenced by the paper's Figures 12-13), with a fixed iteration
+budget so the comparison is per-iteration cost, and writes
+``benchmarks/results/BENCH_inference_speed.json`` — speedup plus per-iteration
+milliseconds — so future PRs can track the trajectory.  The run fails if the
+vectorized engine falls below a 5x speedup over the per-record reference.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from bench_common import RESULTS_DIR, build_inference_corpus
+
+from repro.core.inference import InferenceConfig, LocationAwareInference
+
+#: Fixed workload: answers in the corpus and EM iterations per run.
+CORPUS_ANSWERS = 20_000
+EM_ITERATIONS = 3
+
+#: The regression gate: minimum required speedup of vectorized over reference.
+MIN_SPEEDUP = 5.0
+
+
+def _time_engine(engine: str, corpus) -> tuple[float, int]:
+    dataset, pool, distance_model, answers = corpus
+    config = InferenceConfig(
+        engine=engine, max_iterations=EM_ITERATIONS, convergence_threshold=0.0
+    )
+    model = LocationAwareInference(
+        dataset.tasks, pool.workers, distance_model, config=config
+    )
+    started = time.perf_counter()
+    result = model.run_em(answers)
+    return time.perf_counter() - started, result.iterations
+
+
+def test_inference_speed_regression(benchmark):
+    corpus = build_inference_corpus(CORPUS_ANSWERS)
+    # Order matters for the reference engine only through the distance cache,
+    # which the vectorized run does not populate; time vectorized first so the
+    # reference run cannot warm anything up for it.
+    vectorized_s, vectorized_iters = _time_engine("vectorized", corpus)
+    reference_s, reference_iters = _time_engine("reference", corpus)
+    assert vectorized_iters == reference_iters == EM_ITERATIONS
+
+    reference_ms = 1000.0 * reference_s / reference_iters
+    vectorized_ms = 1000.0 * vectorized_s / vectorized_iters
+    speedup = reference_ms / vectorized_ms
+
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "answers": CORPUS_ANSWERS,
+        "iterations": EM_ITERATIONS,
+        "reference_total_s": round(reference_s, 4),
+        "vectorized_total_s": round(vectorized_s, 4),
+        "reference_per_iteration_ms": round(reference_ms, 3),
+        "vectorized_per_iteration_ms": round(vectorized_ms, 3),
+        "speedup": round(speedup, 2),
+        "min_required_speedup": MIN_SPEEDUP,
+    }
+    path = RESULTS_DIR / "BENCH_inference_speed.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\n=== inference_speed ===\n{json.dumps(payload, indent=2)}\n")
+
+    # The timed unit for pytest-benchmark: one vectorized EM run.
+    dataset, pool, distance_model, answers = corpus
+    model = LocationAwareInference(
+        dataset.tasks,
+        pool.workers,
+        distance_model,
+        config=InferenceConfig(
+            max_iterations=EM_ITERATIONS, convergence_threshold=0.0
+        ),
+    )
+    benchmark.pedantic(lambda: model.run_em(answers), rounds=1, iterations=1)
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"vectorized EM is only {speedup:.1f}x faster than the reference "
+        f"engine (required: {MIN_SPEEDUP}x); see {path}"
+    )

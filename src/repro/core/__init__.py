@@ -4,9 +4,13 @@
   functions ``f_λ(d) = (1 + e^{-λ d²}) / 2`` and the fixed distance-function set
   ``F`` (Definitions 3–4).
 * :mod:`repro.core.params` — containers for the model parameters
-  ``P(z_{t,k})``, ``P(i_w)``, ``P(d_w)`` and ``P(d_t)``.
+  ``P(z_{t,k})``, ``P(i_w)``, ``P(d_w)`` and ``P(d_t)``, in both the
+  id-oriented (:class:`~repro.core.params.ModelParameters`) and the flat
+  array-backed (:class:`~repro.core.params.ArrayParameterStore`) form.
 * :mod:`repro.core.inference` — the location-aware graphical model and its EM
   parameter estimation (Section III).
+* :mod:`repro.core.em_kernel` — the vectorised (batched NumPy) EM engine the
+  default ``engine="vectorized"`` configuration runs on.
 * :mod:`repro.core.incremental` — the incremental EM update applied between
   full re-runs (Section III-D).
 * :mod:`repro.core.accuracy` — accuracy estimation for hypothetical
@@ -20,8 +24,19 @@ from repro.core.distance_functions import (
     DistanceFunctionSet,
     PAPER_FUNCTION_SET,
 )
-from repro.core.params import ModelParameters, TaskParameters, WorkerParameters
-from repro.core.inference import InferenceConfig, InferenceResult, LocationAwareInference
+from repro.core.params import (
+    ArrayParameterStore,
+    ModelParameters,
+    TaskParameters,
+    WorkerParameters,
+)
+from repro.core.em_kernel import AnswerTensor
+from repro.core.inference import (
+    EM_ENGINES,
+    InferenceConfig,
+    InferenceResult,
+    LocationAwareInference,
+)
 from repro.core.incremental import IncrementalUpdater
 from repro.core.accuracy import AccuracyEstimator, LabelAccuracy
 from repro.core.assignment import AccOptAssigner
@@ -30,9 +45,12 @@ __all__ = [
     "BellShapedFunction",
     "DistanceFunctionSet",
     "PAPER_FUNCTION_SET",
+    "AnswerTensor",
+    "ArrayParameterStore",
     "ModelParameters",
     "WorkerParameters",
     "TaskParameters",
+    "EM_ENGINES",
     "InferenceConfig",
     "InferenceResult",
     "LocationAwareInference",

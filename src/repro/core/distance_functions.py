@@ -102,6 +102,18 @@ class DistanceFunctionSet:
         """Evaluate every function in the set at ``distance`` (vector of length |F|)."""
         return np.array([fn(distance) for fn in self._functions])
 
+    def evaluate_many(self, distances: Sequence[float] | np.ndarray) -> np.ndarray:
+        """Evaluate the whole set on a batch of distances: an ``(n, |F|)`` matrix.
+
+        Column ``j`` equals ``self[j].evaluate_many(distances)``; the batched
+        inference engine calls this once per fit instead of ``n`` times
+        :meth:`evaluate`.
+        """
+        arr = np.asarray(distances, dtype=float)
+        if arr.ndim != 1:
+            raise ValueError(f"distances must be one-dimensional, got shape {arr.shape}")
+        return np.stack([fn.evaluate_many(arr) for fn in self._functions], axis=1)
+
     def weighted_quality(self, weights: Sequence[float] | np.ndarray, distance: float) -> float:
         """``Σ_i weights[i] · f_λi(distance)`` — Definitions 5 and 6."""
         weights_arr = np.asarray(weights, dtype=float)

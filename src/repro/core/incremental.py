@@ -12,6 +12,16 @@ paper refreshes the model in two tiers:
 :class:`IncrementalUpdater` implements the second tier on top of a
 :class:`~repro.core.inference.LocationAwareInference` instance, and keeps a
 counter so the framework knows when a full refresh is due.
+
+The updater honours the inference model's configured EM engine: with the
+default ``engine="vectorized"`` the relevant answers are flattened into an
+:class:`~repro.core.em_kernel.AnswerTensor` and each localized sweep runs the
+same batched kernel as full EM (:func:`repro.core.em_kernel.em_step`), after
+which only the rows of the affected workers/tasks are written back — cost per
+sweep is ``O(R · |L_t| · |F|)`` array work, where ``R`` is the number of
+relevant answers (typically a small neighbourhood of the new submissions),
+instead of a Python loop over those records.  ``engine="reference"`` keeps the
+original per-record sweep for equivalence testing.
 """
 
 from __future__ import annotations
@@ -20,6 +30,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core import em_kernel
 from repro.core.inference import LocationAwareInference, _AnswerRecord
 from repro.core.params import ModelParameters, TaskParameters, WorkerParameters
 from repro.data.models import Answer, AnswerSet
@@ -96,11 +107,15 @@ class IncrementalUpdater:
             for answer in answers
             if answer.worker_id in affected_workers or answer.task_id in affected_tasks
         ]
-        records = self.inference._build_records(AnswerSet(relevant))
-
-        for _ in range(self.local_iterations):
-            params = self._local_maximisation(
-                records, params, affected_workers, affected_tasks
+        if self.inference.config.engine == "reference":
+            records = self.inference._build_records(AnswerSet(relevant))
+            for _ in range(self.local_iterations):
+                params = self._local_maximisation(
+                    records, params, affected_workers, affected_tasks
+                )
+        else:
+            params = self._vectorized_update(
+                AnswerSet(relevant), params, affected_workers, affected_tasks
             )
 
         # Publish the refreshed estimate on the inference model.
@@ -109,6 +124,59 @@ class IncrementalUpdater:
         return params
 
     # ------------------------------------------------------------------ internal
+    def _vectorized_update(
+        self,
+        relevant: AnswerSet,
+        params: ModelParameters,
+        affected_workers: set[str],
+        affected_tasks: set[str],
+    ) -> ModelParameters:
+        """Localized sweeps on the batched kernel, masked to affected indices.
+
+        Every new answer is part of ``relevant``, so every affected worker and
+        task owns at least one tensor row.  Each sweep runs the full-tensor
+        E+M step and then copies only the affected rows into the live store —
+        unaffected entities keep their current estimates, exactly like the
+        per-record sweep that never accumulates sums for them.
+        """
+        tensor = self.inference._build_tensor(relevant)
+        store = params.to_array_store(
+            tensor.worker_ids, tensor.task_ids, tensor.num_labels
+        )
+        worker_rows = {worker_id: i for i, worker_id in enumerate(tensor.worker_ids)}
+        task_rows = {task_id: j for j, task_id in enumerate(tensor.task_ids)}
+        affected_w = np.asarray(
+            sorted(worker_rows[w] for w in affected_workers), dtype=np.intp
+        )
+        affected_t = np.asarray(
+            sorted(task_rows[t] for t in affected_tasks), dtype=np.intp
+        )
+        label_mask = np.zeros(int(tensor.label_offsets[-1]), dtype=bool)
+        for j in affected_t:
+            label_mask[tensor.label_offsets[j] : tensor.label_offsets[j + 1]] = True
+
+        for _ in range(self.local_iterations):
+            new_store, _ = em_kernel.em_step(tensor, store)
+            store.p_qualified[affected_w] = new_store.p_qualified[affected_w]
+            store.distance_weights[affected_w] = new_store.distance_weights[affected_w]
+            store.influence_weights[affected_t] = new_store.influence_weights[affected_t]
+            store.label_probs[label_mask] = new_store.label_probs[label_mask]
+
+        new_params = params.copy()
+        for worker_id in affected_workers:
+            i = worker_rows[worker_id]
+            new_params.workers[worker_id] = WorkerParameters(
+                p_qualified=float(store.p_qualified[i]),
+                distance_weights=store.distance_weights[i].copy(),
+            )
+        for task_id in affected_tasks:
+            j = task_rows[task_id]
+            new_params.tasks[task_id] = TaskParameters(
+                label_probs=store.label_probs[store.task_label_slice(j)].copy(),
+                influence_weights=store.influence_weights[j].copy(),
+            )
+        return new_params
+
     def _local_maximisation(
         self,
         records: list[_AnswerRecord],

@@ -16,11 +16,18 @@ The graphical model of Section III has four groups of parameters:
 the derived quantities every consumer needs: the distance-aware quality
 (Definition 5), the POI influence quality (Definition 6) and the answer
 accuracy ``P(r_{w,t,k} = z_{t,k})`` (Equation 9).
+
+:class:`ArrayParameterStore` is the flat, array-backed twin used by the
+vectorised EM engine (:mod:`repro.core.em_kernel`): the same four parameter
+groups stored as contiguous NumPy arrays over integer worker/task indices, with
+lossless conversion to and from :class:`ModelParameters` at the fit boundary so
+every existing consumer keeps the dict-of-dataclasses API.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -75,6 +82,32 @@ class TaskParameters:
 
     def copy(self) -> "TaskParameters":
         return TaskParameters(self.label_probs.copy(), self.influence_weights.copy())
+
+
+def _trusted_worker_parameters(
+    p_qualified: float, distance_weights: np.ndarray
+) -> WorkerParameters:
+    """Build :class:`WorkerParameters` without re-validating the inputs.
+
+    Only for values that already satisfy the invariants by construction (the
+    EM kernels clip probabilities and renormalise weight rows); skipping
+    ``__post_init__`` keeps the array→dict conversion out of the profile when
+    a fit materialises thousands of entities.
+    """
+    params = object.__new__(WorkerParameters)
+    params.p_qualified = float(p_qualified)
+    params.distance_weights = distance_weights
+    return params
+
+
+def _trusted_task_parameters(
+    label_probs: np.ndarray, influence_weights: np.ndarray
+) -> TaskParameters:
+    """Build :class:`TaskParameters` without re-validating the inputs."""
+    params = object.__new__(TaskParameters)
+    params.label_probs = label_probs
+    params.influence_weights = influence_weights
+    return params
 
 
 @dataclass
@@ -168,6 +201,20 @@ class ModelParameters:
             tasks={tid: params.copy() for tid, params in self.tasks.items()},
         )
 
+    def to_array_store(
+        self,
+        worker_ids: Sequence[str],
+        task_ids: Sequence[str],
+        num_labels: Sequence[int],
+    ) -> "ArrayParameterStore":
+        """Flatten into an :class:`ArrayParameterStore` over the given index maps.
+
+        Entities missing from this estimate receive the same footnote-3 priors
+        that :meth:`worker` and :meth:`task` fall back to, so the array view is
+        exactly what the per-record EM engine would read through the accessors.
+        """
+        return ArrayParameterStore.from_model(self, worker_ids, task_ids, num_labels)
+
     def max_difference(self, other: "ModelParameters") -> float:
         """Maximum absolute parameter change between two estimates.
 
@@ -197,4 +244,170 @@ class ModelParameters:
                 )
             else:
                 worst = 1.0
+        return worst
+
+
+@dataclass
+class ArrayParameterStore:
+    """Flat array-backed storage of all model parameters.
+
+    The vectorised EM engine works on integer indices instead of id strings:
+    worker ``i`` of :attr:`worker_ids` owns row ``i`` of :attr:`p_qualified`
+    and :attr:`distance_weights`, task ``j`` owns row ``j`` of
+    :attr:`influence_weights` and the slice
+    ``label_probs[label_offsets[j]:label_offsets[j + 1]]`` of the ragged label
+    storage.  All arrays are dense ``float64`` so one EM iteration is a handful
+    of fused NumPy kernels rather than a Python loop.
+    """
+
+    function_set: DistanceFunctionSet
+    alpha: float
+    worker_ids: tuple[str, ...]
+    task_ids: tuple[str, ...]
+    label_offsets: np.ndarray  # (|T| + 1,) int — ragged bounds into label_probs
+    p_qualified: np.ndarray  # (|W|,)
+    distance_weights: np.ndarray  # (|W|, |F|)
+    influence_weights: np.ndarray  # (|T|, |F|)
+    label_probs: np.ndarray  # (Σ_t |L_t|,) flat ragged storage
+
+    # ------------------------------------------------------------- properties
+    @property
+    def num_workers(self) -> int:
+        return len(self.worker_ids)
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.task_ids)
+
+    @property
+    def num_label_slots(self) -> int:
+        return int(self.label_probs.size)
+
+    def task_label_slice(self, task_index: int) -> slice:
+        """Slice of :attr:`label_probs` holding the labels of task ``task_index``."""
+        return slice(
+            int(self.label_offsets[task_index]), int(self.label_offsets[task_index + 1])
+        )
+
+    # ------------------------------------------------------------ conversions
+    @classmethod
+    def from_model(
+        cls,
+        params: ModelParameters,
+        worker_ids: Sequence[str],
+        task_ids: Sequence[str],
+        num_labels: Sequence[int],
+    ) -> "ArrayParameterStore":
+        """Gather ``params`` into arrays over the given worker/task orderings.
+
+        Uses the :meth:`ModelParameters.worker` / :meth:`ModelParameters.task`
+        accessors, so entities absent from ``params`` (e.g. when warm-starting
+        from a smaller corpus) are seeded with the same footnote-3 priors the
+        per-record engine would see.
+        """
+        function_count = len(params.function_set)
+        worker_count = len(worker_ids)
+        task_count = len(task_ids)
+        counts = np.asarray(num_labels, dtype=np.intp)
+        if counts.shape != (task_count,):
+            raise ValueError(
+                f"num_labels must align with task_ids: {counts.shape} vs {task_count}"
+            )
+        label_offsets = np.concatenate(([0], np.cumsum(counts)))
+
+        p_qualified = np.empty(worker_count, dtype=float)
+        distance_weights = np.empty((worker_count, function_count), dtype=float)
+        for i, worker_id in enumerate(worker_ids):
+            worker = params.worker(worker_id)
+            p_qualified[i] = worker.p_qualified
+            distance_weights[i] = worker.distance_weights
+
+        influence_weights = np.empty((task_count, function_count), dtype=float)
+        label_probs = np.empty(int(label_offsets[-1]), dtype=float)
+        for j, task_id in enumerate(task_ids):
+            task = params.task(task_id, num_labels=int(counts[j]))
+            if task.num_labels != counts[j]:
+                raise ValueError(
+                    f"task {task_id!r} has {task.num_labels} estimated labels, "
+                    f"expected {int(counts[j])}"
+                )
+            influence_weights[j] = task.influence_weights
+            label_probs[label_offsets[j] : label_offsets[j + 1]] = task.label_probs
+
+        return cls(
+            function_set=params.function_set,
+            alpha=params.alpha,
+            worker_ids=tuple(worker_ids),
+            task_ids=tuple(task_ids),
+            label_offsets=label_offsets,
+            p_qualified=p_qualified,
+            distance_weights=distance_weights,
+            influence_weights=influence_weights,
+            label_probs=label_probs,
+        )
+
+    def to_model(self) -> ModelParameters:
+        """Expand back into the dict-of-dataclasses :class:`ModelParameters` view.
+
+        The store's invariants (probabilities in [0, 1], weight rows summing to
+        one) are maintained by the EM kernels and the ``from_model`` gather, so
+        the per-entity containers are built through the trusted constructors
+        instead of re-validating thousands of small arrays.
+        """
+        workers = {
+            worker_id: _trusted_worker_parameters(
+                self.p_qualified[i], self.distance_weights[i].copy()
+            )
+            for i, worker_id in enumerate(self.worker_ids)
+        }
+        tasks = {
+            task_id: _trusted_task_parameters(
+                self.label_probs[self.task_label_slice(j)].copy(),
+                self.influence_weights[j].copy(),
+            )
+            for j, task_id in enumerate(self.task_ids)
+        }
+        return ModelParameters(
+            function_set=self.function_set,
+            alpha=self.alpha,
+            workers=workers,
+            tasks=tasks,
+        )
+
+    # ------------------------------------------------------------------- misc
+    def copy(self) -> "ArrayParameterStore":
+        return ArrayParameterStore(
+            function_set=self.function_set,
+            alpha=self.alpha,
+            worker_ids=self.worker_ids,
+            task_ids=self.task_ids,
+            label_offsets=self.label_offsets,
+            p_qualified=self.p_qualified.copy(),
+            distance_weights=self.distance_weights.copy(),
+            influence_weights=self.influence_weights.copy(),
+            label_probs=self.label_probs.copy(),
+        )
+
+    def max_difference(self, other: "ArrayParameterStore") -> float:
+        """Maximum absolute parameter change versus ``other``.
+
+        Array counterpart of :meth:`ModelParameters.max_difference` for two
+        stores over the *same* worker/task orderings (the situation inside one
+        EM run, where the entity sets never change between iterations).
+        """
+        if self.worker_ids != other.worker_ids or self.task_ids != other.task_ids:
+            raise ValueError("stores must share worker/task orderings")
+        worst = 0.0
+        if self.p_qualified.size:
+            worst = max(worst, float(np.abs(self.p_qualified - other.p_qualified).max()))
+            worst = max(
+                worst, float(np.abs(self.distance_weights - other.distance_weights).max())
+            )
+        if self.influence_weights.size:
+            worst = max(
+                worst,
+                float(np.abs(self.influence_weights - other.influence_weights).max()),
+            )
+        if self.label_probs.size:
+            worst = max(worst, float(np.abs(self.label_probs - other.label_probs).max()))
         return worst

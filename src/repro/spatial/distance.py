@@ -27,7 +27,10 @@ import numpy as np
 from repro.spatial.geometry import (
     GeoPoint,
     euclidean_distance,
+    euclidean_distances,
     haversine_distance,
+    haversine_distances,
+    points_to_arrays,
 )
 
 MetricName = Literal["euclidean", "haversine"]
@@ -37,22 +40,42 @@ _METRICS: dict[str, Callable[[GeoPoint, GeoPoint], float]] = {
     "haversine": haversine_distance,
 }
 
+#: Array counterparts of :data:`_METRICS`; signature ``(ax, ay, bx, by)`` with
+#: NumPy broadcasting, where ``x``/``y`` are lon/lat for the haversine metric.
+_ARRAY_METRICS: dict[str, Callable[..., "np.ndarray"]] = {
+    "euclidean": euclidean_distances,
+    "haversine": haversine_distances,
+}
+
 
 def max_pairwise_distance(
-    points: Sequence[GeoPoint], metric: MetricName = "euclidean"
+    points: Sequence[GeoPoint],
+    metric: MetricName = "euclidean",
+    chunk_size: int = 2048,
 ) -> float:
     """Maximum pairwise distance among ``points`` (the paper's normaliser).
 
-    A single point (or an empty collection) has no meaningful diameter; we
-    return 0.0 and leave it to the caller to reject that as a normaliser.
+    Computed as a chunked NumPy broadcast: ``chunk_size`` rows of the full
+    pairwise matrix are materialised at a time, so the cost is O(n²) work but
+    only O(chunk_size · n) memory.  A single point (or an empty collection) has
+    no meaningful diameter; we return 0.0 and leave it to the caller to reject
+    that as a normaliser.
     """
-    distance_fn = _METRICS[metric]
+    if metric not in _ARRAY_METRICS:
+        raise KeyError(metric)
+    if len(points) < 2:
+        return 0.0
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    distance_fn = _ARRAY_METRICS[metric]
+    xs, ys = points_to_arrays(points)
     best = 0.0
-    for i, a in enumerate(points):
-        for b in points[i + 1:]:
-            d = distance_fn(a, b)
-            if d > best:
-                best = d
+    for start in range(0, xs.size, chunk_size):
+        stop = min(start + chunk_size, xs.size)
+        block = distance_fn(
+            xs[start:stop, None], ys[start:stop, None], xs[None, :], ys[None, :]
+        )
+        best = max(best, float(block.max()))
     return best
 
 
@@ -124,6 +147,53 @@ class DistanceModel:
         best = min(self.raw_distance(loc, task_location) for loc in locations)
         return min(1.0, best / self.max_distance)
 
+    def worker_task_distances(
+        self,
+        worker_locations: Sequence[Iterable[GeoPoint]],
+        task_locations: Sequence[GeoPoint],
+    ) -> np.ndarray:
+        """Batched, paired version of :meth:`worker_task_distance`.
+
+        ``worker_locations[i]`` is the collection of declared locations of the
+        worker in pair ``i`` and ``task_locations[i]`` the POI location of the
+        same pair; the result is the ``(len(pairs),)`` vector of normalised
+        distances.  All pairs are computed in one NumPy pass (flatten every
+        declared location with an owner index, evaluate the metric once, then
+        segment-minimise per owner), replacing N scalar cache lookups when the
+        inference engine builds its answer tensor.
+        """
+        if len(worker_locations) != len(task_locations):
+            raise ValueError(
+                f"worker_locations and task_locations must pair up, got "
+                f"{len(worker_locations)} vs {len(task_locations)}"
+            )
+        num_pairs = len(worker_locations)
+        if num_pairs == 0:
+            return np.empty(0, dtype=float)
+
+        flat_locations: list[GeoPoint] = []
+        counts = np.empty(num_pairs, dtype=np.intp)
+        for i, locations in enumerate(worker_locations):
+            materialised = (
+                locations
+                if isinstance(locations, (list, tuple))
+                else list(locations)
+            )
+            if len(materialised) == 0:
+                raise ValueError("a worker must declare at least one location")
+            counts[i] = len(materialised)
+            flat_locations.extend(materialised)
+
+        owner = np.repeat(np.arange(num_pairs, dtype=np.intp), counts)
+        wx, wy = points_to_arrays(flat_locations)
+        tx, ty = points_to_arrays(task_locations)
+        raw = _ARRAY_METRICS[self.metric](wx, wy, tx[owner], ty[owner])
+        # Each pair's locations are contiguous in `raw`, so the per-pair
+        # minimum is a segmented reduce over the segment start offsets.
+        starts = np.cumsum(counts) - counts
+        best = np.minimum.reduceat(raw, starts)
+        return np.minimum(1.0, best / self.max_distance)
+
     def clear_cache(self) -> None:
         """Drop the memoised raw distances (e.g. between independent trials)."""
         self._cache.clear()
@@ -133,15 +203,50 @@ def normalised_distance_matrix(
     worker_locations: Sequence[Sequence[GeoPoint]],
     task_locations: Sequence[GeoPoint],
     model: DistanceModel,
+    chunk_size: int = 1024,
 ) -> np.ndarray:
     """Dense ``len(workers) x len(tasks)`` matrix of normalised distances.
 
     ``worker_locations[i]`` is the list of declared locations of worker ``i``.
     Used by the assignment scalability benchmarks where recomputing distances
-    per pair would dominate the measured runtime.
+    per pair would dominate the measured runtime.  Vectorised in blocks of
+    ``chunk_size`` workers: each block broadcasts its declared locations
+    against every task and reduces to the per-worker minimum with
+    ``np.minimum.reduceat``, bounding peak memory at
+    O(chunk_size · max_locations · len(tasks)).
     """
-    matrix = np.empty((len(worker_locations), len(task_locations)), dtype=float)
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    num_workers = len(worker_locations)
+    num_tasks = len(task_locations)
+    if num_workers == 0 or num_tasks == 0:
+        return np.empty((num_workers, num_tasks), dtype=float)
+
+    flat_locations: list[GeoPoint] = []
+    counts = np.empty(num_workers, dtype=np.intp)
     for i, locations in enumerate(worker_locations):
-        for j, task_location in enumerate(task_locations):
-            matrix[i, j] = model.worker_task_distance(locations, task_location)
-    return matrix
+        materialised = list(locations)
+        if not materialised:
+            raise ValueError("a worker must declare at least one location")
+        counts[i] = len(materialised)
+        flat_locations.extend(materialised)
+
+    wx, wy = points_to_arrays(flat_locations)
+    tx, ty = points_to_arrays(task_locations)
+    distance_fn = _ARRAY_METRICS[model.metric]
+    starts = np.cumsum(counts) - counts  # first flat row of each worker
+    matrix = np.empty((num_workers, num_tasks), dtype=float)
+    for block_start in range(0, num_workers, chunk_size):
+        block_stop = min(block_start + chunk_size, num_workers)
+        row_start = int(starts[block_start])
+        row_stop = int(starts[block_stop - 1] + counts[block_stop - 1])
+        raw = distance_fn(
+            wx[row_start:row_stop, None],
+            wy[row_start:row_stop, None],
+            tx[None, :],
+            ty[None, :],
+        )
+        matrix[block_start:block_stop] = np.minimum.reduceat(
+            raw, starts[block_start:block_stop] - row_start, axis=0
+        )
+    return np.minimum(1.0, matrix / model.max_distance, out=matrix)

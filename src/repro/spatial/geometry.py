@@ -14,6 +14,8 @@ import math
 from dataclasses import dataclass
 from typing import Iterable
 
+import numpy as np
+
 #: Mean Earth radius in kilometres, used by :func:`haversine_distance`.
 EARTH_RADIUS_KM = 6371.0088
 
@@ -68,6 +70,45 @@ def haversine_distance(a: GeoPoint, b: GeoPoint) -> float:
     # Clamp to guard against floating-point overshoot for antipodal points.
     h = min(1.0, max(0.0, h))
     return 2.0 * EARTH_RADIUS_KM * math.asin(math.sqrt(h))
+
+
+def euclidean_distances(
+    ax: np.ndarray, ay: np.ndarray, bx: np.ndarray, by: np.ndarray
+) -> np.ndarray:
+    """Element-wise (broadcasting) planar Euclidean distances.
+
+    Array counterpart of :func:`euclidean_distance`; ``np.hypot`` matches
+    ``math.hypot`` so scalar and batched code paths agree bit-for-bit.
+    """
+    return np.hypot(np.asarray(ax, dtype=float) - bx, np.asarray(ay, dtype=float) - by)
+
+
+def haversine_distances(
+    alon: np.ndarray, alat: np.ndarray, blon: np.ndarray, blat: np.ndarray
+) -> np.ndarray:
+    """Element-wise (broadcasting) great-circle distances in kilometres.
+
+    Array counterpart of :func:`haversine_distance` using the same formula and
+    the same antipodal clamp.
+    """
+    lon1 = np.radians(np.asarray(alon, dtype=float))
+    lat1 = np.radians(np.asarray(alat, dtype=float))
+    lon2 = np.radians(np.asarray(blon, dtype=float))
+    lat2 = np.radians(np.asarray(blat, dtype=float))
+    h = (
+        np.sin((lat2 - lat1) / 2.0) ** 2
+        + np.cos(lat1) * np.cos(lat2) * np.sin((lon2 - lon1) / 2.0) ** 2
+    )
+    h = np.clip(h, 0.0, 1.0)
+    return 2.0 * EARTH_RADIUS_KM * np.arcsin(np.sqrt(h))
+
+
+def points_to_arrays(points: Iterable[GeoPoint]) -> tuple[np.ndarray, np.ndarray]:
+    """Split a collection of points into parallel x / y coordinate arrays."""
+    materialised = points if isinstance(points, (list, tuple)) else list(points)
+    xs = np.fromiter((p.x for p in materialised), dtype=float, count=len(materialised))
+    ys = np.fromiter((p.y for p in materialised), dtype=float, count=len(materialised))
+    return xs, ys
 
 
 def centroid(points: Iterable[GeoPoint]) -> GeoPoint:

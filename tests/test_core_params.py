@@ -122,3 +122,88 @@ class TestModelParameters:
         a = self.make_params()
         b = ModelParameters(function_set=PAPER_FUNCTION_SET)
         assert a.max_difference(b) == pytest.approx(1.0)
+
+
+class TestArrayParameterStore:
+    def make_params(self):
+        params = ModelParameters(function_set=PAPER_FUNCTION_SET, alpha=0.5)
+        params.workers["w1"] = WorkerParameters(0.8, np.array([0.6, 0.3, 0.1]))
+        params.workers["w2"] = WorkerParameters(0.4, np.array([0.1, 0.1, 0.8]))
+        params.tasks["t1"] = TaskParameters(
+            np.array([0.9, 0.2]), np.array([0.7, 0.2, 0.1])
+        )
+        params.tasks["t2"] = TaskParameters(
+            np.array([0.1, 0.5, 0.6]), np.array([0.2, 0.5, 0.3])
+        )
+        return params
+
+    def test_round_trip(self):
+        params = self.make_params()
+        store = params.to_array_store(["w1", "w2"], ["t1", "t2"], [2, 3])
+        restored = store.to_model()
+        assert set(restored.workers) == {"w1", "w2"}
+        assert set(restored.tasks) == {"t1", "t2"}
+        for worker_id in ("w1", "w2"):
+            assert restored.workers[worker_id].p_qualified == pytest.approx(
+                params.workers[worker_id].p_qualified
+            )
+            np.testing.assert_array_equal(
+                restored.workers[worker_id].distance_weights,
+                params.workers[worker_id].distance_weights,
+            )
+        for task_id in ("t1", "t2"):
+            np.testing.assert_array_equal(
+                restored.tasks[task_id].label_probs, params.tasks[task_id].label_probs
+            )
+            np.testing.assert_array_equal(
+                restored.tasks[task_id].influence_weights,
+                params.tasks[task_id].influence_weights,
+            )
+
+    def test_ragged_label_layout(self):
+        store = self.make_params().to_array_store(["w1"], ["t1", "t2"], [2, 3])
+        assert store.num_label_slots == 5
+        np.testing.assert_array_equal(store.label_offsets, [0, 2, 5])
+        np.testing.assert_array_equal(
+            store.label_probs[store.task_label_slice(1)], [0.1, 0.5, 0.6]
+        )
+
+    def test_missing_entities_get_footnote3_priors(self):
+        params = self.make_params()
+        store = params.to_array_store(["w1", "ghost"], ["t1", "phantom"], [2, 4])
+        assert store.p_qualified[1] == pytest.approx(1.0)
+        np.testing.assert_array_equal(
+            store.distance_weights[1], PAPER_FUNCTION_SET.best_quality_weights()
+        )
+        np.testing.assert_array_equal(
+            store.label_probs[store.task_label_slice(1)], np.full(4, 0.5)
+        )
+
+    def test_label_count_mismatch_rejected(self):
+        params = self.make_params()
+        with pytest.raises(ValueError):
+            params.to_array_store(["w1"], ["t1"], [3])
+
+    def test_max_difference_matches_model_parameters(self):
+        a = self.make_params()
+        b = self.make_params()
+        b.workers["w2"] = WorkerParameters(0.9, np.array([0.1, 0.1, 0.8]))
+        b.tasks["t1"] = TaskParameters(np.array([0.7, 0.2]), np.array([0.7, 0.2, 0.1]))
+        store_a = a.to_array_store(["w1", "w2"], ["t1", "t2"], [2, 3])
+        store_b = b.to_array_store(["w1", "w2"], ["t1", "t2"], [2, 3])
+        assert store_a.max_difference(store_b) == pytest.approx(a.max_difference(b))
+
+    def test_max_difference_requires_same_orderings(self):
+        params = self.make_params()
+        store_a = params.to_array_store(["w1", "w2"], ["t1"], [2])
+        store_b = params.to_array_store(["w2", "w1"], ["t1"], [2])
+        with pytest.raises(ValueError):
+            store_a.max_difference(store_b)
+
+    def test_copy_is_independent(self):
+        store = self.make_params().to_array_store(["w1"], ["t1"], [2])
+        clone = store.copy()
+        clone.p_qualified[0] = 0.0
+        clone.label_probs[0] = 0.0
+        assert store.p_qualified[0] == pytest.approx(0.8)
+        assert store.label_probs[0] == pytest.approx(0.9)

@@ -22,9 +22,39 @@ class TestMaxPairwiseDistance:
     def test_single_point_is_zero(self):
         assert max_pairwise_distance([GeoPoint(5, 5)]) == 0.0
 
+    def test_empty_is_zero(self):
+        assert max_pairwise_distance([]) == 0.0
+
     def test_haversine_metric(self):
         points = [GeoPoint(116.4, 39.9), GeoPoint(121.5, 31.2)]
         assert max_pairwise_distance(points, metric="haversine") > 1000.0
+
+    def test_chunked_matches_unchunked(self):
+        """The chunked broadcast must agree with a brute-force double loop."""
+        from repro.spatial.geometry import euclidean_distance, haversine_distance
+
+        rng = np.random.default_rng(4)
+        points = [
+            GeoPoint(float(x), float(y))
+            for x, y in zip(rng.uniform(100, 120, 37), rng.uniform(20, 45, 37))
+        ]
+        for metric, scalar_fn in (
+            ("euclidean", euclidean_distance),
+            ("haversine", haversine_distance),
+        ):
+            brute = max(
+                scalar_fn(a, b) for i, a in enumerate(points) for b in points[i + 1 :]
+            )
+            assert max_pairwise_distance(points, metric=metric) == pytest.approx(
+                brute, rel=1e-12
+            )
+            assert max_pairwise_distance(
+                points, metric=metric, chunk_size=5
+            ) == pytest.approx(brute, rel=1e-12)
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            max_pairwise_distance([GeoPoint(0, 0), GeoPoint(1, 1)], chunk_size=0)
 
 
 class TestDistanceModel:
@@ -80,6 +110,67 @@ class TestDistanceModel:
         assert d1 == d2
 
 
+class TestWorkerTaskDistancesBatch:
+    def test_matches_scalar_path(self):
+        rng = np.random.default_rng(17)
+        model = DistanceModel(max_distance=8.0)
+        worker_locations = []
+        task_locations = []
+        for _ in range(50):
+            count = int(rng.integers(1, 4))
+            worker_locations.append(
+                tuple(
+                    GeoPoint(float(x), float(y))
+                    for x, y in zip(rng.uniform(0, 10, count), rng.uniform(0, 10, count))
+                )
+            )
+            task_locations.append(
+                GeoPoint(float(rng.uniform(0, 10)), float(rng.uniform(0, 10)))
+            )
+        batch = model.worker_task_distances(worker_locations, task_locations)
+        scalar = np.array(
+            [
+                model.worker_task_distance(locations, task)
+                for locations, task in zip(worker_locations, task_locations)
+            ]
+        )
+        assert batch.shape == (50,)
+        np.testing.assert_allclose(batch, scalar, rtol=0, atol=1e-15)
+
+    def test_haversine_matches_scalar_path(self):
+        model = DistanceModel(max_distance=500.0, metric="haversine")
+        worker_locations = [
+            (GeoPoint(116.4, 39.9), GeoPoint(117.2, 39.1)),
+            (GeoPoint(121.5, 31.2),),
+        ]
+        task_locations = [GeoPoint(116.5, 40.0), GeoPoint(120.2, 30.3)]
+        batch = model.worker_task_distances(worker_locations, task_locations)
+        scalar = [
+            model.worker_task_distance(locations, task)
+            for locations, task in zip(worker_locations, task_locations)
+        ]
+        np.testing.assert_allclose(batch, scalar, rtol=0, atol=1e-12)
+
+    def test_mismatched_lengths_rejected(self):
+        model = DistanceModel(max_distance=1.0)
+        with pytest.raises(ValueError):
+            model.worker_task_distances([[GeoPoint(0, 0)]], [])
+
+    def test_empty_worker_locations_rejected(self):
+        model = DistanceModel(max_distance=1.0)
+        with pytest.raises(ValueError):
+            model.worker_task_distances([[]], [GeoPoint(0, 0)])
+
+    def test_empty_batch(self):
+        model = DistanceModel(max_distance=1.0)
+        assert model.worker_task_distances([], []).shape == (0,)
+
+    def test_clipped_at_one(self):
+        model = DistanceModel(max_distance=1.0)
+        batch = model.worker_task_distances([[GeoPoint(0, 0)]], [GeoPoint(30, 40)])
+        assert batch[0] == 1.0
+
+
 class TestNormalisedDistanceMatrix:
     def test_shape_and_values(self):
         model = DistanceModel(max_distance=10.0)
@@ -98,3 +189,34 @@ class TestNormalisedDistanceMatrix:
         matrix = normalised_distance_matrix(workers, tasks, model)
         assert np.all(matrix >= 0.0)
         assert np.all(matrix <= 1.0)
+
+    def test_matches_scalar_path(self):
+        rng = np.random.default_rng(23)
+        model = DistanceModel(max_distance=7.5)
+        workers = [
+            [
+                GeoPoint(float(x), float(y))
+                for x, y in zip(
+                    rng.uniform(0, 10, int(n)), rng.uniform(0, 10, int(n))
+                )
+            ]
+            for n in rng.integers(1, 4, size=9)
+        ]
+        tasks = [
+            GeoPoint(float(x), float(y))
+            for x, y in zip(rng.uniform(0, 10, 11), rng.uniform(0, 10, 11))
+        ]
+        matrix = normalised_distance_matrix(workers, tasks, model)
+        for i, locations in enumerate(workers):
+            for j, task in enumerate(tasks):
+                assert matrix[i, j] == pytest.approx(
+                    model.worker_task_distance(locations, task), abs=1e-15
+                )
+        # Chunking across worker blocks must not change anything.
+        chunked = normalised_distance_matrix(workers, tasks, model, chunk_size=2)
+        np.testing.assert_array_equal(chunked, matrix)
+
+    def test_empty_matrix(self):
+        model = DistanceModel(max_distance=1.0)
+        assert normalised_distance_matrix([], [GeoPoint(0, 0)], model).shape == (0, 1)
+        assert normalised_distance_matrix([[GeoPoint(0, 0)]], [], model).shape == (1, 0)
