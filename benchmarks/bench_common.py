@@ -86,6 +86,38 @@ def write_result(name: str, content: str) -> Path:
     return path
 
 
+#: Stream size replayed by ``bench_serving_throughput.py`` (the serving gate).
+SERVING_STREAM_ANSWERS = 20_000
+
+#: Simulated event rate used to timestamp the replayed stream.
+SERVING_EVENTS_PER_SECOND = 50.0
+
+
+def build_answer_stream(
+    num_answers: int,
+    seed: int = 5,
+    num_workers: int = 100,
+    events_per_second: float = SERVING_EVENTS_PER_SECOND,
+):
+    """Timestamped answer-event stream over the shared inference corpus.
+
+    Reuses :func:`build_inference_corpus` so the serving throughput bench
+    replays exactly the corpus the inference-speed bench fits, just delivered
+    as a stream.  Returns ``(dataset, pool, distance_model, events)`` where
+    ``events`` is a list of :class:`repro.serving.ingest.AnswerEvent`.
+    """
+    from repro.serving.ingest import AnswerEvent
+
+    dataset, pool, distance_model, answers = build_inference_corpus(
+        num_answers, seed=seed, num_workers=num_workers
+    )
+    events = [
+        AnswerEvent(answer, time=index / events_per_second)
+        for index, answer in enumerate(answers)
+    ]
+    return dataset, pool, distance_model, events
+
+
 def build_inference_corpus(num_assignments: int, seed: int = 5, num_workers: int = 100):
     """Synthetic corpus with ``num_assignments`` (worker, task) answers.
 

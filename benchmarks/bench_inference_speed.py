@@ -22,7 +22,8 @@ CORPUS_ANSWERS = 20_000
 EM_ITERATIONS = 3
 
 #: The regression gate: minimum required speedup of vectorized over reference.
-MIN_SPEEDUP = 5.0
+#: Raised from the initial 5x once the kernel reliably measured ~18x (PR 2).
+MIN_SPEEDUP = 10.0
 
 
 def _time_engine(engine: str, corpus) -> tuple[float, int]:

@@ -1,0 +1,162 @@
+"""Serving-path throughput gate: micro-batched ingestion vs refresh-per-answer.
+
+Replays the shared 20k-answer corpus as a timestamped stream through the
+online serving subsystem (:mod:`repro.serving`) and writes
+``benchmarks/results/BENCH_serving_throughput.json``:
+
+* **headline throughput** — answers/sec of the full 20k-answer micro-batched
+  replay (ingestion wall-clock, including snapshot publishing);
+* **the gate** — on an identical stream prefix, micro-batched incremental
+  serving must sustain at least ``MIN_SPEEDUP``× the throughput of *naive*
+  refresh-per-answer serving (micro-batch size 1: one incremental update and
+  one snapshot publish per answer).  The prefix keeps the naive run tractable
+  and biases the comparison in naive's favour — its updates run against a much
+  smaller answer log than the micro-batched tail ever sees;
+* **assignment latency** — p50/p95 of live AccOpt assignment requests served
+  by the frontend against the final published snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from bench_common import (
+    RESULTS_DIR,
+    SERVING_STREAM_ANSWERS,
+    build_answer_stream,
+)
+
+from repro.core.inference import InferenceConfig, LocationAwareInference
+from repro.data.models import AnswerSet
+from repro.serving.frontend import AssignmentFrontend
+from repro.serving.ingest import AnswerIngestor, IngestConfig
+from repro.serving.snapshots import SnapshotStore
+
+#: Micro-batch policy of the gated configuration.
+MICRO_BATCH_ANSWERS = 64
+MICRO_BATCH_DELAY = 2.0
+FULL_REFRESH_INTERVAL = 4000
+
+#: Prefix replayed by BOTH configurations for the gate comparison.
+GATE_PREFIX_ANSWERS = 1000
+
+#: The regression gate: micro-batched throughput over refresh-per-answer.
+MIN_SPEEDUP = 5.0
+
+#: Live assignment requests measured against the final snapshot.
+ASSIGNMENT_REQUESTS = 40
+
+#: Iteration cap for the periodic full refreshes (warm-started, converges early).
+FULL_REFRESH_MAX_ITERATIONS = 25
+
+
+def _replay(dataset, pool, distance_model, events, ingest_config):
+    """Stream ``events`` through a fresh ingestor; returns (ingestor, snapshots, seconds)."""
+    inference = LocationAwareInference(
+        dataset.tasks,
+        pool.workers,
+        distance_model,
+        config=InferenceConfig(max_iterations=FULL_REFRESH_MAX_ITERATIONS),
+    )
+    snapshots = SnapshotStore()
+    ingestor = AnswerIngestor(inference, snapshots, config=ingest_config)
+    started = time.perf_counter()
+    for event in events:
+        ingestor.submit(event)
+    ingestor.flush()
+    elapsed = time.perf_counter() - started
+    return ingestor, snapshots, elapsed
+
+
+def _micro_batched_config() -> IngestConfig:
+    return IngestConfig(
+        max_batch_answers=MICRO_BATCH_ANSWERS,
+        max_batch_delay=MICRO_BATCH_DELAY,
+        full_refresh_interval=FULL_REFRESH_INTERVAL,
+    )
+
+
+def _naive_config() -> IngestConfig:
+    """Refresh-per-answer: every single event closes a batch of one."""
+    return IngestConfig(
+        max_batch_answers=1,
+        max_batch_delay=MICRO_BATCH_DELAY,
+        full_refresh_interval=FULL_REFRESH_INTERVAL,
+    )
+
+
+def test_serving_throughput_gate(benchmark):
+    dataset, pool, distance_model, events = build_answer_stream(SERVING_STREAM_ANSWERS)
+    assert len(events) >= 20_000
+
+    # Full-stream micro-batched replay: the headline ingestion throughput.
+    full_ingestor, full_snapshots, full_seconds = _replay(
+        dataset, pool, distance_model, events, _micro_batched_config()
+    )
+    assert full_ingestor.stats.answers == len(events)
+    full_rate = len(events) / full_seconds
+
+    # Gate: identical prefix, micro-batched vs refresh-per-answer.
+    prefix = events[:GATE_PREFIX_ANSWERS]
+    _, _, micro_seconds = _replay(
+        dataset, pool, distance_model, prefix, _micro_batched_config()
+    )
+    naive_ingestor, _, naive_seconds = _replay(
+        dataset, pool, distance_model, prefix, _naive_config()
+    )
+    assert naive_ingestor.stats.batches == len(prefix)  # one update per answer
+    micro_rate = len(prefix) / micro_seconds
+    naive_rate = len(prefix) / naive_seconds
+    speedup = micro_rate / naive_rate
+
+    # Live assignment latency against the final published snapshot.
+    frontend = AssignmentFrontend(
+        dataset.tasks,
+        pool.workers,
+        distance_model,
+        full_snapshots,
+        strategy="accopt",
+    )
+    served_answers = full_ingestor.answers
+    for worker_id in pool.worker_ids[:ASSIGNMENT_REQUESTS]:
+        frontend.assign(worker_id, 2, served_answers)
+    stats = frontend.stats
+
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "stream_answers": len(events),
+        "micro_batch_answers": MICRO_BATCH_ANSWERS,
+        "full_refresh_interval": FULL_REFRESH_INTERVAL,
+        "full_stream_seconds": round(full_seconds, 4),
+        "full_stream_answers_per_sec": round(full_rate, 1),
+        "full_stream_batches": full_ingestor.stats.batches,
+        "full_stream_incremental_updates": full_ingestor.stats.incremental_updates,
+        "full_stream_full_refreshes": full_ingestor.stats.full_refreshes,
+        "snapshots_published": full_ingestor.stats.snapshots_published,
+        "gate_prefix_answers": len(prefix),
+        "gate_micro_answers_per_sec": round(micro_rate, 1),
+        "gate_naive_answers_per_sec": round(naive_rate, 1),
+        "gate_speedup": round(speedup, 2),
+        "min_required_speedup": MIN_SPEEDUP,
+        "assignment_requests": stats.requests,
+        "assignment_p50_ms": round(stats.p50_latency_ms, 3),
+        "assignment_p95_ms": round(stats.p95_latency_ms, 3),
+    }
+    path = RESULTS_DIR / "BENCH_serving_throughput.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\n=== serving_throughput ===\n{json.dumps(payload, indent=2)}\n")
+
+    # The timed unit for pytest-benchmark: one micro-batched prefix replay.
+    benchmark.pedantic(
+        lambda: _replay(
+            dataset, pool, distance_model, prefix, _micro_batched_config()
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"micro-batched serving is only {speedup:.1f}x faster than "
+        f"refresh-per-answer (required: {MIN_SPEEDUP}x); see {path}"
+    )

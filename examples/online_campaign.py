@@ -7,6 +7,13 @@ between periodic full runs) and the loop repeats until the budget runs out.
 The Random and Spatial-First baselines are run on the same simulated crowd for
 comparison.
 
+The second half of the example replays the same kind of workload through the
+**online serving subsystem** (:mod:`repro.serving`): answer events are
+micro-batched into incremental updates, every refresh publishes an immutable
+versioned snapshot, and each arriving worker is served an assignment computed
+against the latest snapshot — with per-request latency reported, the way a
+production deployment of the paper's system would run.
+
 Run with::
 
     python examples/online_campaign.py
@@ -18,10 +25,12 @@ from repro import generate_beijing_dataset
 from repro.core.inference import InferenceConfig
 from repro.framework.config import FrameworkConfig
 from repro.framework.experiment import (
+    build_platform,
     build_worker_pool,
     compare_assigners,
 )
 from repro.analysis.reporting import format_series_table, format_table
+from repro.serving import IngestConfig, OnlineServingService, ServingConfig
 
 BUDGET = 240
 CHECKPOINTS = (120, 180, 240)
@@ -71,6 +80,29 @@ def main() -> None:
             rows,
         )
     )
+
+    serving_session(dataset)
+
+
+def serving_session(dataset) -> None:
+    """The same workload served through the online serving subsystem."""
+    pool = build_worker_pool(dataset, seed=2016)
+    platform = build_platform(
+        dataset, budget=BUDGET, worker_pool=pool, workers_per_round=5, seed=2016
+    )
+    config = ServingConfig(
+        strategy="accopt",
+        tasks_per_worker=2,
+        ingest=IngestConfig(
+            max_batch_answers=32, max_batch_delay=5.0, full_refresh_interval=100
+        ),
+        inference=InferenceConfig(max_iterations=40),
+        seed=2016,
+    )
+    service = OnlineServingService(platform, config=config)
+    print("\nonline serving session (streaming ingestion + versioned snapshots):")
+    report = service.run()
+    print(report.summary())
 
 
 if __name__ == "__main__":

@@ -17,6 +17,11 @@ contribution:
   behind a common interface.
 * :mod:`repro.framework` — the alternating inference/assignment loop from the
   paper's Figure 1 plus experiment drivers and evaluation metrics.
+* :mod:`repro.serving`   — the online serving subsystem: streaming answer
+  ingestion (micro-batched incremental EM with periodic full refreshes),
+  immutable versioned parameter snapshots with ``.npz`` persistence, and a
+  live assignment frontend serving each arriving worker against the latest
+  snapshot (``repro-poi serve-sim`` runs it end to end).
 * :mod:`repro.analysis`  — the data-analysis routines behind every figure and table
   in the paper's evaluation section.
 
@@ -56,6 +61,7 @@ from repro.assign.spatial_first import SpatialFirstAssigner
 from repro.framework.framework import PoiLabellingFramework
 from repro.framework.config import FrameworkConfig
 from repro.framework.metrics import labelling_accuracy
+from repro.serving import OnlineServingService, ServingConfig
 
 __version__ = "1.0.0"
 
@@ -80,6 +86,8 @@ __all__ = [
     "SpatialFirstAssigner",
     "PoiLabellingFramework",
     "FrameworkConfig",
+    "OnlineServingService",
+    "ServingConfig",
     "labelling_accuracy",
     "generate_beijing_dataset",
     "generate_china_dataset",

@@ -13,17 +13,55 @@
   re-exported here so all strategies are importable from one place).
 
 All strategies implement :class:`repro.core.assignment.TaskAssigner`.
+:func:`build_assigner` constructs any of them by name — the CLI, the examples
+and the online serving frontend (:mod:`repro.serving.frontend`) all go through
+it so strategy names stay consistent across entry points.
 """
+
+from __future__ import annotations
 
 from repro.core.assignment import AccOptAssigner, TaskAssigner
 from repro.assign.random_assigner import RandomAssigner
 from repro.assign.spatial_first import SpatialFirstAssigner
 from repro.assign.uncertainty import UncertaintyFirstAssigner
+from repro.data.models import Task, Worker
+from repro.spatial.distance import DistanceModel
+
+#: Strategy names accepted by :func:`build_assigner` (and the CLI flags).
+ASSIGNER_NAMES = ("accopt", "random", "spatial", "uncertainty")
+
+
+def build_assigner(
+    name: str,
+    tasks: list[Task],
+    workers: list[Worker],
+    distance_model: DistanceModel | None = None,
+    seed: int | None = None,
+) -> TaskAssigner:
+    """Construct the assignment strategy called ``name``.
+
+    ``distance_model`` is required by the distance-aware strategies
+    (``"accopt"`` and ``"spatial"``); ``seed`` only affects ``"random"``.
+    """
+    if name not in ASSIGNER_NAMES:
+        raise ValueError(f"unknown assigner {name!r}; expected one of {ASSIGNER_NAMES}")
+    if name == "random":
+        return RandomAssigner(tasks, workers, seed=seed)
+    if name == "uncertainty":
+        return UncertaintyFirstAssigner(tasks, workers)
+    if distance_model is None:
+        raise ValueError(f"assigner {name!r} requires a distance_model")
+    if name == "spatial":
+        return SpatialFirstAssigner(tasks, workers, distance_model)
+    return AccOptAssigner(tasks, workers, distance_model)
+
 
 __all__ = [
+    "ASSIGNER_NAMES",
     "TaskAssigner",
     "AccOptAssigner",
     "RandomAssigner",
     "SpatialFirstAssigner",
     "UncertaintyFirstAssigner",
+    "build_assigner",
 ]

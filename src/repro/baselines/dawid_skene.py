@@ -13,6 +13,17 @@ binary POI-labelling setting:
 Unlike the paper's model this estimator is *location-unaware*: a worker's
 quality is the same regardless of how far the POI is, which is exactly the
 deficiency the case study in Table I illustrates.
+
+Two EM engines implement the iteration, mirroring the vectorised/reference
+split of :mod:`repro.core.inference`:
+
+* ``engine="vectorized"`` (the default) flattens the answer log once into the
+  same flat-index layout the :class:`~repro.core.em_kernel.AnswerTensor` uses —
+  integer item/worker index arrays plus a 0/1 response vector — and runs every
+  E/M step as ``np.bincount`` segment sums over those indices;
+* ``engine="reference"`` is the original per-observation Python loop, kept as
+  the executable specification the vectorised engine is equivalence-tested
+  against (``tests/test_baselines_dawid_skene.py``).
 """
 
 from __future__ import annotations
@@ -24,6 +35,9 @@ import numpy as np
 from repro.baselines.base import LabelInferenceModel
 from repro.data.models import AnswerSet, Task
 
+#: Valid values of :attr:`DawidSkeneConfig.engine`.
+DS_ENGINES = ("vectorized", "reference")
+
 
 @dataclass
 class DawidSkeneConfig:
@@ -32,6 +46,7 @@ class DawidSkeneConfig:
     max_iterations: int = 100
     convergence_threshold: float = 1e-4
     smoothing: float = 0.1
+    engine: str = "vectorized"
 
     def __post_init__(self) -> None:
         if self.max_iterations <= 0:
@@ -43,6 +58,8 @@ class DawidSkeneConfig:
             )
         if self.smoothing < 0:
             raise ValueError(f"smoothing must be non-negative, got {self.smoothing}")
+        if self.engine not in DS_ENGINES:
+            raise ValueError(f"engine must be one of {DS_ENGINES}, got {self.engine!r}")
 
 
 @dataclass
@@ -84,6 +101,134 @@ class DawidSkeneInference(LabelInferenceModel):
 
     def fit(self, answers: AnswerSet) -> "DawidSkeneInference":
         items, observations = self._flatten(answers)
+        if self._config.engine == "reference":
+            posterior, confusion, result = self._fit_reference(items, observations)
+        else:
+            posterior, confusion, result = self._fit_vectorized(items, observations)
+
+        self._confusion = confusion
+        self._probabilities = {}
+        for task_id, task in self._tasks.items():
+            probs = np.array(
+                [posterior.get((task_id, k), 0.5) for k in range(task.num_labels)]
+            )
+            self._probabilities[task_id] = probs
+        self._last_result = result
+        self._fitted = True
+        return self
+
+    def label_probabilities(self, task_id: str) -> np.ndarray:
+        self._require_fitted()
+        self._require_task(task_id)
+        return self._probabilities[task_id].copy()
+
+    # ------------------------------------------------------- vectorized engine
+    def _fit_vectorized(
+        self,
+        items: list[tuple[str, int]],
+        observations: list[tuple[str, tuple[str, int], int]],
+    ) -> tuple[dict[tuple[str, int], float], dict[str, np.ndarray], DawidSkeneResult]:
+        """Batched EM on the flat-index layout.
+
+        Observations become three aligned arrays — item index, worker index and
+        0/1 response — and each E/M step is a fixed number of ``np.bincount``
+        segment sums, exactly like the M-step scatter-adds of
+        :func:`repro.core.em_kernel.em_step`.  The per-bin accumulation order
+        equals the observation order the reference loop uses, so the two
+        engines agree to floating-point noise.
+        """
+        worker_ids = sorted({worker_id for worker_id, _, _ in observations})
+        item_index = {item: i for i, item in enumerate(items)}
+        worker_index = {worker_id: w for w, worker_id in enumerate(worker_ids)}
+        num_items = len(items)
+        num_workers = len(worker_ids)
+
+        o_item = np.fromiter(
+            (item_index[key] for _, key, _ in observations),
+            dtype=np.intp,
+            count=len(observations),
+        )
+        o_worker = np.fromiter(
+            (worker_index[worker_id] for worker_id, _, _ in observations),
+            dtype=np.intp,
+            count=len(observations),
+        )
+        o_resp = np.fromiter(
+            (response for _, _, response in observations),
+            dtype=np.intp,
+            count=len(observations),
+        )
+
+        # Majority-vote initialisation of the truth posteriors (per item).
+        votes = np.bincount(o_item, weights=o_resp.astype(float), minlength=num_items)
+        counts = np.bincount(o_item, minlength=num_items)
+        posterior = np.where(counts > 0, votes / np.maximum(1, counts), 0.5)
+
+        # conf[z] rows live in two (|W|, 2) matrices: conf0 = π_w[0, ·],
+        # conf1 = π_w[1, ·].  No initial value is needed — the loop always
+        # runs its M-step (from the majority-vote posteriors) before the
+        # first E-step reads them, and max_iterations is validated positive.
+        prior_positive = 0.5
+        smoothing = self._config.smoothing
+        # Combined (worker, response) bin for the confusion scatter-adds.
+        wr_bin = o_worker * 2 + o_resp
+
+        trace: list[float] = []
+        converged = False
+        iterations = 0
+        for iteration in range(self._config.max_iterations):
+            iterations = iteration + 1
+
+            # M-step: confusion matrices and class prior from current posteriors.
+            p1 = posterior[o_item]
+            counts1 = smoothing + np.bincount(
+                wr_bin, weights=p1, minlength=2 * num_workers
+            ).reshape(num_workers, 2)
+            counts0 = smoothing + np.bincount(
+                wr_bin, weights=1.0 - p1, minlength=2 * num_workers
+            ).reshape(num_workers, 2)
+            conf1 = counts1 / counts1.sum(axis=1, keepdims=True)
+            conf0 = counts0 / counts0.sum(axis=1, keepdims=True)
+            if num_items:
+                prior_positive = float(np.mean(posterior))
+                prior_positive = min(1.0 - 1e-6, max(1e-6, prior_positive))
+
+            # E-step: truth posteriors from the confusion matrices.
+            log_c1 = np.log(np.maximum(conf1, 1e-12))
+            log_c0 = np.log(np.maximum(conf0, 1e-12))
+            log_p1 = np.log(prior_positive) + np.bincount(
+                o_item, weights=log_c1[o_worker, o_resp], minlength=num_items
+            )
+            log_p0 = np.log(1.0 - prior_positive) + np.bincount(
+                o_item, weights=log_c0[o_worker, o_resp], minlength=num_items
+            )
+            new_posterior = np.exp(log_p1 - np.logaddexp(log_p1, log_p0))
+            max_change = (
+                float(np.abs(new_posterior - posterior).max()) if num_items else 0.0
+            )
+            posterior = new_posterior
+            trace.append(max_change)
+            if max_change <= self._config.convergence_threshold:
+                converged = True
+                break
+
+        posterior_dict = {item: float(posterior[i]) for i, item in enumerate(items)}
+        confusion = {
+            worker_id: np.stack([conf0[w], conf1[w]])
+            for worker_id, w in worker_index.items()
+        }
+        result = DawidSkeneResult(
+            iterations=iterations, converged=converged, convergence_trace=trace
+        )
+        return posterior_dict, confusion, result
+
+    # -------------------------------------------------------- reference engine
+    def _fit_reference(
+        self,
+        items: list[tuple[str, int]],
+        observations: list[tuple[str, tuple[str, int], int]],
+    ) -> tuple[dict[tuple[str, int], float], dict[str, np.ndarray], DawidSkeneResult]:
+        """The original per-observation EM loop (the executable specification)."""
         worker_ids = sorted({worker_id for worker_id, _, _ in observations})
 
         # Initialise truth posteriors with the majority-vote fraction.
@@ -148,23 +293,10 @@ class DawidSkeneInference(LabelInferenceModel):
                 converged = True
                 break
 
-        self._confusion = confusion
-        self._probabilities = {}
-        for task_id, task in self._tasks.items():
-            probs = np.array(
-                [posterior.get((task_id, k), 0.5) for k in range(task.num_labels)]
-            )
-            self._probabilities[task_id] = probs
-        self._last_result = DawidSkeneResult(
+        result = DawidSkeneResult(
             iterations=iterations, converged=converged, convergence_trace=trace
         )
-        self._fitted = True
-        return self
-
-    def label_probabilities(self, task_id: str) -> np.ndarray:
-        self._require_fitted()
-        self._require_task(task_id)
-        return self._probabilities[task_id].copy()
+        return posterior, confusion, result
 
     # ------------------------------------------------------------------ internal
     def _flatten(

@@ -1,6 +1,6 @@
 """Command-line interface for the reproduction.
 
-Four subcommands cover the typical workflow without writing any Python:
+Five subcommands cover the typical workflow without writing any Python:
 
 * ``repro-poi generate``  — generate a synthetic dataset (Beijing / China /
   custom-sized) and write it to JSON.
@@ -10,6 +10,9 @@ Four subcommands cover the typical workflow without writing any Python:
   report the labelling accuracy of each requested method.
 * ``repro-poi campaign``  — run the full online framework (Deployment 2) with a
   chosen assignment strategy and report the accuracy trajectory.
+* ``repro-poi serve-sim`` — replay a simulated workload through the online
+  serving subsystem (streaming ingestion, versioned snapshots, live
+  assignment) and report ingestion/assignment statistics.
 
 Example::
 
@@ -17,6 +20,7 @@ Example::
     repro-poi collect  --dataset-file beijing.json --answers-per-task 5 --out answers.json
     repro-poi infer    --dataset-file beijing.json --answers-file answers.json --methods MV EM IM
     repro-poi campaign --dataset-file beijing.json --budget 300 --assigner accopt
+    repro-poi serve-sim --dataset-file beijing.json --budget 300 --batch-answers 32
 """
 
 from __future__ import annotations
@@ -25,12 +29,9 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.assign.random_assigner import RandomAssigner
-from repro.assign.spatial_first import SpatialFirstAssigner
-from repro.assign.uncertainty import UncertaintyFirstAssigner
+from repro.assign import ASSIGNER_NAMES, build_assigner
 from repro.baselines.dawid_skene import DawidSkeneInference
 from repro.baselines.majority_vote import MajorityVoteInference
-from repro.core.assignment import AccOptAssigner
 from repro.core.inference import LocationAwareInference
 from repro.crowd.worker_pool import WorkerPoolSpec
 from repro.data.generators import (
@@ -44,6 +45,7 @@ from repro.framework.config import FrameworkConfig
 from repro.framework.experiment import build_platform, build_worker_pool
 from repro.framework.framework import PoiLabellingFramework
 from repro.framework.metrics import labelling_accuracy
+from repro.serving import IngestConfig, OnlineServingService, ServingConfig
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -92,10 +94,33 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--num-workers", type=int, default=60)
     campaign.add_argument(
         "--assigner",
-        choices=("accopt", "random", "spatial", "uncertainty"),
+        choices=ASSIGNER_NAMES,
         default="accopt",
     )
     campaign.add_argument("--seed", type=int, default=42)
+
+    serve = subparsers.add_parser(
+        "serve-sim",
+        help="replay a simulated workload through the online serving subsystem",
+    )
+    serve.add_argument("--dataset-file", default=None,
+                       help="dataset JSON; omitted -> a synthetic dataset is generated")
+    serve.add_argument("--num-tasks", type=int, default=100,
+                       help="task count when generating a synthetic dataset")
+    serve.add_argument("--budget", type=int, default=300)
+    serve.add_argument("--tasks-per-worker", type=int, default=2)
+    serve.add_argument("--workers-per-round", type=int, default=5)
+    serve.add_argument("--num-workers", type=int, default=60)
+    serve.add_argument("--assigner", choices=ASSIGNER_NAMES, default="accopt")
+    serve.add_argument("--batch-answers", type=int, default=32,
+                       help="micro-batch size (count trigger) of the ingestion layer")
+    serve.add_argument("--batch-delay", type=float, default=5.0,
+                       help="micro-batch window in simulated seconds (time trigger)")
+    serve.add_argument("--full-refresh-interval", type=int, default=200,
+                       help="answers between full EM re-fits")
+    serve.add_argument("--snapshot-out", default=None,
+                       help="optional path to save the final parameter snapshot (.npz)")
+    serve.add_argument("--seed", type=int, default=42)
 
     return parser
 
@@ -199,14 +224,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     inference = LocationAwareInference(
         dataset.tasks, pool.workers, distance_model, config=config.inference
     )
-    if args.assigner == "accopt":
-        assigner = AccOptAssigner(dataset.tasks, pool.workers, distance_model)
-    elif args.assigner == "random":
-        assigner = RandomAssigner(dataset.tasks, pool.workers, seed=args.seed)
-    elif args.assigner == "spatial":
-        assigner = SpatialFirstAssigner(dataset.tasks, pool.workers, distance_model)
-    else:
-        assigner = UncertaintyFirstAssigner(dataset.tasks, pool.workers)
+    assigner = build_assigner(
+        args.assigner, dataset.tasks, pool.workers, distance_model, seed=args.seed
+    )
 
     framework = PoiLabellingFramework(platform, inference, assigner, config=config)
     result = framework.run()
@@ -219,11 +239,52 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_sim(args: argparse.Namespace) -> int:
+    if args.dataset_file is not None:
+        dataset = load_dataset(args.dataset_file)
+    else:
+        spec = DatasetSpec(name=f"ServeSim-{args.num_tasks}", num_tasks=args.num_tasks)
+        dataset = generate_dataset(spec, seed=args.seed)
+    pool = build_worker_pool(
+        dataset, spec=WorkerPoolSpec(num_workers=args.num_workers), seed=args.seed
+    )
+    platform = build_platform(
+        dataset,
+        budget=args.budget,
+        worker_pool=pool,
+        workers_per_round=args.workers_per_round,
+        seed=args.seed,
+    )
+    config = ServingConfig(
+        strategy=args.assigner,
+        tasks_per_worker=args.tasks_per_worker,
+        ingest=IngestConfig(
+            max_batch_answers=args.batch_answers,
+            max_batch_delay=args.batch_delay,
+            full_refresh_interval=args.full_refresh_interval,
+        ),
+        seed=args.seed,
+    )
+    service = OnlineServingService(platform, config=config)
+    print(
+        f"serving {dataset.name}: budget {args.budget}, strategy {args.assigner}, "
+        f"micro-batch {args.batch_answers} answers / {args.batch_delay}s window"
+    )
+    report = service.run()
+    print(report.summary())
+    if args.snapshot_out:
+        saved = service.save_latest_snapshot(args.snapshot_out)
+        if saved is not None:
+            print(f"saved latest snapshot -> {saved}")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "collect": _cmd_collect,
     "infer": _cmd_infer,
     "campaign": _cmd_campaign,
+    "serve-sim": _cmd_serve_sim,
 }
 
 

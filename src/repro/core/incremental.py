@@ -32,7 +32,12 @@ import numpy as np
 
 from repro.core import em_kernel
 from repro.core.inference import LocationAwareInference, _AnswerRecord
-from repro.core.params import ModelParameters, TaskParameters, WorkerParameters
+from repro.core.params import (
+    ArrayParameterStore,
+    ModelParameters,
+    TaskParameters,
+    WorkerParameters,
+)
 from repro.data.models import Answer, AnswerSet
 
 
@@ -82,14 +87,19 @@ class IncrementalUpdater:
         self,
         answers: AnswerSet,
         new_answers: list[Answer],
-        parameters: ModelParameters | None = None,
+        parameters: ModelParameters | ArrayParameterStore | None = None,
     ) -> ModelParameters:
         """Update parameters for the workers/tasks touched by ``new_answers``.
 
-        ``answers`` must already contain ``new_answers``.  Returns the updated
+        ``answers`` must already contain ``new_answers``.  ``parameters`` may
+        be a live :class:`~repro.core.params.ModelParameters` estimate or an
+        :class:`~repro.core.params.ArrayParameterStore` snapshot to warm-start
+        from (the serving path's restore case).  Returns the updated
         :class:`~repro.core.params.ModelParameters` (also stored on the
         underlying inference model so subsequent predictions reflect it).
         """
+        if isinstance(parameters, ArrayParameterStore):
+            parameters = parameters.to_model()
         if not new_answers:
             return parameters if parameters is not None else self.inference.parameters
 

@@ -48,7 +48,12 @@ from repro.baselines.base import LabelInferenceModel
 from repro.core.distance_functions import DistanceFunctionSet, PAPER_FUNCTION_SET
 from repro.core import em_kernel
 from repro.core.em_kernel import AnswerTensor
-from repro.core.params import ModelParameters, TaskParameters, WorkerParameters
+from repro.core.params import (
+    ArrayParameterStore,
+    ModelParameters,
+    TaskParameters,
+    WorkerParameters,
+)
 from repro.data.models import AnswerSet, Task, Worker
 from repro.spatial.distance import DistanceModel
 from repro.utils.validation import clamp_probability
@@ -184,9 +189,19 @@ class LocationAwareInference(LabelInferenceModel):
         return self._last_result
 
     # -------------------------------------------------------------- interface
-    def fit(self, answers: AnswerSet) -> "LocationAwareInference":
-        """Run full EM on ``answers`` (Section III-C)."""
-        self._last_result = self.run_em(answers)
+    def fit(
+        self,
+        answers: AnswerSet,
+        initial: ModelParameters | ArrayParameterStore | None = None,
+    ) -> "LocationAwareInference":
+        """Run full EM on ``answers`` (Section III-C).
+
+        ``initial`` warm-starts the run from a previous estimate — either a
+        live :class:`~repro.core.params.ModelParameters` or a (possibly
+        restored) :class:`~repro.core.params.ArrayParameterStore` snapshot, as
+        published by the online serving subsystem (:mod:`repro.serving`).
+        """
+        self._last_result = self.run_em(answers, initial=initial)
         self._parameters = self._last_result.parameters
         self._fitted = True
         return self
@@ -196,16 +211,38 @@ class LocationAwareInference(LabelInferenceModel):
         task = self._require_task(task_id)
         return self._parameters.task(task_id, num_labels=task.num_labels).label_probs.copy()
 
+    def warm_start(
+        self, parameters: ModelParameters | ArrayParameterStore
+    ) -> "LocationAwareInference":
+        """Adopt an existing estimate without running EM.
+
+        Used by the serving subsystem to resume from a restored snapshot: the
+        model becomes immediately queryable (predictions, incremental updates)
+        and the next :meth:`fit` naturally warm-starts from these values.
+        """
+        if isinstance(parameters, ArrayParameterStore):
+            parameters = parameters.to_model()
+        self._parameters = parameters
+        self._fitted = True
+        return self
+
     # ------------------------------------------------------------------- EM
     def run_em(
-        self, answers: AnswerSet, initial: ModelParameters | None = None
+        self,
+        answers: AnswerSet,
+        initial: ModelParameters | ArrayParameterStore | None = None,
     ) -> InferenceResult:
         """Run EM to convergence and return the full trace.
 
         ``initial`` allows warm-starting from previous parameters, which is how
-        the framework re-runs the model as new answers arrive.  Dispatches to
-        the engine selected by :attr:`InferenceConfig.engine`.
+        the framework re-runs the model as new answers arrive; an
+        :class:`~repro.core.params.ArrayParameterStore` (e.g. a serving
+        snapshot restored from disk) is accepted directly and expanded through
+        the same footnote-3 priors as a live estimate.  Dispatches to the
+        engine selected by :attr:`InferenceConfig.engine`.
         """
+        if isinstance(initial, ArrayParameterStore):
+            initial = initial.to_model()
         if self._config.engine == "reference":
             return self._run_em_reference(answers, initial)
         return self._run_em_vectorized(answers, initial)

@@ -27,7 +27,8 @@ every existing consumer keeps the dict-of-dataclasses API.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from pathlib import Path
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -381,12 +382,78 @@ class ArrayParameterStore:
             alpha=self.alpha,
             worker_ids=self.worker_ids,
             task_ids=self.task_ids,
-            label_offsets=self.label_offsets,
+            label_offsets=self.label_offsets.copy(),
             p_qualified=self.p_qualified.copy(),
             distance_weights=self.distance_weights.copy(),
             influence_weights=self.influence_weights.copy(),
             label_probs=self.label_probs.copy(),
         )
+
+    def freeze(self) -> "ArrayParameterStore":
+        """Mark every parameter array read-only (in place) and return ``self``.
+
+        Published snapshots are frozen so that no consumer can mutate a version
+        other readers are concurrently working against; attempting to write
+        raises ``ValueError`` at the NumPy level.
+        """
+        for array in (
+            self.label_offsets,
+            self.p_qualified,
+            self.distance_weights,
+            self.influence_weights,
+            self.label_probs,
+        ):
+            array.setflags(write=False)
+        return self
+
+    # ------------------------------------------------------------ persistence
+    def to_npz_dict(self) -> dict[str, np.ndarray]:
+        """Flatten the store into plain arrays suitable for ``np.savez``.
+
+        Everything — including the function set's lambdas and the id tuples
+        (as unicode arrays) — round-trips through :meth:`from_npz_dict`
+        bit-exactly, without pickling.
+        """
+        return {
+            "lambdas": np.asarray(self.function_set.lambdas, dtype=float),
+            "alpha": np.asarray(self.alpha, dtype=float),
+            "worker_ids": np.asarray(self.worker_ids, dtype=np.str_),
+            "task_ids": np.asarray(self.task_ids, dtype=np.str_),
+            "label_offsets": np.asarray(self.label_offsets, dtype=np.int64),
+            "p_qualified": self.p_qualified,
+            "distance_weights": self.distance_weights,
+            "influence_weights": self.influence_weights,
+            "label_probs": self.label_probs,
+        }
+
+    @classmethod
+    def from_npz_dict(cls, data: Mapping[str, np.ndarray]) -> "ArrayParameterStore":
+        """Rebuild a store from the arrays produced by :meth:`to_npz_dict`."""
+        return cls(
+            function_set=DistanceFunctionSet(tuple(np.asarray(data["lambdas"], dtype=float))),
+            alpha=float(np.asarray(data["alpha"])),
+            worker_ids=tuple(str(w) for w in np.asarray(data["worker_ids"])),
+            task_ids=tuple(str(t) for t in np.asarray(data["task_ids"])),
+            label_offsets=np.asarray(data["label_offsets"], dtype=np.intp),
+            p_qualified=np.asarray(data["p_qualified"], dtype=float),
+            distance_weights=np.asarray(data["distance_weights"], dtype=float),
+            influence_weights=np.asarray(data["influence_weights"], dtype=float),
+            label_probs=np.asarray(data["label_probs"], dtype=float),
+        )
+
+    def save_npz(self, path: str | Path) -> Path:
+        """Persist the store to ``path`` as an uncompressed ``.npz`` archive."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "wb") as handle:
+            np.savez(handle, **self.to_npz_dict())
+        return path
+
+    @classmethod
+    def load_npz(cls, path: str | Path) -> "ArrayParameterStore":
+        """Restore a store previously written with :meth:`save_npz`."""
+        with np.load(Path(path), allow_pickle=False) as data:
+            return cls.from_npz_dict(data)
 
     def max_difference(self, other: "ArrayParameterStore") -> float:
         """Maximum absolute parameter change versus ``other``.

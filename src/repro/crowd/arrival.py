@@ -9,11 +9,17 @@ available set ``W``.  These classes model who shows up in each round:
 * :class:`RoundRobinArrival` — workers arrive in a fixed rotation (useful for
   deterministic tests and for stressing the "every worker participates"
   scenario the paper's Deployment 1 approximates).
+
+:class:`TimedArrivalSchedule` decorates any of the above with simulated arrival
+*timestamps* (exponential inter-batch gaps).  The online serving subsystem
+(:mod:`repro.serving`) consumes these events so its ingestion layer can
+micro-batch answers by simulated-time window, not just by count.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -116,3 +122,62 @@ class PoissonArrival(WorkerArrivalProcess):
 
     def reset(self) -> None:
         self._rng = default_rng(self._seed)
+
+
+@dataclass(frozen=True)
+class ArrivalBatch:
+    """One timestamped arrival: who showed up and at what simulated time."""
+
+    round_index: int
+    time: float
+    worker_ids: tuple[str, ...]
+
+
+class TimedArrivalSchedule:
+    """A :class:`WorkerArrivalProcess` with simulated arrival timestamps.
+
+    Batches keep the wrapped process's membership; the schedule only adds a
+    monotone clock with exponential inter-batch gaps of mean
+    ``mean_interarrival`` (simulated seconds).  The serving subsystem's
+    ingestion layer uses these times to close micro-batches on a time window
+    even when traffic is sparse.
+    """
+
+    def __init__(
+        self,
+        process: WorkerArrivalProcess,
+        mean_interarrival: float = 1.0,
+        seed: SeedLike = None,
+    ) -> None:
+        if mean_interarrival <= 0:
+            raise ValueError(
+                f"mean_interarrival must be positive, got {mean_interarrival}"
+            )
+        self._process = process
+        self._mean = mean_interarrival
+        self._seed = seed
+        self._rng = default_rng(seed)
+        self._now = 0.0
+        self._round = 0
+
+    @property
+    def now(self) -> float:
+        """The simulated clock: the time of the most recent batch."""
+        return self._now
+
+    def next_batch(self) -> ArrivalBatch:
+        """Advance the clock and return the next timestamped batch."""
+        self._now += float(self._rng.exponential(self._mean))
+        batch = ArrivalBatch(
+            round_index=self._round,
+            time=self._now,
+            worker_ids=tuple(self._process.next_batch(self._round)),
+        )
+        self._round += 1
+        return batch
+
+    def reset(self) -> None:
+        self._process.reset()
+        self._rng = default_rng(self._seed)
+        self._now = 0.0
+        self._round = 0

@@ -108,6 +108,16 @@ class CrowdPlatform:
         return self._simulator
 
     @property
+    def arrival_process(self) -> WorkerArrivalProcess | None:
+        """The configured arrival process (``None`` for batch-only platforms).
+
+        Exposed so the online serving service can wrap it in a
+        :class:`~repro.crowd.arrival.TimedArrivalSchedule` and drive arrivals
+        with simulated timestamps.
+        """
+        return self._arrival
+
+    @property
     def answers(self) -> AnswerSet:
         return self._answers
 

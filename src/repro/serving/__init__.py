@@ -1,0 +1,52 @@
+"""Online serving subsystem: streaming ingestion, snapshots, live assignment.
+
+The paper's system is *online*: workers arrive continuously, answers stream in,
+result inference is refreshed incrementally, and the next task assignment must
+be computed against the freshest parameters.  This package is that serving
+path, layered on the vectorised EM engine and the array-backed incremental
+updater of :mod:`repro.core`:
+
+* :mod:`repro.serving.ingest`    — accepts streams of answer events and
+  micro-batches them (by count and/or simulated-time window) into
+  :class:`~repro.core.incremental.IncrementalUpdater`, with a periodic full
+  re-fit on the vectorised engine;
+* :mod:`repro.serving.snapshots` — immutable, versioned copies of the
+  :class:`~repro.core.params.ArrayParameterStore` (copy-on-write publish,
+  monotonically increasing versions, bounded retention, ``.npz`` persistence)
+  so reads never observe a half-applied update;
+* :mod:`repro.serving.frontend`  — serves an AccOpt / uncertainty /
+  spatial-first assignment to each arriving worker against the latest
+  published snapshot, recording per-request latency;
+* :mod:`repro.serving.service`   — wires the three together over a
+  :class:`~repro.crowd.platform.CrowdPlatform` workload and exposes a
+  run-to-completion simulation (the ``repro-poi serve-sim`` CLI subcommand).
+
+Typical usage::
+
+    from repro.serving import OnlineServingService, ServingConfig
+
+    service = OnlineServingService(platform, config=ServingConfig())
+    report = service.run()
+    print(report.summary())
+"""
+
+from repro.serving.frontend import AssignmentFrontend, AssignmentResponse, FrontendStats
+from repro.serving.ingest import AnswerEvent, AnswerIngestor, IngestConfig, IngestStats
+from repro.serving.snapshots import ParameterSnapshot, SnapshotStore, load_snapshot
+from repro.serving.service import OnlineServingService, ServingConfig, ServingReport
+
+__all__ = [
+    "AnswerEvent",
+    "AnswerIngestor",
+    "AssignmentFrontend",
+    "AssignmentResponse",
+    "FrontendStats",
+    "IngestConfig",
+    "IngestStats",
+    "OnlineServingService",
+    "ParameterSnapshot",
+    "ServingConfig",
+    "ServingReport",
+    "SnapshotStore",
+    "load_snapshot",
+]

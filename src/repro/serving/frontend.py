@@ -1,0 +1,131 @@
+"""The assignment frontend: live task assignment against published snapshots.
+
+When a worker arrives, the frontend asks its assignment strategy (AccOpt,
+uncertainty-first, spatial-first or random — built through
+:func:`repro.assign.build_assigner`) for that worker's HIT, computed against
+the **latest published snapshot** rather than the live inference object: the
+ingestion layer may be mid-update at any moment, and snapshots are the
+read-side boundary that makes that safe.
+
+Parameters are pushed into the assigner only when the snapshot version
+actually changed since the last request (assigners keep their own
+:class:`~repro.core.params.ModelParameters` reference), and every request
+records its wall-clock latency so the service can report p50/p95 assignment
+latencies — the paper's Figure 14 concern, measured on the serving path.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.assign import build_assigner
+from repro.data.models import AnswerSet, Task, Worker
+from repro.serving.snapshots import SnapshotStore
+from repro.spatial.distance import DistanceModel
+
+#: Version reported while no snapshot has been published yet.
+NO_SNAPSHOT = -1
+
+
+@dataclass(frozen=True)
+class AssignmentResponse:
+    """Outcome of one assignment request."""
+
+    worker_id: str
+    task_ids: tuple[str, ...]
+    snapshot_version: int
+    latency_ms: float
+
+
+@dataclass
+class FrontendStats:
+    """Aggregate request counters plus the raw latency samples."""
+
+    requests: int = 0
+    tasks_assigned: int = 0
+    empty_responses: int = 0
+    parameter_refreshes: int = 0
+    latencies_ms: list[float] = field(default_factory=list)
+
+    def latency_percentile(self, percentile: float) -> float:
+        """Latency percentile in milliseconds (0 when no requests were served)."""
+        if not self.latencies_ms:
+            return 0.0
+        return float(np.percentile(self.latencies_ms, percentile))
+
+    @property
+    def p50_latency_ms(self) -> float:
+        return self.latency_percentile(50.0)
+
+    @property
+    def p95_latency_ms(self) -> float:
+        return self.latency_percentile(95.0)
+
+
+class AssignmentFrontend:
+    """Serves per-worker assignments computed against the latest snapshot."""
+
+    def __init__(
+        self,
+        tasks: list[Task],
+        workers: list[Worker],
+        distance_model: DistanceModel,
+        snapshots: SnapshotStore,
+        strategy: str = "accopt",
+        seed: int | None = None,
+    ) -> None:
+        self._assigner = build_assigner(
+            strategy, tasks, workers, distance_model=distance_model, seed=seed
+        )
+        self._snapshots = snapshots
+        self._strategy = strategy
+        self._seen_version: int | None = None
+        self._stats = FrontendStats()
+
+    @property
+    def strategy(self) -> str:
+        return self._strategy
+
+    @property
+    def stats(self) -> FrontendStats:
+        return self._stats
+
+    @property
+    def seen_version(self) -> int | None:
+        """Version of the snapshot the assigner's parameters came from."""
+        return self._seen_version
+
+    def assign(self, worker_id: str, h: int, answers: AnswerSet) -> AssignmentResponse:
+        """Assign up to ``h`` tasks to the arriving ``worker_id``.
+
+        Before any snapshot exists the assigner runs on its optimistic priors
+        (the paper's footnote-3 cold start); afterwards it always reflects the
+        latest published version.
+        """
+        started = time.perf_counter()
+        snapshot = self._snapshots.latest()
+        version = NO_SNAPSHOT
+        if snapshot is not None:
+            version = snapshot.version
+            if snapshot.version != self._seen_version:
+                self._assigner.update_parameters(snapshot.as_model())
+                self._seen_version = snapshot.version
+                self._stats.parameter_refreshes += 1
+        assignment = self._assigner.assign([worker_id], h, answers)
+        task_ids = tuple(assignment.get(worker_id, ()))
+        latency_ms = (time.perf_counter() - started) * 1000.0
+
+        self._stats.requests += 1
+        self._stats.tasks_assigned += len(task_ids)
+        if not task_ids:
+            self._stats.empty_responses += 1
+        self._stats.latencies_ms.append(latency_ms)
+        return AssignmentResponse(
+            worker_id=worker_id,
+            task_ids=task_ids,
+            snapshot_version=version,
+            latency_ms=latency_ms,
+        )

@@ -1,0 +1,263 @@
+"""Streaming answer ingestion: micro-batched incremental EM with full refreshes.
+
+Running any EM update after every single answer submission wastes most of its
+work re-reading the same neighbourhood; the serving path therefore buffers
+arriving :class:`AnswerEvent` records and closes a **micro-batch** when either
+
+* the buffer reaches ``max_batch_answers`` events, or
+* the oldest buffered event is older than ``max_batch_delay`` simulated
+  seconds (so sparse traffic still gets timely refreshes).
+
+Each closed batch is applied through the array-backed
+:class:`~repro.core.incremental.IncrementalUpdater` (localized masked sweeps on
+the vectorised kernel), and every ``full_refresh_interval`` ingested answers
+the model is re-fit from scratch on the vectorised engine — warm-started from
+the current estimate — to undo incremental drift.  After every update a new
+immutable snapshot is published to the :class:`~repro.serving.snapshots.SnapshotStore`,
+which is the only surface the assignment frontend reads.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.incremental import IncrementalUpdater
+from repro.core.inference import LocationAwareInference
+from repro.core.params import ModelParameters
+from repro.data.models import Answer, AnswerSet
+from repro.serving.snapshots import ParameterSnapshot, SnapshotStore
+
+
+@dataclass(frozen=True)
+class AnswerEvent:
+    """One answer submission with its simulated arrival time (seconds)."""
+
+    answer: Answer
+    time: float = 0.0
+
+
+@dataclass
+class IngestConfig:
+    """Micro-batching and refresh policy of the ingestion layer.
+
+    ``max_batch_answers`` bounds a micro-batch by count, ``max_batch_delay``
+    by simulated-time window; whichever triggers first closes the batch.
+    ``full_refresh_interval`` is the paper's two-tier refresh: a full EM re-run
+    every that many ingested answers, incremental updates in between.
+    """
+
+    max_batch_answers: int = 64
+    max_batch_delay: float = 5.0
+    full_refresh_interval: int = 1000
+    local_iterations: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_batch_answers <= 0:
+            raise ValueError(
+                f"max_batch_answers must be positive, got {self.max_batch_answers}"
+            )
+        if self.max_batch_delay <= 0:
+            raise ValueError(
+                f"max_batch_delay must be positive, got {self.max_batch_delay}"
+            )
+        if self.full_refresh_interval <= 0:
+            raise ValueError(
+                f"full_refresh_interval must be positive, got {self.full_refresh_interval}"
+            )
+        if self.local_iterations <= 0:
+            raise ValueError(
+                f"local_iterations must be positive, got {self.local_iterations}"
+            )
+
+
+@dataclass
+class IngestStats:
+    """Counters and timings accumulated by one :class:`AnswerIngestor`."""
+
+    answers: int = 0
+    batches: int = 0
+    incremental_updates: int = 0
+    full_refreshes: int = 0
+    snapshots_published: int = 0
+    update_seconds: float = 0.0
+
+    @property
+    def answers_per_second(self) -> float:
+        """Ingestion throughput over the time spent inside model updates."""
+        if self.update_seconds <= 0.0:
+            return 0.0
+        return self.answers / self.update_seconds
+
+
+class AnswerIngestor:
+    """Buffers answer events and turns them into model updates + snapshots.
+
+    Parameters
+    ----------
+    inference:
+        The live inference model the updates are applied to.
+    snapshots:
+        The store every refreshed estimate is published into.
+    config:
+        Micro-batching and refresh policy.
+    answers:
+        The growing answer log.  Pass the platform's own
+        :class:`~repro.data.models.AnswerSet` to share one log with the
+        simulator; by default the ingestor owns a fresh one and every submitted
+        event is appended to it.
+    """
+
+    def __init__(
+        self,
+        inference: LocationAwareInference,
+        snapshots: SnapshotStore,
+        config: IngestConfig | None = None,
+        answers: AnswerSet | None = None,
+    ) -> None:
+        self._inference = inference
+        self._snapshots = snapshots
+        self._config = config or IngestConfig()
+        self._answers = answers if answers is not None else AnswerSet()
+        self._updater = IncrementalUpdater(
+            inference=inference,
+            full_refresh_interval=self._config.full_refresh_interval,
+            local_iterations=self._config.local_iterations,
+        )
+        self._task_registry = inference.tasks
+        # Estimates to carry across re-fits: a model warm-started from a
+        # restored snapshot knows entities the growing answer log may not
+        # cover yet, and a full EM re-fit only returns entities present in
+        # its tensor — without this, the first publish after a restart would
+        # silently revert un-reanswered workers/tasks to cold-start priors.
+        self._carryover: ModelParameters | None = (
+            inference.parameters if inference.is_fitted else None
+        )
+        self._buffer: list[AnswerEvent] = []
+        self._buffer_opened_at: float | None = None
+        self._stats = IngestStats()
+
+    # ------------------------------------------------------------------ state
+    @property
+    def answers(self) -> AnswerSet:
+        return self._answers
+
+    @property
+    def config(self) -> IngestConfig:
+        return self._config
+
+    @property
+    def stats(self) -> IngestStats:
+        return self._stats
+
+    @property
+    def pending(self) -> int:
+        """Events buffered but not yet applied."""
+        return len(self._buffer)
+
+    # ------------------------------------------------------------------ intake
+    def submit(self, event: AnswerEvent) -> ParameterSnapshot | None:
+        """Buffer one answer event; flush if a batch boundary is crossed.
+
+        Returns the snapshot published by the flush, or ``None`` while the
+        batch is still open.
+        """
+        if self._buffer_opened_at is None:
+            self._buffer_opened_at = event.time
+        self._buffer.append(event)
+        if (
+            len(self._buffer) >= self._config.max_batch_answers
+            or event.time - self._buffer_opened_at >= self._config.max_batch_delay
+        ):
+            return self.flush(now=event.time)
+        return None
+
+    def tick(self, now: float) -> ParameterSnapshot | None:
+        """Time-based flush: close the open batch if it has aged past the window.
+
+        Call this when the simulated clock advances without new answers (e.g.
+        a round of arrivals produced no assignments), so sparse traffic cannot
+        leave a batch open forever.
+        """
+        if (
+            self._buffer
+            and self._buffer_opened_at is not None
+            and now - self._buffer_opened_at >= self._config.max_batch_delay
+        ):
+            return self.flush(now=now)
+        return None
+
+    def flush(
+        self, now: float | None = None, full: bool = False
+    ) -> ParameterSnapshot | None:
+        """Apply the buffered micro-batch and publish a fresh snapshot.
+
+        ``full=True`` forces a full re-fit even if the interval has not
+        elapsed (the service calls this once at shutdown so the final snapshot
+        reflects a converged estimate).  Returns ``None`` only when there is
+        nothing at all to do.
+        """
+        new_answers = [event.answer for event in self._buffer]
+        if now is None:
+            now = self._buffer[-1].time if self._buffer else 0.0
+        self._buffer.clear()
+        self._buffer_opened_at = None
+        if not new_answers and not (full and len(self._answers) > 0):
+            return None
+
+        for answer in new_answers:
+            self._answers.add(answer)
+
+        started = time.perf_counter()
+        run_full = (
+            full or not self._inference.is_fitted or self._updater.full_refresh_due
+        )
+        if run_full:
+            warm = self._inference.parameters if self._inference.is_fitted else None
+            self._inference.fit(self._answers, initial=warm)
+            self._updater.notify_full_refresh()
+            self._stats.full_refreshes += 1
+            source = "full_refresh"
+        else:
+            self._updater.apply(self._answers, new_answers)
+            self._stats.incremental_updates += 1
+            source = "incremental"
+        self._stats.update_seconds += time.perf_counter() - started
+        self._stats.answers += len(new_answers)
+        if new_answers:
+            self._stats.batches += 1
+
+        return self._publish(published_at=now, source=source)
+
+    # ---------------------------------------------------------------- internal
+    def _publish(self, published_at: float, source: str) -> ParameterSnapshot:
+        """Flatten the live estimate over every known entity and publish it.
+
+        The published set is the union of the current estimate's entities and
+        any carried-over ones (restored snapshots, pre-refresh estimates); the
+        current estimate wins wherever both exist.
+        """
+        params = self._inference.parameters
+        if self._carryover is not None:
+            workers = dict(self._carryover.workers)
+            workers.update(params.workers)
+            tasks = dict(self._carryover.tasks)
+            tasks.update(params.tasks)
+            params = ModelParameters(
+                function_set=params.function_set,
+                alpha=params.alpha,
+                workers=workers,
+                tasks=tasks,
+            )
+        self._carryover = params
+        worker_ids = sorted(params.workers)
+        task_ids = sorted(params.tasks)
+        num_labels = [self._task_registry[task_id].num_labels for task_id in task_ids]
+        store = params.to_array_store(worker_ids, task_ids, num_labels)
+        # The store was flattened solely for this publish — hand it over
+        # instead of paying a second full-array copy inside the snapshot.
+        snapshot = self._snapshots.publish(
+            store, published_at=published_at, source=source, copy=False
+        )
+        self._stats.snapshots_published += 1
+        return snapshot

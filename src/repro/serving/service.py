@@ -1,0 +1,239 @@
+"""The serving session: arrivals → live assignment → simulated answers → ingest.
+
+:class:`OnlineServingService` is the run-to-completion simulation of the whole
+online system over a :class:`~repro.crowd.platform.CrowdPlatform` workload:
+
+1. the platform's arrival process (wrapped in a
+   :class:`~repro.crowd.arrival.TimedArrivalSchedule`) produces timestamped
+   batches of arriving workers;
+2. for **each** arriving worker, the :class:`~repro.serving.frontend.AssignmentFrontend`
+   serves a HIT computed against the latest published snapshot (per-request
+   latency recorded);
+3. the platform simulates the worker's answers and charges the budget;
+4. the answers stream into the :class:`~repro.serving.ingest.AnswerIngestor`,
+   which micro-batches them into incremental EM updates (periodic full
+   refreshes on the vectorised engine) and publishes a fresh snapshot after
+   every update.
+
+The loop ends when the budget is exhausted, a round yields no assignable task,
+or ``max_rounds`` is reached; a final full refresh then produces the snapshot
+the closing accuracy is evaluated on.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.inference import InferenceConfig, LocationAwareInference
+from repro.crowd.arrival import TimedArrivalSchedule
+from repro.crowd.platform import CrowdPlatform
+from repro.framework.metrics import labelling_accuracy
+from repro.serving.frontend import AssignmentFrontend, FrontendStats
+from repro.serving.ingest import AnswerEvent, AnswerIngestor, IngestConfig, IngestStats
+from repro.serving.snapshots import ParameterSnapshot, SnapshotStore
+
+
+@dataclass
+class ServingConfig:
+    """Knobs of one serving session."""
+
+    strategy: str = "accopt"
+    tasks_per_worker: int = 2
+    mean_interarrival: float = 1.0
+    max_snapshots: int = 8
+    ingest: IngestConfig = field(default_factory=IngestConfig)
+    inference: InferenceConfig = field(default_factory=InferenceConfig)
+    final_full_refresh: bool = True
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.tasks_per_worker <= 0:
+            raise ValueError(
+                f"tasks_per_worker must be positive, got {self.tasks_per_worker}"
+            )
+        if self.mean_interarrival <= 0:
+            raise ValueError(
+                f"mean_interarrival must be positive, got {self.mean_interarrival}"
+            )
+
+
+@dataclass
+class ServingReport:
+    """Everything a serve-sim run reports: ingestion, assignment and accuracy."""
+
+    rounds: int
+    workers_served: int
+    answers_ingested: int
+    ingest: IngestStats
+    frontend: FrontendStats
+    snapshots_published: int
+    latest_version: int | None
+    simulated_duration: float
+    wall_seconds: float
+    final_accuracy: float
+
+    @property
+    def ingest_answers_per_second(self) -> float:
+        """Answers applied per second of model-update time."""
+        return self.ingest.answers_per_second
+
+    def summary(self) -> str:
+        """Human-readable multi-line digest (printed by ``repro-poi serve-sim``)."""
+        version = "-" if self.latest_version is None else str(self.latest_version)
+        lines = [
+            f"rounds: {self.rounds}, workers served: {self.workers_served}, "
+            f"answers ingested: {self.answers_ingested}",
+            f"ingest: {self.ingest.batches} micro-batches "
+            f"({self.ingest.incremental_updates} incremental, "
+            f"{self.ingest.full_refreshes} full refreshes), "
+            f"{self.ingest_answers_per_second:,.0f} answers/s of update time",
+            f"snapshots: {self.snapshots_published} published, latest version {version}",
+            f"assignment latency: p50 {self.frontend.p50_latency_ms:.2f} ms, "
+            f"p95 {self.frontend.p95_latency_ms:.2f} ms over "
+            f"{self.frontend.requests} requests",
+            f"simulated duration: {self.simulated_duration:.1f} s, "
+            f"wall clock: {self.wall_seconds:.2f} s",
+            f"final labelling accuracy: {self.final_accuracy:.3f}",
+        ]
+        return "\n".join(lines)
+
+
+class OnlineServingService:
+    """Wires ingestion, snapshotting and the frontend over one platform."""
+
+    def __init__(
+        self,
+        platform: CrowdPlatform,
+        config: ServingConfig | None = None,
+        initial_snapshot: ParameterSnapshot | None = None,
+    ) -> None:
+        if platform.arrival_process is None:
+            raise ValueError(
+                "the serving service needs a platform with an arrival process"
+            )
+        self._platform = platform
+        self._config = config or ServingConfig()
+        self._inference = LocationAwareInference(
+            platform.dataset.tasks,
+            platform.workers,
+            platform.distance_model,
+            config=self._config.inference,
+        )
+        self._snapshots = SnapshotStore(max_snapshots=self._config.max_snapshots)
+        if initial_snapshot is not None:
+            self._snapshots.adopt(initial_snapshot)
+            self._inference.warm_start(initial_snapshot.store)
+        self._ingestor = AnswerIngestor(
+            self._inference,
+            self._snapshots,
+            config=self._config.ingest,
+            answers=platform.answers,
+        )
+        self._frontend = AssignmentFrontend(
+            platform.dataset.tasks,
+            platform.workers,
+            platform.distance_model,
+            self._snapshots,
+            strategy=self._config.strategy,
+            seed=self._config.seed,
+        )
+        self._schedule = TimedArrivalSchedule(
+            platform.arrival_process,
+            mean_interarrival=self._config.mean_interarrival,
+            seed=self._config.seed,
+        )
+
+    # ------------------------------------------------------------------ state
+    @property
+    def platform(self) -> CrowdPlatform:
+        return self._platform
+
+    @property
+    def inference(self) -> LocationAwareInference:
+        return self._inference
+
+    @property
+    def snapshots(self) -> SnapshotStore:
+        return self._snapshots
+
+    @property
+    def ingestor(self) -> AnswerIngestor:
+        return self._ingestor
+
+    @property
+    def frontend(self) -> AssignmentFrontend:
+        return self._frontend
+
+    # ---------------------------------------------------------------- running
+    def run(self, max_rounds: int | None = None) -> ServingReport:
+        """Serve arrivals until the budget (or the task supply) runs out."""
+        platform = self._platform
+        h = self._config.tasks_per_worker
+        wall_started = time.perf_counter()
+        rounds = 0
+        workers_served = 0
+
+        while not platform.budget.exhausted:
+            if max_rounds is not None and rounds >= max_rounds:
+                break
+            batch = self._schedule.next_batch()
+            if not batch.worker_ids:
+                break
+            assigned_in_round = 0
+            for worker_id in batch.worker_ids:
+                remaining = platform.budget.remaining
+                if remaining <= 0:
+                    break
+                # Cap the request by the remaining budget so the frontend's
+                # stats only ever count tasks that are actually executed.
+                response = self._frontend.assign(
+                    worker_id, min(h, remaining), platform.answers
+                )
+                if not response.task_ids:
+                    continue
+                collected = platform.execute_assignment(
+                    {worker_id: list(response.task_ids)}
+                )
+                workers_served += 1
+                assigned_in_round += len(collected)
+                for answer in collected:
+                    self._ingestor.submit(AnswerEvent(answer, time=batch.time))
+            rounds += 1
+            if assigned_in_round == 0:
+                # Every arrival in this round was saturated — stop, mirroring
+                # the batch framework's zero-assignment exit; the post-loop
+                # flush drains any still-open micro-batch.
+                break
+
+        self._ingestor.flush(
+            now=self._schedule.now, full=self._config.final_full_refresh
+        )
+        wall_seconds = time.perf_counter() - wall_started
+
+        latest = self._snapshots.latest()
+        tasks = platform.dataset.tasks
+        if self._inference.is_fitted:
+            accuracy = labelling_accuracy(self._inference.predict_all(), tasks)
+        else:
+            accuracy = 0.5
+        return ServingReport(
+            rounds=rounds,
+            workers_served=workers_served,
+            answers_ingested=self._ingestor.stats.answers,
+            ingest=self._ingestor.stats,
+            frontend=self._frontend.stats,
+            snapshots_published=self._ingestor.stats.snapshots_published,
+            latest_version=None if latest is None else latest.version,
+            simulated_duration=self._schedule.now,
+            wall_seconds=wall_seconds,
+            final_accuracy=accuracy,
+        )
+
+    def save_latest_snapshot(self, path: str | Path) -> Path | None:
+        """Persist the latest published snapshot (``None`` if nothing published)."""
+        latest = self._snapshots.latest()
+        if latest is None:
+            return None
+        return latest.save(path)

@@ -1,0 +1,181 @@
+"""Versioned, immutable parameter snapshots for the online serving path.
+
+The ingestion layer mutates the inference model continuously (incremental EM
+between periodic full re-fits), but the assignment frontend must never observe
+a half-applied update.  :class:`SnapshotStore` decouples the two with a
+copy-on-write publish protocol:
+
+* :meth:`SnapshotStore.publish` deep-copies the
+  :class:`~repro.core.params.ArrayParameterStore`, marks every array read-only
+  and stamps the copy with a monotonically increasing version id — writers keep
+  mutating their own store, readers keep whatever version they already hold;
+* retention is bounded (:attr:`SnapshotStore.max_snapshots`): publishing past
+  the cap drops the oldest versions, mirroring a production parameter server
+  that keeps a short history for rollback;
+* :meth:`ParameterSnapshot.save` / :func:`load_snapshot` persist a snapshot to
+  disk as a plain ``.npz`` archive (no pickling) so a service can restore its
+  parameters across restarts; versions keep increasing across a restore.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.params import ArrayParameterStore, ModelParameters
+
+
+class ParameterSnapshot:
+    """One immutable, versioned copy of all model parameters.
+
+    The wrapped :class:`~repro.core.params.ArrayParameterStore` has every
+    array frozen (read-only); consumers that need the id-oriented
+    :class:`~repro.core.params.ModelParameters` view (the task assigners) call
+    :meth:`as_model`, which converts lazily and caches — the same snapshot is
+    typically read by many assignment requests.
+    """
+
+    __slots__ = ("version", "store", "published_at", "source", "_model")
+
+    def __init__(
+        self,
+        version: int,
+        store: ArrayParameterStore,
+        published_at: float = 0.0,
+        source: str = "publish",
+    ) -> None:
+        if version < 0:
+            raise ValueError(f"version must be non-negative, got {version}")
+        self.version = version
+        self.store = store
+        self.published_at = published_at
+        self.source = source
+        self._model: ModelParameters | None = None
+
+    def __repr__(self) -> str:
+        return (
+            f"ParameterSnapshot(version={self.version}, "
+            f"workers={self.store.num_workers}, tasks={self.store.num_tasks}, "
+            f"source={self.source!r})"
+        )
+
+    def as_model(self) -> ModelParameters:
+        """The dict-of-dataclasses view of this snapshot (converted once).
+
+        The returned object is shared between callers; treat it as read-only,
+        like the snapshot itself.
+        """
+        if self._model is None:
+            self._model = self.store.to_model()
+        return self._model
+
+    def save(self, path: str | Path) -> Path:
+        """Persist the snapshot (parameters + version metadata) as ``.npz``."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = self.store.to_npz_dict()
+        payload["snapshot_version"] = np.asarray(self.version, dtype=np.int64)
+        payload["published_at"] = np.asarray(self.published_at, dtype=float)
+        with open(path, "wb") as handle:
+            np.savez(handle, **payload)
+        return path
+
+
+def load_snapshot(path: str | Path) -> ParameterSnapshot:
+    """Restore a snapshot written by :meth:`ParameterSnapshot.save`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        store = ArrayParameterStore.from_npz_dict(data)
+        version = int(np.asarray(data["snapshot_version"]))
+        published_at = float(np.asarray(data["published_at"]))
+    return ParameterSnapshot(
+        version=version, store=store.freeze(), published_at=published_at, source="restore"
+    )
+
+
+class SnapshotStore:
+    """Bounded history of published parameter snapshots, newest last."""
+
+    def __init__(self, max_snapshots: int = 8) -> None:
+        if max_snapshots <= 0:
+            raise ValueError(f"max_snapshots must be positive, got {max_snapshots}")
+        self._max_snapshots = max_snapshots
+        self._snapshots: list[ParameterSnapshot] = []
+        self._next_version = 0
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    @property
+    def max_snapshots(self) -> int:
+        return self._max_snapshots
+
+    @property
+    def versions(self) -> list[int]:
+        """Retained version ids, oldest first (strictly increasing)."""
+        return [snapshot.version for snapshot in self._snapshots]
+
+    @property
+    def next_version(self) -> int:
+        return self._next_version
+
+    def publish(
+        self,
+        store: ArrayParameterStore,
+        published_at: float = 0.0,
+        source: str = "publish",
+        copy: bool = True,
+    ) -> ParameterSnapshot:
+        """Copy-on-write publish of ``store`` as the next version.
+
+        With ``copy=True`` (the default) the caller's store stays writable and
+        is never aliased: the snapshot owns a frozen copy, so a reader holding
+        version ``v`` is unaffected by any update applied after ``v`` was
+        published.  A caller handing over a store it will never touch again
+        (the ingestion layer flattens a fresh one per publish) can pass
+        ``copy=False`` to transfer ownership and skip the copy; the store is
+        frozen in place either way.
+        """
+        snapshot = ParameterSnapshot(
+            version=self._next_version,
+            store=(store.copy() if copy else store).freeze(),
+            published_at=published_at,
+            source=source,
+        )
+        self._next_version += 1
+        self._snapshots.append(snapshot)
+        if len(self._snapshots) > self._max_snapshots:
+            del self._snapshots[: len(self._snapshots) - self._max_snapshots]
+        return snapshot
+
+    def adopt(self, snapshot: ParameterSnapshot) -> ParameterSnapshot:
+        """Insert a restored snapshot and keep versions monotonic.
+
+        Used when a service restarts from disk: the loaded snapshot keeps its
+        original version id and every later publish strictly increases from
+        there.
+        """
+        if self._snapshots and snapshot.version <= self._snapshots[-1].version:
+            raise ValueError(
+                f"cannot adopt version {snapshot.version}: latest retained version "
+                f"is {self._snapshots[-1].version}"
+            )
+        self._snapshots.append(snapshot)
+        self._next_version = max(self._next_version, snapshot.version + 1)
+        if len(self._snapshots) > self._max_snapshots:
+            del self._snapshots[: len(self._snapshots) - self._max_snapshots]
+        return snapshot
+
+    def latest(self) -> ParameterSnapshot | None:
+        """The most recently published snapshot, or ``None`` before the first."""
+        return self._snapshots[-1] if self._snapshots else None
+
+    def get(self, version: int) -> ParameterSnapshot:
+        """The retained snapshot with exactly ``version``; ``KeyError`` if evicted."""
+        for snapshot in reversed(self._snapshots):
+            if snapshot.version == version:
+                return snapshot
+        raise KeyError(
+            f"snapshot version {version} is not retained "
+            f"(have {self.versions}, retention {self._max_snapshots})"
+        )

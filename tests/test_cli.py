@@ -139,3 +139,45 @@ class TestCampaign:
         )
         assert code == 0
         assert "final accuracy (accopt):" in capsys.readouterr().out
+
+
+class TestServeSim:
+    def test_serve_sim_replays_generated_workload(self, tmp_path, capsys):
+        snapshot_path = tmp_path / "snapshot.npz"
+        code = main(
+            [
+                "serve-sim",
+                "--num-tasks", "15",
+                "--budget", "40",
+                "--num-workers", "8",
+                "--workers-per-round", "3",
+                "--batch-answers", "8",
+                "--full-refresh-interval", "30",
+                "--seed", "5",
+                "--snapshot-out", str(snapshot_path),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "answers ingested: 40" in output
+        assert "micro-batches" in output
+        assert "assignment latency: p50" in output
+        assert "final labelling accuracy:" in output
+        assert snapshot_path.exists()
+
+    def test_serve_sim_on_dataset_file(self, dataset_file, capsys):
+        code = main(
+            [
+                "serve-sim",
+                "--dataset-file", str(dataset_file),
+                "--budget", "16",
+                "--num-workers", "6",
+                "--workers-per-round", "2",
+                "--assigner", "uncertainty",
+                "--seed", "5",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "snapshots:" in output
+        assert "answers ingested: 16" in output

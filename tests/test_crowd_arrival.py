@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.crowd.arrival import PoissonArrival, RoundRobinArrival, UniformRandomArrival
+from repro.crowd.arrival import (
+    PoissonArrival,
+    RoundRobinArrival,
+    TimedArrivalSchedule,
+    UniformRandomArrival,
+)
 from repro.crowd.worker_pool import WorkerPool, WorkerPoolSpec
 from repro.spatial.bbox import BoundingBox
 
@@ -82,3 +87,39 @@ class TestPoissonArrival:
         arrival.reset()
         second = [arrival.next_batch(i) for i in range(5)]
         assert first == second
+
+
+class TestTimedArrivalSchedule:
+    def test_times_are_strictly_increasing(self, pool):
+        schedule = TimedArrivalSchedule(
+            RoundRobinArrival(pool, batch_size=3), mean_interarrival=2.0, seed=4
+        )
+        batches = [schedule.next_batch() for _ in range(6)]
+        times = [batch.time for batch in batches]
+        assert times == sorted(times)
+        assert all(later > earlier for earlier, later in zip(times, times[1:]))
+        assert [batch.round_index for batch in batches] == list(range(6))
+        assert schedule.now == times[-1]
+
+    def test_membership_comes_from_wrapped_process(self, pool):
+        process = RoundRobinArrival(pool, batch_size=3)
+        schedule = TimedArrivalSchedule(process, seed=4)
+        batch = schedule.next_batch()
+        process.reset()
+        assert list(batch.worker_ids) == process.next_batch(0)
+
+    def test_reset_replays_clock_and_membership(self, pool):
+        schedule = TimedArrivalSchedule(
+            UniformRandomArrival(pool, batch_size=2, seed=9), seed=10
+        )
+        first = [schedule.next_batch() for _ in range(4)]
+        schedule.reset()
+        second = [schedule.next_batch() for _ in range(4)]
+        assert first == second
+        assert schedule.now == first[-1].time
+
+    def test_invalid_mean_interarrival(self, pool):
+        with pytest.raises(ValueError):
+            TimedArrivalSchedule(
+                RoundRobinArrival(pool, batch_size=2), mean_interarrival=0.0
+            )

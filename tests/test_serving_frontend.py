@@ -1,0 +1,153 @@
+"""Tests for repro.serving.frontend (live assignment against snapshots)."""
+
+import pytest
+
+from repro.core.inference import LocationAwareInference
+from repro.data.models import AnswerSet
+from repro.serving.frontend import NO_SNAPSHOT, AssignmentFrontend
+from repro.serving.snapshots import SnapshotStore
+
+
+@pytest.fixture()
+def snapshot_setup(small_dataset, worker_pool, distance_model, collected_answers):
+    """A snapshot store primed with one real fit, plus the ingredients."""
+    model = LocationAwareInference(
+        small_dataset.tasks, worker_pool.workers, distance_model
+    )
+    model.fit(collected_answers)
+    registry = small_dataset.task_index
+    task_ids = collected_answers.task_ids()
+    store = model.parameters.to_array_store(
+        collected_answers.worker_ids(),
+        task_ids,
+        [registry[task_id].num_labels for task_id in task_ids],
+    )
+    snapshots = SnapshotStore()
+    return snapshots, store
+
+
+def make_frontend(small_dataset, worker_pool, distance_model, snapshots, **kwargs):
+    return AssignmentFrontend(
+        small_dataset.tasks,
+        worker_pool.workers,
+        distance_model,
+        snapshots,
+        **kwargs,
+    )
+
+
+class TestColdStart:
+    def test_assigns_on_priors_before_any_snapshot(
+        self, small_dataset, worker_pool, distance_model
+    ):
+        frontend = make_frontend(
+            small_dataset, worker_pool, distance_model, SnapshotStore()
+        )
+        worker_id = worker_pool.worker_ids[0]
+        response = frontend.assign(worker_id, 2, AnswerSet())
+        assert len(response.task_ids) == 2
+        assert response.snapshot_version == NO_SNAPSHOT
+        assert frontend.seen_version is None
+
+    def test_unknown_strategy_rejected(
+        self, small_dataset, worker_pool, distance_model
+    ):
+        with pytest.raises(ValueError):
+            make_frontend(
+                small_dataset, worker_pool, distance_model, SnapshotStore(),
+                strategy="greedy-est",
+            )
+
+
+class TestSnapshotTracking:
+    def test_requests_carry_latest_version(
+        self, small_dataset, worker_pool, distance_model, snapshot_setup
+    ):
+        snapshots, store = snapshot_setup
+        frontend = make_frontend(
+            small_dataset, worker_pool, distance_model, snapshots
+        )
+        snapshots.publish(store)
+        response = frontend.assign(worker_pool.worker_ids[0], 2, AnswerSet())
+        assert response.snapshot_version == 0
+        snapshots.publish(store)
+        response = frontend.assign(worker_pool.worker_ids[1], 2, AnswerSet())
+        assert response.snapshot_version == 1
+
+    def test_parameters_refresh_once_per_version(
+        self, small_dataset, worker_pool, distance_model, snapshot_setup
+    ):
+        snapshots, store = snapshot_setup
+        frontend = make_frontend(
+            small_dataset, worker_pool, distance_model, snapshots
+        )
+        snapshots.publish(store)
+        for worker_id in worker_pool.worker_ids[:3]:
+            frontend.assign(worker_id, 1, AnswerSet())
+        assert frontend.stats.parameter_refreshes == 1  # one version, one push
+        snapshots.publish(store)
+        frontend.assign(worker_pool.worker_ids[3], 1, AnswerSet())
+        assert frontend.stats.parameter_refreshes == 2
+        assert frontend.seen_version == 1
+
+    def test_strategies_all_serve(self, small_dataset, worker_pool, distance_model, snapshot_setup):
+        snapshots, store = snapshot_setup
+        snapshots.publish(store)
+        for strategy in ("accopt", "uncertainty", "spatial", "random"):
+            frontend = make_frontend(
+                small_dataset, worker_pool, distance_model, snapshots,
+                strategy=strategy, seed=11,
+            )
+            response = frontend.assign(worker_pool.worker_ids[0], 2, AnswerSet())
+            assert len(response.task_ids) == 2, strategy
+
+
+class TestStats:
+    def test_latency_and_counters_recorded(
+        self, small_dataset, worker_pool, distance_model, snapshot_setup
+    ):
+        snapshots, store = snapshot_setup
+        snapshots.publish(store)
+        frontend = make_frontend(
+            small_dataset, worker_pool, distance_model, snapshots
+        )
+        for worker_id in worker_pool.worker_ids[:4]:
+            frontend.assign(worker_id, 2, AnswerSet())
+        stats = frontend.stats
+        assert stats.requests == 4
+        assert stats.tasks_assigned == 8
+        assert len(stats.latencies_ms) == 4
+        assert all(latency >= 0.0 for latency in stats.latencies_ms)
+        assert stats.p50_latency_ms <= stats.p95_latency_ms
+
+    def test_empty_percentiles_are_zero(
+        self, small_dataset, worker_pool, distance_model
+    ):
+        frontend = make_frontend(
+            small_dataset, worker_pool, distance_model, SnapshotStore()
+        )
+        assert frontend.stats.p50_latency_ms == 0.0
+        assert frontend.stats.p95_latency_ms == 0.0
+
+    def test_saturated_worker_gets_empty_response(
+        self, small_dataset, worker_pool, distance_model, collected_answers,
+        snapshot_setup,
+    ):
+        snapshots, store = snapshot_setup
+        snapshots.publish(store)
+        frontend = make_frontend(
+            small_dataset, worker_pool, distance_model, snapshots
+        )
+        # Build an answer log where one worker has answered every task.
+        answers = collected_answers.copy()
+        worker_id = worker_pool.worker_ids[0]
+        from repro.crowd.answer_model import AnswerSimulator
+
+        simulator = AnswerSimulator(distance_model, noise=0.0)
+        profile = worker_pool.profile(worker_id)
+        for task in small_dataset.tasks:
+            if answers.get(worker_id, task.task_id) is None:
+                answers.add(simulator.sample_answer(profile, task, seed=5))
+        response = frontend.assign(worker_id, 2, answers)
+        assert response.task_ids == ()
+        assert frontend.stats.empty_responses == 1

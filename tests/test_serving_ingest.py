@@ -1,0 +1,182 @@
+"""Tests for repro.serving.ingest (micro-batching, refresh policy, stats)."""
+
+import pytest
+
+from repro.core.inference import LocationAwareInference
+from repro.crowd.answer_model import AnswerSimulator
+from repro.data.models import AnswerSet
+from repro.serving.ingest import AnswerEvent, AnswerIngestor, IngestConfig
+from repro.serving.snapshots import SnapshotStore
+
+
+def make_events(small_dataset, worker_pool, distance_model, count, start_time=0.0, gap=0.1):
+    """Deterministic stream of distinct (worker, task) answer events."""
+    simulator = AnswerSimulator(distance_model, noise=0.0)
+    events = []
+    index = 0
+    for profile in worker_pool:
+        for task in small_dataset.tasks:
+            if index >= count:
+                return events
+            events.append(
+                AnswerEvent(
+                    simulator.sample_answer(profile, task, seed=1000 + index),
+                    time=start_time + gap * index,
+                )
+            )
+            index += 1
+    return events
+
+
+@pytest.fixture()
+def ingestor(small_dataset, worker_pool, distance_model):
+    inference = LocationAwareInference(
+        small_dataset.tasks, worker_pool.workers, distance_model
+    )
+    snapshots = SnapshotStore()
+    config = IngestConfig(
+        max_batch_answers=4, max_batch_delay=10.0, full_refresh_interval=100
+    )
+    return AnswerIngestor(inference, snapshots, config=config), snapshots
+
+
+class TestConfigValidation:
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            IngestConfig(max_batch_answers=0)
+        with pytest.raises(ValueError):
+            IngestConfig(max_batch_delay=0.0)
+        with pytest.raises(ValueError):
+            IngestConfig(full_refresh_interval=0)
+        with pytest.raises(ValueError):
+            IngestConfig(local_iterations=0)
+
+
+class TestMicroBatching:
+    def test_count_trigger_flushes_batch(
+        self, ingestor, small_dataset, worker_pool, distance_model
+    ):
+        ingest, snapshots = ingestor
+        events = make_events(small_dataset, worker_pool, distance_model, 4)
+        assert ingest.submit(events[0]) is None
+        assert ingest.submit(events[1]) is None
+        assert ingest.submit(events[2]) is None
+        assert ingest.pending == 3
+        snapshot = ingest.submit(events[3])
+        assert snapshot is not None
+        assert snapshot.version == 0
+        assert ingest.pending == 0
+        assert ingest.stats.answers == 4
+        assert ingest.stats.batches == 1
+
+    def test_time_window_trigger_flushes_batch(
+        self, ingestor, small_dataset, worker_pool, distance_model
+    ):
+        ingest, _ = ingestor
+        events = make_events(small_dataset, worker_pool, distance_model, 2, gap=15.0)
+        assert ingest.submit(events[0]) is None
+        # Second event arrives past the 10s window measured from the first.
+        assert ingest.submit(events[1]) is not None
+        assert ingest.stats.batches == 1
+
+    def test_tick_closes_an_aged_batch(
+        self, ingestor, small_dataset, worker_pool, distance_model
+    ):
+        ingest, _ = ingestor
+        events = make_events(small_dataset, worker_pool, distance_model, 1)
+        ingest.submit(events[0])
+        assert ingest.tick(now=5.0) is None  # window not elapsed yet
+        snapshot = ingest.tick(now=11.0)
+        assert snapshot is not None
+        assert ingest.pending == 0
+
+    def test_flush_on_empty_buffer_is_noop(self, ingestor):
+        ingest, snapshots = ingestor
+        assert ingest.flush() is None
+        assert len(snapshots) == 0
+
+    def test_answers_accumulate_in_log(
+        self, ingestor, small_dataset, worker_pool, distance_model
+    ):
+        ingest, _ = ingestor
+        events = make_events(small_dataset, worker_pool, distance_model, 8)
+        for event in events:
+            ingest.submit(event)
+        assert len(ingest.answers) == 8
+
+
+class TestRefreshPolicy:
+    def test_first_flush_is_a_full_refresh(
+        self, ingestor, small_dataset, worker_pool, distance_model
+    ):
+        ingest, snapshots = ingestor
+        for event in make_events(small_dataset, worker_pool, distance_model, 4):
+            ingest.submit(event)
+        assert ingest.stats.full_refreshes == 1
+        assert ingest.stats.incremental_updates == 0
+        assert snapshots.latest().source == "full_refresh"
+
+    def test_batches_between_refreshes_are_incremental(
+        self, ingestor, small_dataset, worker_pool, distance_model
+    ):
+        ingest, snapshots = ingestor
+        for event in make_events(small_dataset, worker_pool, distance_model, 12):
+            ingest.submit(event)
+        assert ingest.stats.full_refreshes == 1
+        assert ingest.stats.incremental_updates == 2
+        assert snapshots.latest().source == "incremental"
+
+    def test_interval_forces_periodic_full_refresh(
+        self, small_dataset, worker_pool, distance_model
+    ):
+        inference = LocationAwareInference(
+            small_dataset.tasks, worker_pool.workers, distance_model
+        )
+        snapshots = SnapshotStore(max_snapshots=32)
+        config = IngestConfig(
+            max_batch_answers=4, max_batch_delay=100.0, full_refresh_interval=8
+        )
+        ingest = AnswerIngestor(inference, snapshots, config=config)
+        for event in make_events(small_dataset, worker_pool, distance_model, 16):
+            ingest.submit(event)
+        # Batch 1 cold-starts with a full fit; batches 2-3 are incremental
+        # (counter 4, 8); batch 4 sees the 8-answer interval elapsed.
+        assert ingest.stats.full_refreshes == 2
+        assert ingest.stats.incremental_updates == 2
+
+    def test_forced_full_flush_refits_without_new_answers(
+        self, ingestor, small_dataset, worker_pool, distance_model
+    ):
+        ingest, snapshots = ingestor
+        for event in make_events(small_dataset, worker_pool, distance_model, 4):
+            ingest.submit(event)
+        published = len(snapshots)
+        snapshot = ingest.flush(now=99.0, full=True)
+        assert snapshot is not None
+        assert snapshot.source == "full_refresh"
+        assert len(snapshots) == published + 1
+        assert ingest.stats.answers == 4  # no phantom answers counted
+
+    def test_every_flush_publishes_one_snapshot(
+        self, ingestor, small_dataset, worker_pool, distance_model
+    ):
+        ingest, snapshots = ingestor
+        for event in make_events(small_dataset, worker_pool, distance_model, 12):
+            ingest.submit(event)
+        assert ingest.stats.snapshots_published == 3
+        assert snapshots.versions == [0, 1, 2]
+
+    def test_predictions_follow_snapshots(
+        self, ingestor, small_dataset, worker_pool, distance_model
+    ):
+        """The published snapshot agrees with the live model's estimate."""
+        ingest, snapshots = ingestor
+        for event in make_events(small_dataset, worker_pool, distance_model, 4):
+            ingest.submit(event)
+        snapshot = snapshots.latest()
+        model_view = snapshot.as_model()
+        inference_params = ingest._inference.parameters
+        for task_id in snapshot.store.task_ids:
+            assert model_view.tasks[task_id].label_probs == pytest.approx(
+                inference_params.tasks[task_id].label_probs
+            )

@@ -1,0 +1,173 @@
+"""Tests for repro.serving.snapshots (versioned snapshot store + persistence)."""
+
+import numpy as np
+import pytest
+
+from repro.core.inference import LocationAwareInference
+from repro.core.params import ArrayParameterStore
+from repro.serving.snapshots import ParameterSnapshot, SnapshotStore, load_snapshot
+
+
+@pytest.fixture()
+def fitted_store(small_dataset, worker_pool, distance_model, collected_answers):
+    """An ArrayParameterStore flattened from a real fit over the test corpus."""
+    model = LocationAwareInference(
+        small_dataset.tasks, worker_pool.workers, distance_model
+    )
+    model.fit(collected_answers)
+    worker_ids = collected_answers.worker_ids()
+    task_ids = collected_answers.task_ids()
+    registry = small_dataset.task_index
+    num_labels = [registry[task_id].num_labels for task_id in task_ids]
+    return model.parameters.to_array_store(worker_ids, task_ids, num_labels)
+
+
+def assert_stores_equal(a: ArrayParameterStore, b: ArrayParameterStore) -> None:
+    assert a.worker_ids == b.worker_ids
+    assert a.task_ids == b.task_ids
+    assert a.alpha == b.alpha
+    assert a.function_set.lambdas == b.function_set.lambdas
+    assert np.array_equal(a.label_offsets, b.label_offsets)
+    assert np.array_equal(a.p_qualified, b.p_qualified)
+    assert np.array_equal(a.distance_weights, b.distance_weights)
+    assert np.array_equal(a.influence_weights, b.influence_weights)
+    assert np.array_equal(a.label_probs, b.label_probs)
+
+
+class TestNpzRoundTrip:
+    def test_store_round_trip_is_bit_exact(self, fitted_store, tmp_path):
+        path = fitted_store.save_npz(tmp_path / "params.npz")
+        restored = ArrayParameterStore.load_npz(path)
+        assert_stores_equal(fitted_store, restored)
+
+    def test_snapshot_round_trip_keeps_metadata(self, fitted_store, tmp_path):
+        store = SnapshotStore()
+        snapshot = store.publish(fitted_store, published_at=12.5, source="full_refresh")
+        path = snapshot.save(tmp_path / "snap.npz")
+        restored = load_snapshot(path)
+        assert restored.version == snapshot.version
+        assert restored.published_at == 12.5
+        assert restored.source == "restore"
+        assert_stores_equal(snapshot.store, restored.store)
+
+    def test_restored_arrays_are_frozen(self, fitted_store, tmp_path):
+        snapshot = SnapshotStore().publish(fitted_store)
+        restored = load_snapshot(snapshot.save(tmp_path / "snap.npz"))
+        with pytest.raises(ValueError):
+            restored.store.p_qualified[0] = 0.0
+
+
+class TestVersioning:
+    def test_versions_are_monotonic(self, fitted_store):
+        store = SnapshotStore(max_snapshots=10)
+        versions = [store.publish(fitted_store).version for _ in range(6)]
+        assert versions == sorted(versions)
+        assert len(set(versions)) == len(versions)
+        assert store.versions == versions
+
+    def test_retention_is_bounded_and_keeps_newest(self, fitted_store):
+        store = SnapshotStore(max_snapshots=3)
+        for _ in range(7):
+            store.publish(fitted_store)
+        assert len(store) == 3
+        assert store.versions == [4, 5, 6]
+        assert store.latest().version == 6
+        with pytest.raises(KeyError):
+            store.get(0)
+        assert store.get(5).version == 5
+
+    def test_adopt_continues_monotonically(self, fitted_store, tmp_path):
+        source = SnapshotStore()
+        for _ in range(4):
+            snapshot = source.publish(fitted_store)
+        restored = load_snapshot(snapshot.save(tmp_path / "snap.npz"))
+
+        fresh = SnapshotStore()
+        fresh.adopt(restored)
+        assert fresh.latest().version == 3
+        assert fresh.publish(fitted_store).version == 4
+
+    def test_adopt_rejects_stale_versions(self, fitted_store):
+        store = SnapshotStore()
+        store.publish(fitted_store)
+        store.publish(fitted_store)
+        stale = ParameterSnapshot(version=0, store=fitted_store.copy().freeze())
+        with pytest.raises(ValueError):
+            store.adopt(stale)
+
+    def test_invalid_construction(self, fitted_store):
+        with pytest.raises(ValueError):
+            SnapshotStore(max_snapshots=0)
+        with pytest.raises(ValueError):
+            ParameterSnapshot(version=-1, store=fitted_store)
+
+
+class TestCopyOnWrite:
+    def test_publish_does_not_alias_the_live_store(self, fitted_store):
+        store = SnapshotStore()
+        snapshot = store.publish(fitted_store)
+        before = snapshot.store.p_qualified.copy()
+        fitted_store.p_qualified[:] = 0.123
+        assert np.array_equal(snapshot.store.p_qualified, before)
+
+    def test_publish_leaves_every_caller_array_writable(self, fitted_store):
+        SnapshotStore().publish(fitted_store)
+        # The copy-on-write contract: freezing the snapshot must not freeze
+        # the caller's arrays — including the shared-looking label_offsets.
+        fitted_store.label_offsets[0] = fitted_store.label_offsets[0]
+        fitted_store.p_qualified[0] = fitted_store.p_qualified[0]
+
+    def test_snapshot_arrays_are_read_only(self, fitted_store):
+        snapshot = SnapshotStore().publish(fitted_store)
+        with pytest.raises(ValueError):
+            snapshot.store.label_probs[0] = 1.0
+        with pytest.raises(ValueError):
+            snapshot.store.distance_weights[0, 0] = 1.0
+
+    def test_latest_is_none_before_first_publish(self):
+        assert SnapshotStore().latest() is None
+
+    def test_as_model_is_cached_and_consistent(self, fitted_store):
+        snapshot = SnapshotStore().publish(fitted_store)
+        model = snapshot.as_model()
+        assert snapshot.as_model() is model
+        worker_id = fitted_store.worker_ids[0]
+        i = fitted_store.worker_ids.index(worker_id)
+        assert model.worker(worker_id).p_qualified == pytest.approx(
+            float(fitted_store.p_qualified[i])
+        )
+
+
+class TestWarmStartFromSnapshot:
+    def test_restored_snapshot_warm_start_matches_live(
+        self, small_dataset, worker_pool, distance_model, collected_answers,
+        fitted_store, tmp_path,
+    ):
+        """Warm-starting EM from a restored snapshot equals the live store."""
+        restored = load_snapshot(
+            SnapshotStore().publish(fitted_store).save(tmp_path / "snap.npz")
+        )
+
+        def warm_fit(initial):
+            model = LocationAwareInference(
+                small_dataset.tasks, worker_pool.workers, distance_model
+            )
+            return model.fit(collected_answers, initial=initial).parameters
+
+        live_params = warm_fit(fitted_store)
+        restored_params = warm_fit(restored.store)
+        assert live_params.max_difference(restored_params) <= 1e-9
+
+    def test_warm_start_adopts_snapshot_without_fitting(
+        self, small_dataset, worker_pool, distance_model, fitted_store
+    ):
+        model = LocationAwareInference(
+            small_dataset.tasks, worker_pool.workers, distance_model
+        )
+        assert not model.is_fitted
+        model.warm_start(fitted_store)
+        assert model.is_fitted
+        task_id = fitted_store.task_ids[0]
+        j = fitted_store.task_ids.index(task_id)
+        expected = fitted_store.label_probs[fitted_store.task_label_slice(j)]
+        assert model.label_probabilities(task_id) == pytest.approx(expected)
