@@ -1,0 +1,142 @@
+"""Perf regression harness: vectorized vs reference AccOpt ΔAcc scoring.
+
+The assignment-side twin of ``bench_inference_speed.py`` and
+``bench_serving_throughput.py``: times one AccOpt batch (Algorithm 1) on a
+Figure 14-scale corpus — 4k tasks, the paper-profile worker pool — under both
+scoring engines and writes
+``benchmarks/results/BENCH_assignment_speed.json``:
+
+* **the gate** — the vectorized engine (batched
+  :mod:`repro.core.accuracy_kernel` scoring) must be at least ``MIN_SPEEDUP``×
+  faster than the scalar reference path on the identical batch, and the two
+  engines must produce *identical* assignments (they are the same exact greedy
+  algorithm);
+* **serving latency** — p50/p95 of live per-worker assignment requests served
+  by :class:`repro.serving.frontend.AssignmentFrontend` against a published
+  snapshot of the fitted parameters, tracking the serving-side ratchet
+  (target: p50 under ``P50_TARGET_MS`` at this scale).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from bench_common import RESULTS_DIR, build_inference_corpus
+
+from repro.assign.accopt import AccOptAssigner
+from repro.core.inference import InferenceConfig, LocationAwareInference
+from repro.serving.frontend import AssignmentFrontend
+from repro.serving.snapshots import SnapshotStore
+
+#: Fixed workload: Figure 14's quick-profile scale (4k tasks via the shared
+#: 20k-answer corpus), one batch of available workers, paper HIT size h = 2.
+CORPUS_ANSWERS = 20_000
+AVAILABLE_WORKERS = 8
+TASKS_PER_WORKER = 2
+
+#: EM iterations used to produce realistic (fitted) parameters for scoring.
+FIT_ITERATIONS = 5
+
+#: The regression gate: minimum required speedup of vectorized over reference.
+MIN_SPEEDUP = 10.0
+
+#: Serving-latency requests measured against the published snapshot, and the
+#: ratchet target recorded alongside them.
+FRONTEND_REQUESTS = 30
+P50_TARGET_MS = 50.0
+
+
+def _time_assign(engine: str, corpus, parameters, available):
+    dataset, pool, distance_model, answers = corpus
+    assigner = AccOptAssigner(
+        dataset.tasks,
+        pool.workers,
+        distance_model,
+        parameters,
+        engine=engine,
+    )
+    started = time.perf_counter()
+    assignment = assigner.assign(available, TASKS_PER_WORKER, answers)
+    return time.perf_counter() - started, assignment
+
+
+def test_assignment_speed_regression(benchmark):
+    corpus = build_inference_corpus(CORPUS_ANSWERS)
+    dataset, pool, distance_model, answers = corpus
+
+    model = LocationAwareInference(
+        dataset.tasks,
+        pool.workers,
+        distance_model,
+        config=InferenceConfig(max_iterations=FIT_ITERATIONS),
+    )
+    model.fit(answers)
+    parameters = model.parameters
+    available = list(pool.worker_ids[:AVAILABLE_WORKERS])
+
+    # Time vectorized first so the reference run cannot warm the distance
+    # cache for it (the vectorized engine computes its own distance matrix).
+    vectorized_s, vectorized_assignment = _time_assign(
+        "vectorized", corpus, parameters, available
+    )
+    reference_s, reference_assignment = _time_assign(
+        "reference", corpus, parameters, available
+    )
+    assert vectorized_assignment == reference_assignment, (
+        "vectorized and reference AccOpt diverged on the benchmark corpus"
+    )
+    speedup = reference_s / vectorized_s
+
+    # Serving path: per-worker requests against a published snapshot, the
+    # p50/p95 numbers the serving-latency ratchet tracks.
+    task_ids = [task.task_id for task in dataset.tasks]
+    num_labels = [task.num_labels for task in dataset.tasks]
+    snapshots = SnapshotStore()
+    snapshots.publish(
+        parameters.to_array_store(pool.worker_ids, task_ids, num_labels),
+        copy=False,
+    )
+    frontend = AssignmentFrontend(
+        dataset.tasks,
+        pool.workers,
+        distance_model,
+        snapshots,
+        strategy="accopt",
+    )
+    for worker_id in pool.worker_ids[:FRONTEND_REQUESTS]:
+        frontend.assign(worker_id, TASKS_PER_WORKER, answers)
+    stats = frontend.stats
+
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "tasks": len(dataset.tasks),
+        "corpus_answers": CORPUS_ANSWERS,
+        "available_workers": AVAILABLE_WORKERS,
+        "tasks_per_worker": TASKS_PER_WORKER,
+        "reference_batch_s": round(reference_s, 4),
+        "vectorized_batch_s": round(vectorized_s, 4),
+        "speedup": round(speedup, 2),
+        "min_required_speedup": MIN_SPEEDUP,
+        "assignments_identical": vectorized_assignment == reference_assignment,
+        "frontend_requests": stats.requests,
+        "frontend_p50_ms": round(stats.p50_latency_ms, 3),
+        "frontend_p95_ms": round(stats.p95_latency_ms, 3),
+        "frontend_p50_target_ms": P50_TARGET_MS,
+    }
+    path = RESULTS_DIR / "BENCH_assignment_speed.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\n=== assignment_speed ===\n{json.dumps(payload, indent=2)}\n")
+
+    # The timed unit for pytest-benchmark: one vectorized AccOpt batch on a
+    # fresh assigner (cold task-array and distance caches, like the gate run).
+    benchmark.pedantic(
+        lambda: _time_assign("vectorized", corpus, parameters, available),
+        rounds=1,
+        iterations=1,
+    )
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"vectorized AccOpt scoring is only {speedup:.1f}x faster than the "
+        f"reference engine (required: {MIN_SPEEDUP}x); see {path}"
+    )

@@ -15,7 +15,7 @@ from __future__ import annotations
 from bench_common import write_result
 
 from repro.analysis.reporting import format_series_table
-from repro.core.assignment import AccOptAssigner
+from repro.assign.accopt import AccOptAssigner
 from repro.core.inference import LocationAwareInference
 from repro.data.models import AnswerSet
 

@@ -14,7 +14,7 @@ import time
 from bench_common import current_profile, write_result
 
 from repro.analysis.reporting import format_series_table
-from repro.core.assignment import AccOptAssigner
+from repro.assign.accopt import AccOptAssigner
 from repro.crowd.worker_pool import WorkerPool, WorkerPoolSpec
 from repro.data.generators import generate_scalability_dataset
 from repro.data.models import AnswerSet

@@ -15,7 +15,7 @@ from __future__ import annotations
 import time
 
 from repro.analysis.reporting import format_series_table
-from repro.core.assignment import AccOptAssigner
+from repro.assign.accopt import AccOptAssigner
 from repro.core.inference import InferenceConfig, LocationAwareInference
 from repro.crowd.worker_pool import WorkerPool, WorkerPoolSpec
 from repro.data.generators import generate_scalability_dataset

@@ -53,7 +53,7 @@ from repro.crowd.worker_pool import WorkerPool, WorkerProfile
 from repro.crowd.platform import CrowdPlatform
 from repro.core.distance_functions import BellShapedFunction, DistanceFunctionSet
 from repro.core.inference import LocationAwareInference
-from repro.core.assignment import AccOptAssigner
+from repro.assign.accopt import AccOptAssigner
 from repro.baselines.majority_vote import MajorityVoteInference
 from repro.baselines.dawid_skene import DawidSkeneInference
 from repro.assign.random_assigner import RandomAssigner

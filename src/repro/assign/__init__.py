@@ -9,8 +9,9 @@
   beyond the paper: entropy-based task selection in the spirit of the CDAS
   baseline discussed in the related work.
 * :class:`~repro.assign.accopt.AccOptAssigner` — the paper's greedy
-  accuracy-improvement assigner (defined in :mod:`repro.core.assignment`,
-  re-exported here so all strategies are importable from one place).
+  accuracy-improvement assigner (Algorithm 1), scoring candidate pairs through
+  the batched :mod:`repro.core.accuracy_kernel` by default with the scalar
+  path kept as an ``engine="reference"`` oracle.
 
 All strategies implement :class:`repro.core.assignment.TaskAssigner`.
 :func:`build_assigner` constructs any of them by name — the CLI, the examples
@@ -20,7 +21,8 @@ it so strategy names stay consistent across entry points.
 
 from __future__ import annotations
 
-from repro.core.assignment import AccOptAssigner, TaskAssigner
+from repro.core.assignment import TaskAssigner
+from repro.assign.accopt import ACCOPT_ENGINES, AccOptAssigner
 from repro.assign.random_assigner import RandomAssigner
 from repro.assign.spatial_first import SpatialFirstAssigner
 from repro.assign.uncertainty import UncertaintyFirstAssigner
@@ -37,11 +39,14 @@ def build_assigner(
     workers: list[Worker],
     distance_model: DistanceModel | None = None,
     seed: int | None = None,
+    engine: str = "vectorized",
 ) -> TaskAssigner:
     """Construct the assignment strategy called ``name``.
 
     ``distance_model`` is required by the distance-aware strategies
-    (``"accopt"`` and ``"spatial"``); ``seed`` only affects ``"random"``.
+    (``"accopt"`` and ``"spatial"``); ``seed`` only affects ``"random"``;
+    ``engine`` selects the ``"accopt"`` ΔAcc scoring path (``"vectorized"``
+    batched kernels by default, ``"reference"`` for the scalar oracle).
     """
     if name not in ASSIGNER_NAMES:
         raise ValueError(f"unknown assigner {name!r}; expected one of {ASSIGNER_NAMES}")
@@ -53,11 +58,12 @@ def build_assigner(
         raise ValueError(f"assigner {name!r} requires a distance_model")
     if name == "spatial":
         return SpatialFirstAssigner(tasks, workers, distance_model)
-    return AccOptAssigner(tasks, workers, distance_model)
+    return AccOptAssigner(tasks, workers, distance_model, engine=engine)
 
 
 __all__ = [
     "ASSIGNER_NAMES",
+    "ACCOPT_ENGINES",
     "TaskAssigner",
     "AccOptAssigner",
     "RandomAssigner",

@@ -29,7 +29,7 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.assign import ASSIGNER_NAMES, build_assigner
+from repro.assign import ACCOPT_ENGINES, ASSIGNER_NAMES, build_assigner
 from repro.baselines.dawid_skene import DawidSkeneInference
 from repro.baselines.majority_vote import MajorityVoteInference
 from repro.core.inference import LocationAwareInference
@@ -97,6 +97,12 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=ASSIGNER_NAMES,
         default="accopt",
     )
+    campaign.add_argument(
+        "--assigner-engine",
+        choices=ACCOPT_ENGINES,
+        default="vectorized",
+        help="AccOpt ΔAcc scoring path: batched kernels or the scalar reference",
+    )
     campaign.add_argument("--seed", type=int, default=42)
 
     serve = subparsers.add_parser(
@@ -112,6 +118,12 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers-per-round", type=int, default=5)
     serve.add_argument("--num-workers", type=int, default=60)
     serve.add_argument("--assigner", choices=ASSIGNER_NAMES, default="accopt")
+    serve.add_argument(
+        "--assigner-engine",
+        choices=ACCOPT_ENGINES,
+        default="vectorized",
+        help="AccOpt ΔAcc scoring path: batched kernels or the scalar reference",
+    )
     serve.add_argument("--batch-answers", type=int, default=32,
                        help="micro-batch size (count trigger) of the ingestion layer")
     serve.add_argument("--batch-delay", type=float, default=5.0,
@@ -225,7 +237,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         dataset.tasks, pool.workers, distance_model, config=config.inference
     )
     assigner = build_assigner(
-        args.assigner, dataset.tasks, pool.workers, distance_model, seed=args.seed
+        args.assigner,
+        dataset.tasks,
+        pool.workers,
+        distance_model,
+        seed=args.seed,
+        engine=args.assigner_engine,
     )
 
     framework = PoiLabellingFramework(platform, inference, assigner, config=config)
@@ -257,6 +274,7 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     )
     config = ServingConfig(
         strategy=args.assigner,
+        assigner_engine=args.assigner_engine,
         tasks_per_worker=args.tasks_per_worker,
         ingest=IngestConfig(
             max_batch_answers=args.batch_answers,

@@ -15,8 +15,11 @@
   full re-runs (Section III-D).
 * :mod:`repro.core.accuracy` — accuracy estimation for hypothetical
   assignments (Equations 15–20, Lemmas 1–2).
-* :mod:`repro.core.assignment` — the AccOpt greedy assignment algorithm
-  (Algorithm 1).
+* :mod:`repro.core.accuracy_kernel` — the vectorised (batched NumPy) ΔAcc
+  scoring kernels the default AccOpt ``engine="vectorized"`` runs on.
+* :mod:`repro.core.assignment` — the :class:`TaskAssigner` interface shared by
+  every assignment strategy (the AccOpt implementation itself lives in
+  :mod:`repro.assign.accopt`).
 """
 
 from repro.core.distance_functions import (
@@ -39,7 +42,17 @@ from repro.core.inference import (
 )
 from repro.core.incremental import IncrementalUpdater
 from repro.core.accuracy import AccuracyEstimator, LabelAccuracy
-from repro.core.assignment import AccOptAssigner
+from repro.core.assignment import TaskAssigner
+
+
+def __getattr__(name: str):
+    # Legacy re-export; resolved lazily to avoid a core -> assign import cycle.
+    if name == "AccOptAssigner":
+        from repro.assign.accopt import AccOptAssigner
+
+        return AccOptAssigner
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "BellShapedFunction",
@@ -57,5 +70,6 @@ __all__ = [
     "IncrementalUpdater",
     "AccuracyEstimator",
     "LabelAccuracy",
+    "TaskAssigner",
     "AccOptAssigner",
 ]

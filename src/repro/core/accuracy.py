@@ -216,7 +216,12 @@ class AccuracyEstimator:
         """
         if current_states is None:
             current_states = self.current_label_accuracies(task_id)
-        if baselines is None:
+            if baselines is None:
+                # Neither side supplied: the current state IS the baseline, so
+                # share the pairs instead of recomputing them (LabelAccuracy is
+                # frozen, making the aliasing safe).
+                baselines = current_states
+        elif baselines is None:
             baselines = self.current_label_accuracies(task_id)
         answer_accuracy = self.answer_accuracy(worker_id, task_id)
         new_states = [state.add_worker(answer_accuracy) for state in current_states]

@@ -1,0 +1,254 @@
+"""Vectorised ΔAcc scoring kernels for the AccOpt assigner.
+
+:mod:`repro.core.accuracy` carries Section IV-B's math one label at a time:
+:class:`~repro.core.accuracy.LabelAccuracy` pairs, Lemma 2's recursion and the
+Equation 20 improvement, all driven through scalar ``ModelParameters`` lookups.
+This module is the array-backed twin the vectorised
+:class:`~repro.assign.accopt.AccOptAssigner` engine runs on — the assignment
+counterpart of :mod:`repro.core.em_kernel`:
+
+* :func:`answer_accuracy_matrix` evaluates Equation 9 for **every** candidate
+  (worker, task) pair in one batch, reading the flat arrays of an
+  :class:`~repro.core.params.ArrayParameterStore` against a precomputed
+  normalised-distance matrix (``DistanceModel.worker_task_distances`` /
+  :func:`~repro.spatial.distance.normalised_distance_matrix`);
+* :class:`BatchAccuracyState` stores the Equation 15 accuracy pairs of every
+  label of every task as flat ragged arrays (the exact layout of
+  ``ArrayParameterStore.label_probs``), mirroring one
+  :class:`~repro.core.accuracy.LabelAccuracy` list per task;
+* :func:`marginal_gains` scores the marginal ΔAcc of every candidate pair in
+  one ``(|W|, |T|)`` array operation, and :func:`add_worker` commits a greedy
+  pick by re-scoring only the chosen task (Algorithm 1's incremental update).
+
+The closed form behind :func:`marginal_gains`: Lemma 2's recursion
+
+``Acc' = (m·Acc + p_e)/(m+1)·p_e + (m·Acc + (1−p_e))/(m+1)·(1−p_e)``
+
+collapses algebraically to ``Acc' = (m·Acc + s)/(m+1)`` with
+``s = p_e² + (1−p_e)²``, identically for the ``z ≡ 1`` and ``z ≡ 0`` branches.
+The Equation 20 marginal improvement of adding one worker therefore sums over
+the task's labels to ``(|L_t|·s − E_t)/(m_t+1)``, where
+``E_t = Σ_k [p_k·Acc¹_k + (1−p_k)·Acc⁰_k]`` is the task's current expected
+accuracy mass — a quantity that only changes when the task itself receives a
+new tentative worker.  That is what turns the initial scoring into one fused
+``(|W|, |T|)`` kernel and each greedy re-score into an O(|W|) column update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.params import ArrayParameterStore
+
+
+def answer_accuracy_matrix(
+    store: ArrayParameterStore, distances: np.ndarray
+) -> np.ndarray:
+    """Equation 9 — ``P(r_{w,t,k} = z_{t,k})`` — for every (worker, task) pair.
+
+    ``distances`` is the ``(|W|, |T|)`` matrix of normalised worker-to-task
+    distances over the store's orderings.  Returns the same-shape matrix of
+    estimated answer accuracies: the batched counterpart of
+    :meth:`repro.core.params.ModelParameters.answer_accuracy`.
+    """
+    distances = np.asarray(distances, dtype=float)
+    expected_shape = (store.num_workers, store.num_tasks)
+    if distances.shape != expected_shape:
+        raise ValueError(
+            f"distances must have shape {expected_shape}, got {distances.shape}"
+        )
+    squared = distances * distances
+    distance_quality = np.zeros(expected_shape)
+    influence_quality = np.zeros(expected_shape)
+    # |F| is tiny (three functions in the paper), so one fused (W, T) pass per
+    # function beats materialising the (F, W, T) tensor.
+    for index, lam in enumerate(store.function_set.lambdas):
+        quality = (1.0 + np.exp(-lam * squared)) / 2.0
+        distance_quality += store.distance_weights[:, index, None] * quality
+        influence_quality += store.influence_weights[None, :, index] * quality
+    qualified = (
+        store.alpha * distance_quality + (1.0 - store.alpha) * influence_quality
+    )
+    p_qualified = store.p_qualified[:, None]
+    return p_qualified * qualified + (1.0 - p_qualified) * 0.5
+
+
+def _segment_sums(values: np.ndarray, label_offsets: np.ndarray) -> np.ndarray:
+    """Per-task sums of a flat per-label array (tasks always own ≥ 1 label)."""
+    return np.add.reduceat(values, label_offsets[:-1])
+
+
+@dataclass
+class BatchAccuracyState:
+    """Accuracy pairs of every label of every task, as flat ragged arrays.
+
+    The array counterpart of one :class:`~repro.core.accuracy.LabelAccuracy`
+    list per task: slot ``s`` of the flat arrays is label ``s`` in the
+    ``label_offsets`` ragged layout (task ``j`` owns
+    ``[label_offsets[j], label_offsets[j+1])``), exactly as
+    :attr:`~repro.core.params.ArrayParameterStore.label_probs` stores them.
+
+    ``expected_sum[j]`` caches ``E_j = Σ_k [p_k·Acc¹_k + (1−p_k)·Acc⁰_k]`` so
+    :func:`marginal_gains` never touches the per-label arrays; it is refreshed
+    by :func:`add_worker` for the one task a greedy pick changes.
+    """
+
+    label_offsets: np.ndarray  # (|T| + 1,) intp — ragged bounds into the slots
+    num_labels: np.ndarray  # (|T|,) float — |L_t| per task
+    p_z1: np.ndarray  # (S,) — the fixed ΔAcc weights (Equation 20)
+    acc_correct: np.ndarray  # (S,) — Acc if the label is truly correct
+    acc_incorrect: np.ndarray  # (S,) — Acc if the label is truly incorrect
+    effective_answers: np.ndarray  # (|T|,) float — m_t = |W(t)| + |Ŵ(t)|
+    expected_sum: np.ndarray  # (|T|,) — E_t, maintained by add_worker
+
+    @property
+    def num_tasks(self) -> int:
+        return int(self.num_labels.size)
+
+    def task_slice(self, task_index: int) -> slice:
+        """Slice of the flat label arrays owned by task ``task_index``."""
+        return slice(
+            int(self.label_offsets[task_index]),
+            int(self.label_offsets[task_index + 1]),
+        )
+
+
+def baseline_state(
+    label_probs: np.ndarray,
+    label_offsets: np.ndarray,
+    answer_counts: Sequence[int] | np.ndarray,
+) -> BatchAccuracyState:
+    """Equation 15 baselines for every task at once.
+
+    ``label_probs`` is the flat ragged ``P(z = 1)`` storage (the
+    ``ArrayParameterStore`` layout), ``answer_counts`` the per-task ``|W(t)|``.
+    Batched counterpart of
+    :meth:`repro.core.accuracy.AccuracyEstimator.current_label_accuracies`.
+    """
+    p_z1 = np.array(label_probs, dtype=float)
+    offsets = np.asarray(label_offsets, dtype=np.intp)
+    counts = np.asarray(answer_counts, dtype=float)
+    if offsets.ndim != 1 or offsets.size == 0 or int(offsets[-1]) != p_z1.size:
+        raise ValueError(
+            f"label_offsets must be ragged bounds over {p_z1.size} label slots"
+        )
+    if counts.shape != (offsets.size - 1,):
+        raise ValueError(
+            f"answer_counts must align with tasks: {counts.shape} vs {offsets.size - 1}"
+        )
+    if np.any(counts < 0):
+        raise ValueError("answer counts must be non-negative")
+    acc_correct = p_z1.copy()
+    acc_incorrect = 1.0 - p_z1
+    expected = _segment_sums(
+        p_z1 * acc_correct + (1.0 - p_z1) * acc_incorrect, offsets
+    )
+    return BatchAccuracyState(
+        label_offsets=offsets,
+        num_labels=np.diff(offsets).astype(float),
+        p_z1=p_z1,
+        acc_correct=acc_correct,
+        acc_incorrect=acc_incorrect,
+        effective_answers=counts,
+        expected_sum=expected,
+    )
+
+
+def _agreement_mass(answer_accuracy: np.ndarray | float) -> np.ndarray | float:
+    """``s = p_e² + (1 − p_e)²`` — the only way ``p_e`` enters the recursion."""
+    return answer_accuracy * answer_accuracy + (1.0 - answer_accuracy) * (
+        1.0 - answer_accuracy
+    )
+
+
+def marginal_gains(
+    state: BatchAccuracyState, answer_accuracies: np.ndarray
+) -> np.ndarray:
+    """Marginal ΔAcc of assigning each worker to each task, in one batch.
+
+    ``answer_accuracies`` is the ``(|W|, |T|)`` Equation 9 matrix from
+    :func:`answer_accuracy_matrix`.  Entry ``(i, j)`` equals the scalar path's
+    ``gain − already`` for that pair (Algorithm 1 line 19): the summed
+    Equation 20 improvement of the task's labels relative to the *current*
+    tentative state ``Ŵ(t)``, using the ``(|L_t|·s − E_t)/(m_t+1)`` closed form
+    derived in the module docstring.
+    """
+    s = _agreement_mass(np.asarray(answer_accuracies, dtype=float))
+    return (state.num_labels[None, :] * s - state.expected_sum[None, :]) / (
+        state.effective_answers[None, :] + 1.0
+    )
+
+
+def marginal_gains_for_task(
+    state: BatchAccuracyState, task_index: int, answer_accuracies: np.ndarray
+) -> np.ndarray:
+    """One column of :func:`marginal_gains` — the greedy loop's re-score."""
+    s = _agreement_mass(np.asarray(answer_accuracies, dtype=float))
+    return (
+        state.num_labels[task_index] * s - state.expected_sum[task_index]
+    ) / (state.effective_answers[task_index] + 1.0)
+
+
+def add_worker(
+    state: BatchAccuracyState, task_index: int, answer_accuracy: float
+) -> None:
+    """Commit one hypothetical worker onto ``task_index`` (Lemma 2, in place).
+
+    Updates the task's accuracy pairs, its effective answer count and its
+    cached ``E_t``; every other task's state is untouched, so the caller only
+    needs to re-score this task's column.
+    """
+    sl = state.task_slice(task_index)
+    m = state.effective_answers[task_index]
+    s = _agreement_mass(float(answer_accuracy))
+    state.acc_correct[sl] = (m * state.acc_correct[sl] + s) / (m + 1.0)
+    state.acc_incorrect[sl] = (m * state.acc_incorrect[sl] + s) / (m + 1.0)
+    state.effective_answers[task_index] = m + 1.0
+    p = state.p_z1[sl]
+    state.expected_sum[task_index] = float(
+        np.sum(p * state.acc_correct[sl] + (1.0 - p) * state.acc_incorrect[sl])
+    )
+
+
+def add_workers(
+    p_z1: np.ndarray,
+    answer_count: int,
+    answer_accuracies: Sequence[float],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Lemma 2's recursion for one task's whole label vector.
+
+    The batched twin of :meth:`repro.core.accuracy.LabelAccuracy.add_workers`:
+    starts from the Equation 15 baselines of ``p_z1`` (one entry per label) and
+    applies each hypothetical worker's Equation 9 accuracy in turn.  Returns
+    the final ``(acc_if_correct, acc_if_incorrect)`` vectors; the equivalence
+    tests hold these against the scalar recursion and the exponential
+    :func:`repro.core.accuracy.enumerate_expected_accuracy` definition.
+    """
+    acc_correct = np.array(p_z1, dtype=float)
+    acc_incorrect = 1.0 - acc_correct
+    m = float(answer_count)
+    for accuracy in answer_accuracies:
+        s = _agreement_mass(float(accuracy))
+        acc_correct = (m * acc_correct + s) / (m + 1.0)
+        acc_incorrect = (m * acc_incorrect + s) / (m + 1.0)
+        m += 1.0
+    return acc_correct, acc_incorrect
+
+
+def expected_improvement(
+    p_z1: np.ndarray,
+    acc_correct: np.ndarray,
+    acc_incorrect: np.ndarray,
+    baseline_correct: np.ndarray,
+    baseline_incorrect: np.ndarray,
+) -> np.ndarray:
+    """Equation 20 per label, as arrays — ΔAcc of a state over its baseline."""
+    return np.asarray(p_z1, dtype=float) * (
+        np.asarray(acc_correct, dtype=float) - np.asarray(baseline_correct, dtype=float)
+    ) + (1.0 - np.asarray(p_z1, dtype=float)) * (
+        np.asarray(acc_incorrect, dtype=float)
+        - np.asarray(baseline_incorrect, dtype=float)
+    )

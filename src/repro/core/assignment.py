@@ -1,28 +1,26 @@
-"""Task assignment: the common assigner interface and the AccOpt greedy algorithm.
+"""The task-assigner interface shared by every assignment strategy.
 
 Section IV of the paper formulates the optimal task assignment problem: given
 the set ``W`` of currently available workers and a per-worker HIT size ``h``,
 choose ``A(W)`` maximising the total expected accuracy improvement
-``Σ_t Σ_k ΔAcc_{t,k}(Ŵ(t))``.  The exact problem is NP-hard (Lemma 3), so the
-paper uses the greedy Algorithm 1: repeatedly pick the (worker, task) pair with
-the largest marginal ΔAcc, update the affected task's hypothetical accuracy via
-Lemma 2's recursion, and stop when every worker has ``h`` tasks.
+``Σ_t Σ_k ΔAcc_{t,k}(Ŵ(t))``.  :class:`TaskAssigner` is the contract every
+strategy in :mod:`repro.assign` implements — the paper's AccOpt greedy
+algorithm (:class:`~repro.assign.accopt.AccOptAssigner`, which now lives with
+the other strategies and scores candidates through the batched
+:mod:`repro.core.accuracy_kernel`) as well as the Random, Spatial-First and
+Uncertainty-First baselines.
 
-:class:`TaskAssigner` is the interface shared with the Random and Spatial-First
-baselines in :mod:`repro.assign`; :class:`AccOptAssigner` is the paper's
-algorithm.
+``AccOptAssigner`` is still importable from this module for backwards
+compatibility, but its implementation moved to :mod:`repro.assign.accopt`.
 """
 
 from __future__ import annotations
 
-import heapq
 from abc import ABC, abstractmethod
 from typing import Sequence
 
-from repro.core.accuracy import AccuracyEstimator, LabelAccuracy
 from repro.core.params import ModelParameters
 from repro.data.models import AnswerSet, Task, Worker
-from repro.spatial.distance import DistanceModel
 
 
 class TaskAssigner(ABC):
@@ -79,136 +77,11 @@ class TaskAssigner(ABC):
         return [task_id for task_id in sorted(self._tasks) if task_id not in done]
 
 
-class AccOptAssigner(TaskAssigner):
-    """The paper's greedy accuracy-optimal assigner (Algorithm 1).
+def __getattr__(name: str):
+    # Legacy import path: the AccOpt implementation moved to repro.assign.accopt,
+    # imported lazily here to avoid a core -> assign import cycle.
+    if name == "AccOptAssigner":
+        from repro.assign.accopt import AccOptAssigner
 
-    The assigner consumes the latest :class:`~repro.core.params.ModelParameters`
-    (worker qualities, POI influences, label probabilities) via
-    :meth:`update_parameters` and greedily maximises the expected accuracy
-    improvement of the batch.
-
-    Complexity matches the paper: ``O(|W|·|T|·|L| + h·|W|²·|L|)`` per batch — the
-    initial scoring of every (worker, task) pair dominates, and each greedy pick
-    only re-scores the chosen task for the remaining workers.
-    """
-
-    def __init__(
-        self,
-        tasks: list[Task],
-        workers: list[Worker],
-        distance_model: DistanceModel,
-        parameters: ModelParameters | None = None,
-    ) -> None:
-        super().__init__(tasks, workers)
-        self._distance_model = distance_model
-        self._parameters = parameters or ModelParameters()
-
-    @property
-    def parameters(self) -> ModelParameters:
-        return self._parameters
-
-    def update_parameters(self, parameters: ModelParameters) -> None:
-        self._parameters = parameters
-
-    def assign(
-        self, available_workers: Sequence[str], h: int, answers: AnswerSet
-    ) -> dict[str, list[str]]:
-        self._validate_request(available_workers, h)
-        estimator = AccuracyEstimator(
-            tasks=self._tasks,
-            workers=self._workers,
-            distance_model=self._distance_model,
-            parameters=self._parameters,
-            answers=answers,
-        )
-
-        assignment: dict[str, list[str]] = {w: [] for w in available_workers}
-        if not available_workers:
-            return assignment
-
-        # Per-task baseline accuracy pairs (Equation 15) and the evolving state
-        # reflecting the workers tentatively assigned this round (Ŵ(t)).
-        baselines: dict[str, list[LabelAccuracy]] = {}
-        current_states: dict[str, list[LabelAccuracy]] = {}
-        assigned_workers_per_task: dict[str, set[str]] = {}
-
-        # Cache of estimated answer accuracies P(z = r_w) per (worker, task).
-        answer_accuracy: dict[tuple[str, str], float] = {}
-
-        def states_for(task_id: str) -> list[LabelAccuracy]:
-            if task_id not in baselines:
-                base = estimator.current_label_accuracies(task_id)
-                baselines[task_id] = base
-                current_states[task_id] = list(base)
-                assigned_workers_per_task[task_id] = set()
-            return current_states[task_id]
-
-        def improvement_for(worker_id: str, task_id: str) -> tuple[float, list[LabelAccuracy]]:
-            key = (worker_id, task_id)
-            if key not in answer_accuracy:
-                answer_accuracy[key] = estimator.answer_accuracy(worker_id, task_id)
-            states = states_for(task_id)
-            new_states = [state.add_worker(answer_accuracy[key]) for state in states]
-            gain = sum(
-                new.expected_improvement_over(base)
-                for new, base in zip(new_states, baselines[task_id])
-            )
-            # Subtract the gain already banked by previously selected workers so
-            # the heap ranks *marginal* improvements, as line 19 of Algorithm 1.
-            already = sum(
-                state.expected_improvement_over(base)
-                for state, base in zip(states, baselines[task_id])
-            )
-            return gain - already, new_states
-
-        # Candidate tasks per worker (tasks not yet answered by that worker).
-        candidates: dict[str, set[str]] = {
-            worker_id: set(self._candidate_tasks(worker_id, answers))
-            for worker_id in available_workers
-        }
-
-        # Max-heap of (-marginal_gain, version, worker, task).  Entries are lazily
-        # invalidated: whenever a task receives a new tentative worker its version
-        # bumps and stale heap entries are discarded on pop.
-        task_version: dict[str, int] = {}
-        heap: list[tuple[float, int, str, str]] = []
-
-        def push(worker_id: str, task_id: str) -> None:
-            gain, _ = improvement_for(worker_id, task_id)
-            version = task_version.get(task_id, 0)
-            heapq.heappush(heap, (-gain, version, worker_id, task_id))
-
-        for worker_id in available_workers:
-            for task_id in candidates[worker_id]:
-                push(worker_id, task_id)
-
-        remaining_capacity = {worker_id: h for worker_id in available_workers}
-        total_to_assign = sum(
-            min(h, len(candidates[worker_id])) for worker_id in available_workers
-        )
-        assigned_total = 0
-
-        while assigned_total < total_to_assign and heap:
-            neg_gain, version, worker_id, task_id = heapq.heappop(heap)
-            if remaining_capacity[worker_id] <= 0:
-                continue
-            if task_id not in candidates[worker_id]:
-                continue
-            if version != task_version.get(task_id, 0):
-                # Stale entry: the task's tentative worker set changed since this
-                # gain was computed — recompute and reinsert.
-                push(worker_id, task_id)
-                continue
-
-            # Commit the pick.
-            _, new_states = improvement_for(worker_id, task_id)
-            current_states[task_id] = new_states
-            assigned_workers_per_task.setdefault(task_id, set()).add(worker_id)
-            task_version[task_id] = task_version.get(task_id, 0) + 1
-
-            assignment[worker_id].append(task_id)
-            candidates[worker_id].discard(task_id)
-            remaining_capacity[worker_id] -= 1
-            assigned_total += 1
-
-        return assignment
+        return AccOptAssigner
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -22,6 +22,13 @@ sweep is ``O(R · |L_t| · |F|)`` array work, where ``R`` is the number of
 relevant answers (typically a small neighbourhood of the new submissions),
 instead of a Python loop over those records.  ``engine="reference"`` keeps the
 original per-record sweep for equivalence testing.
+
+The relevant answers are gathered through the answer set's per-worker and
+per-task indexes (``T(w)`` / ``W(t)``, maintained on every append) rather than
+a scan of the whole log, and the refreshed estimate is published copy-on-write
+— unaffected entities share their parameter objects with the previous
+estimate — so the per-batch cost tracks the affected neighbourhood, not the
+total stream length.
 """
 
 from __future__ import annotations
@@ -37,6 +44,8 @@ from repro.core.params import (
     ModelParameters,
     TaskParameters,
     WorkerParameters,
+    _trusted_task_parameters,
+    _trusted_worker_parameters,
 )
 from repro.data.models import Answer, AnswerSet
 
@@ -103,7 +112,9 @@ class IncrementalUpdater:
         if not new_answers:
             return parameters if parameters is not None else self.inference.parameters
 
-        params = (parameters or self.inference.parameters).copy()
+        # No defensive copy: both update paths below build a fresh
+        # ModelParameters and never mutate their input estimate.
+        params = parameters or self.inference.parameters
         self.answers_since_full_refresh += len(new_answers)
 
         affected_workers = {answer.worker_id for answer in new_answers}
@@ -111,12 +122,11 @@ class IncrementalUpdater:
 
         # Answers relevant to the localized update: everything involving an
         # affected worker (to re-estimate that worker's quality) or an affected
-        # task (to re-estimate its labels and influence).
-        relevant = [
-            answer
-            for answer in answers
-            if answer.worker_id in affected_workers or answer.task_id in affected_tasks
-        ]
+        # task (to re-estimate its labels and influence).  Gathered through the
+        # answer set's per-worker/per-task indexes (maintained on append by
+        # AnswerSet.add) so the cost is O(relevant) instead of a scan over the
+        # whole, ever-growing answer log per micro-batch.
+        relevant = self._relevant_answers(answers, affected_workers, affected_tasks)
         if self.inference.config.engine == "reference":
             records = self.inference._build_records(AnswerSet(relevant))
             for _ in range(self.local_iterations):
@@ -134,6 +144,32 @@ class IncrementalUpdater:
         return params
 
     # ------------------------------------------------------------------ internal
+    @staticmethod
+    def _relevant_answers(
+        answers: AnswerSet,
+        affected_workers: set[str],
+        affected_tasks: set[str],
+    ) -> list[Answer]:
+        """Union of the affected workers' and tasks' answers, deduplicated.
+
+        Deterministic regardless of submission order: affected workers in
+        sorted order (each worker's answers sorted by task), then the affected
+        tasks' remaining answers (sorted by worker).
+        """
+        seen: set[tuple[str, str]] = set()
+        relevant: list[Answer] = []
+        for worker_id in sorted(affected_workers):
+            for answer in answers.answers_of_worker(worker_id):
+                seen.add((answer.worker_id, answer.task_id))
+                relevant.append(answer)
+        for task_id in sorted(affected_tasks):
+            for answer in answers.answers_of_task(task_id):
+                key = (answer.worker_id, answer.task_id)
+                if key not in seen:
+                    seen.add(key)
+                    relevant.append(answer)
+        return relevant
+
     def _vectorized_update(
         self,
         relevant: AnswerSet,
@@ -172,18 +208,27 @@ class IncrementalUpdater:
             store.influence_weights[affected_t] = new_store.influence_weights[affected_t]
             store.label_probs[label_mask] = new_store.label_probs[label_mask]
 
-        new_params = params.copy()
+        # Copy-on-write publish: share the unaffected entities' parameter
+        # objects (nothing in the system mutates them in place) and replace
+        # only the affected entries.  A deep copy here costs a full
+        # re-validation of every entity per micro-batch — it was the serving
+        # path's dominant late-stream cost, far above the EM sweep itself.
+        new_params = ModelParameters(
+            function_set=params.function_set,
+            alpha=params.alpha,
+            workers=dict(params.workers),
+            tasks=dict(params.tasks),
+        )
         for worker_id in affected_workers:
             i = worker_rows[worker_id]
-            new_params.workers[worker_id] = WorkerParameters(
-                p_qualified=float(store.p_qualified[i]),
-                distance_weights=store.distance_weights[i].copy(),
+            new_params.workers[worker_id] = _trusted_worker_parameters(
+                float(store.p_qualified[i]), store.distance_weights[i].copy()
             )
         for task_id in affected_tasks:
             j = task_rows[task_id]
-            new_params.tasks[task_id] = TaskParameters(
-                label_probs=store.label_probs[store.task_label_slice(j)].copy(),
-                influence_weights=store.influence_weights[j].copy(),
+            new_params.tasks[task_id] = _trusted_task_parameters(
+                store.label_probs[store.task_label_slice(j)].copy(),
+                store.influence_weights[j].copy(),
             )
         return new_params
 

@@ -20,12 +20,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from repro.assign.accopt import AccOptAssigner
 from repro.assign.random_assigner import RandomAssigner
 from repro.assign.spatial_first import SpatialFirstAssigner
 from repro.baselines.base import LabelInferenceModel
 from repro.baselines.dawid_skene import DawidSkeneInference
 from repro.baselines.majority_vote import MajorityVoteInference
-from repro.core.assignment import AccOptAssigner, TaskAssigner
+from repro.core.assignment import TaskAssigner
 from repro.core.inference import InferenceConfig, LocationAwareInference
 from repro.crowd.answer_model import AnswerSimulator
 from repro.crowd.arrival import UniformRandomArrival
@@ -203,14 +204,22 @@ def default_assigner_factories(
     worker_pool: WorkerPool,
     distance_model: DistanceModel,
     seed: SeedLike = None,
+    accopt_engine: str = "vectorized",
 ) -> dict[str, Callable[[], TaskAssigner]]:
-    """The paper's three assignment strategies, keyed by their evaluation names."""
+    """The paper's three assignment strategies, keyed by their evaluation names.
+
+    ``accopt_engine`` selects AccOpt's ΔAcc scoring path — the batched
+    :mod:`repro.core.accuracy_kernel` engine by default, ``"reference"`` for
+    the scalar oracle.
+    """
     tasks = dataset.tasks
     workers = worker_pool.workers
     return {
         "Random": lambda: RandomAssigner(tasks, workers, seed=_as_int(seed)),
         "SF": lambda: SpatialFirstAssigner(tasks, workers, distance_model),
-        "AccOpt": lambda: AccOptAssigner(tasks, workers, distance_model),
+        "AccOpt": lambda: AccOptAssigner(
+            tasks, workers, distance_model, engine=accopt_engine
+        ),
     }
 
 

@@ -12,6 +12,9 @@ actually changed since the last request (assigners keep their own
 :class:`~repro.core.params.ModelParameters` reference), and every request
 records its wall-clock latency so the service can report p50/p95 assignment
 latencies — the paper's Figure 14 concern, measured on the serving path.
+AccOpt requests run on the batched ΔAcc kernels
+(:mod:`repro.core.accuracy_kernel`) by default; ``engine="reference"``
+selects the scalar oracle path instead.
 """
 
 from __future__ import annotations
@@ -76,9 +79,15 @@ class AssignmentFrontend:
         snapshots: SnapshotStore,
         strategy: str = "accopt",
         seed: int | None = None,
+        engine: str = "vectorized",
     ) -> None:
         self._assigner = build_assigner(
-            strategy, tasks, workers, distance_model=distance_model, seed=seed
+            strategy,
+            tasks,
+            workers,
+            distance_model=distance_model,
+            seed=seed,
+            engine=engine,
         )
         self._snapshots = snapshots
         self._strategy = strategy

@@ -40,6 +40,7 @@ class ServingConfig:
     """Knobs of one serving session."""
 
     strategy: str = "accopt"
+    assigner_engine: str = "vectorized"
     tasks_per_worker: int = 2
     mean_interarrival: float = 1.0
     max_snapshots: int = 8
@@ -138,6 +139,7 @@ class OnlineServingService:
             self._snapshots,
             strategy=self._config.strategy,
             seed=self._config.seed,
+            engine=self._config.assigner_engine,
         )
         self._schedule = TimedArrivalSchedule(
             platform.arrival_process,

@@ -1,0 +1,226 @@
+"""Equivalence tests for repro.core.accuracy_kernel vs the scalar Section IV-B math.
+
+The vectorized AccOpt engine is only trustworthy if its batched kernels
+reproduce the scalar reference exactly (within float tolerance):
+
+* the flat Lemma 2 recursion (:func:`~repro.core.accuracy_kernel.add_workers`,
+  :func:`~repro.core.accuracy_kernel.add_worker`) against
+  :meth:`~repro.core.accuracy.LabelAccuracy.add_workers` and the exponential
+  :func:`~repro.core.accuracy.enumerate_expected_accuracy` definition;
+* the batched Equation 9 matrix against
+  :meth:`~repro.core.accuracy.AccuracyEstimator.answer_accuracy`;
+* the closed-form marginal-gain matrix against the scalar ``gain − already``
+  computation the reference greedy loop performs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import accuracy_kernel
+from repro.core.accuracy import (
+    AccuracyEstimator,
+    LabelAccuracy,
+    enumerate_expected_accuracy,
+)
+from repro.core.inference import LocationAwareInference
+from repro.spatial.distance import normalised_distance_matrix
+
+probability = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+TOLERANCE = 1e-9
+
+
+@pytest.fixture()
+def fitted(small_dataset, worker_pool, distance_model, collected_answers):
+    model = LocationAwareInference(
+        small_dataset.tasks, worker_pool.workers, distance_model
+    )
+    model.fit(collected_answers)
+    return model.parameters
+
+
+class TestLemma2Recursion:
+    @given(
+        p_z1=st.lists(probability, min_size=1, max_size=6),
+        answer_count=st.integers(min_value=0, max_value=20),
+        accuracies=st.lists(probability, min_size=0, max_size=8),
+    )
+    @settings(max_examples=80)
+    def test_matches_scalar_add_workers(self, p_z1, answer_count, accuracies):
+        acc_correct, acc_incorrect = accuracy_kernel.add_workers(
+            p_z1, answer_count, accuracies
+        )
+        for k, p in enumerate(p_z1):
+            scalar = LabelAccuracy.from_current_inference(p, answer_count).add_workers(
+                accuracies
+            )
+            assert acc_correct[k] == pytest.approx(
+                scalar.acc_if_correct, abs=TOLERANCE
+            )
+            assert acc_incorrect[k] == pytest.approx(
+                scalar.acc_if_incorrect, abs=TOLERANCE
+            )
+
+    @given(
+        p_z1=probability,
+        answer_count=st.integers(min_value=0, max_value=10),
+        accuracies=st.lists(probability, min_size=1, max_size=6),
+    )
+    @settings(max_examples=60)
+    def test_matches_exponential_enumeration(self, p_z1, answer_count, accuracies):
+        acc_correct, acc_incorrect = accuracy_kernel.add_workers(
+            [p_z1], answer_count, accuracies
+        )
+        enumerated = enumerate_expected_accuracy(p_z1, answer_count, accuracies)
+        assert acc_correct[0] == pytest.approx(
+            enumerated.acc_if_correct, abs=TOLERANCE
+        )
+        assert acc_incorrect[0] == pytest.approx(
+            enumerated.acc_if_incorrect, abs=TOLERANCE
+        )
+
+    @given(
+        p_z1=st.lists(probability, min_size=1, max_size=5),
+        answer_count=st.integers(min_value=0, max_value=12),
+        accuracies=st.lists(probability, min_size=1, max_size=5),
+    )
+    @settings(max_examples=60)
+    def test_expected_improvement_matches_equation_20(
+        self, p_z1, answer_count, accuracies
+    ):
+        baseline_correct = np.asarray(p_z1, dtype=float)
+        baseline_incorrect = 1.0 - baseline_correct
+        acc_correct, acc_incorrect = accuracy_kernel.add_workers(
+            p_z1, answer_count, accuracies
+        )
+        batched = accuracy_kernel.expected_improvement(
+            p_z1, acc_correct, acc_incorrect, baseline_correct, baseline_incorrect
+        )
+        for k, p in enumerate(p_z1):
+            base = LabelAccuracy.from_current_inference(p, answer_count)
+            scalar = base.add_workers(accuracies).expected_improvement_over(base)
+            assert batched[k] == pytest.approx(scalar, abs=TOLERANCE)
+
+    def test_incremental_add_worker_matches_bulk(self):
+        state = accuracy_kernel.baseline_state(
+            [0.2, 0.9, 0.5], np.asarray([0, 3]), [2]
+        )
+        for pe in (0.6, 0.8, 0.3):
+            accuracy_kernel.add_worker(state, 0, pe)
+        acc_correct, acc_incorrect = accuracy_kernel.add_workers(
+            [0.2, 0.9, 0.5], 2, [0.6, 0.8, 0.3]
+        )
+        np.testing.assert_allclose(state.acc_correct, acc_correct, atol=TOLERANCE)
+        np.testing.assert_allclose(state.acc_incorrect, acc_incorrect, atol=TOLERANCE)
+        assert state.effective_answers[0] == pytest.approx(5.0)
+
+    def test_baseline_state_validation(self):
+        with pytest.raises(ValueError):
+            accuracy_kernel.baseline_state([0.5, 0.5], np.asarray([0, 3]), [1])
+        with pytest.raises(ValueError):
+            accuracy_kernel.baseline_state([0.5, 0.5], np.asarray([0, 2]), [1, 2])
+        with pytest.raises(ValueError):
+            accuracy_kernel.baseline_state([0.5, 0.5], np.asarray([0, 2]), [-1])
+
+
+class TestBatchedEstimator:
+    def _matrices(self, small_dataset, worker_pool, distance_model, params, answers):
+        task_ids = sorted(small_dataset.task_index)
+        worker_ids = list(worker_pool.worker_ids)
+        workers = {w.worker_id: w for w in worker_pool.workers}
+        num_labels = [small_dataset.task_index[t].num_labels for t in task_ids]
+        store = params.to_array_store(worker_ids, task_ids, num_labels)
+        distances = normalised_distance_matrix(
+            [workers[w].locations for w in worker_ids],
+            [small_dataset.task_index[t].location for t in task_ids],
+            distance_model,
+        )
+        estimator = AccuracyEstimator(
+            tasks=small_dataset.task_index,
+            workers=workers,
+            distance_model=distance_model,
+            parameters=params,
+            answers=answers,
+        )
+        return task_ids, worker_ids, store, distances, estimator
+
+    def test_answer_accuracy_matrix_matches_equation_9(
+        self, small_dataset, worker_pool, distance_model, fitted, collected_answers
+    ):
+        task_ids, worker_ids, store, distances, estimator = self._matrices(
+            small_dataset, worker_pool, distance_model, fitted, collected_answers
+        )
+        matrix = accuracy_kernel.answer_accuracy_matrix(store, distances)
+        for i, worker_id in enumerate(worker_ids):
+            for j, task_id in enumerate(task_ids):
+                assert matrix[i, j] == pytest.approx(
+                    estimator.answer_accuracy(worker_id, task_id), abs=TOLERANCE
+                )
+
+    def test_answer_accuracy_matrix_shape_validation(
+        self, small_dataset, worker_pool, distance_model, fitted, collected_answers
+    ):
+        _, _, store, distances, _ = self._matrices(
+            small_dataset, worker_pool, distance_model, fitted, collected_answers
+        )
+        with pytest.raises(ValueError):
+            accuracy_kernel.answer_accuracy_matrix(store, distances[:, :-1])
+
+    def test_marginal_gains_match_scalar_task_improvement(
+        self, small_dataset, worker_pool, distance_model, fitted, collected_answers
+    ):
+        task_ids, worker_ids, store, distances, estimator = self._matrices(
+            small_dataset, worker_pool, distance_model, fitted, collected_answers
+        )
+        matrix = accuracy_kernel.answer_accuracy_matrix(store, distances)
+        state = accuracy_kernel.baseline_state(
+            store.label_probs,
+            store.label_offsets,
+            [collected_answers.answer_count_of_task(t) for t in task_ids],
+        )
+        gains = accuracy_kernel.marginal_gains(state, matrix)
+        for i, worker_id in enumerate(worker_ids):
+            for j, task_id in enumerate(task_ids):
+                scalar, _ = estimator.task_improvement(task_id, worker_id)
+                assert gains[i, j] == pytest.approx(scalar, abs=TOLERANCE)
+
+    def test_column_rescore_matches_scalar_after_picks(
+        self, small_dataset, worker_pool, distance_model, fitted, collected_answers
+    ):
+        """After committing picks, the column re-score still tracks the scalar
+        ``gain − already`` computation of the reference greedy loop."""
+        task_ids, worker_ids, store, distances, estimator = self._matrices(
+            small_dataset, worker_pool, distance_model, fitted, collected_answers
+        )
+        matrix = accuracy_kernel.answer_accuracy_matrix(store, distances)
+        state = accuracy_kernel.baseline_state(
+            store.label_probs,
+            store.label_offsets,
+            [collected_answers.answer_count_of_task(t) for t in task_ids],
+        )
+        target = 3
+        task_id = task_ids[target]
+        baselines = estimator.current_label_accuracies(task_id)
+        scalar_states = list(baselines)
+        for i in (0, 2, 5):  # commit three tentative workers onto one task
+            accuracy_kernel.add_worker(state, target, float(matrix[i, target]))
+            pe = estimator.answer_accuracy(worker_ids[i], task_id)
+            scalar_states = [s.add_worker(pe) for s in scalar_states]
+
+        column = accuracy_kernel.marginal_gains_for_task(
+            state, target, matrix[:, target]
+        )
+        already = sum(
+            s.expected_improvement_over(b) for s, b in zip(scalar_states, baselines)
+        )
+        for i, worker_id in enumerate(worker_ids):
+            pe = estimator.answer_accuracy(worker_id, task_id)
+            new_states = [s.add_worker(pe) for s in scalar_states]
+            gain = sum(
+                n.expected_improvement_over(b) for n, b in zip(new_states, baselines)
+            )
+            assert column[i] == pytest.approx(gain - already, abs=TOLERANCE)

@@ -1,8 +1,8 @@
-"""Tests for repro.core.assignment (AccOpt, Algorithm 1)."""
+"""Tests for the AccOpt assigner (Algorithm 1), on both scoring engines."""
 
 import pytest
 
-from repro.core.assignment import AccOptAssigner
+from repro.assign.accopt import ACCOPT_ENGINES, AccOptAssigner
 from repro.core.inference import LocationAwareInference
 from repro.data.models import Answer, AnswerSet
 
@@ -16,13 +16,24 @@ def fitted_parameters(small_dataset, worker_pool, distance_model, collected_answ
     return model.parameters
 
 
+@pytest.fixture(params=ACCOPT_ENGINES)
+def engine(request):
+    return request.param
+
+
 @pytest.fixture()
-def assigner(small_dataset, worker_pool, distance_model, fitted_parameters):
+def assigner(small_dataset, worker_pool, distance_model, fitted_parameters, engine):
     assigner = AccOptAssigner(
-        small_dataset.tasks, worker_pool.workers, distance_model
+        small_dataset.tasks, worker_pool.workers, distance_model, engine=engine
     )
     assigner.update_parameters(fitted_parameters)
     return assigner
+
+
+def test_legacy_import_path_still_works():
+    from repro.core.assignment import AccOptAssigner as legacy
+
+    assert legacy is AccOptAssigner
 
 
 class TestValidation:
@@ -31,6 +42,12 @@ class TestValidation:
             AccOptAssigner([], worker_pool.workers, distance_model)
         with pytest.raises(ValueError):
             AccOptAssigner(small_dataset.tasks, [], distance_model)
+
+    def test_unknown_engine(self, small_dataset, worker_pool, distance_model):
+        with pytest.raises(ValueError):
+            AccOptAssigner(
+                small_dataset.tasks, worker_pool.workers, distance_model, engine="gpu"
+            )
 
     def test_invalid_h(self, assigner, worker_pool):
         with pytest.raises(ValueError):

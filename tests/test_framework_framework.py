@@ -3,7 +3,7 @@
 import pytest
 
 from repro.assign.random_assigner import RandomAssigner
-from repro.core.assignment import AccOptAssigner
+from repro.assign.accopt import AccOptAssigner
 from repro.core.inference import InferenceConfig, LocationAwareInference
 from repro.framework.config import FrameworkConfig
 from repro.framework.framework import PoiLabellingFramework

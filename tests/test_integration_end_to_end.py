@@ -14,7 +14,7 @@ import pytest
 from repro.assign.random_assigner import RandomAssigner
 from repro.baselines.dawid_skene import DawidSkeneInference
 from repro.baselines.majority_vote import MajorityVoteInference
-from repro.core.assignment import AccOptAssigner
+from repro.assign.accopt import AccOptAssigner
 from repro.core.inference import InferenceConfig, LocationAwareInference
 from repro.data.generators import DatasetSpec, generate_dataset
 from repro.framework.config import FrameworkConfig
