@@ -118,6 +118,85 @@ def build_answer_stream(
     return dataset, pool, distance_model, events
 
 
+def build_open_world_stream(
+    num_answers: int,
+    seed: int = 5,
+    num_workers: int = 100,
+    holdback_worker_fraction: float = 0.25,
+    holdback_task_fraction: float = 0.10,
+    events_per_second: float = SERVING_EVENTS_PER_SECOND,
+):
+    """Open-world variant of :func:`build_answer_stream`.
+
+    A random slice of the corpus universe is withheld from the startup model:
+    events touching a held-back worker/task carry the entity's metadata as a
+    first-sight payload, exercising the serving path's dynamic-arrival
+    registration.  Returns ``(startup_tasks, startup_workers, dataset, pool,
+    distance_model, events, open_world_events)`` where ``open_world_events``
+    counts the events involving at least one held-back entity.
+    """
+    from repro.serving.ingest import AnswerEvent
+
+    dataset, pool, distance_model, answers = build_inference_corpus(
+        num_answers, seed=seed, num_workers=num_workers
+    )
+    rng = default_rng(seed + 1)
+    worker_ids = pool.worker_ids
+    task_ids = [task.task_id for task in dataset.tasks]
+    held_workers = set(
+        worker_ids[i]
+        for i in rng.choice(
+            len(worker_ids),
+            size=int(holdback_worker_fraction * len(worker_ids)),
+            replace=False,
+        )
+    )
+    held_tasks = set(
+        task_ids[j]
+        for j in rng.choice(
+            len(task_ids),
+            size=int(holdback_task_fraction * len(task_ids)),
+            replace=False,
+        )
+    )
+    startup_workers = [w for w in pool.workers if w.worker_id not in held_workers]
+    startup_tasks = [t for t in dataset.tasks if t.task_id not in held_tasks]
+    worker_by_id = {worker.worker_id: worker for worker in pool.workers}
+    task_by_id = dataset.task_index
+
+    events = []
+    open_world_events = 0
+    for index, answer in enumerate(answers):
+        held = answer.worker_id in held_workers or answer.task_id in held_tasks
+        if held:
+            open_world_events += 1
+        events.append(
+            AnswerEvent(
+                answer,
+                time=index / events_per_second,
+                worker=(
+                    worker_by_id[answer.worker_id]
+                    if answer.worker_id in held_workers
+                    else None
+                ),
+                task=(
+                    task_by_id[answer.task_id]
+                    if answer.task_id in held_tasks
+                    else None
+                ),
+            )
+        )
+    return (
+        startup_tasks,
+        startup_workers,
+        dataset,
+        pool,
+        distance_model,
+        events,
+        open_world_events,
+    )
+
+
 def build_inference_corpus(num_assignments: int, seed: int = 5, num_workers: int = 100):
     """Synthetic corpus with ``num_assignments`` (worker, task) answers.
 

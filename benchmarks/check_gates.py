@@ -1,0 +1,94 @@
+"""Enforce the recorded perf-gate thresholds from the BENCH_*.json results.
+
+Each benchmark writes its measurements *and* the thresholds it was gated on
+into ``benchmarks/results/BENCH_*.json``.  This checker re-reads those files
+and fails (exit code 1) if any recorded metric regressed below its recorded
+threshold — a belt-and-braces guard for CI: even if a benchmark's in-process
+assertions are edited or skipped, the published artifact cannot claim a gate
+it did not meet.
+
+Run from the repository root after the benchmarks::
+
+    python benchmarks/check_gates.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: (file, metric, threshold key, direction) — ``">="`` means the metric must
+#: be at least the threshold, ``"<="`` at most.
+GATES = [
+    ("BENCH_inference_speed.json", "speedup", "min_required_speedup", ">="),
+    ("BENCH_assignment_speed.json", "speedup", "min_required_speedup", ">="),
+    (
+        "BENCH_assignment_speed.json",
+        "frontend_p50_ms",
+        "frontend_p50_target_ms",
+        "<=",
+    ),
+    ("BENCH_serving_throughput.json", "gate_speedup", "min_required_speedup", ">="),
+    (
+        "BENCH_serving_throughput.json",
+        "late_over_steady",
+        "min_late_over_steady",
+        ">=",
+    ),
+    (
+        "BENCH_serving_throughput.json",
+        "full_stream_answers_per_sec",
+        "min_full_stream_answers_per_sec",
+        ">=",
+    ),
+    (
+        "BENCH_serving_throughput.json",
+        "open_world_fraction",
+        "min_open_world_fraction",
+        ">=",
+    ),
+]
+
+
+def main() -> int:
+    failures: list[str] = []
+    payloads: dict[str, dict] = {}
+    for name in sorted({gate[0] for gate in GATES}):
+        path = RESULTS_DIR / name
+        if not path.exists():
+            failures.append(f"{name}: missing — did its benchmark run?")
+            continue
+        payloads[name] = json.loads(path.read_text(encoding="utf-8"))
+
+    for name, metric, threshold_key, direction in GATES:
+        payload = payloads.get(name)
+        if payload is None:
+            continue
+        if metric not in payload or threshold_key not in payload:
+            failures.append(f"{name}: missing {metric!r} or {threshold_key!r}")
+            continue
+        value = float(payload[metric])
+        threshold = float(payload[threshold_key])
+        ok = value >= threshold if direction == ">=" else value <= threshold
+        status = "ok" if ok else "REGRESSED"
+        print(f"{name}: {metric} = {value} {direction} {threshold} ... {status}")
+        if not ok:
+            failures.append(
+                f"{name}: {metric} = {value} violates {metric} {direction} "
+                f"{threshold} ({threshold_key})"
+            )
+
+    if failures:
+        print("\nperf gates regressed:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("all recorded perf gates hold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -74,20 +74,29 @@ class AccOptAssigner(TaskAssigner):
         self._distance_model = distance_model
         self._parameters = parameters or ModelParameters()
         self._engine = engine
-        # Static task-side orderings shared by every vectorized call; sorted to
-        # match the reference path's _candidate_tasks ordering.
-        self._task_ids: tuple[str, ...] = tuple(sorted(self._tasks))
+        # Task-side orderings shared by every vectorized call; initially sorted
+        # to match the reference path's _candidate_tasks ordering, with tasks
+        # arriving later (open-world growth) appended in arrival order.
+        self._task_ids: list[str] = sorted(self._tasks)
         self._task_column = {tid: j for j, tid in enumerate(self._task_ids)}
-        self._num_labels = np.asarray(
-            [self._tasks[tid].num_labels for tid in self._task_ids], dtype=np.intp
-        )
-        self._label_offsets = np.concatenate(([0], np.cumsum(self._num_labels)))
         self._task_locations = [self._tasks[tid].location for tid in self._task_ids]
+        # Ragged label layout over the task ordering, rebuilt lazily after the
+        # universe grows.
+        self._task_layout: tuple[np.ndarray, np.ndarray] | None = None
         # Worker-to-task distances are pure geometry — cached per worker for
-        # the serving frontend's one-worker-per-request pattern.
+        # the serving frontend's one-worker-per-request pattern; rows are
+        # extended in place when tasks arrive after the row was cached.
         self._distance_rows: dict[str, np.ndarray] = {}
         # Task-side parameter gather, invalidated on update_parameters.
         self._task_arrays: tuple[np.ndarray, np.ndarray] | None = None
+
+    def _on_task_added(self, task: Task) -> None:
+        """Extend the task-side structures for a task posted after startup."""
+        self._task_column[task.task_id] = len(self._task_ids)
+        self._task_ids.append(task.task_id)
+        self._task_locations.append(task.location)
+        self._task_layout = None
+        self._task_arrays = None
 
     @property
     def parameters(self) -> ModelParameters:
@@ -100,6 +109,17 @@ class AccOptAssigner(TaskAssigner):
     def update_parameters(self, parameters: ModelParameters) -> None:
         self._parameters = parameters
         self._task_arrays = None
+
+    def _ensure_task_layout(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(num_labels, label_offsets)`` over the current task ordering."""
+        if self._task_layout is None:
+            num_labels = np.asarray(
+                [self._tasks[tid].num_labels for tid in self._task_ids],
+                dtype=np.intp,
+            )
+            label_offsets = np.concatenate(([0], np.cumsum(num_labels)))
+            self._task_layout = (num_labels, label_offsets)
+        return self._task_layout
 
     def assign(
         self, available_workers: Sequence[str], h: int, answers: AnswerSet
@@ -119,24 +139,30 @@ class AccOptAssigner(TaskAssigner):
         the footnote-3 priors, exactly like the reference estimator.
         """
         if self._task_arrays is None:
+            num_labels, label_offsets = self._ensure_task_layout()
             function_count = len(self._parameters.function_set)
-            label_probs = np.empty(int(self._label_offsets[-1]), dtype=float)
+            label_probs = np.empty(int(label_offsets[-1]), dtype=float)
             influence_weights = np.empty(
                 (len(self._task_ids), function_count), dtype=float
             )
             for j, task_id in enumerate(self._task_ids):
                 params = self._parameters.task(
-                    task_id, num_labels=int(self._num_labels[j])
+                    task_id, num_labels=int(num_labels[j])
                 )
                 label_probs[
-                    self._label_offsets[j] : self._label_offsets[j + 1]
+                    label_offsets[j] : label_offsets[j + 1]
                 ] = params.label_probs
                 influence_weights[j] = params.influence_weights
             self._task_arrays = (label_probs, influence_weights)
         return self._task_arrays
 
     def _distance_row(self, worker_id: str) -> np.ndarray:
-        """Normalised distances from one worker to every task (cached)."""
+        """Normalised distances from one worker to every task (cached).
+
+        A row cached before the task universe grew is extended with just the
+        new tasks' distances, so the accuracy kernel's distance matrix keeps
+        pace with the store without recomputing known geometry.
+        """
         row = self._distance_rows.get(worker_id)
         if row is None:
             row = normalised_distance_matrix(
@@ -144,6 +170,14 @@ class AccOptAssigner(TaskAssigner):
                 self._task_locations,
                 self._distance_model,
             )[0]
+            self._distance_rows[worker_id] = row
+        elif row.size < len(self._task_ids):
+            extension = normalised_distance_matrix(
+                [self._workers[worker_id].locations],
+                self._task_locations[row.size :],
+                self._distance_model,
+            )[0]
+            row = np.concatenate([row, extension])
             self._distance_rows[worker_id] = row
         return row
 
@@ -158,6 +192,7 @@ class AccOptAssigner(TaskAssigner):
         num_tasks = len(self._task_ids)
         function_count = len(self._parameters.function_set)
 
+        num_labels, label_offsets = self._ensure_task_layout()
         label_probs, influence_weights = self._task_parameter_arrays()
         p_qualified = np.empty(num_workers, dtype=float)
         distance_weights = np.empty((num_workers, function_count), dtype=float)
@@ -169,8 +204,8 @@ class AccOptAssigner(TaskAssigner):
             function_set=self._parameters.function_set,
             alpha=self._parameters.alpha,
             worker_ids=tuple(worker_list),
-            task_ids=self._task_ids,
-            label_offsets=self._label_offsets,
+            task_ids=tuple(self._task_ids),
+            label_offsets=label_offsets,
             p_qualified=p_qualified,
             distance_weights=distance_weights,
             influence_weights=influence_weights,
@@ -181,7 +216,7 @@ class AccOptAssigner(TaskAssigner):
         accuracies = accuracy_kernel.answer_accuracy_matrix(store, distances)
         state = accuracy_kernel.baseline_state(
             label_probs,
-            self._label_offsets,
+            label_offsets,
             [answers.answer_count_of_task(tid) for tid in self._task_ids],
         )
         gains = accuracy_kernel.marginal_gains(state, accuracies)

@@ -32,6 +32,24 @@ class LabelInferenceModel(ABC):
     def is_fitted(self) -> bool:
         return self._fitted
 
+    def add_task(self, task: Task) -> bool:
+        """Register a task that arrived after construction (open-world growth).
+
+        Returns ``True`` if the task was new, ``False`` if it was already
+        registered.  Re-registering a different task under an existing id is
+        rejected — ids are the identity the answer log indexes by.
+        """
+        existing = self._tasks.get(task.task_id)
+        if existing is not None:
+            if existing is not task and existing != task:
+                raise ValueError(
+                    f"task id {task.task_id!r} is already registered with "
+                    "different content"
+                )
+            return False
+        self._tasks[task.task_id] = task
+        return True
+
     @abstractmethod
     def fit(self, answers: AnswerSet) -> "LabelInferenceModel":
         """Estimate the model from the answer set and return ``self``."""

@@ -1,6 +1,6 @@
 """Command-line interface for the reproduction.
 
-Five subcommands cover the typical workflow without writing any Python:
+Six subcommands cover the typical workflow without writing any Python:
 
 * ``repro-poi generate``  — generate a synthetic dataset (Beijing / China /
   custom-sized) and write it to JSON.
@@ -12,7 +12,12 @@ Five subcommands cover the typical workflow without writing any Python:
   chosen assignment strategy and report the accuracy trajectory.
 * ``repro-poi serve-sim`` — replay a simulated workload through the online
   serving subsystem (streaming ingestion, versioned snapshots, live
-  assignment) and report ingestion/assignment statistics.
+  assignment) and report ingestion/assignment statistics; the
+  ``--holdback-workers`` / ``--holdback-tasks`` flags withhold part of the
+  universe at startup and admit it mid-stream (open-world arrival).
+* ``repro-poi compare``   — run the online framework once per assignment
+  strategy (optionally fanned out over a process pool with ``--jobs``) and
+  report the accuracy series side by side.
 
 Example::
 
@@ -20,7 +25,8 @@ Example::
     repro-poi collect  --dataset-file beijing.json --answers-per-task 5 --out answers.json
     repro-poi infer    --dataset-file beijing.json --answers-file answers.json --methods MV EM IM
     repro-poi campaign --dataset-file beijing.json --budget 300 --assigner accopt
-    repro-poi serve-sim --dataset-file beijing.json --budget 300 --batch-answers 32
+    repro-poi serve-sim --dataset-file beijing.json --budget 300 --holdback-workers 0.3
+    repro-poi compare  --dataset-file beijing.json --budget 300 --jobs 3
 """
 
 from __future__ import annotations
@@ -130,9 +136,38 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="micro-batch window in simulated seconds (time trigger)")
     serve.add_argument("--full-refresh-interval", type=int, default=200,
                        help="answers between full EM re-fits")
+    serve.add_argument("--holdback-workers", type=float, default=0.0,
+                       help="fraction of workers withheld from the serving model at "
+                            "startup and admitted on first arrival (open world)")
+    serve.add_argument("--holdback-tasks", type=float, default=0.0,
+                       help="fraction of tasks withheld at startup and released "
+                            "gradually mid-stream (open world)")
+    serve.add_argument("--tasks-released-per-round", type=int, default=1,
+                       help="held-back tasks admitted per arrival round")
     serve.add_argument("--snapshot-out", default=None,
                        help="optional path to save the final parameter snapshot (.npz)")
     serve.add_argument("--seed", type=int, default=42)
+
+    compare = subparsers.add_parser(
+        "compare",
+        help="run the online framework once per assignment strategy and compare",
+    )
+    compare.add_argument("--dataset-file", required=True)
+    compare.add_argument("--budget", type=int, default=300)
+    compare.add_argument("--tasks-per-worker", type=int, default=2)
+    compare.add_argument("--workers-per-round", type=int, default=5)
+    compare.add_argument("--num-workers", type=int, default=60)
+    compare.add_argument(
+        "--strategies",
+        nargs="+",
+        choices=ASSIGNER_NAMES,
+        default=["accopt", "random", "spatial"],
+    )
+    compare.add_argument(
+        "--jobs", type=int, default=1,
+        help="campaigns to run in parallel over a process pool (1 = serial)",
+    )
+    compare.add_argument("--seed", type=int, default=42)
 
     return parser
 
@@ -281,6 +316,9 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
             max_batch_delay=args.batch_delay,
             full_refresh_interval=args.full_refresh_interval,
         ),
+        holdback_worker_fraction=args.holdback_workers,
+        holdback_task_fraction=args.holdback_tasks,
+        tasks_released_per_round=args.tasks_released_per_round,
         seed=args.seed,
     )
     service = OnlineServingService(platform, config=config)
@@ -297,12 +335,64 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.framework.experiment import (
+        build_distance_model,
+        compare_assigners,
+    )
+
+    dataset = load_dataset(args.dataset_file)
+    pool = build_worker_pool(
+        dataset, spec=WorkerPoolSpec(num_workers=args.num_workers), seed=args.seed
+    )
+    distance_model = build_distance_model(dataset)
+    checkpoints = tuple(
+        sorted({max(1, args.budget // 2), max(1, 3 * args.budget // 4), args.budget})
+    )
+    config = FrameworkConfig(
+        budget=args.budget,
+        tasks_per_worker=args.tasks_per_worker,
+        workers_per_round=args.workers_per_round,
+        evaluation_checkpoints=checkpoints,
+    )
+    tasks = dataset.tasks
+    workers = pool.workers
+    factories = {
+        name: (
+            lambda n=name: build_assigner(
+                n, tasks, workers, distance_model, seed=args.seed
+            )
+        )
+        for name in args.strategies
+    }
+    result = compare_assigners(
+        dataset,
+        config,
+        assigner_factories=factories,
+        worker_pool=pool,
+        seed=args.seed,
+        jobs=args.jobs,
+    )
+    mode = f"{args.jobs} parallel jobs" if args.jobs > 1 else "serial"
+    print(
+        f"compared {len(factories)} strategies over budget {args.budget} ({mode})"
+    )
+    for name in factories:
+        series = ", ".join(
+            f"{checkpoint}: {accuracy:.3f}"
+            for checkpoint, accuracy in zip(result.checkpoints, result.accuracy[name])
+        )
+        print(f"  {name}: {series}")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "collect": _cmd_collect,
     "infer": _cmd_infer,
     "campaign": _cmd_campaign,
     "serve-sim": _cmd_serve_sim,
+    "compare": _cmd_compare,
 }
 
 

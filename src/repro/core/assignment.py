@@ -47,6 +47,33 @@ class TaskAssigner(ABC):
     def workers(self) -> dict[str, Worker]:
         return dict(self._workers)
 
+    # --------------------------------------------------------- open-world growth
+    def add_task(self, task: Task) -> bool:
+        """Register a task posted after construction (open-world arrival).
+
+        Returns ``True`` if the task was new.  Strategies that precompute
+        task-side structures extend them via the :meth:`_on_task_added` hook.
+        """
+        if task.task_id in self._tasks:
+            return False
+        self._tasks[task.task_id] = task
+        self._on_task_added(task)
+        return True
+
+    def add_worker(self, worker: Worker) -> bool:
+        """Register a worker who joined after construction (open-world arrival)."""
+        if worker.worker_id in self._workers:
+            return False
+        self._workers[worker.worker_id] = worker
+        self._on_worker_added(worker)
+        return True
+
+    def _on_task_added(self, task: Task) -> None:
+        """Hook for strategies with task-side caches; default no-op."""
+
+    def _on_worker_added(self, worker: Worker) -> None:
+        """Hook for strategies with worker-side caches; default no-op."""
+
     def update_parameters(self, parameters: ModelParameters) -> None:
         """Receive the latest inference parameters.
 

@@ -5,7 +5,11 @@ This module is the batched twin of the per-record E/M code in
 fit into an :class:`AnswerTensor` — integer worker/task/label index arrays, a
 precomputed ``(N, |F|)`` matrix of the distance-function set evaluated at every
 answer's distance, and a flat 0/1 response vector — after which one EM
-iteration is a fixed number of NumPy kernels:
+iteration is a fixed number of NumPy kernels.  The tensor is also the serving
+path's **live** structure: it grows in place (:meth:`AnswerTensor.append_answers`,
+capacity-doubling buffers, per-entity row indexes) and
+:func:`em_step_localized` runs the incremental updater's masked sweeps against
+it without any per-batch rebuild.  Per full iteration:
 
 * the E-step posteriors of *all* answers are computed as array expressions
   mirroring ``LocationAwareInference._expectation`` term by term, and
@@ -27,17 +31,26 @@ at the fit boundary.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from repro.core.distance_functions import DistanceFunctionSet
-from repro.core.params import ArrayParameterStore, ModelParameters
-from repro.data.models import AnswerSet, Task, Worker
+from repro.core.params import ArrayParameterStore, ModelParameters, _grown_buffer
+from repro.data.models import Answer, AnswerSet, Task, Worker
 from repro.spatial.distance import DistanceModel
 from repro.utils.validation import PROBABILITY_FLOOR
 
 
-@dataclass
+@dataclass(frozen=True)
+class TensorAppendResult:
+    """Outcome of one :meth:`AnswerTensor.append_answers` micro-batch."""
+
+    rows: np.ndarray  # tensor row of every appended or replaced answer
+    new_worker_ids: tuple[str, ...]  # workers first seen in this batch, admit order
+    new_task_ids: tuple[str, ...]  # tasks first seen in this batch, admit order
+
+
 class AnswerTensor:
     """The answer log flattened into contiguous index/value arrays.
 
@@ -49,38 +62,374 @@ class AnswerTensor:
       tick — :attr:`r_answer` points back at the owning answer row, and
       :attr:`r_label` addresses the flat ragged label storage shared with
       :class:`~repro.core.params.ArrayParameterStore`.
+
+    The tensor is **incrementally maintainable**: all arrays live in
+    capacity-doubling buffers (the attributes are views of the logical prefix)
+    and :meth:`append_answers` appends new answer/label rows in amortized O(1)
+    per row, registering unseen workers and tasks on first sight.  With
+    :meth:`enable_row_tracking` the tensor also maintains per-entity index
+    structures (answer rows per worker / per task, plus a ``(worker, task)``
+    pair map used to update re-submitted answers in place), which is what lets
+    the incremental updater run localized sweeps against the live tensor
+    instead of rebuilding a neighbourhood tensor per micro-batch.
     """
 
-    worker_ids: tuple[str, ...]  # first-seen order, as the per-record engine
-    task_ids: tuple[str, ...]
-    num_labels: np.ndarray  # (|T|,) labels per task
-    label_offsets: np.ndarray  # (|T| + 1,) ragged bounds into label storage
-    a_worker: np.ndarray  # (N,) worker index per answer
-    a_task: np.ndarray  # (N,) task index per answer
-    distances: np.ndarray  # (N,) normalised worker-task distance
-    f_values: np.ndarray  # (N, |F|) function set evaluated at `distances`
-    r_answer: np.ndarray  # (M,) owning answer row per label response
-    r_worker: np.ndarray  # (M,)
-    r_task: np.ndarray  # (M,)
-    r_label: np.ndarray  # (M,) global (flat ragged) label index
-    responses: np.ndarray  # (M,) observed 0/1 responses
-    task_of_label: np.ndarray  # (Σ|L_t|,) owning task per global label slot
+    def __init__(
+        self,
+        worker_ids: Sequence[str],
+        task_ids: Sequence[str],
+        num_labels: np.ndarray,
+        label_offsets: np.ndarray,
+        a_worker: np.ndarray,
+        a_task: np.ndarray,
+        distances: np.ndarray,
+        f_values: np.ndarray,
+        r_answer: np.ndarray,
+        r_worker: np.ndarray,
+        r_task: np.ndarray,
+        r_label: np.ndarray,
+        responses: np.ndarray,
+        task_of_label: np.ndarray,
+    ) -> None:
+        self._worker_ids = list(worker_ids)
+        self._task_ids = list(task_ids)
+        self._num_labels = np.asarray(num_labels)
+        self._label_offsets = np.asarray(label_offsets)
+        self._a_worker = np.asarray(a_worker)
+        self._a_task = np.asarray(a_task)
+        self._distances = np.asarray(distances)
+        self._f_values = np.asarray(f_values)
+        self._r_answer = np.asarray(r_answer)
+        self._r_worker = np.asarray(r_worker)
+        self._r_task = np.asarray(r_task)
+        self._r_label = np.asarray(r_label)
+        self._responses = np.asarray(responses)
+        self._task_of_label = np.asarray(task_of_label)
+        self._num_answers = int(self._a_worker.size)
+        self._num_label_rows = int(self._responses.size)
+        self._num_label_slots = (
+            int(self._label_offsets[-1]) if self._label_offsets.size else 0
+        )
+        # First label row of each answer; label rows of one answer are
+        # contiguous and in answer order by construction.
+        counts = (
+            self._num_labels[self._a_task]
+            if self._num_answers
+            else np.empty(0, dtype=np.intp)
+        )
+        self._a_label_start = np.cumsum(counts) - counts
+        self._worker_ids_cache: tuple[str, ...] | None = None
+        self._task_ids_cache: tuple[str, ...] | None = None
+        # Row-tracking structures, built on demand by enable_row_tracking().
+        self._worker_row: dict[str, int] | None = None
+        self._task_row: dict[str, int] | None = None
+        self._rows_of_worker: list[list[int]] | None = None
+        self._rows_of_task: list[list[int]] | None = None
+        self._pair_row: dict[tuple[int, int], int] | None = None
+
+    def __repr__(self) -> str:
+        return (
+            f"AnswerTensor(answers={self.num_answers}, workers={self.num_workers}, "
+            f"tasks={self.num_tasks}, label_responses={self.num_label_responses})"
+        )
+
+    # ----------------------------------------------------------- array views
+    @property
+    def worker_ids(self) -> tuple[str, ...]:
+        if self._worker_ids_cache is None:
+            self._worker_ids_cache = tuple(self._worker_ids)
+        return self._worker_ids_cache
+
+    @property
+    def task_ids(self) -> tuple[str, ...]:
+        if self._task_ids_cache is None:
+            self._task_ids_cache = tuple(self._task_ids)
+        return self._task_ids_cache
+
+    @property
+    def num_labels(self) -> np.ndarray:
+        return self._num_labels[: len(self._task_ids)]
+
+    @property
+    def label_offsets(self) -> np.ndarray:
+        return self._label_offsets[: len(self._task_ids) + 1]
+
+    @property
+    def a_worker(self) -> np.ndarray:
+        return self._a_worker[: self._num_answers]
+
+    @property
+    def a_task(self) -> np.ndarray:
+        return self._a_task[: self._num_answers]
+
+    @property
+    def distances(self) -> np.ndarray:
+        return self._distances[: self._num_answers]
+
+    @property
+    def f_values(self) -> np.ndarray:
+        return self._f_values[: self._num_answers]
+
+    @property
+    def a_label_start(self) -> np.ndarray:
+        return self._a_label_start[: self._num_answers]
+
+    @property
+    def r_answer(self) -> np.ndarray:
+        return self._r_answer[: self._num_label_rows]
+
+    @property
+    def r_worker(self) -> np.ndarray:
+        return self._r_worker[: self._num_label_rows]
+
+    @property
+    def r_task(self) -> np.ndarray:
+        return self._r_task[: self._num_label_rows]
+
+    @property
+    def r_label(self) -> np.ndarray:
+        return self._r_label[: self._num_label_rows]
+
+    @property
+    def responses(self) -> np.ndarray:
+        return self._responses[: self._num_label_rows]
+
+    @property
+    def task_of_label(self) -> np.ndarray:
+        return self._task_of_label[: self._num_label_slots]
 
     @property
     def num_answers(self) -> int:
-        return int(self.a_worker.size)
+        return self._num_answers
 
     @property
     def num_label_responses(self) -> int:
-        return int(self.responses.size)
+        return self._num_label_rows
 
     @property
     def num_workers(self) -> int:
-        return len(self.worker_ids)
+        return len(self._worker_ids)
 
     @property
     def num_tasks(self) -> int:
-        return len(self.task_ids)
+        return len(self._task_ids)
+
+    # --------------------------------------------------------- row tracking
+    @property
+    def tracks_rows(self) -> bool:
+        return self._rows_of_worker is not None
+
+    def enable_row_tracking(self) -> "AnswerTensor":
+        """Build the per-entity index structures and keep them maintained.
+
+        After this call, :attr:`rows_of_worker` / :attr:`rows_of_task` list
+        every answer row of each entity (extended in place by every append),
+        and re-submitted ``(worker, task)`` answers update their existing row
+        instead of appending a duplicate.
+        """
+        if self._rows_of_worker is not None:
+            return self
+        self._worker_row = {w: i for i, w in enumerate(self._worker_ids)}
+        self._task_row = {t: j for j, t in enumerate(self._task_ids)}
+        rows_of_worker: list[list[int]] = [[] for _ in self._worker_ids]
+        rows_of_task: list[list[int]] = [[] for _ in self._task_ids]
+        pair_row: dict[tuple[int, int], int] = {}
+        a_worker = self._a_worker
+        a_task = self._a_task
+        for row in range(self._num_answers):
+            widx = int(a_worker[row])
+            tidx = int(a_task[row])
+            rows_of_worker[widx].append(row)
+            rows_of_task[tidx].append(row)
+            pair_row[(widx, tidx)] = row
+        self._rows_of_worker = rows_of_worker
+        self._rows_of_task = rows_of_task
+        self._pair_row = pair_row
+        return self
+
+    def rows_of_worker(self, worker_index: int) -> list[int]:
+        """Answer rows of worker ``worker_index`` (requires row tracking)."""
+        if self._rows_of_worker is None:
+            raise RuntimeError("enable_row_tracking() must be called first")
+        return self._rows_of_worker[worker_index]
+
+    def rows_of_task(self, task_index: int) -> list[int]:
+        """Answer rows of task ``task_index`` (requires row tracking)."""
+        if self._rows_of_task is None:
+            raise RuntimeError("enable_row_tracking() must be called first")
+        return self._rows_of_task[task_index]
+
+    def worker_row(self, worker_id: str) -> int:
+        """Worker index of ``worker_id`` (requires row tracking)."""
+        if self._worker_row is None:
+            raise RuntimeError("enable_row_tracking() must be called first")
+        return self._worker_row[worker_id]
+
+    def task_row(self, task_id: str) -> int:
+        """Task index of ``task_id`` (requires row tracking)."""
+        if self._task_row is None:
+            raise RuntimeError("enable_row_tracking() must be called first")
+        return self._task_row[task_id]
+
+    # ------------------------------------------------------- open-world growth
+    def _register_worker(self, worker_id: str) -> int:
+        index = len(self._worker_ids)
+        self._worker_ids.append(worker_id)
+        self._worker_ids_cache = None
+        self._worker_row[worker_id] = index
+        self._rows_of_worker.append([])
+        return index
+
+    def _register_task(self, task_id: str, num_labels: int) -> int:
+        index = len(self._task_ids)
+        slots = self._num_label_slots
+        self._num_labels = _grown_buffer(self._num_labels, index + 1)
+        self._label_offsets = _grown_buffer(self._label_offsets, index + 2)
+        self._task_of_label = _grown_buffer(self._task_of_label, slots + num_labels)
+        self._num_labels[index] = num_labels
+        self._label_offsets[index + 1] = slots + num_labels
+        self._task_of_label[slots : slots + num_labels] = index
+        self._num_label_slots = slots + num_labels
+        self._task_ids.append(task_id)
+        self._task_ids_cache = None
+        self._task_row[task_id] = index
+        self._rows_of_task.append([])
+        return index
+
+    def append_answers(
+        self,
+        answers: Sequence[Answer],
+        tasks: dict[str, Task],
+        workers: dict[str, Worker],
+        distance_model: DistanceModel,
+        function_set: DistanceFunctionSet,
+    ) -> TensorAppendResult:
+        """Append a micro-batch of answers to the live tensor.
+
+        Unseen workers/tasks are registered on first sight (in encounter
+        order, so a store grown alongside the tensor stays row-aligned); an
+        answer re-submitting a known ``(worker, task)`` pair overwrites its
+        responses in place.  Validation mirrors :meth:`build`: unknown ids
+        raise ``KeyError``, label-count mismatches raise ``ValueError``.
+        Requires :meth:`enable_row_tracking`.
+        """
+        if self._rows_of_worker is None:
+            raise RuntimeError("enable_row_tracking() must be called first")
+        rows = np.empty(len(answers), dtype=np.intp)
+        new_workers: list[str] = []
+        new_tasks: list[str] = []
+        # (out_positions, widx, tidx, answer) — positions is a list so a pair
+        # re-submitted *within* the batch collapses onto one row (last answer
+        # wins, mirroring AnswerSet.add) instead of appending a duplicate.
+        fresh: list[list] = []
+        pending: dict[tuple[int, int], int] = {}  # batch-local pair -> fresh index
+        worker_location_seq = []
+        task_location_seq = []
+
+        for position, answer in enumerate(answers):
+            task = tasks.get(answer.task_id)
+            if task is None:
+                raise KeyError(f"answer references unknown task {answer.task_id!r}")
+            worker = workers.get(answer.worker_id)
+            if worker is None:
+                raise KeyError(f"answer references unknown worker {answer.worker_id!r}")
+            if answer.num_labels != task.num_labels:
+                raise ValueError(
+                    f"answer for task {task.task_id!r} has {answer.num_labels} labels, "
+                    f"task has {task.num_labels}"
+                )
+            widx = self._worker_row.get(answer.worker_id)
+            if widx is None:
+                widx = self._register_worker(answer.worker_id)
+                new_workers.append(answer.worker_id)
+            tidx = self._task_row.get(answer.task_id)
+            if tidx is None:
+                tidx = self._register_task(answer.task_id, task.num_labels)
+                new_tasks.append(answer.task_id)
+            pair = (widx, tidx)
+            existing = self._pair_row.get(pair)
+            if existing is not None:
+                start = int(self._a_label_start[existing])
+                self._responses[start : start + answer.num_labels] = np.asarray(
+                    answer.responses, dtype=float
+                )
+                rows[position] = existing
+            elif pair in pending:
+                entry = fresh[pending[pair]]
+                entry[0].append(position)
+                entry[3] = answer
+            else:
+                pending[pair] = len(fresh)
+                fresh.append([[position], widx, tidx, answer])
+                worker_location_seq.append(worker.locations)
+                task_location_seq.append(task.location)
+
+        if fresh:
+            distances = distance_model.worker_task_distances(
+                worker_location_seq, task_location_seq
+            )
+            f_values = function_set.evaluate_many(distances)
+            self._append_fresh_rows(fresh, distances, f_values, rows)
+        return TensorAppendResult(
+            rows=rows,
+            new_worker_ids=tuple(new_workers),
+            new_task_ids=tuple(new_tasks),
+        )
+
+    def _append_fresh_rows(
+        self,
+        fresh: list[list],
+        distances: np.ndarray,
+        f_values: np.ndarray,
+        rows_out: np.ndarray,
+    ) -> None:
+        """Bulk-append genuinely new answer rows (and their label rows)."""
+        n_new = len(fresh)
+        base = self._num_answers
+        aw = np.asarray([widx for _, widx, _, _ in fresh], dtype=np.intp)
+        at = np.asarray([tidx for _, _, tidx, _ in fresh], dtype=np.intp)
+        counts = self._num_labels[at]
+        total = int(counts.sum())
+        label_base = self._num_label_rows
+
+        self._a_worker = _grown_buffer(self._a_worker, base + n_new)
+        self._a_task = _grown_buffer(self._a_task, base + n_new)
+        self._distances = _grown_buffer(self._distances, base + n_new)
+        self._f_values = _grown_buffer(self._f_values, base + n_new)
+        self._a_label_start = _grown_buffer(self._a_label_start, base + n_new)
+        for name in ("_r_answer", "_r_worker", "_r_task", "_r_label", "_responses"):
+            setattr(self, name, _grown_buffer(getattr(self, name), label_base + total))
+
+        self._a_worker[base : base + n_new] = aw
+        self._a_task[base : base + n_new] = at
+        self._distances[base : base + n_new] = distances
+        self._f_values[base : base + n_new] = f_values
+        starts = label_base + np.cumsum(counts) - counts
+        self._a_label_start[base : base + n_new] = starts
+
+        r_answer = base + np.repeat(np.arange(n_new, dtype=np.intp), counts)
+        within = np.arange(total, dtype=np.intp) - np.repeat(starts - label_base, counts)
+        r_task = at[r_answer - base]
+        self._r_answer[label_base : label_base + total] = r_answer
+        self._r_worker[label_base : label_base + total] = aw[r_answer - base]
+        self._r_task[label_base : label_base + total] = r_task
+        self._r_label[label_base : label_base + total] = (
+            self._label_offsets[r_task] + within
+        )
+        if total:
+            self._responses[label_base : label_base + total] = np.concatenate(
+                [np.asarray(answer.responses, dtype=float) for _, _, _, answer in fresh]
+            )
+        self._num_answers = base + n_new
+        self._num_label_rows = label_base + total
+
+        for offset, (positions, widx, tidx, _) in enumerate(fresh):
+            row = base + offset
+            for position in positions:
+                rows_out[position] = row
+            self._rows_of_worker[widx].append(row)
+            self._rows_of_task[tidx].append(row)
+            self._pair_row[(widx, tidx)] = row
 
     @classmethod
     def build(
@@ -235,48 +584,48 @@ def _normalise_rows(
     return weights
 
 
-def em_step(
-    tensor: AnswerTensor, store: ArrayParameterStore
-) -> tuple[ArrayParameterStore, float]:
-    """One combined E+M step over the whole tensor (Equations 12 and 14).
+def _estep_posteriors(
+    alpha: float,
+    p_qualified: np.ndarray,
+    dw: np.ndarray,
+    dt: np.ndarray,
+    f_values: np.ndarray,
+    expand: np.ndarray,
+    pz1: np.ndarray,
+    observed_one: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Closed-form E-step marginals for a batch of answers.
 
-    Returns the new parameter store and the total log-likelihood of the
-    observed answers under the *input* parameters.  Mirrors
-    ``LocationAwareInference._em_iteration`` exactly, with every per-record
-    quantity promoted to an array over the N answers / M label responses.
+    ``p_qualified`` (already clipped), ``dw``, ``dt`` and ``f_values`` are
+    per-answer arrays (``n`` rows); ``expand`` maps each label response to its
+    owning position in those arrays; ``pz1`` (already clipped) and
+    ``observed_one`` are per label response.  Returns
+    ``(post_z1, post_i1, post_dw, post_dt, evidence)`` — the array mirror of
+    ``LocationAwareInference._expectation``, shared by the full
+    :func:`em_step` and the localized :func:`em_step_localized`.
     """
-    alpha = store.alpha
     floor = PROBABILITY_FLOOR
-
-    # ---- per-answer quantities (N,) ----------------------------------------
-    p_qualified = np.clip(store.p_qualified[tensor.a_worker], floor, 1.0 - floor)
     p_unqualified = 1.0 - p_qualified
-    dw = store.distance_weights[tensor.a_worker]  # (N, F)
-    dt = store.influence_weights[tensor.a_task]  # (N, F)
-    worker_quality = np.einsum("nf,nf->n", dw, tensor.f_values)  # DQ_w per answer
-    poi_quality = np.einsum("nf,nf->n", dt, tensor.f_values)  # IQ_t per answer
+    worker_quality = np.einsum("nf,nf->n", dw, f_values)  # DQ_w per answer
+    poi_quality = np.einsum("nf,nf->n", dt, f_values)  # IQ_t per answer
     s_q = np.clip(
         alpha * worker_quality + (1.0 - alpha) * poi_quality, floor, 1.0 - floor
     )
     # Per-function rows/columns of q(d_w, d_t) marginalised over the other
     # variable's current weights.
-    q_row = alpha * tensor.f_values + (1.0 - alpha) * poi_quality[:, None]
-    q_col = alpha * worker_quality[:, None] + (1.0 - alpha) * tensor.f_values
+    q_row = alpha * f_values + (1.0 - alpha) * poi_quality[:, None]
+    q_col = alpha * worker_quality[:, None] + (1.0 - alpha) * f_values
 
     # ---- per-label-response quantities (M,) --------------------------------
-    expand = tensor.r_answer
     pq_m = p_qualified[expand]
     pu_m = p_unqualified[expand]
     sq_m = s_q[expand]
-    pz1 = np.clip(store.label_probs[tensor.r_label], 1e-9, 1.0 - 1e-9)
-    observed_one = tensor.responses == 1
     pz_equal_r = np.where(observed_one, pz1, 1.0 - pz1)  # P(z = r)
     pz_not_r = 1.0 - pz_equal_r
 
     # P(r) per label response: the normaliser of the joint posterior.
     evidence = 0.5 * pu_m + pq_m * (pz_equal_r * sq_m + pz_not_r * (1.0 - sq_m))
     evidence = np.clip(evidence, 1e-12, None)
-    log_likelihood = float(np.sum(np.log(evidence)))
 
     # P(z = 1 | r): the z=1 branch uses s_q when r=1 and (1-s_q) when r=0.
     agree_factor = np.where(observed_one, sq_m, 1.0 - sq_m)
@@ -294,6 +643,33 @@ def em_step(
     post_dt = (
         dt[expand] * (0.5 * pu_m[:, None] + pq_m[:, None] * agree_dt)
     ) / evidence[:, None]
+    return post_z1, post_i1, post_dw, post_dt, evidence
+
+
+def em_step(
+    tensor: AnswerTensor, store: ArrayParameterStore
+) -> tuple[ArrayParameterStore, float]:
+    """One combined E+M step over the whole tensor (Equations 12 and 14).
+
+    Returns the new parameter store and the total log-likelihood of the
+    observed answers under the *input* parameters.  Mirrors
+    ``LocationAwareInference._em_iteration`` exactly, with every per-record
+    quantity promoted to an array over the N answers / M label responses.
+    """
+    floor = PROBABILITY_FLOOR
+    p_qualified = np.clip(store.p_qualified[tensor.a_worker], floor, 1.0 - floor)
+    pz1 = np.clip(store.label_probs[tensor.r_label], 1e-9, 1.0 - 1e-9)
+    post_z1, post_i1, post_dw, post_dt, evidence = _estep_posteriors(
+        alpha=store.alpha,
+        p_qualified=p_qualified,
+        dw=store.distance_weights[tensor.a_worker],
+        dt=store.influence_weights[tensor.a_task],
+        f_values=tensor.f_values,
+        expand=tensor.r_answer,
+        pz1=pz1,
+        observed_one=tensor.responses == 1,
+    )
+    log_likelihood = float(np.sum(np.log(evidence)))
 
     # ---- M-step: segment sums then per-entity renormalisation ---------------
     num_workers = tensor.num_workers
@@ -330,6 +706,94 @@ def em_step(
         label_probs=new_label_probs,
     )
     return new_store, log_likelihood
+
+
+def em_step_localized(
+    tensor: AnswerTensor,
+    store: ArrayParameterStore,
+    answer_rows: np.ndarray,
+    affected_workers: np.ndarray,
+    affected_tasks: np.ndarray,
+    label_slots: np.ndarray,
+) -> None:
+    """One localized E+M sweep against the **live** tensor and store, in place.
+
+    ``answer_rows`` selects the relevant neighbourhood (every answer of every
+    affected worker/task — so the restricted M-step denominators equal the
+    global ones for the affected entities), ``affected_workers`` /
+    ``affected_tasks`` are the store rows to re-estimate and ``label_slots``
+    the flat label slots those tasks own.  Everything else keeps its current
+    estimate, exactly like the per-record localized sweep that never
+    accumulates sums for unaffected entities.
+
+    This is the incremental updater's inner kernel: cost is
+    ``O(R · |L_t| · |F|)`` array work over the ``R`` selected rows plus
+    O(global sizes) zero-filled segment-sum allocations — no tensor or store
+    is ever rebuilt.
+    """
+    floor = PROBABILITY_FLOOR
+    aw = tensor.a_worker[answer_rows]
+    at = tensor.a_task[answer_rows]
+    f_values = tensor.f_values[answer_rows]
+    counts = tensor.num_labels[at]
+    starts = tensor.a_label_start[answer_rows]
+    total = int(counts.sum())
+    # Label rows of the selected answers (contiguous per answer).
+    expand = np.repeat(np.arange(answer_rows.size, dtype=np.intp), counts)
+    batch_starts = np.cumsum(counts) - counts
+    label_rows = (
+        np.arange(total, dtype=np.intp)
+        - np.repeat(batch_starts, counts)
+        + np.repeat(starts, counts)
+    )
+    r_label = tensor.r_label[label_rows]
+    responses = tensor.responses[label_rows]
+    r_worker = aw[expand]
+    r_task = at[expand]
+
+    p_qualified = np.clip(store.p_qualified[aw], floor, 1.0 - floor)
+    pz1 = np.clip(store.label_probs[r_label], 1e-9, 1.0 - 1e-9)
+    post_z1, post_i1, post_dw, post_dt, _ = _estep_posteriors(
+        alpha=store.alpha,
+        p_qualified=p_qualified,
+        dw=store.distance_weights[aw],
+        dt=store.influence_weights[at],
+        f_values=f_values,
+        expand=expand,
+        pz1=pz1,
+        observed_one=responses == 1,
+    )
+
+    # ---- M-step restricted to the affected entities -------------------------
+    num_workers = store.num_workers
+    num_tasks = store.num_tasks
+    uniform = store.function_set.uniform_weights()
+
+    z_sums = np.bincount(r_label, weights=post_z1, minlength=store.num_label_slots)
+    answers_per_task = np.bincount(at, minlength=num_tasks)
+    denominators = np.maximum(1, answers_per_task)[tensor.task_of_label[label_slots]]
+    store.label_probs[label_slots] = np.clip(
+        z_sums[label_slots] / denominators, 0.0, 1.0
+    )
+
+    labels_per_task = np.bincount(r_task, minlength=num_tasks)
+    dt_sums = _segment_sum_columns(post_dt, r_task, num_tasks)
+    store.influence_weights[affected_tasks] = _normalise_rows(
+        dt_sums[affected_tasks], labels_per_task[affected_tasks], uniform
+    )
+
+    labels_per_worker = np.bincount(r_worker, minlength=num_workers)
+    i_sums = np.bincount(r_worker, weights=post_i1, minlength=num_workers)
+    store.p_qualified[affected_workers] = np.clip(
+        i_sums[affected_workers]
+        / np.maximum(1, labels_per_worker[affected_workers]),
+        0.0,
+        1.0,
+    )
+    dw_sums = _segment_sum_columns(post_dw, r_worker, num_workers)
+    store.distance_weights[affected_workers] = _normalise_rows(
+        dw_sums[affected_workers], labels_per_worker[affected_workers], uniform
+    )
 
 
 def warm_start_extra_delta(

@@ -13,26 +13,31 @@ paper refreshes the model in two tiers:
 :class:`~repro.core.inference.LocationAwareInference` instance, and keeps a
 counter so the framework knows when a full refresh is due.
 
-The updater honours the inference model's configured EM engine: with the
-default ``engine="vectorized"`` the relevant answers are flattened into an
-:class:`~repro.core.em_kernel.AnswerTensor` and each localized sweep runs the
-same batched kernel as full EM (:func:`repro.core.em_kernel.em_step`), after
-which only the rows of the affected workers/tasks are written back — cost per
-sweep is ``O(R · |L_t| · |F|)`` array work, where ``R`` is the number of
-relevant answers (typically a small neighbourhood of the new submissions),
-instead of a Python loop over those records.  ``engine="reference"`` keeps the
-original per-record sweep for equivalence testing.
+The updater honours the inference model's configured EM engine.  With the
+default ``engine="vectorized"`` it maintains a **live, incrementally grown**
+:class:`~repro.core.em_kernel.AnswerTensor` spanning the whole answer log:
+each micro-batch appends its new answer rows (registering workers and tasks
+unseen at startup on first sight — the open-world arrival path), extends the
+tensor's per-entity row indexes in place, and runs its localized sweeps with
+:func:`repro.core.em_kernel.em_step_localized` directly against the live
+tensor and a live row-aligned
+:class:`~repro.core.params.ArrayParameterStore` — nothing is rebuilt per
+batch, so the per-sweep cost is ``O(R · |L_t| · |F|)`` array work over the
+``R`` relevant rows (gathered through the tensor's own indexes) regardless of
+how long the stream has run.  ``engine="reference"`` keeps the original
+per-record sweep for equivalence testing.
 
-The relevant answers are gathered through the answer set's per-worker and
-per-task indexes (``T(w)`` / ``W(t)``, maintained on every append) rather than
-a scan of the whole log, and the refreshed estimate is published copy-on-write
-— unaffected entities share their parameter objects with the previous
-estimate — so the per-batch cost tracks the affected neighbourhood, not the
-total stream length.
+The refreshed estimate is still published copy-on-write — unaffected entities
+share their parameter objects with the previous estimate — and
+:meth:`IncrementalUpdater.publish_store` hands the serving layer a compact
+array copy of the live store (plus any carried-over entities the log does not
+cover, e.g. after a snapshot restore) without flattening a ``ModelParameters``
+dict per publish.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -72,6 +77,25 @@ class IncrementalUpdater:
     full_refresh_interval: int = 100
     local_iterations: int = 2
     answers_since_full_refresh: int = field(default=0, init=False)
+    # Live incremental state of the vectorized engine: the growing tensor, the
+    # row-aligned store, and the estimate object the store was last synced
+    # with (identity-compared so an externally produced estimate — e.g. a full
+    # re-fit — triggers a re-sync).
+    _tensor: em_kernel.AnswerTensor | None = field(
+        default=None, init=False, repr=False
+    )
+    _store: ArrayParameterStore | None = field(default=None, init=False, repr=False)
+    _synced_params: ModelParameters | None = field(
+        default=None, init=False, repr=False
+    )
+    # Carried-over entities the answer log does not cover (restored snapshots):
+    # they ride along on every publish until the stream re-answers them.
+    _extra_workers: dict[str, WorkerParameters] = field(
+        default_factory=dict, init=False, repr=False
+    )
+    _extra_tasks: dict[str, TaskParameters] = field(
+        default_factory=dict, init=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.full_refresh_interval <= 0:
@@ -120,14 +144,14 @@ class IncrementalUpdater:
         affected_workers = {answer.worker_id for answer in new_answers}
         affected_tasks = {answer.task_id for answer in new_answers}
 
-        # Answers relevant to the localized update: everything involving an
-        # affected worker (to re-estimate that worker's quality) or an affected
-        # task (to re-estimate its labels and influence).  Gathered through the
-        # answer set's per-worker/per-task indexes (maintained on append by
-        # AnswerSet.add) so the cost is O(relevant) instead of a scan over the
-        # whole, ever-growing answer log per micro-batch.
-        relevant = self._relevant_answers(answers, affected_workers, affected_tasks)
         if self.inference.config.engine == "reference":
+            # Answers relevant to the localized update: everything involving an
+            # affected worker (to re-estimate that worker's quality) or an
+            # affected task (to re-estimate its labels and influence),
+            # gathered through the answer set's per-worker/per-task indexes.
+            relevant = self._relevant_answers(
+                answers, affected_workers, affected_tasks
+            )
             records = self.inference._build_records(AnswerSet(relevant))
             for _ in range(self.local_iterations):
                 params = self._local_maximisation(
@@ -135,13 +159,162 @@ class IncrementalUpdater:
                 )
         else:
             params = self._vectorized_update(
-                AnswerSet(relevant), params, affected_workers, affected_tasks
+                answers, new_answers, params, affected_workers, affected_tasks
             )
 
         # Publish the refreshed estimate on the inference model.
         self.inference._parameters = params
         self.inference._fitted = True
         return params
+
+    # -------------------------------------------------------------- live state
+    @property
+    def live_tensor(self) -> em_kernel.AnswerTensor | None:
+        """The incrementally maintained tensor (``None`` before the first sync)."""
+        return self._tensor
+
+    @property
+    def live_store(self) -> ArrayParameterStore | None:
+        """The live row-aligned parameter store (``None`` before the first sync)."""
+        return self._store
+
+    def _sync(self, answers: AnswerSet, params: ModelParameters) -> None:
+        """(Re)build the live tensor/store from scratch.
+
+        Runs once at cold start and once after every externally produced
+        estimate (a periodic full re-fit, a restored snapshot) — every
+        micro-batch in between only appends.
+        """
+        tensor = self.inference._build_tensor(answers)
+        tensor.enable_row_tracking()
+        store = params.to_array_store(
+            tensor.worker_ids, tensor.task_ids, tensor.num_labels
+        )
+        # Sticky carryover: entities the estimate (or an earlier restore)
+        # knows but the log does not cover.  Entities now present in the
+        # tensor are owned by the live store instead.
+        seen_workers = set(tensor.worker_ids)
+        seen_tasks = set(tensor.task_ids)
+        for worker_id in list(self._extra_workers):
+            if worker_id in seen_workers:
+                del self._extra_workers[worker_id]
+        for task_id in list(self._extra_tasks):
+            if task_id in seen_tasks:
+                del self._extra_tasks[task_id]
+        for worker_id, worker in params.workers.items():
+            if worker_id not in seen_workers:
+                self._extra_workers[worker_id] = worker
+        for task_id, task in params.tasks.items():
+            if task_id not in seen_tasks:
+                self._extra_tasks[task_id] = task
+        self._tensor = tensor
+        self._store = store
+        self._synced_params = params
+
+    def _admit_new_entities(self, result: em_kernel.TensorAppendResult) -> None:
+        """Grow the live store in lock-step with entities the tensor admitted.
+
+        First-seen entities carried over from a restored snapshot resume from
+        their carried values; genuinely unseen ones receive the footnote-3
+        trusted priors (the exact fallback ``ModelParameters.worker`` /
+        ``ModelParameters.task`` would apply).
+        """
+        store = self._store
+        for worker_id in result.new_worker_ids:
+            carried = self._extra_workers.pop(worker_id, None)
+            if carried is not None:
+                store.add_worker(
+                    worker_id, carried.p_qualified, carried.distance_weights.copy()
+                )
+            else:
+                store.add_worker(worker_id)
+        for task_id in result.new_task_ids:
+            num_labels = self.inference._tasks[task_id].num_labels
+            carried = self._extra_tasks.pop(task_id, None)
+            if carried is not None and carried.num_labels == num_labels:
+                store.add_task(
+                    task_id,
+                    num_labels,
+                    carried.label_probs.copy(),
+                    carried.influence_weights.copy(),
+                )
+            else:
+                store.add_task(task_id, num_labels)
+
+    def prime_carryover(
+        self, parameters: ModelParameters | ArrayParameterStore
+    ) -> None:
+        """Seed the carryover set from a pre-existing estimate.
+
+        Used by the serving layer after a snapshot restore: every entity of
+        ``parameters`` rides along on publishes until the stream covers it
+        (the next sync prunes entities the answer log re-acquires).
+        """
+        if isinstance(parameters, ArrayParameterStore):
+            parameters = parameters.to_model()
+        for worker_id, worker in parameters.workers.items():
+            self._extra_workers.setdefault(worker_id, worker)
+        for task_id, task in parameters.tasks.items():
+            self._extra_tasks.setdefault(task_id, task)
+
+    def publish_store(
+        self,
+        answers: AnswerSet,
+        parameters: ModelParameters | ArrayParameterStore | None = None,
+    ) -> ArrayParameterStore:
+        """Snapshot-ready compact copy of the current estimate, array-first.
+
+        Returns a fresh :class:`~repro.core.params.ArrayParameterStore`
+        covering the live universe plus any carried-over entities, without
+        flattening a ``ModelParameters`` dict — the serving layer's per-publish
+        cost is one C-level array copy.  Re-syncs first if the inference
+        model's estimate was replaced since the last micro-batch (e.g. by a
+        periodic full re-fit).  With ``engine="reference"`` (which never
+        maintains live state) the estimate is flattened directly instead —
+        rebuilding the live tensor per publish would cost O(answer log) each
+        time only to be discarded.
+        """
+        params = parameters
+        if isinstance(params, ArrayParameterStore):
+            params = params.to_model()
+        if params is None:
+            params = self.inference.parameters
+        if self.inference.config.engine == "reference":
+            return self._flatten_params(params)
+        if self._tensor is None or self._synced_params is not params:
+            self._sync(answers, params)
+        out = self._store.copy()
+        for worker_id in sorted(self._extra_workers):
+            carried = self._extra_workers[worker_id]
+            out.add_worker(
+                worker_id, carried.p_qualified, carried.distance_weights.copy()
+            )
+        for task_id in sorted(self._extra_tasks):
+            carried = self._extra_tasks[task_id]
+            out.add_task(
+                task_id,
+                carried.num_labels,
+                carried.label_probs.copy(),
+                carried.influence_weights.copy(),
+            )
+        return out
+
+    def _flatten_params(self, params: ModelParameters) -> ArrayParameterStore:
+        """Flatten ``params`` (plus carryover) the dict way — reference path."""
+        workers = dict(self._extra_workers)
+        workers.update(params.workers)
+        tasks = dict(self._extra_tasks)
+        tasks.update(params.tasks)
+        merged = ModelParameters(
+            function_set=params.function_set,
+            alpha=params.alpha,
+            workers=workers,
+            tasks=tasks,
+        )
+        task_ids = sorted(tasks)
+        return merged.to_array_store(
+            sorted(workers), task_ids, [tasks[task_id].num_labels for task_id in task_ids]
+        )
 
     # ------------------------------------------------------------------ internal
     @staticmethod
@@ -172,41 +345,69 @@ class IncrementalUpdater:
 
     def _vectorized_update(
         self,
-        relevant: AnswerSet,
+        answers: AnswerSet,
+        new_answers: list[Answer],
         params: ModelParameters,
         affected_workers: set[str],
         affected_tasks: set[str],
     ) -> ModelParameters:
-        """Localized sweeps on the batched kernel, masked to affected indices.
+        """Localized sweeps against the live tensor, masked to affected rows.
 
-        Every new answer is part of ``relevant``, so every affected worker and
-        task owns at least one tensor row.  Each sweep runs the full-tensor
-        E+M step and then copies only the affected rows into the live store —
-        unaffected entities keep their current estimates, exactly like the
-        per-record sweep that never accumulates sums for them.
+        The micro-batch is appended to the incrementally maintained tensor
+        (admitting first-seen workers/tasks into the row-aligned live store),
+        the relevant answer rows are gathered through the tensor's per-entity
+        indexes, and each sweep runs
+        :func:`repro.core.em_kernel.em_step_localized` in place — unaffected
+        entities keep their current estimates, exactly like the per-record
+        sweep that never accumulates sums for them.  Nothing is rebuilt per
+        batch; a full rebuild only happens when the estimate was replaced
+        outside this updater (cold start, full re-fit, snapshot restore).
         """
-        tensor = self.inference._build_tensor(relevant)
-        store = params.to_array_store(
-            tensor.worker_ids, tensor.task_ids, tensor.num_labels
+        if self._tensor is None or self._synced_params is not params:
+            # ``answers`` already contains ``new_answers``; the rebuilt tensor
+            # covers them, and the append below degenerates to in-place
+            # response rewrites of their rows.
+            self._sync(answers, params)
+        tensor = self._tensor
+        store = self._store
+        result = tensor.append_answers(
+            new_answers,
+            self.inference._tasks,
+            self.inference._workers,
+            self.inference.distance_model,
+            store.function_set,
         )
-        worker_rows = {worker_id: i for i, worker_id in enumerate(tensor.worker_ids)}
-        task_rows = {task_id: j for j, task_id in enumerate(tensor.task_ids)}
+        self._admit_new_entities(result)
+
         affected_w = np.asarray(
-            sorted(worker_rows[w] for w in affected_workers), dtype=np.intp
+            sorted(tensor.worker_row(w) for w in affected_workers), dtype=np.intp
         )
         affected_t = np.asarray(
-            sorted(task_rows[t] for t in affected_tasks), dtype=np.intp
+            sorted(tensor.task_row(t) for t in affected_tasks), dtype=np.intp
         )
-        label_mask = np.zeros(int(tensor.label_offsets[-1]), dtype=bool)
-        for j in affected_t:
-            label_mask[tensor.label_offsets[j] : tensor.label_offsets[j + 1]] = True
-
+        offsets = store.label_offsets
+        label_slots = np.concatenate(
+            [
+                np.arange(int(offsets[j]), int(offsets[j + 1]), dtype=np.intp)
+                for j in affected_t
+            ]
+        )
+        # Relevant rows: every answer of every affected worker (to re-estimate
+        # that worker's quality) or affected task (labels and influence),
+        # through the tensor's per-entity row indexes.
+        relevant_rows = np.unique(
+            np.fromiter(
+                itertools.chain.from_iterable(
+                    [tensor.rows_of_worker(int(i)) for i in affected_w]
+                    + [tensor.rows_of_task(int(j)) for j in affected_t]
+                ),
+                dtype=np.intp,
+            )
+        )
         for _ in range(self.local_iterations):
-            new_store, _ = em_kernel.em_step(tensor, store)
-            store.p_qualified[affected_w] = new_store.p_qualified[affected_w]
-            store.distance_weights[affected_w] = new_store.distance_weights[affected_w]
-            store.influence_weights[affected_t] = new_store.influence_weights[affected_t]
-            store.label_probs[label_mask] = new_store.label_probs[label_mask]
+            em_kernel.em_step_localized(
+                tensor, store, relevant_rows, affected_w, affected_t, label_slots
+            )
 
         # Copy-on-write publish: share the unaffected entities' parameter
         # objects (nothing in the system mutates them in place) and replace
@@ -220,16 +421,17 @@ class IncrementalUpdater:
             tasks=dict(params.tasks),
         )
         for worker_id in affected_workers:
-            i = worker_rows[worker_id]
+            i = tensor.worker_row(worker_id)
             new_params.workers[worker_id] = _trusted_worker_parameters(
                 float(store.p_qualified[i]), store.distance_weights[i].copy()
             )
         for task_id in affected_tasks:
-            j = task_rows[task_id]
+            j = tensor.task_row(task_id)
             new_params.tasks[task_id] = _trusted_task_parameters(
                 store.label_probs[store.task_label_slice(j)].copy(),
                 store.influence_weights[j].copy(),
             )
+        self._synced_params = new_params
         return new_params
 
     def _local_maximisation(

@@ -211,6 +211,24 @@ class LocationAwareInference(LabelInferenceModel):
         task = self._require_task(task_id)
         return self._parameters.task(task_id, num_labels=task.num_labels).label_probs.copy()
 
+    def add_worker(self, worker: Worker) -> bool:
+        """Register a worker that joined after construction (open-world growth).
+
+        Returns ``True`` if the worker was new.  Until the worker's answers
+        are fitted, predictions about them fall back to the footnote-3 prior —
+        the same cold-start treatment the paper gives brand-new workers.
+        """
+        existing = self._workers.get(worker.worker_id)
+        if existing is not None:
+            if existing is not worker and existing != worker:
+                raise ValueError(
+                    f"worker id {worker.worker_id!r} is already registered with "
+                    "different content"
+                )
+            return False
+        self._workers[worker.worker_id] = worker
+        return True
+
     def warm_start(
         self, parameters: ModelParameters | ArrayParameterStore
     ) -> "LocationAwareInference":

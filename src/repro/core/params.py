@@ -248,7 +248,21 @@ class ModelParameters:
         return worst
 
 
-@dataclass
+def _grown_buffer(buffer: np.ndarray, needed: int) -> np.ndarray:
+    """Return ``buffer`` or a capacity-doubled replacement holding ``needed`` rows.
+
+    The logical prefix is copied over; trailing capacity is uninitialised.
+    Doubling keeps a sequence of appends amortized O(1) per appended row.
+    """
+    capacity = buffer.shape[0]
+    if needed <= capacity:
+        return buffer
+    new_capacity = max(needed, 2 * capacity, 8)
+    grown = np.empty((new_capacity,) + buffer.shape[1:], dtype=buffer.dtype)
+    grown[:capacity] = buffer
+    return grown
+
+
 class ArrayParameterStore:
     """Flat array-backed storage of all model parameters.
 
@@ -259,30 +273,197 @@ class ArrayParameterStore:
     ``label_probs[label_offsets[j]:label_offsets[j + 1]]`` of the ragged label
     storage.  All arrays are dense ``float64`` so one EM iteration is a handful
     of fused NumPy kernels rather than a Python loop.
+
+    The store is **open-world**: :meth:`add_worker` and :meth:`add_task` admit
+    entities unseen at construction time in amortized O(1), backed by
+    capacity-doubling buffers (the array attributes are views of the logical
+    prefix, so every consumer keeps seeing exactly-sized arrays).  Unless
+    explicit values are supplied, admitted entities receive the paper's
+    footnote-3 trusted priors — the same fallback
+    :meth:`ModelParameters.worker` / :meth:`ModelParameters.task` apply.
     """
 
-    function_set: DistanceFunctionSet
-    alpha: float
-    worker_ids: tuple[str, ...]
-    task_ids: tuple[str, ...]
-    label_offsets: np.ndarray  # (|T| + 1,) int — ragged bounds into label_probs
-    p_qualified: np.ndarray  # (|W|,)
-    distance_weights: np.ndarray  # (|W|, |F|)
-    influence_weights: np.ndarray  # (|T|, |F|)
-    label_probs: np.ndarray  # (Σ_t |L_t|,) flat ragged storage
+    def __init__(
+        self,
+        function_set: DistanceFunctionSet,
+        alpha: float,
+        worker_ids: Sequence[str],
+        task_ids: Sequence[str],
+        label_offsets: np.ndarray,
+        p_qualified: np.ndarray,
+        distance_weights: np.ndarray,
+        influence_weights: np.ndarray,
+        label_probs: np.ndarray,
+    ) -> None:
+        self.function_set = function_set
+        self.alpha = alpha
+        self._worker_ids = list(worker_ids)
+        self._task_ids = list(task_ids)
+        self._label_offsets = np.asarray(label_offsets)
+        self._p_qualified = np.asarray(p_qualified)
+        self._distance_weights = np.asarray(distance_weights)
+        self._influence_weights = np.asarray(influence_weights)
+        self._label_probs = np.asarray(label_probs)
+        self._num_label_slots = int(self._label_offsets[-1]) if self._label_offsets.size else 0
+        # Lazy caches: id tuples and id -> index maps, rebuilt on demand.
+        self._worker_ids_cache: tuple[str, ...] | None = None
+        self._task_ids_cache: tuple[str, ...] | None = None
+        self._worker_index: dict[str, int] | None = None
+        self._task_index: dict[str, int] | None = None
+        self._frozen = False
+
+    def __repr__(self) -> str:
+        return (
+            f"ArrayParameterStore(workers={self.num_workers}, "
+            f"tasks={self.num_tasks}, label_slots={self.num_label_slots})"
+        )
 
     # ------------------------------------------------------------- properties
     @property
+    def worker_ids(self) -> tuple[str, ...]:
+        if self._worker_ids_cache is None:
+            self._worker_ids_cache = tuple(self._worker_ids)
+        return self._worker_ids_cache
+
+    @property
+    def task_ids(self) -> tuple[str, ...]:
+        if self._task_ids_cache is None:
+            self._task_ids_cache = tuple(self._task_ids)
+        return self._task_ids_cache
+
+    @property
+    def label_offsets(self) -> np.ndarray:
+        return self._label_offsets[: len(self._task_ids) + 1]
+
+    @property
+    def p_qualified(self) -> np.ndarray:
+        return self._p_qualified[: len(self._worker_ids)]
+
+    @property
+    def distance_weights(self) -> np.ndarray:
+        return self._distance_weights[: len(self._worker_ids)]
+
+    @property
+    def influence_weights(self) -> np.ndarray:
+        return self._influence_weights[: len(self._task_ids)]
+
+    @property
+    def label_probs(self) -> np.ndarray:
+        return self._label_probs[: self._num_label_slots]
+
+    @property
     def num_workers(self) -> int:
-        return len(self.worker_ids)
+        return len(self._worker_ids)
 
     @property
     def num_tasks(self) -> int:
-        return len(self.task_ids)
+        return len(self._task_ids)
 
     @property
     def num_label_slots(self) -> int:
-        return int(self.label_probs.size)
+        return self._num_label_slots
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    # ----------------------------------------------------------- id lookups
+    def index_of_worker(self, worker_id: str) -> int:
+        """Row of ``worker_id`` (``KeyError`` if the worker is unknown)."""
+        if self._worker_index is None:
+            self._worker_index = {w: i for i, w in enumerate(self._worker_ids)}
+        return self._worker_index[worker_id]
+
+    def index_of_task(self, task_id: str) -> int:
+        """Row of ``task_id`` (``KeyError`` if the task is unknown)."""
+        if self._task_index is None:
+            self._task_index = {t: j for j, t in enumerate(self._task_ids)}
+        return self._task_index[task_id]
+
+    def has_worker(self, worker_id: str) -> bool:
+        try:
+            self.index_of_worker(worker_id)
+        except KeyError:
+            return False
+        return True
+
+    def has_task(self, task_id: str) -> bool:
+        try:
+            self.index_of_task(task_id)
+        except KeyError:
+            return False
+        return True
+
+    # ------------------------------------------------------- open-world growth
+    def add_worker(
+        self,
+        worker_id: str,
+        p_qualified: float = 1.0,
+        distance_weights: np.ndarray | None = None,
+    ) -> int:
+        """Admit an unseen worker and return its new row (amortized O(1)).
+
+        Defaults are the footnote-3 trusted prior: fully qualified with all
+        mass on the flattest distance function, so a brand-new worker is
+        prioritised by the assigner and its real quality learned quickly.
+        """
+        if self._frozen:
+            raise ValueError("cannot add a worker to a frozen store")
+        if self.has_worker(worker_id):
+            raise ValueError(f"worker {worker_id!r} is already in the store")
+        if distance_weights is None:
+            distance_weights = self.function_set.best_quality_weights()
+        row = len(self._worker_ids)
+        self._p_qualified = _grown_buffer(self._p_qualified, row + 1)
+        self._distance_weights = _grown_buffer(self._distance_weights, row + 1)
+        self._p_qualified[row] = float(p_qualified)
+        self._distance_weights[row] = distance_weights
+        self._worker_ids.append(worker_id)
+        self._worker_ids_cache = None
+        if self._worker_index is not None:
+            self._worker_index[worker_id] = row
+        return row
+
+    def add_task(
+        self,
+        task_id: str,
+        num_labels: int,
+        label_probs: np.ndarray | None = None,
+        influence_weights: np.ndarray | None = None,
+    ) -> int:
+        """Admit an unseen task and return its new row (amortized O(1)).
+
+        Defaults are the footnote-3 trusted prior: uninformative 0.5 label
+        probabilities and all influence mass on the flattest function.
+        """
+        if self._frozen:
+            raise ValueError("cannot add a task to a frozen store")
+        if self.has_task(task_id):
+            raise ValueError(f"task {task_id!r} is already in the store")
+        if num_labels <= 0:
+            raise ValueError(f"num_labels must be positive, got {num_labels}")
+        if influence_weights is None:
+            influence_weights = self.function_set.best_quality_weights()
+        if label_probs is None:
+            label_probs = np.full(num_labels, 0.5)
+        elif len(label_probs) != num_labels:
+            raise ValueError(
+                f"label_probs has {len(label_probs)} entries, expected {num_labels}"
+            )
+        row = len(self._task_ids)
+        slots = self._num_label_slots
+        self._label_offsets = _grown_buffer(self._label_offsets, row + 2)
+        self._influence_weights = _grown_buffer(self._influence_weights, row + 1)
+        self._label_probs = _grown_buffer(self._label_probs, slots + num_labels)
+        self._label_offsets[row + 1] = slots + num_labels
+        self._influence_weights[row] = influence_weights
+        self._label_probs[slots : slots + num_labels] = label_probs
+        self._num_label_slots = slots + num_labels
+        self._task_ids.append(task_id)
+        self._task_ids_cache = None
+        if self._task_index is not None:
+            self._task_index[task_id] = row
+        return row
 
     def task_label_slice(self, task_index: int) -> slice:
         """Slice of :attr:`label_probs` holding the labels of task ``task_index``."""
@@ -394,16 +575,19 @@ class ArrayParameterStore:
 
         Published snapshots are frozen so that no consumer can mutate a version
         other readers are concurrently working against; attempting to write
-        raises ``ValueError`` at the NumPy level.
+        raises ``ValueError`` at the NumPy level, and :meth:`add_worker` /
+        :meth:`add_task` refuse to grow the store.  The flags are set on the
+        backing buffers, so every view handed out afterwards is read-only too.
         """
         for array in (
-            self.label_offsets,
-            self.p_qualified,
-            self.distance_weights,
-            self.influence_weights,
-            self.label_probs,
+            self._label_offsets,
+            self._p_qualified,
+            self._distance_weights,
+            self._influence_weights,
+            self._label_probs,
         ):
             array.setflags(write=False)
+        self._frozen = True
         return self
 
     # ------------------------------------------------------------ persistence

@@ -16,6 +16,7 @@ distance models) so the benchmarks and examples stay short.
 
 from __future__ import annotations
 
+import multiprocessing
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
@@ -152,28 +153,95 @@ def default_inference_factories(
     }
 
 
+# ------------------------------------------------------- multiprocessing sweeps
+# Sweep context inherited by fork()ed pool workers.  The factories passed to
+# the compare functions are typically closures/lambdas, which cannot cross a
+# pickling process boundary — but a fork child inherits the parent's memory,
+# so publishing the context in a module global right before creating the pool
+# makes the (unpicklable) factories available to the module-level worker
+# functions, while only small picklable tuples travel through the pool queues.
+_SWEEP_CONTEXT: dict | None = None
+
+
+def _parallel_map(worker: Callable, items: list, jobs: int, context: dict) -> list:
+    """Map ``worker`` over ``items`` on a fork process pool, preserving order.
+
+    Falls back to a serial map when ``jobs == 1``, when there is nothing to
+    fan out, or when the platform cannot fork (the context trick above relies
+    on fork inheritance; spawn would need every factory to be picklable).
+    """
+    global _SWEEP_CONTEXT
+    use_pool = (
+        jobs > 1
+        and len(items) > 1
+        and "fork" in multiprocessing.get_all_start_methods()
+    )
+    if not use_pool:
+        _SWEEP_CONTEXT = context
+        try:
+            return [worker(item) for item in items]
+        finally:
+            _SWEEP_CONTEXT = None
+    _SWEEP_CONTEXT = context
+    try:
+        with multiprocessing.get_context("fork").Pool(
+            processes=min(jobs, len(items))
+        ) as pool:
+            return pool.map(worker, items)
+    finally:
+        _SWEEP_CONTEXT = None
+
+
+def _inference_budget_worker(item: tuple[int, int]) -> dict[str, tuple[float, float]]:
+    """Fit every method on one budget subsample (one sweep unit)."""
+    index, budget = item
+    context = _SWEEP_CONTEXT
+    subsample = subsample_answers(
+        context["answers"], budget, seed=derive_seed(context["seed"], index)
+    )
+    row: dict[str, tuple[float, float]] = {}
+    for name, factory in context["factories"].items():
+        model = factory()
+        started = time.perf_counter()
+        model.fit(subsample)
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        predictions = model.predict_all()
+        accuracy = labelling_accuracy(predictions, context["dataset"].tasks)
+        row[name] = (accuracy, elapsed_ms)
+    return row
+
+
 def compare_inference_models(
     dataset: Dataset,
     answers: AnswerSet,
     budgets: Sequence[int],
     factories: dict[str, Callable[[], LabelInferenceModel]],
     seed: SeedLike = None,
+    jobs: int = 1,
 ) -> InferenceComparisonResult:
-    """Figure 9 / 12: accuracy and runtime of each method at each budget level."""
+    """Figure 9 / 12: accuracy and runtime of each method at each budget level.
+
+    ``jobs > 1`` fans the independent budget levels out over a process pool
+    (each level subsamples, fits and scores in its own process); ``jobs=1``
+    keeps the original serial sweep.  Results are identical either way — every
+    level derives its own seed.
+    """
     budgets = list(budgets)
     result = InferenceComparisonResult(budgets=budgets)
     for name in factories:
         result.accuracy[name] = []
         result.runtime_ms[name] = []
-    for index, budget in enumerate(budgets):
-        subsample = subsample_answers(answers, budget, seed=derive_seed(_as_int(seed), index))
-        for name, factory in factories.items():
-            model = factory()
-            started = time.perf_counter()
-            model.fit(subsample)
-            elapsed_ms = (time.perf_counter() - started) * 1000.0
-            predictions = model.predict_all()
-            accuracy = labelling_accuracy(predictions, dataset.tasks)
+    context = {
+        "dataset": dataset,
+        "answers": answers,
+        "factories": factories,
+        "seed": _as_int(seed),
+    }
+    rows = _parallel_map(
+        _inference_budget_worker, list(enumerate(budgets)), jobs, context
+    )
+    for row in rows:
+        for name, (accuracy, elapsed_ms) in row.items():
             result.accuracy[name].append(accuracy)
             result.runtime_ms[name].append(elapsed_ms)
     return result
@@ -223,17 +291,56 @@ def default_assigner_factories(
     }
 
 
+def _assigner_campaign_worker(
+    name: str,
+) -> tuple[str, FrameworkResult, AssignmentStats]:
+    """Run one strategy's full campaign (one sweep unit)."""
+    context = _SWEEP_CONTEXT
+    dataset = context["dataset"]
+    config = context["config"]
+    pool = context["pool"]
+    platform = build_platform(
+        dataset,
+        budget=config.budget,
+        worker_pool=pool,
+        workers_per_round=config.workers_per_round,
+        seed=context["seed"],
+    )
+    inference = LocationAwareInference(
+        dataset.tasks, pool.workers, platform.distance_model, config=config.inference
+    )
+    assigner = context["factories"][name]()
+    framework = PoiLabellingFramework(platform, inference, assigner, config=config)
+    run_result = framework.run()
+
+    answers = platform.answers
+    quality = worker_average_accuracy(answers, dataset)
+    probabilities = {
+        task.task_id: inference.label_probabilities(task.task_id)
+        for task in dataset.tasks
+    }
+    stats = AssignmentStats(
+        worker_quality=(sum(quality.values()) / len(quality)) if quality else 0.0,
+        assignment_distribution=assignment_distribution(answers, dataset),
+        average_acc=average_label_accuracy(probabilities, dataset.tasks),
+    )
+    return name, run_result, stats
+
+
 def compare_assigners(
     dataset: Dataset,
     config: FrameworkConfig,
     assigner_factories: dict[str, Callable[[], TaskAssigner]] | None = None,
     worker_pool: WorkerPool | None = None,
     seed: SeedLike = 101,
+    jobs: int = 1,
 ) -> AssignmentComparisonResult:
     """Figure 11 / Table II: run the framework once per assignment strategy.
 
     Every strategy sees the same dataset and the same worker-pool seed, so the
-    only difference between runs is the assignment policy.
+    only difference between runs is the assignment policy.  ``jobs > 1`` fans
+    the independent campaigns out over a process pool; each strategy's run is
+    seeded identically to the serial sweep, so the results match bit for bit.
     """
     base_seed = _as_int(seed) or 101
     pool = worker_pool or build_worker_pool(dataset, seed=derive_seed(base_seed, 11))
@@ -244,36 +351,20 @@ def compare_assigners(
 
     checkpoints = sorted(config.evaluation_checkpoints)
     result = AssignmentComparisonResult(checkpoints=list(checkpoints))
-
-    for name, factory in factories.items():
-        platform = build_platform(
-            dataset,
-            budget=config.budget,
-            worker_pool=pool,
-            workers_per_round=config.workers_per_round,
-            seed=base_seed,
-        )
-        inference = LocationAwareInference(
-            dataset.tasks, pool.workers, platform.distance_model, config=config.inference
-        )
-        assigner = factory()
-        framework = PoiLabellingFramework(platform, inference, assigner, config=config)
-        run_result = framework.run()
-
+    context = {
+        "dataset": dataset,
+        "config": config,
+        "pool": pool,
+        "factories": factories,
+        "seed": base_seed,
+    }
+    rows = _parallel_map(
+        _assigner_campaign_worker, list(factories), jobs, context
+    )
+    for name, run_result, stats in rows:
         result.framework_results[name] = run_result
         result.accuracy[name] = [
             run_result.accuracy_at(checkpoint) for checkpoint in checkpoints
         ]
-
-        answers = platform.answers
-        quality = worker_average_accuracy(answers, dataset)
-        probabilities = {
-            task.task_id: inference.label_probabilities(task.task_id)
-            for task in dataset.tasks
-        }
-        result.stats[name] = AssignmentStats(
-            worker_quality=(sum(quality.values()) / len(quality)) if quality else 0.0,
-            assignment_distribution=assignment_distribution(answers, dataset),
-            average_acc=average_label_accuracy(probabilities, dataset.tasks),
-        )
+        result.stats[name] = stats
     return result

@@ -21,6 +21,34 @@ updater of :mod:`repro.core`:
   :class:`~repro.crowd.platform.CrowdPlatform` workload and exposes a
   run-to-completion simulation (the ``repro-poi serve-sim`` CLI subcommand).
 
+**Open-world serving.**  The stack does not assume the worker/task universe is
+known at startup — new entities flow through every layer as they arrive:
+
+1. an :class:`~repro.serving.ingest.AnswerEvent` referencing an unknown worker
+   or task carries the entity's metadata as a first-sight payload; the
+   ingestor registers it into the inference model before the micro-batch is
+   applied (``add_worker`` / ``add_task``);
+2. the incremental updater appends the batch to its live, growable
+   :class:`~repro.core.em_kernel.AnswerTensor` and admits the new entity into
+   the row-aligned :class:`~repro.core.params.ArrayParameterStore` with the
+   paper's footnote-3 trusted prior (fully qualified, flattest distance
+   function), then refines it with localized masked sweeps — no per-batch
+   rebuild of tensors or stores;
+3. the next published snapshot's entity universe has grown accordingly
+   (snapshots are append-only in entity space: universes never shrink between
+   versions);
+4. the frontend admits the entity into its assignment strategy — for AccOpt
+   the cached distance matrix and the task-side ragged label layout grow with
+   the store — so the very next request can be scored over the expanded
+   universe;
+5. :class:`~repro.serving.service.OnlineServingService` drives the whole flow
+   with the ``holdback_worker_fraction`` / ``holdback_task_fraction`` knobs
+   of :class:`~repro.serving.service.ServingConfig` (CLI:
+   ``--holdback-workers`` / ``--holdback-tasks``): withheld workers join on
+   their first arrival batch, withheld tasks on a rolling release schedule,
+   and the report records how much of the stream came from entities absent at
+   startup.
+
 Typical usage::
 
     from repro.serving import OnlineServingService, ServingConfig

@@ -107,6 +107,20 @@ class AssignmentFrontend:
         """Version of the snapshot the assigner's parameters came from."""
         return self._seen_version
 
+    # --------------------------------------------------------- open-world growth
+    def add_task(self, task: Task) -> bool:
+        """Admit a task posted after startup into the assignment universe.
+
+        The strategy's task-side structures (including the accuracy kernel's
+        cached distance matrix for AccOpt) grow with it; until the inference
+        catches up, the new task scores with its footnote-3 prior.
+        """
+        return self._assigner.add_task(task)
+
+    def add_worker(self, worker: Worker) -> bool:
+        """Admit a worker who joined after startup into the assignment universe."""
+        return self._assigner.add_worker(worker)
+
     def assign(self, worker_id: str, h: int, answers: AnswerSet) -> AssignmentResponse:
         """Assign up to ``h`` tasks to the arriving ``worker_id``.
 

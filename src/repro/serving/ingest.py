@@ -9,12 +9,20 @@ arriving :class:`AnswerEvent` records and closes a **micro-batch** when either
   seconds (so sparse traffic still gets timely refreshes).
 
 Each closed batch is applied through the array-backed
-:class:`~repro.core.incremental.IncrementalUpdater` (localized masked sweeps on
-the vectorised kernel), and every ``full_refresh_interval`` ingested answers
-the model is re-fit from scratch on the vectorised engine — warm-started from
-the current estimate — to undo incremental drift.  After every update a new
-immutable snapshot is published to the :class:`~repro.serving.snapshots.SnapshotStore`,
-which is the only surface the assignment frontend reads.
+:class:`~repro.core.incremental.IncrementalUpdater` (localized sweeps against
+its live, incrementally grown answer tensor), and every
+``full_refresh_interval`` ingested answers the model is re-fit from scratch on
+the vectorised engine — warm-started from the current estimate — to undo
+incremental drift.  After every update a new immutable snapshot is published
+to the :class:`~repro.serving.snapshots.SnapshotStore`, which is the only
+surface the assignment frontend reads.
+
+The ingestion layer is **open-world**: an :class:`AnswerEvent` may reference a
+worker or task the model has never seen, as long as it carries the entity's
+metadata (:attr:`AnswerEvent.worker` / :attr:`AnswerEvent.task`).  First-sight
+entities are registered into the inference model before the batch is applied,
+admitted into the live tensor/store with the paper's footnote-3 trusted
+priors, and show up in every snapshot published from then on.
 """
 
 from __future__ import annotations
@@ -24,17 +32,24 @@ from dataclasses import dataclass, field
 
 from repro.core.incremental import IncrementalUpdater
 from repro.core.inference import LocationAwareInference
-from repro.core.params import ModelParameters
-from repro.data.models import Answer, AnswerSet
+from repro.data.models import Answer, AnswerSet, Task, Worker
 from repro.serving.snapshots import ParameterSnapshot, SnapshotStore
 
 
 @dataclass(frozen=True)
 class AnswerEvent:
-    """One answer submission with its simulated arrival time (seconds)."""
+    """One answer submission with its simulated arrival time (seconds).
+
+    ``worker`` and ``task`` are optional first-sight payloads: events from
+    entities unknown to the serving model MUST carry the corresponding
+    metadata so the ingestor can register them; for already-known entities the
+    payloads are ignored.
+    """
 
     answer: Answer
     time: float = 0.0
+    worker: Worker | None = None
+    task: Task | None = None
 
 
 @dataclass
@@ -80,6 +95,8 @@ class IngestStats:
     incremental_updates: int = 0
     full_refreshes: int = 0
     snapshots_published: int = 0
+    workers_registered: int = 0
+    tasks_registered: int = 0
     update_seconds: float = 0.0
 
     @property
@@ -124,15 +141,14 @@ class AnswerIngestor:
             full_refresh_interval=self._config.full_refresh_interval,
             local_iterations=self._config.local_iterations,
         )
-        self._task_registry = inference.tasks
         # Estimates to carry across re-fits: a model warm-started from a
         # restored snapshot knows entities the growing answer log may not
         # cover yet, and a full EM re-fit only returns entities present in
-        # its tensor — without this, the first publish after a restart would
-        # silently revert un-reanswered workers/tasks to cold-start priors.
-        self._carryover: ModelParameters | None = (
-            inference.parameters if inference.is_fitted else None
-        )
+        # its tensor — without priming the updater's carryover, the first
+        # publish after a restart would silently revert un-reanswered
+        # workers/tasks to cold-start priors.
+        if inference.is_fitted:
+            self._updater.prime_carryover(inference.parameters)
         self._buffer: list[AnswerEvent] = []
         self._buffer_opened_at: float | None = None
         self._stats = IngestStats()
@@ -188,16 +204,19 @@ class AnswerIngestor:
         return None
 
     def flush(
-        self, now: float | None = None, full: bool = False
+        self, now: float | None = None, full: bool = False, warm: bool = True
     ) -> ParameterSnapshot | None:
         """Apply the buffered micro-batch and publish a fresh snapshot.
 
         ``full=True`` forces a full re-fit even if the interval has not
         elapsed (the service calls this once at shutdown so the final snapshot
-        reflects a converged estimate).  Returns ``None`` only when there is
-        nothing at all to do.
+        reflects a converged estimate); ``warm=False`` makes that re-fit a
+        cold start instead of warm-starting from the current estimate, so the
+        result is bit-identical to an offline fit on the same answer log.
+        Returns ``None`` only when there is nothing at all to do.
         """
-        new_answers = [event.answer for event in self._buffer]
+        events = list(self._buffer)
+        new_answers = [event.answer for event in events]
         if now is None:
             now = self._buffer[-1].time if self._buffer else 0.0
         self._buffer.clear()
@@ -205,6 +224,8 @@ class AnswerIngestor:
         if not new_answers and not (full and len(self._answers) > 0):
             return None
 
+        for event in events:
+            self._register_event_entities(event)
         for answer in new_answers:
             self._answers.add(answer)
 
@@ -213,8 +234,12 @@ class AnswerIngestor:
             full or not self._inference.is_fitted or self._updater.full_refresh_due
         )
         if run_full:
-            warm = self._inference.parameters if self._inference.is_fitted else None
-            self._inference.fit(self._answers, initial=warm)
+            initial = (
+                self._inference.parameters
+                if warm and self._inference.is_fitted
+                else None
+            )
+            self._inference.fit(self._answers, initial=initial)
             self._updater.notify_full_refresh()
             self._stats.full_refreshes += 1
             source = "full_refresh"
@@ -230,31 +255,52 @@ class AnswerIngestor:
         return self._publish(published_at=now, source=source)
 
     # ---------------------------------------------------------------- internal
-    def _publish(self, published_at: float, source: str) -> ParameterSnapshot:
-        """Flatten the live estimate over every known entity and publish it.
+    def _register_event_entities(self, event: AnswerEvent) -> None:
+        """Register first-sight workers/tasks carried by ``event``.
 
-        The published set is the union of the current estimate's entities and
-        any carried-over ones (restored snapshots, pre-refresh estimates); the
-        current estimate wins wherever both exist.
+        Unknown entities without a payload are a protocol error: the tensor
+        append would fail later anyway, but failing here names the missing
+        piece (the metadata, not the answer).
         """
-        params = self._inference.parameters
-        if self._carryover is not None:
-            workers = dict(self._carryover.workers)
-            workers.update(params.workers)
-            tasks = dict(self._carryover.tasks)
-            tasks.update(params.tasks)
-            params = ModelParameters(
-                function_set=params.function_set,
-                alpha=params.alpha,
-                workers=workers,
-                tasks=tasks,
-            )
-        self._carryover = params
-        worker_ids = sorted(params.workers)
-        task_ids = sorted(params.tasks)
-        num_labels = [self._task_registry[task_id].num_labels for task_id in task_ids]
-        store = params.to_array_store(worker_ids, task_ids, num_labels)
-        # The store was flattened solely for this publish — hand it over
+        answer = event.answer
+        inference = self._inference
+        if answer.task_id not in inference._tasks:
+            if event.task is None:
+                raise KeyError(
+                    f"answer references unknown task {answer.task_id!r} and the "
+                    "event carries no task payload to register it"
+                )
+            if event.task.task_id != answer.task_id:
+                raise ValueError(
+                    f"event task payload {event.task.task_id!r} does not match "
+                    f"the answer's task {answer.task_id!r}"
+                )
+            inference.add_task(event.task)
+            self._stats.tasks_registered += 1
+        if answer.worker_id not in inference._workers:
+            if event.worker is None:
+                raise KeyError(
+                    f"answer references unknown worker {answer.worker_id!r} and "
+                    "the event carries no worker payload to register it"
+                )
+            if event.worker.worker_id != answer.worker_id:
+                raise ValueError(
+                    f"event worker payload {event.worker.worker_id!r} does not "
+                    f"match the answer's worker {answer.worker_id!r}"
+                )
+            inference.add_worker(event.worker)
+            self._stats.workers_registered += 1
+
+    def _publish(self, published_at: float, source: str) -> ParameterSnapshot:
+        """Publish the live estimate over every known entity, array-first.
+
+        The updater hands over a compact copy of its live store (every tensor
+        entity plus carried-over ones from restored snapshots) — one C-level
+        array copy per publish instead of flattening a ``ModelParameters``
+        dict over the whole, ever-growing entity universe.
+        """
+        store = self._updater.publish_store(self._answers)
+        # The store copy was made solely for this publish — hand it over
         # instead of paying a second full-array copy inside the snapshot.
         snapshot = self._snapshots.publish(
             store, published_at=published_at, source=source, copy=False

@@ -33,11 +33,22 @@ from repro.framework.metrics import labelling_accuracy
 from repro.serving.frontend import AssignmentFrontend, FrontendStats
 from repro.serving.ingest import AnswerEvent, AnswerIngestor, IngestConfig, IngestStats
 from repro.serving.snapshots import ParameterSnapshot, SnapshotStore
+from repro.utils.rng import default_rng, derive_seed
 
 
 @dataclass
 class ServingConfig:
-    """Knobs of one serving session."""
+    """Knobs of one serving session.
+
+    ``holdback_worker_fraction`` / ``holdback_task_fraction`` exercise the
+    open-world path: that fraction of the platform's workers/tasks is withheld
+    from the serving model at startup and only admitted when it actually
+    arrives — held-back workers on their first arrival batch, held-back tasks
+    on a rolling release of ``tasks_released_per_round`` per round.
+    ``final_refresh_warm_start=False`` makes the shutdown re-fit a cold start,
+    so the final snapshot is bit-identical to an offline fit on the full
+    answer log (the open-world acceptance check).
+    """
 
     strategy: str = "accopt"
     assigner_engine: str = "vectorized"
@@ -47,6 +58,10 @@ class ServingConfig:
     ingest: IngestConfig = field(default_factory=IngestConfig)
     inference: InferenceConfig = field(default_factory=InferenceConfig)
     final_full_refresh: bool = True
+    final_refresh_warm_start: bool = True
+    holdback_worker_fraction: float = 0.0
+    holdback_task_fraction: float = 0.0
+    tasks_released_per_round: int = 1
     seed: int | None = None
 
     def __post_init__(self) -> None:
@@ -57,6 +72,15 @@ class ServingConfig:
         if self.mean_interarrival <= 0:
             raise ValueError(
                 f"mean_interarrival must be positive, got {self.mean_interarrival}"
+            )
+        for name in ("holdback_worker_fraction", "holdback_task_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise ValueError(f"{name} must lie in [0, 1), got {value}")
+        if self.tasks_released_per_round <= 0:
+            raise ValueError(
+                f"tasks_released_per_round must be positive, "
+                f"got {self.tasks_released_per_round}"
             )
 
 
@@ -74,11 +98,21 @@ class ServingReport:
     simulated_duration: float
     wall_seconds: float
     final_accuracy: float
+    workers_joined: int = 0
+    tasks_joined: int = 0
+    open_world_answers: int = 0
 
     @property
     def ingest_answers_per_second(self) -> float:
         """Answers applied per second of model-update time."""
         return self.ingest.answers_per_second
+
+    @property
+    def open_world_fraction(self) -> float:
+        """Share of ingested answers involving an entity absent at startup."""
+        if self.answers_ingested <= 0:
+            return 0.0
+        return self.open_world_answers / self.answers_ingested
 
     def summary(self) -> str:
         """Human-readable multi-line digest (printed by ``repro-poi serve-sim``)."""
@@ -90,6 +124,9 @@ class ServingReport:
             f"({self.ingest.incremental_updates} incremental, "
             f"{self.ingest.full_refreshes} full refreshes), "
             f"{self.ingest_answers_per_second:,.0f} answers/s of update time",
+            f"open world: {self.workers_joined} workers / {self.tasks_joined} tasks "
+            f"joined mid-stream, {self.open_world_answers} answers "
+            f"({self.open_world_fraction:.0%}) from entities absent at startup",
             f"snapshots: {self.snapshots_published} published, latest version {version}",
             f"assignment latency: p50 {self.frontend.p50_latency_ms:.2f} ms, "
             f"p95 {self.frontend.p95_latency_ms:.2f} ms over "
@@ -102,7 +139,16 @@ class ServingReport:
 
 
 class OnlineServingService:
-    """Wires ingestion, snapshotting and the frontend over one platform."""
+    """Wires ingestion, snapshotting and the frontend over one platform.
+
+    With the holdback fractions of :class:`ServingConfig` set, the service
+    runs **open-world**: the withheld workers/tasks are unknown to the
+    inference model, the frontend and the first snapshots, and enter the
+    serving universe only when they arrive — workers on their first arrival
+    batch, tasks on the rolling release schedule — flowing through
+    ``add_worker`` / ``add_task`` registration all the way down to the live
+    tensor and the published stores.
+    """
 
     def __init__(
         self,
@@ -116,9 +162,17 @@ class OnlineServingService:
             )
         self._platform = platform
         self._config = config or ServingConfig()
+        startup_workers, startup_tasks, pending_tasks = self._split_universe()
+        self._pending_tasks = pending_tasks
+        self._startup_worker_ids = frozenset(w.worker_id for w in startup_workers)
+        self._startup_task_ids = frozenset(t.task_id for t in startup_tasks)
+        self._registered_workers = set(self._startup_worker_ids)
+        self._workers_joined = 0
+        self._tasks_joined = 0
+        self._open_world_answers = 0
         self._inference = LocationAwareInference(
-            platform.dataset.tasks,
-            platform.workers,
+            startup_tasks,
+            startup_workers,
             platform.distance_model,
             config=self._config.inference,
         )
@@ -133,8 +187,8 @@ class OnlineServingService:
             answers=platform.answers,
         )
         self._frontend = AssignmentFrontend(
-            platform.dataset.tasks,
-            platform.workers,
+            startup_tasks,
+            startup_workers,
             platform.distance_model,
             self._snapshots,
             strategy=self._config.strategy,
@@ -146,6 +200,38 @@ class OnlineServingService:
             mean_interarrival=self._config.mean_interarrival,
             seed=self._config.seed,
         )
+
+    def _split_universe(self):
+        """Partition the platform universe into startup and held-back subsets."""
+        workers = self._platform.workers
+        tasks = list(self._platform.dataset.tasks)
+        hold_workers = min(
+            int(round(self._config.holdback_worker_fraction * len(workers))),
+            len(workers) - 1,
+        )
+        hold_tasks = min(
+            int(round(self._config.holdback_task_fraction * len(tasks))),
+            len(tasks) - 1,
+        )
+        rng = default_rng(derive_seed(self._config.seed, 0x5EED))
+        held_worker_rows = (
+            set(rng.choice(len(workers), size=hold_workers, replace=False).tolist())
+            if hold_workers
+            else set()
+        )
+        held_task_rows = (
+            set(rng.choice(len(tasks), size=hold_tasks, replace=False).tolist())
+            if hold_tasks
+            else set()
+        )
+        startup_workers = [
+            worker for i, worker in enumerate(workers) if i not in held_worker_rows
+        ]
+        startup_tasks = [
+            task for j, task in enumerate(tasks) if j not in held_task_rows
+        ]
+        pending_tasks = [tasks[j] for j in sorted(held_task_rows)]
+        return startup_workers, startup_tasks, pending_tasks
 
     # ------------------------------------------------------------------ state
     @property
@@ -180,6 +266,7 @@ class OnlineServingService:
         while not platform.budget.exhausted:
             if max_rounds is not None and rounds >= max_rounds:
                 break
+            self._release_pending_tasks()
             batch = self._schedule.next_batch()
             if not batch.worker_ids:
                 break
@@ -188,6 +275,7 @@ class OnlineServingService:
                 remaining = platform.budget.remaining
                 if remaining <= 0:
                     break
+                self._register_arrival(worker_id)
                 # Cap the request by the remaining budget so the frontend's
                 # stats only ever count tasks that are actually executed.
                 response = self._frontend.assign(
@@ -201,6 +289,11 @@ class OnlineServingService:
                 workers_served += 1
                 assigned_in_round += len(collected)
                 for answer in collected:
+                    if (
+                        answer.worker_id not in self._startup_worker_ids
+                        or answer.task_id not in self._startup_task_ids
+                    ):
+                        self._open_world_answers += 1
                     self._ingestor.submit(AnswerEvent(answer, time=batch.time))
             rounds += 1
             if assigned_in_round == 0:
@@ -210,7 +303,9 @@ class OnlineServingService:
                 break
 
         self._ingestor.flush(
-            now=self._schedule.now, full=self._config.final_full_refresh
+            now=self._schedule.now,
+            full=self._config.final_full_refresh,
+            warm=self._config.final_refresh_warm_start,
         )
         wall_seconds = time.perf_counter() - wall_started
 
@@ -231,7 +326,29 @@ class OnlineServingService:
             simulated_duration=self._schedule.now,
             wall_seconds=wall_seconds,
             final_accuracy=accuracy,
+            workers_joined=self._workers_joined,
+            tasks_joined=self._tasks_joined,
+            open_world_answers=self._open_world_answers,
         )
+
+    # ------------------------------------------------------- open-world arrival
+    def _release_pending_tasks(self) -> None:
+        """Admit the next slice of held-back tasks into the serving universe."""
+        for _ in range(min(self._config.tasks_released_per_round, len(self._pending_tasks))):
+            task = self._pending_tasks.pop(0)
+            self._inference.add_task(task)
+            self._frontend.add_task(task)
+            self._tasks_joined += 1
+
+    def _register_arrival(self, worker_id: str) -> None:
+        """Admit a first-sight worker into the serving universe."""
+        if worker_id in self._registered_workers:
+            return
+        worker = self._platform.worker_pool.worker(worker_id)
+        self._inference.add_worker(worker)
+        self._frontend.add_worker(worker)
+        self._registered_workers.add(worker_id)
+        self._workers_joined += 1
 
     def save_latest_snapshot(self, path: str | Path) -> Path | None:
         """Persist the latest published snapshot (``None`` if nothing published)."""
