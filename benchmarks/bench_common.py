@@ -7,7 +7,7 @@ helpers by name without depending on pytest's conftest loading rules.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 
 from repro.crowd.answer_model import AnswerSimulator
@@ -27,7 +27,13 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 @dataclass(frozen=True)
 class BenchProfile:
-    """Sizing knobs for the benchmark harness."""
+    """Sizing knobs for the benchmark harness.
+
+    ``jobs`` fans the figure sweeps (``compare_inference_models`` /
+    ``compare_assigners``) out over a process pool; results are identical to
+    the serial run.  Select it with the ``REPRO_BENCH_JOBS`` environment
+    variable or the ``--jobs`` pytest flag (the flag wins).
+    """
 
     name: str
     num_workers: int
@@ -40,6 +46,7 @@ class BenchProfile:
     scalability_tasks: tuple[int, ...]
     scalability_workers: tuple[int, ...]
     seed: int = 2016
+    jobs: int = 1
 
 
 QUICK_PROFILE = BenchProfile(
@@ -69,12 +76,21 @@ PAPER_PROFILE = BenchProfile(
 )
 
 
-def current_profile() -> BenchProfile:
-    """Profile selected via the REPRO_BENCH_PROFILE environment variable."""
+def current_profile(jobs: int | None = None) -> BenchProfile:
+    """Profile selected via the REPRO_BENCH_PROFILE environment variable.
+
+    ``jobs`` (e.g. from the ``--jobs`` pytest flag) overrides the
+    ``REPRO_BENCH_JOBS`` environment variable; both default to serial sweeps.
+    """
     name = os.environ.get("REPRO_BENCH_PROFILE", "quick").lower()
-    if name == "paper":
-        return PAPER_PROFILE
-    return QUICK_PROFILE
+    profile = PAPER_PROFILE if name == "paper" else QUICK_PROFILE
+    if jobs is None:
+        jobs = int(os.environ.get("REPRO_BENCH_JOBS", "0") or 0) or None
+    if jobs is not None and jobs != profile.jobs:
+        if jobs <= 0:
+            raise ValueError(f"jobs must be positive, got {jobs}")
+        profile = replace(profile, jobs=jobs)
+    return profile
 
 
 def write_result(name: str, content: str) -> Path:

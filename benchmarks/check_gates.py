@@ -46,6 +46,12 @@ GATES = [
     ),
     (
         "BENCH_serving_throughput.json",
+        "full_stream_log_flattens",
+        "max_full_stream_log_flattens",
+        "<=",
+    ),
+    (
+        "BENCH_serving_throughput.json",
         "open_world_fraction",
         "min_open_world_fraction",
         ">=",

@@ -13,6 +13,10 @@ environment variable:
   minutes; the *shape* of every result is preserved.
 * ``paper`` — the paper's sizes (1000-assignment budgets, 10k–50k-assignment
   scalability runs, both datasets everywhere).
+
+The figure sweeps accept ``--jobs N`` (or ``REPRO_BENCH_JOBS=N``) to fan the
+independent sweep units out over a process pool — results are identical to
+the serial run, only the bench wall-clock changes.
 """
 
 from __future__ import annotations
@@ -39,9 +43,22 @@ from repro.data.generators import (  # noqa: E402
 from repro.framework.experiment import build_worker_pool  # noqa: E402
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs",
+        type=int,
+        default=None,
+        help=(
+            "fan the figure sweeps (compare_inference_models / "
+            "compare_assigners) out over this many worker processes "
+            "(default: REPRO_BENCH_JOBS, else serial)"
+        ),
+    )
+
+
 @pytest.fixture(scope="session")
-def profile() -> BenchProfile:
-    return current_profile()
+def profile(request) -> BenchProfile:
+    return current_profile(jobs=request.config.getoption("--jobs"))
 
 
 @pytest.fixture(scope="session")
@@ -84,7 +101,12 @@ def inference_comparisons(profile: BenchProfile, campaigns):
             campaign.dataset, campaign.worker_pool, campaign.distance_model
         )
         results[name] = compare_inference_models(
-            campaign.dataset, campaign.answers, budgets, factories, seed=profile.seed
+            campaign.dataset,
+            campaign.answers,
+            budgets,
+            factories,
+            seed=profile.seed,
+            jobs=profile.jobs,
         )
     return results
 
@@ -123,6 +145,6 @@ def assignment_comparisons(profile: BenchProfile):
             seed=profile.seed,
         )
         results[name] = compare_assigners(
-            dataset, config, worker_pool=pool, seed=profile.seed
+            dataset, config, worker_pool=pool, seed=profile.seed, jobs=profile.jobs
         )
     return results

@@ -7,9 +7,14 @@ precomputed ``(N, |F|)`` matrix of the distance-function set evaluated at every
 answer's distance, and a flat 0/1 response vector — after which one EM
 iteration is a fixed number of NumPy kernels.  The tensor is also the serving
 path's **live** structure: it grows in place (:meth:`AnswerTensor.append_answers`,
-capacity-doubling buffers, per-entity row indexes) and
-:func:`em_step_localized` runs the incremental updater's masked sweeps against
-it without any per-batch rebuild.  Per full iteration:
+capacity-doubling buffers, per-entity row indexes),
+:func:`localized_sweeps` runs the incremental updater's masked sweeps against
+it without any per-batch rebuild (with per-entity convergence early-exit so
+settled neighbourhoods drop out of later sweeps), and a full re-fit can run
+straight off it via
+:meth:`repro.core.inference.LocationAwareInference.fit_from_tensor` — the
+flatten below happens once per *stream*, not once per refresh.  Per full
+iteration:
 
 * the E-step posteriors of *all* answers are computed as array expressions
   mirroring ``LocationAwareInference._expectation`` term by term, and
@@ -30,6 +35,7 @@ at the fit boundary.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -794,6 +800,114 @@ def em_step_localized(
     store.distance_weights[affected_workers] = _normalise_rows(
         dw_sums[affected_workers], labels_per_worker[affected_workers], uniform
     )
+
+
+def gather_affected_rows(
+    tensor: AnswerTensor,
+    affected_workers: np.ndarray,
+    affected_tasks: np.ndarray,
+) -> np.ndarray:
+    """Answer rows relevant to a localized sweep over the given entities.
+
+    Every answer of every affected worker (to re-estimate that worker's
+    quality) or affected task (labels and influence), gathered through the
+    tensor's per-entity row indexes and deduplicated.  Requires row tracking.
+    """
+    return np.unique(
+        np.fromiter(
+            itertools.chain.from_iterable(
+                [tensor.rows_of_worker(int(i)) for i in affected_workers]
+                + [tensor.rows_of_task(int(j)) for j in affected_tasks]
+            ),
+            dtype=np.intp,
+        )
+    )
+
+
+def label_slots_of_tasks(
+    label_offsets: np.ndarray, task_rows: np.ndarray
+) -> np.ndarray:
+    """Flat label slots owned by ``task_rows``, concatenated in row order."""
+    if task_rows.size == 0:
+        return np.empty(0, dtype=np.intp)
+    return np.concatenate(
+        [
+            np.arange(int(label_offsets[j]), int(label_offsets[j + 1]), dtype=np.intp)
+            for j in task_rows
+        ]
+    )
+
+
+def localized_sweeps(
+    tensor: AnswerTensor,
+    store: ArrayParameterStore,
+    answer_rows: np.ndarray,
+    affected_workers: np.ndarray,
+    affected_tasks: np.ndarray,
+    label_slots: np.ndarray,
+    iterations: int,
+    early_exit_threshold: float = 0.0,
+) -> None:
+    """Run up to ``iterations`` localized sweeps with per-entity early exit.
+
+    With ``early_exit_threshold > 0``, entities whose parameters all moved at
+    most that much in a sweep are considered settled and dropped from the
+    remaining sweeps (the relevant row set shrinks with them); once every
+    affected entity has settled the loop stops outright.  Settled
+    neighbourhoods therefore stop burning iterations — late in a long stream
+    most affected entities are already well-estimated and one sweep barely
+    moves them.  ``early_exit_threshold == 0`` runs every sweep over the full
+    affected sets, which is what the reference-engine equivalence pins.
+    ``label_slots`` must be the concatenation of the affected tasks' slot
+    ranges in ``affected_tasks`` order (as :func:`label_slots_of_tasks`
+    builds them).
+    """
+    active_w = affected_workers
+    active_t = affected_tasks
+    rows = answer_rows
+    slots = label_slots
+    offsets = store.label_offsets
+    for sweep in range(iterations):
+        track = early_exit_threshold > 0.0 and sweep + 1 < iterations
+        if track:
+            # Fancy indexing already returns fresh copies — safe snapshots.
+            prev_pq = store.p_qualified[active_w]
+            prev_dw = store.distance_weights[active_w]
+            prev_iw = store.influence_weights[active_t]
+            prev_lp = store.label_probs[slots]
+        em_step_localized(tensor, store, rows, active_w, active_t, slots)
+        if not track:
+            continue
+        if active_w.size:
+            w_delta = np.maximum(
+                np.abs(store.p_qualified[active_w] - prev_pq),
+                np.abs(store.distance_weights[active_w] - prev_dw).max(axis=1),
+            )
+            keep_w = active_w[w_delta > early_exit_threshold]
+        else:
+            keep_w = active_w
+        if active_t.size:
+            t_delta = np.abs(store.influence_weights[active_t] - prev_iw).max(axis=1)
+            counts = np.asarray(
+                offsets[active_t + 1] - offsets[active_t], dtype=np.intp
+            )
+            starts = np.cumsum(counts) - counts
+            # Per-task max over the task's label slots (each task owns >= 1).
+            t_delta = np.maximum(
+                t_delta,
+                np.maximum.reduceat(np.abs(store.label_probs[slots] - prev_lp), starts),
+            )
+            keep_t = active_t[t_delta > early_exit_threshold]
+        else:
+            keep_t = active_t
+        if keep_w.size == 0 and keep_t.size == 0:
+            break
+        if keep_w.size == active_w.size and keep_t.size == active_t.size:
+            continue  # nothing settled; the gathered rows/slots stay valid
+        active_w = keep_w
+        active_t = keep_t
+        slots = label_slots_of_tasks(offsets, active_t)
+        rows = gather_affected_rows(tensor, active_w, active_t)
 
 
 def warm_start_extra_delta(

@@ -9,35 +9,48 @@ paper refreshes the model in two tiers:
   answers and of the tasks they touched are re-estimated, using the current
   values of everything else.
 
-:class:`IncrementalUpdater` implements the second tier on top of a
-:class:`~repro.core.inference.LocationAwareInference` instance, and keeps a
-counter so the framework knows when a full refresh is due.
+:class:`IncrementalUpdater` implements **both** tiers on top of a
+:class:`~repro.core.inference.LocationAwareInference` instance, and the whole
+update path is O(changed work), never O(stream history):
 
-The updater honours the inference model's configured EM engine.  With the
-default ``engine="vectorized"`` it maintains a **live, incrementally grown**
-:class:`~repro.core.em_kernel.AnswerTensor` spanning the whole answer log:
-each micro-batch appends its new answer rows (registering workers and tasks
-unseen at startup on first sight — the open-world arrival path), extends the
-tensor's per-entity row indexes in place, and runs its localized sweeps with
-:func:`repro.core.em_kernel.em_step_localized` directly against the live
-tensor and a live row-aligned
-:class:`~repro.core.params.ArrayParameterStore` — nothing is rebuilt per
-batch, so the per-sweep cost is ``O(R · |L_t| · |F|)`` array work over the
-``R`` relevant rows (gathered through the tensor's own indexes) regardless of
-how long the stream has run.  ``engine="reference"`` keeps the original
-per-record sweep for equivalence testing.
+* With the default ``engine="vectorized"`` the updater maintains a **live,
+  incrementally grown** :class:`~repro.core.em_kernel.AnswerTensor` spanning
+  the whole answer log plus a row-aligned live
+  :class:`~repro.core.params.ArrayParameterStore`.  Each micro-batch
+  (:meth:`IncrementalUpdater.apply`) appends its new answer rows (registering
+  workers and tasks unseen at startup on first sight — the open-world arrival
+  path) and runs localized sweeps with
+  :func:`repro.core.em_kernel.localized_sweeps` directly against the live
+  state; with a positive :attr:`IncrementalUpdater.early_exit_threshold`,
+  affected entities whose parameters stop moving drop out of the remaining
+  sweeps, so settled neighbourhoods stop burning iterations.
+* The periodic **full refresh** (:meth:`IncrementalUpdater.full_refresh`) runs
+  the vectorised EM *directly against the live tensor* via
+  :meth:`~repro.core.inference.LocationAwareInference.fit_from_tensor` — no
+  ``AnswerSet`` re-flatten, no tensor rebuild, and on warm starts not even a
+  dict→array gather (the live store is handed in as the initial estimate).
+  The fit's final store is adopted back as the live store, closing the loop
+  without ever materialising per-entity containers on the hot path.  The
+  answer log is therefore only *required* by ``engine="reference"`` (the
+  original per-record sweep, kept for equivalence testing) and by callers
+  that re-fit the inference model behind the updater's back.
+* Publishes are **dirty-row shaped**: the updater tracks which worker/task
+  rows changed since the last publish and
+  :meth:`IncrementalUpdater.collect_publish_delta` emits a
+  :class:`~repro.core.params.StoreDelta` carrying only those rows, which the
+  serving snapshot layer applies onto the previous snapshot's immutable base
+  (copy-on-write at row granularity).  :meth:`IncrementalUpdater.publish_store`
+  remains the full-copy fallback — used for the first publish, after full
+  refreshes, universe growth, or carryover changes (restored snapshots'
+  entities ride along on every publish until the stream re-answers them).
 
-The refreshed estimate is still published copy-on-write — unaffected entities
-share their parameter objects with the previous estimate — and
-:meth:`IncrementalUpdater.publish_store` hands the serving layer a compact
-array copy of the live store (plus any carried-over entities the log does not
-cover, e.g. after a snapshot restore) without flattening a ``ModelParameters``
-dict per publish.
+The refreshed estimate is still published copy-on-write at the
+``ModelParameters`` level too — unaffected entities share their parameter
+objects with the previous estimate.
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -47,6 +60,7 @@ from repro.core.inference import LocationAwareInference, _AnswerRecord
 from repro.core.params import (
     ArrayParameterStore,
     ModelParameters,
+    StoreDelta,
     TaskParameters,
     WorkerParameters,
     _trusted_task_parameters,
@@ -71,12 +85,25 @@ class IncrementalUpdater:
         How many localized E/M sweeps to run per incremental update; one is the
         classic incremental-EM step, a couple more tightens the estimate at
         negligible cost because only the affected entities are touched.
+    early_exit_threshold:
+        Per-entity convergence early-exit for the localized sweeps: affected
+        entities whose parameters all moved at most this much in a sweep are
+        dropped from the remaining sweeps.  ``0.0`` (the default) disables the
+        exit, which keeps the vectorized sweeps bit-equivalent to the
+        reference engine's ``local_iterations`` sweeps; the serving layer
+        enables it with the EM convergence threshold, accepting drift no
+        larger than what the convergence criterion already tolerates (and
+        undone by the periodic full refreshes).
     """
 
     inference: LocationAwareInference
     full_refresh_interval: int = 100
     local_iterations: int = 2
+    early_exit_threshold: float = 0.0
     answers_since_full_refresh: int = field(default=0, init=False)
+    #: AnswerSet → tensor flattens performed so far (0 on a pure live-tensor
+    #: stream; the serving benchmark pins it there).
+    tensor_rebuilds: int = field(default=0, init=False)
     # Live incremental state of the vectorized engine: the growing tensor, the
     # row-aligned store, and the estimate object the store was last synced
     # with (identity-compared so an externally produced estimate — e.g. a full
@@ -96,6 +123,12 @@ class IncrementalUpdater:
     _extra_tasks: dict[str, TaskParameters] = field(
         default_factory=dict, init=False, repr=False
     )
+    # Publish bookkeeping: store rows touched since the last publish, and
+    # whether the next publish must be a full copy (first publish, full
+    # refresh, universe growth, carryover or sync changes).
+    _dirty_workers: set[int] = field(default_factory=set, init=False, repr=False)
+    _dirty_tasks: set[int] = field(default_factory=set, init=False, repr=False)
+    _publish_full: bool = field(default=True, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.full_refresh_interval <= 0:
@@ -105,6 +138,11 @@ class IncrementalUpdater:
         if self.local_iterations <= 0:
             raise ValueError(
                 f"local_iterations must be positive, got {self.local_iterations}"
+            )
+        if self.early_exit_threshold < 0:
+            raise ValueError(
+                f"early_exit_threshold must be non-negative, "
+                f"got {self.early_exit_threshold}"
             )
 
     @property
@@ -118,14 +156,20 @@ class IncrementalUpdater:
 
     def apply(
         self,
-        answers: AnswerSet,
+        answers: AnswerSet | None,
         new_answers: list[Answer],
         parameters: ModelParameters | ArrayParameterStore | None = None,
     ) -> ModelParameters:
         """Update parameters for the workers/tasks touched by ``new_answers``.
 
-        ``answers`` must already contain ``new_answers``.  ``parameters`` may
-        be a live :class:`~repro.core.params.ModelParameters` estimate or an
+        ``answers``, when provided, must already contain ``new_answers``; with
+        the vectorized engine it is only consulted to (re)build the live
+        tensor when the updater joins an existing stream or the log diverged
+        from the tensor (an external fit), so a log-free caller may pass
+        ``None`` and the live tensor is trusted outright.  The reference
+        engine gathers the affected neighbourhood through the answer set's
+        indexes and therefore requires it.  ``parameters`` may be a live
+        :class:`~repro.core.params.ModelParameters` estimate or an
         :class:`~repro.core.params.ArrayParameterStore` snapshot to warm-start
         from (the serving path's restore case).  Returns the updated
         :class:`~repro.core.params.ModelParameters` (also stored on the
@@ -145,6 +189,11 @@ class IncrementalUpdater:
         affected_tasks = {answer.task_id for answer in new_answers}
 
         if self.inference.config.engine == "reference":
+            if answers is None:
+                raise RuntimeError(
+                    "the reference engine gathers the affected neighbourhood "
+                    "through the answer log; pass the AnswerSet"
+                )
             # Answers relevant to the localized update: everything involving an
             # affected worker (to re-estimate that worker's quality) or an
             # affected task (to re-estimate its labels and influence),
@@ -167,6 +216,83 @@ class IncrementalUpdater:
         self.inference._fitted = True
         return params
 
+    def full_refresh(
+        self,
+        new_answers: list[Answer],
+        answers: AnswerSet | None = None,
+        warm: bool = True,
+    ) -> ModelParameters:
+        """Run the periodic full EM re-fit against the live tensor.
+
+        ``new_answers`` is the micro-batch that triggered the refresh (may be
+        empty for a forced re-fit); it is appended to the live tensor first,
+        then :meth:`~repro.core.inference.LocationAwareInference.fit_from_tensor`
+        runs the vectorised EM with zero ``AnswerSet`` → tensor flattens.
+        ``warm=True`` starts from the current estimate (handing the live
+        row-aligned store straight in); ``warm=False`` is a cold start whose
+        result is identical to an offline fit on the same answer log — the
+        live tensor is maintained bit-equal to a from-scratch flatten.
+        ``answers``, when provided, must already contain ``new_answers`` and
+        is only consulted to recover from a log/tensor divergence (an
+        external fit bypassed this updater); the reference engine requires it.
+        Resets the refresh counter and flags the next publish as a full copy.
+        """
+        inference = self.inference
+        if inference.config.engine == "reference":
+            if answers is None:
+                raise RuntimeError(
+                    "reference-engine full refreshes re-fit from the answer "
+                    "log; pass the AnswerSet"
+                )
+            initial = (
+                inference.parameters if warm and inference.is_fitted else None
+            )
+            inference.fit(answers, initial=initial)
+        else:
+            params = inference.parameters if inference.is_fitted else None
+            warm = warm and params is not None
+            chain_intact = (
+                self._tensor is not None and self._synced_params is params
+            )
+            if self._tensor is None:
+                self._rebuild_tensor(answers)
+            if warm:
+                self._ensure_store(params)
+            else:
+                # A cold re-fit ignores the current estimate entirely; the
+                # fitted store below replaces whatever live store existed.
+                self._store = None
+                self._synced_params = None
+            if new_answers:
+                result = self._tensor.append_answers(
+                    new_answers,
+                    inference._tasks,
+                    inference._workers,
+                    inference.distance_model,
+                    inference.config.function_set,
+                )
+                if self._store is not None:
+                    self._admit_new_entities(result)
+            self._recover_if_diverged(
+                answers, params if warm else None, chain_intact
+            )
+            inference.fit_from_tensor(
+                self._tensor,
+                initial=params if warm else None,
+                initial_store=self._store if warm else None,
+            )
+            # Adopt the fit's final store as the live store: it is row-aligned
+            # with the tensor by construction and freshly allocated by the EM
+            # loop, so the updater owns it outright.
+            self._store = inference.last_result.store
+            self._synced_params = inference.parameters
+            self._prune_carryover()
+        self._publish_full = True
+        self._dirty_workers.clear()
+        self._dirty_tasks.clear()
+        self.notify_full_refresh()
+        return inference.parameters
+
     # -------------------------------------------------------------- live state
     @property
     def live_tensor(self) -> em_kernel.AnswerTensor | None:
@@ -178,38 +304,113 @@ class IncrementalUpdater:
         """The live row-aligned parameter store (``None`` before the first sync)."""
         return self._store
 
-    def _sync(self, answers: AnswerSet, params: ModelParameters) -> None:
-        """(Re)build the live tensor/store from scratch.
+    def _rebuild_tensor(self, answers: AnswerSet | None) -> None:
+        """(Re)flatten the log into a fresh live tensor (or start empty).
 
-        Runs once at cold start and once after every externally produced
-        estimate (a periodic full re-fit, a restored snapshot) — every
-        micro-batch in between only appends.
+        Runs once at cold start (O(0) when the updater starts with the
+        stream) and once per external estate change that left the tensor
+        stale — never on the steady-state serving path, which only appends.
         """
-        tensor = self.inference._build_tensor(answers)
+        if (
+            answers is None
+            and self.inference.is_fitted
+            and not (self._extra_workers or self._extra_tasks)
+        ):
+            # The model carries an estimate this updater never saw, and there
+            # is no log to rebuild from: silently fitting on the micro-batch
+            # alone would discard that history.  (A snapshot restore is the
+            # legitimate log-less case; prime_carryover marks it.)
+            raise RuntimeError(
+                "the inference model was fitted outside this updater and no "
+                "answer log was provided; pass `answers`, or prime_carryover "
+                "after a snapshot restore"
+            )
+        source = answers if answers is not None else AnswerSet()
+        if len(source):
+            self.tensor_rebuilds += 1
+        tensor = self.inference._build_tensor(source)
         tensor.enable_row_tracking()
-        store = params.to_array_store(
+        self._tensor = tensor
+        self._store = None
+        self._synced_params = None
+        self._publish_full = True
+
+    def _ensure_store(self, params: ModelParameters, force: bool = False) -> None:
+        """Gather ``params`` into a store row-aligned with the live tensor.
+
+        Skipped when the live store is already synced with this exact
+        estimate object; the gather is O(entities), never O(answers) — the
+        tensor itself does not depend on the estimate and is left untouched.
+        """
+        if not force and self._store is not None and self._synced_params is params:
+            return
+        tensor = self._tensor
+        self._store = params.to_array_store(
             tensor.worker_ids, tensor.task_ids, tensor.num_labels
         )
-        # Sticky carryover: entities the estimate (or an earlier restore)
-        # knows but the log does not cover.  Entities now present in the
-        # tensor are owned by the live store instead.
-        seen_workers = set(tensor.worker_ids)
-        seen_tasks = set(tensor.task_ids)
-        for worker_id in list(self._extra_workers):
-            if worker_id in seen_workers:
-                del self._extra_workers[worker_id]
-        for task_id in list(self._extra_tasks):
-            if task_id in seen_tasks:
-                del self._extra_tasks[task_id]
+        self._refresh_carryover(params)
+        self._synced_params = params
+        self._publish_full = True
+
+    def _refresh_carryover(self, params: ModelParameters) -> None:
+        """Reconcile the carryover set against the tensor and ``params``.
+
+        Sticky carryover: entities the estimate (or an earlier restore) knows
+        but the log does not cover keep riding along on publishes; entities
+        now present in the tensor are owned by the live store instead.
+        """
+        self._prune_carryover()
+        seen_workers = set(self._tensor.worker_ids)
+        seen_tasks = set(self._tensor.task_ids)
         for worker_id, worker in params.workers.items():
             if worker_id not in seen_workers:
                 self._extra_workers[worker_id] = worker
         for task_id, task in params.tasks.items():
             if task_id not in seen_tasks:
                 self._extra_tasks[task_id] = task
-        self._tensor = tensor
-        self._store = store
-        self._synced_params = params
+
+    def _prune_carryover(self) -> None:
+        """Drop carried-over entities the live tensor has since acquired."""
+        if not self._extra_workers and not self._extra_tasks:
+            return
+        seen_workers = set(self._tensor.worker_ids)
+        seen_tasks = set(self._tensor.task_ids)
+        for worker_id in list(self._extra_workers):
+            if worker_id in seen_workers:
+                del self._extra_workers[worker_id]
+        for task_id in list(self._extra_tasks):
+            if task_id in seen_tasks:
+                del self._extra_tasks[task_id]
+
+    def _recover_if_diverged(
+        self,
+        answers: AnswerSet | None,
+        params: ModelParameters | None,
+        chain_intact: bool,
+    ) -> bool:
+        """Rebuild the live state if the log diverged from the tensor.
+
+        The estimate chain being intact (``params`` is exactly what this
+        updater last produced or synced to) means the live tensor saw every
+        answer the estimate consumed, so it is trusted outright — a shared
+        answer log may legitimately run *ahead* of the micro-batch buffer
+        (answers collected but not yet submitted) without being a
+        divergence.  Only a chain broken by an external fit combined with a
+        count mismatch means the tensor missed answers; then the tensor is
+        reflattened from ``answers`` (which, per the callers' contracts,
+        already covers any in-flight batch) and, when ``params`` is given,
+        the store is force re-gathered over the rebuilt universe.
+        """
+        if (
+            chain_intact
+            or answers is None
+            or len(answers) == self._tensor.num_answers
+        ):
+            return False
+        self._rebuild_tensor(answers)
+        if params is not None:
+            self._ensure_store(params, force=True)
+        return True
 
     def _admit_new_entities(self, result: em_kernel.TensorAppendResult) -> None:
         """Grow the live store in lock-step with entities the tensor admitted.
@@ -217,8 +418,11 @@ class IncrementalUpdater:
         First-seen entities carried over from a restored snapshot resume from
         their carried values; genuinely unseen ones receive the footnote-3
         trusted priors (the exact fallback ``ModelParameters.worker`` /
-        ``ModelParameters.task`` would apply).
+        ``ModelParameters.task`` would apply).  Any growth invalidates the
+        row-aligned publish base, so the next publish is a full copy.
         """
+        if not result.new_worker_ids and not result.new_task_ids:
+            return
         store = self._store
         for worker_id in result.new_worker_ids:
             carried = self._extra_workers.pop(worker_id, None)
@@ -240,6 +444,7 @@ class IncrementalUpdater:
                 )
             else:
                 store.add_task(task_id, num_labels)
+        self._publish_full = True
 
     def prime_carryover(
         self, parameters: ModelParameters | ArrayParameterStore
@@ -256,23 +461,25 @@ class IncrementalUpdater:
             self._extra_workers.setdefault(worker_id, worker)
         for task_id, task in parameters.tasks.items():
             self._extra_tasks.setdefault(task_id, task)
+        self._publish_full = True
 
+    # ------------------------------------------------------------- publishing
     def publish_store(
         self,
-        answers: AnswerSet,
+        answers: AnswerSet | None = None,
         parameters: ModelParameters | ArrayParameterStore | None = None,
     ) -> ArrayParameterStore:
         """Snapshot-ready compact copy of the current estimate, array-first.
 
         Returns a fresh :class:`~repro.core.params.ArrayParameterStore`
         covering the live universe plus any carried-over entities, without
-        flattening a ``ModelParameters`` dict — the serving layer's per-publish
-        cost is one C-level array copy.  Re-syncs first if the inference
-        model's estimate was replaced since the last micro-batch (e.g. by a
-        periodic full re-fit).  With ``engine="reference"`` (which never
-        maintains live state) the estimate is flattened directly instead —
-        rebuilding the live tensor per publish would cost O(answer log) each
-        time only to be discarded.
+        flattening a ``ModelParameters`` dict — the full-publish cost is one
+        C-level array copy.  This is the fallback of the O(changed) publish
+        protocol: steady-state micro-batches publish through
+        :meth:`collect_publish_delta` instead.  ``answers`` is only needed to
+        (re)build the live tensor when the updater has none yet or the log
+        diverged; with ``engine="reference"`` (which never maintains live
+        state) the estimate is flattened directly instead.
         """
         params = parameters
         if isinstance(params, ArrayParameterStore):
@@ -281,8 +488,12 @@ class IncrementalUpdater:
             params = self.inference.parameters
         if self.inference.config.engine == "reference":
             return self._flatten_params(params)
-        if self._tensor is None or self._synced_params is not params:
-            self._sync(answers, params)
+        chain_intact = self._tensor is not None and self._synced_params is params
+        if self._tensor is None:
+            self._rebuild_tensor(answers)
+        else:
+            self._recover_if_diverged(answers, None, chain_intact)
+        self._ensure_store(params)
         out = self._store.copy()
         for worker_id in sorted(self._extra_workers):
             carried = self._extra_workers[worker_id]
@@ -297,7 +508,62 @@ class IncrementalUpdater:
                 carried.label_probs.copy(),
                 carried.influence_weights.copy(),
             )
+        self.mark_published()
         return out
+
+    def collect_publish_delta(self) -> StoreDelta | None:
+        """The dirty rows since the last publish, or ``None`` if a full copy is due.
+
+        Returns a :class:`~repro.core.params.StoreDelta` covering exactly the
+        worker/task rows the localized sweeps touched since the previous
+        publish — O(changed) gathered values the snapshot layer applies onto
+        the previous snapshot's immutable base.  ``None`` means the caller
+        must take the :meth:`publish_store` full-copy path: first publish,
+        reference engine, a full refresh or re-sync happened, the entity
+        universe grew (row alignment with the base broke), or the estimate
+        was replaced outside this updater.  Collecting does **not** consume
+        the dirty state — call :meth:`mark_published` once the delta has
+        actually been published.
+        """
+        if (
+            self.inference.config.engine == "reference"
+            or self._store is None
+            or self._publish_full
+            or self._synced_params is not self.inference.parameters
+        ):
+            return None
+        store = self._store
+        worker_rows = np.fromiter(
+            sorted(self._dirty_workers), dtype=np.intp, count=len(self._dirty_workers)
+        )
+        task_rows = np.fromiter(
+            sorted(self._dirty_tasks), dtype=np.intp, count=len(self._dirty_tasks)
+        )
+        label_slots = em_kernel.label_slots_of_tasks(store.label_offsets, task_rows)
+        return StoreDelta(
+            worker_rows=worker_rows,
+            p_qualified=store.p_qualified[worker_rows],
+            distance_weights=store.distance_weights[worker_rows],
+            task_rows=task_rows,
+            influence_weights=store.influence_weights[task_rows],
+            label_slots=label_slots,
+            label_probs=store.label_probs[label_slots],
+            num_workers=store.num_workers + len(self._extra_workers),
+            num_tasks=store.num_tasks + len(self._extra_tasks),
+        )
+
+    def mark_published(self) -> None:
+        """Reset the dirty tracking: the next publish diffs against this point.
+
+        Call exactly when a publish actually happened — after a collected
+        delta was applied to the snapshot layer.  (:meth:`publish_store`
+        marks internally.)  A delta that was collected but then dropped must
+        NOT be marked, or its rows would silently go stale in every
+        subsequent delta publish until the next full refresh.
+        """
+        self._dirty_workers.clear()
+        self._dirty_tasks.clear()
+        self._publish_full = False
 
     def _flatten_params(self, params: ModelParameters) -> ArrayParameterStore:
         """Flatten ``params`` (plus carryover) the dict way — reference path."""
@@ -345,7 +611,7 @@ class IncrementalUpdater:
 
     def _vectorized_update(
         self,
-        answers: AnswerSet,
+        answers: AnswerSet | None,
         new_answers: list[Answer],
         params: ModelParameters,
         affected_workers: set[str],
@@ -356,28 +622,37 @@ class IncrementalUpdater:
         The micro-batch is appended to the incrementally maintained tensor
         (admitting first-seen workers/tasks into the row-aligned live store),
         the relevant answer rows are gathered through the tensor's per-entity
-        indexes, and each sweep runs
-        :func:`repro.core.em_kernel.em_step_localized` in place — unaffected
+        indexes, and the sweeps run
+        :func:`repro.core.em_kernel.localized_sweeps` in place — unaffected
         entities keep their current estimates, exactly like the per-record
         sweep that never accumulates sums for them.  Nothing is rebuilt per
-        batch; a full rebuild only happens when the estimate was replaced
-        outside this updater (cold start, full re-fit, snapshot restore).
+        batch; a tensor rebuild only happens when the updater joins an
+        existing stream cold or the log diverged from the tensor (an external
+        fit), and an estimate replaced outside this updater costs only an
+        O(entities) store re-gather.
         """
-        if self._tensor is None or self._synced_params is not params:
-            # ``answers`` already contains ``new_answers``; the rebuilt tensor
-            # covers them, and the append below degenerates to in-place
-            # response rewrites of their rows.
-            self._sync(answers, params)
+        inference = self.inference
+        chain_intact = self._tensor is not None and self._synced_params is params
+        if self._tensor is None:
+            # ``answers`` (when given) already contains ``new_answers``; the
+            # rebuilt tensor covers them, and the append below degenerates to
+            # in-place response rewrites of their rows.
+            self._rebuild_tensor(answers)
+        self._ensure_store(params)
         tensor = self._tensor
         store = self._store
         result = tensor.append_answers(
             new_answers,
-            self.inference._tasks,
-            self.inference._workers,
-            self.inference.distance_model,
+            inference._tasks,
+            inference._workers,
+            inference.distance_model,
             store.function_set,
         )
         self._admit_new_entities(result)
+        if self._recover_if_diverged(answers, params, chain_intact):
+            # The rebuild covers the batch, so no second append is needed.
+            tensor = self._tensor
+            store = self._store
 
         affected_w = np.asarray(
             sorted(tensor.worker_row(w) for w in affected_workers), dtype=np.intp
@@ -385,29 +660,20 @@ class IncrementalUpdater:
         affected_t = np.asarray(
             sorted(tensor.task_row(t) for t in affected_tasks), dtype=np.intp
         )
-        offsets = store.label_offsets
-        label_slots = np.concatenate(
-            [
-                np.arange(int(offsets[j]), int(offsets[j + 1]), dtype=np.intp)
-                for j in affected_t
-            ]
+        label_slots = em_kernel.label_slots_of_tasks(store.label_offsets, affected_t)
+        relevant_rows = em_kernel.gather_affected_rows(tensor, affected_w, affected_t)
+        em_kernel.localized_sweeps(
+            tensor,
+            store,
+            relevant_rows,
+            affected_w,
+            affected_t,
+            label_slots,
+            iterations=self.local_iterations,
+            early_exit_threshold=self.early_exit_threshold,
         )
-        # Relevant rows: every answer of every affected worker (to re-estimate
-        # that worker's quality) or affected task (labels and influence),
-        # through the tensor's per-entity row indexes.
-        relevant_rows = np.unique(
-            np.fromiter(
-                itertools.chain.from_iterable(
-                    [tensor.rows_of_worker(int(i)) for i in affected_w]
-                    + [tensor.rows_of_task(int(j)) for j in affected_t]
-                ),
-                dtype=np.intp,
-            )
-        )
-        for _ in range(self.local_iterations):
-            em_kernel.em_step_localized(
-                tensor, store, relevant_rows, affected_w, affected_t, label_slots
-            )
+        self._dirty_workers.update(int(i) for i in affected_w)
+        self._dirty_tasks.update(int(j) for j in affected_t)
 
         # Copy-on-write publish: share the unaffected entities' parameter
         # objects (nothing in the system mutates them in place) and replace

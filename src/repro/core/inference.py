@@ -107,13 +107,21 @@ class InferenceConfig:
 
 @dataclass
 class InferenceResult:
-    """Outcome of one EM run."""
+    """Outcome of one EM run.
+
+    ``store`` is the vectorised engine's final row-aligned
+    :class:`~repro.core.params.ArrayParameterStore` (``None`` on the reference
+    engine).  The serving path's incremental updater adopts it as its live
+    store after a full refresh, so the refresh hands back array state without
+    a dict round-trip.
+    """
 
     parameters: ModelParameters
     iterations: int
     converged: bool
     convergence_trace: list[float]
     log_likelihood_trace: list[float]
+    store: ArrayParameterStore | None = None
 
     @property
     def final_log_likelihood(self) -> float:
@@ -206,6 +214,30 @@ class LocationAwareInference(LabelInferenceModel):
         self._fitted = True
         return self
 
+    def fit_from_tensor(
+        self,
+        tensor: AnswerTensor,
+        initial: ModelParameters | ArrayParameterStore | None = None,
+        initial_store: ArrayParameterStore | None = None,
+    ) -> "LocationAwareInference":
+        """Run full EM directly against a prebuilt (live) :class:`AnswerTensor`.
+
+        This is the serving path's log-free full refresh: the incremental
+        updater maintains the tensor across micro-batches, so the periodic
+        re-fit skips the ``AnswerSet`` → tensor flatten entirely and costs
+        only the EM iterations themselves.  ``initial`` warm-starts exactly
+        like :meth:`fit`; ``initial_store`` optionally supplies the *same*
+        estimate already gathered into a store row-aligned with ``tensor``
+        (the updater's live store), skipping the dict→array gather too.
+        Vectorised engine only — the reference engine has no tensor form.
+        """
+        self._last_result = self.run_em(
+            None, initial=initial, tensor=tensor, initial_store=initial_store
+        )
+        self._parameters = self._last_result.parameters
+        self._fitted = True
+        return self
+
     def label_probabilities(self, task_id: str) -> np.ndarray:
         self._require_fitted()
         task = self._require_task(task_id)
@@ -247,8 +279,10 @@ class LocationAwareInference(LabelInferenceModel):
     # ------------------------------------------------------------------- EM
     def run_em(
         self,
-        answers: AnswerSet,
+        answers: AnswerSet | None,
         initial: ModelParameters | ArrayParameterStore | None = None,
+        tensor: AnswerTensor | None = None,
+        initial_store: ArrayParameterStore | None = None,
     ) -> InferenceResult:
         """Run EM to convergence and return the full trace.
 
@@ -258,19 +292,50 @@ class LocationAwareInference(LabelInferenceModel):
         snapshot restored from disk) is accepted directly and expanded through
         the same footnote-3 priors as a live estimate.  Dispatches to the
         engine selected by :attr:`InferenceConfig.engine`.
+
+        ``tensor`` runs the vectorised engine against a prebuilt (live)
+        :class:`~repro.core.em_kernel.AnswerTensor` instead of flattening
+        ``answers`` — the log-free serving refresh.  ``initial_store``
+        optionally provides the warm-start estimate pre-gathered into a store
+        row-aligned with that tensor (it is only honoured when its row order
+        matches; results are identical either way).
         """
         if isinstance(initial, ArrayParameterStore):
             initial = initial.to_model()
         if self._config.engine == "reference":
+            if tensor is not None:
+                raise ValueError(
+                    "the reference engine runs per-record and cannot fit from "
+                    "a prebuilt tensor; pass the AnswerSet instead"
+                )
             return self._run_em_reference(answers, initial)
-        return self._run_em_vectorized(answers, initial)
+        return self._run_em_vectorized(
+            answers, initial, tensor=tensor, initial_store=initial_store
+        )
 
     def _run_em_vectorized(
-        self, answers: AnswerSet, initial: ModelParameters | None = None
+        self,
+        answers: AnswerSet | None,
+        initial: ModelParameters | None = None,
+        tensor: AnswerTensor | None = None,
+        initial_store: ArrayParameterStore | None = None,
     ) -> InferenceResult:
-        """Batched EM: build the answer tensor once, then iterate array kernels."""
-        tensor = self._build_tensor(answers)
-        if initial is not None:
+        """Batched EM: build (or adopt) the answer tensor, then iterate kernels."""
+        if tensor is None:
+            if answers is None:
+                raise ValueError("run_em needs an AnswerSet or a prebuilt tensor")
+            tensor = self._build_tensor(answers)
+        if (
+            initial is not None
+            and initial_store is not None
+            and initial_store.worker_ids == tensor.worker_ids
+            and initial_store.task_ids == tensor.task_ids
+        ):
+            # The caller's live store already holds exactly the warm-start
+            # values this fit would gather from ``initial`` — use it directly.
+            store = initial_store
+            first_extra_delta = em_kernel.warm_start_extra_delta(initial, tensor)
+        elif initial is not None:
             store = initial.to_array_store(
                 tensor.worker_ids, tensor.task_ids, tensor.num_labels
             )
@@ -313,6 +378,7 @@ class LocationAwareInference(LabelInferenceModel):
             converged=converged,
             convergence_trace=convergence_trace,
             log_likelihood_trace=likelihood_trace,
+            store=store,
         )
 
     def _run_em_reference(

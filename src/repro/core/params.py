@@ -248,6 +248,49 @@ class ModelParameters:
         return worst
 
 
+@dataclass(frozen=True)
+class StoreDelta:
+    """The dirty rows of an :class:`ArrayParameterStore` since a known base.
+
+    A delta captures copies of only the worker/task rows (and the tasks' flat
+    label slots) that changed between two versions of a store over the *same*
+    entity universe — the serving layer's O(changed) publish currency:
+    instead of copying the full store per snapshot, the incremental updater
+    emits one delta per micro-batch and the snapshot layer applies it onto the
+    previous version's immutable base (copy-on-write at row granularity).
+    ``num_workers`` / ``num_tasks`` stamp the universe the delta belongs to so
+    an application onto a mismatched base fails loudly.
+    """
+
+    worker_rows: np.ndarray
+    p_qualified: np.ndarray
+    distance_weights: np.ndarray
+    task_rows: np.ndarray
+    influence_weights: np.ndarray
+    label_slots: np.ndarray
+    label_probs: np.ndarray
+    num_workers: int
+    num_tasks: int
+
+    @property
+    def changed_rows(self) -> int:
+        """Total dirty rows carried (worker rows + task rows)."""
+        return int(self.worker_rows.size + self.task_rows.size)
+
+    def apply(self, store: "ArrayParameterStore") -> "ArrayParameterStore":
+        """Patch the dirty rows into ``store`` (unfrozen, same universe)."""
+        if store.num_workers != self.num_workers or store.num_tasks != self.num_tasks:
+            raise ValueError(
+                f"delta over {self.num_workers} workers / {self.num_tasks} tasks "
+                f"cannot apply to a store with {store.num_workers} / {store.num_tasks}"
+            )
+        store.p_qualified[self.worker_rows] = self.p_qualified
+        store.distance_weights[self.worker_rows] = self.distance_weights
+        store.influence_weights[self.task_rows] = self.influence_weights
+        store.label_probs[self.label_slots] = self.label_probs
+        return store
+
+
 def _grown_buffer(buffer: np.ndarray, needed: int) -> np.ndarray:
     """Return ``buffer`` or a capacity-doubled replacement holding ``needed`` rows.
 

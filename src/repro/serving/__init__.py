@@ -8,10 +8,13 @@ updater of :mod:`repro.core`:
 
 * :mod:`repro.serving.ingest`    — accepts streams of answer events and
   micro-batches them (by count and/or simulated-time window) into
-  :class:`~repro.core.incremental.IncrementalUpdater`, with a periodic full
-  re-fit on the vectorised engine;
-* :mod:`repro.serving.snapshots` — immutable, versioned copies of the
+  :class:`~repro.core.incremental.IncrementalUpdater`; the periodic full
+  re-fit runs **directly off the updater's live tensor** (zero answer-log
+  re-flattens), so the ingestor is log-free by default
+  (``IngestConfig.retain_answer_log`` opts back in);
+* :mod:`repro.serving.snapshots` — immutable, versioned views of the
   :class:`~repro.core.params.ArrayParameterStore` (copy-on-write publish,
+  O(changed) dirty-row delta publishes with lazy materialisation,
   monotonically increasing versions, bounded retention, ``.npz`` persistence)
   so reads never observe a half-applied update;
 * :mod:`repro.serving.frontend`  — serves an AccOpt / uncertainty /

@@ -32,6 +32,72 @@ from repro.spatial.distance import DistanceModel
 #: Version reported while no snapshot has been published yet.
 NO_SNAPSHOT = -1
 
+#: Latency samples retained by :class:`LatencyReservoir` — percentiles are
+#: exact up to this many requests, a uniform random sample beyond it.
+LATENCY_RESERVOIR_SIZE = 4096
+
+
+class LatencyReservoir:
+    """Bounded uniform sample of latency observations (Vitter's Algorithm R).
+
+    A long-lived frontend serves an unbounded number of requests; keeping
+    every latency sample is O(requests) memory for percentile reporting that
+    a fixed-size sample answers just as well.  The reservoir keeps the first
+    ``capacity`` observations verbatim — percentiles are **exact** below the
+    cap — and from then on each new observation replaces a uniformly random
+    retained one with probability ``capacity / n``, yielding an unbiased
+    uniform sample of the whole stream.  Replacement draws use a dedicated
+    seeded generator so reported percentiles are reproducible run to run.
+    """
+
+    __slots__ = ("_capacity", "_samples", "_count", "_rng")
+
+    def __init__(self, capacity: int = LATENCY_RESERVOIR_SIZE, seed: int = 0x1A7E) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._samples: list[float] = []
+        self._count = 0
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        """Number of retained samples (≤ capacity)."""
+        return len(self._samples)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Total observations ever recorded (retained or not)."""
+        return self._count
+
+    @property
+    def samples(self) -> list[float]:
+        """The retained samples, in no particular order."""
+        return self._samples
+
+    @property
+    def saturated(self) -> bool:
+        """Whether observations have started displacing retained samples."""
+        return self._count > self._capacity
+
+    def add(self, value: float) -> None:
+        self._count += 1
+        if len(self._samples) < self._capacity:
+            self._samples.append(float(value))
+            return
+        slot = int(self._rng.integers(self._count))
+        if slot < self._capacity:
+            self._samples[slot] = float(value)
+
+    def percentile(self, percentile: float) -> float:
+        """Latency percentile over the retained sample (0 when empty)."""
+        if not self._samples:
+            return 0.0
+        return float(np.percentile(self._samples, percentile))
+
 
 @dataclass(frozen=True)
 class AssignmentResponse:
@@ -45,19 +111,28 @@ class AssignmentResponse:
 
 @dataclass
 class FrontendStats:
-    """Aggregate request counters plus the raw latency samples."""
+    """Aggregate request counters plus a bounded latency reservoir.
+
+    ``latencies`` holds at most :data:`LATENCY_RESERVOIR_SIZE` samples —
+    exact percentiles below the cap, an unbiased uniform sample of the whole
+    request stream beyond it — so a long-lived frontend's stats stay O(1)
+    in the number of requests served.
+    """
 
     requests: int = 0
     tasks_assigned: int = 0
     empty_responses: int = 0
     parameter_refreshes: int = 0
-    latencies_ms: list[float] = field(default_factory=list)
+    latencies: LatencyReservoir = field(default_factory=LatencyReservoir)
+
+    @property
+    def latencies_ms(self) -> list[float]:
+        """The retained latency samples (compatibility view of the reservoir)."""
+        return self.latencies.samples
 
     def latency_percentile(self, percentile: float) -> float:
         """Latency percentile in milliseconds (0 when no requests were served)."""
-        if not self.latencies_ms:
-            return 0.0
-        return float(np.percentile(self.latencies_ms, percentile))
+        return self.latencies.percentile(percentile)
 
     @property
     def p50_latency_ms(self) -> float:
@@ -145,7 +220,7 @@ class AssignmentFrontend:
         self._stats.tasks_assigned += len(task_ids)
         if not task_ids:
             self._stats.empty_responses += 1
-        self._stats.latencies_ms.append(latency_ms)
+        self._stats.latencies.add(latency_ms)
         return AssignmentResponse(
             worker_id=worker_id,
             task_ids=task_ids,

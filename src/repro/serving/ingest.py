@@ -1,4 +1,4 @@
-"""Streaming answer ingestion: micro-batched incremental EM with full refreshes.
+"""Streaming answer ingestion: micro-batched incremental EM, log-free.
 
 Running any EM update after every single answer submission wastes most of its
 work re-reading the same neighbourhood; the serving path therefore buffers
@@ -8,14 +8,30 @@ arriving :class:`AnswerEvent` records and closes a **micro-batch** when either
 * the oldest buffered event is older than ``max_batch_delay`` simulated
   seconds (so sparse traffic still gets timely refreshes).
 
-Each closed batch is applied through the array-backed
-:class:`~repro.core.incremental.IncrementalUpdater` (localized sweeps against
-its live, incrementally grown answer tensor), and every
-``full_refresh_interval`` ingested answers the model is re-fit from scratch on
-the vectorised engine — warm-started from the current estimate — to undo
-incremental drift.  After every update a new immutable snapshot is published
-to the :class:`~repro.serving.snapshots.SnapshotStore`, which is the only
-surface the assignment frontend reads.
+Every model update is O(changed), never O(stream):
+
+* each closed batch is applied through the array-backed
+  :class:`~repro.core.incremental.IncrementalUpdater` — localized sweeps
+  against its live, incrementally grown answer tensor, with per-entity
+  convergence early-exit so settled neighbourhoods stop burning iterations;
+* every ``full_refresh_interval`` ingested answers the model is re-fit on the
+  vectorised engine **directly from the live tensor**
+  (:meth:`~repro.core.incremental.IncrementalUpdater.full_refresh`): zero
+  ``AnswerSet`` → tensor flattens, and warm starts hand the live row-aligned
+  store straight to the EM loop.  Because of this the ingestor does not need
+  to keep the answer log at all — retention is **opt-in**
+  (:attr:`IngestConfig.retain_answer_log`), capping ingestor memory at the
+  live tensor instead of tensor + an ever-growing duplicate log.  The log is
+  retained automatically when the caller shares its own
+  :class:`~repro.data.models.AnswerSet` (the simulator/platform case) or runs
+  the per-record ``engine="reference"``, which has no tensor form;
+* after every update a new snapshot is published to the
+  :class:`~repro.serving.snapshots.SnapshotStore` — the only surface the
+  assignment frontend reads.  Steady-state publishes are **dirty-row
+  deltas** (:meth:`~repro.serving.snapshots.SnapshotStore.publish_delta`):
+  only the rows the micro-batch touched are copied onto the previous
+  snapshot's immutable base; the full-copy path remains for the first
+  publish, full refreshes and universe growth.
 
 The ingestion layer is **open-world**: an :class:`AnswerEvent` may reference a
 worker or task the model has never seen, as long as it carries the entity's
@@ -60,12 +76,27 @@ class IngestConfig:
     by simulated-time window; whichever triggers first closes the batch.
     ``full_refresh_interval`` is the paper's two-tier refresh: a full EM re-run
     every that many ingested answers, incremental updates in between.
+
+    ``retain_answer_log`` opts back in to keeping every ingested answer in the
+    ingestor's own :class:`~repro.data.models.AnswerSet`.  The default is
+    off: the vectorised update path (incremental sweeps *and* full refreshes)
+    runs entirely from the live tensor, so retaining the log only duplicates
+    it — O(stream) memory for nothing.  Retention is forced on when the
+    caller shares an external answer set or uses the reference engine.
+
+    ``local_convergence_threshold`` is the per-entity early-exit for the
+    incremental sweeps (see
+    :attr:`~repro.core.incremental.IncrementalUpdater.early_exit_threshold`);
+    ``None`` inherits the inference model's EM convergence threshold, ``0.0``
+    disables the exit.
     """
 
     max_batch_answers: int = 64
     max_batch_delay: float = 5.0
     full_refresh_interval: int = 1000
     local_iterations: int = 2
+    retain_answer_log: bool = False
+    local_convergence_threshold: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_batch_answers <= 0:
@@ -84,6 +115,14 @@ class IngestConfig:
             raise ValueError(
                 f"local_iterations must be positive, got {self.local_iterations}"
             )
+        if (
+            self.local_convergence_threshold is not None
+            and self.local_convergence_threshold < 0
+        ):
+            raise ValueError(
+                f"local_convergence_threshold must be non-negative, "
+                f"got {self.local_convergence_threshold}"
+            )
 
 
 @dataclass
@@ -95,8 +134,12 @@ class IngestStats:
     incremental_updates: int = 0
     full_refreshes: int = 0
     snapshots_published: int = 0
+    delta_publishes: int = 0
     workers_registered: int = 0
     tasks_registered: int = 0
+    #: AnswerSet → tensor flattens the updater performed (0 on the pure
+    #: live-tensor path — the log-free acceptance counter).
+    log_flattens: int = 0
     update_seconds: float = 0.0
 
     @property
@@ -119,10 +162,12 @@ class AnswerIngestor:
     config:
         Micro-batching and refresh policy.
     answers:
-        The growing answer log.  Pass the platform's own
-        :class:`~repro.data.models.AnswerSet` to share one log with the
-        simulator; by default the ingestor owns a fresh one and every submitted
-        event is appended to it.
+        An external answer log to share (e.g. the platform's own
+        :class:`~repro.data.models.AnswerSet`); sharing implies retention —
+        every submitted event is appended to it.  By default the ingestor is
+        **log-free**: it owns an empty answer set that stays empty unless
+        :attr:`IngestConfig.retain_answer_log` is set (or the reference
+        engine, which cannot run without the log, is configured).
     """
 
     def __init__(
@@ -135,11 +180,20 @@ class AnswerIngestor:
         self._inference = inference
         self._snapshots = snapshots
         self._config = config or IngestConfig()
+        self._retain = (
+            self._config.retain_answer_log
+            or answers is not None
+            or inference.config.engine == "reference"
+        )
         self._answers = answers if answers is not None else AnswerSet()
+        threshold = self._config.local_convergence_threshold
+        if threshold is None:
+            threshold = inference.config.convergence_threshold
         self._updater = IncrementalUpdater(
             inference=inference,
             full_refresh_interval=self._config.full_refresh_interval,
             local_iterations=self._config.local_iterations,
+            early_exit_threshold=threshold,
         )
         # Estimates to carry across re-fits: a model warm-started from a
         # restored snapshot knows entities the growing answer log may not
@@ -156,7 +210,12 @@ class AnswerIngestor:
     # ------------------------------------------------------------------ state
     @property
     def answers(self) -> AnswerSet:
+        """The retained answer log (empty on the default log-free path)."""
         return self._answers
+
+    @property
+    def retains_answer_log(self) -> bool:
+        return self._retain
 
     @property
     def config(self) -> IngestConfig:
@@ -212,7 +271,8 @@ class AnswerIngestor:
         elapsed (the service calls this once at shutdown so the final snapshot
         reflects a converged estimate); ``warm=False`` makes that re-fit a
         cold start instead of warm-starting from the current estimate, so the
-        result is bit-identical to an offline fit on the same answer log.
+        result is identical to an offline fit on the same answer stream (the
+        live tensor is maintained bit-equal to a from-scratch flatten).
         Returns ``None`` only when there is nothing at all to do.
         """
         events = list(self._buffer)
@@ -221,34 +281,32 @@ class AnswerIngestor:
             now = self._buffer[-1].time if self._buffer else 0.0
         self._buffer.clear()
         self._buffer_opened_at = None
-        if not new_answers and not (full and len(self._answers) > 0):
+        has_history = self._stats.answers > 0 or len(self._answers) > 0
+        if not new_answers and not (full and has_history):
             return None
 
         for event in events:
             self._register_event_entities(event)
-        for answer in new_answers:
-            self._answers.add(answer)
+        if self._retain:
+            for answer in new_answers:
+                self._answers.add(answer)
+        log = self._answers if self._retain else None
 
         started = time.perf_counter()
         run_full = (
             full or not self._inference.is_fitted or self._updater.full_refresh_due
         )
         if run_full:
-            initial = (
-                self._inference.parameters
-                if warm and self._inference.is_fitted
-                else None
-            )
-            self._inference.fit(self._answers, initial=initial)
-            self._updater.notify_full_refresh()
+            self._updater.full_refresh(new_answers, answers=log, warm=warm)
             self._stats.full_refreshes += 1
             source = "full_refresh"
         else:
-            self._updater.apply(self._answers, new_answers)
+            self._updater.apply(log, new_answers)
             self._stats.incremental_updates += 1
             source = "incremental"
         self._stats.update_seconds += time.perf_counter() - started
         self._stats.answers += len(new_answers)
+        self._stats.log_flattens = self._updater.tensor_rebuilds
         if new_answers:
             self._stats.batches += 1
 
@@ -292,18 +350,36 @@ class AnswerIngestor:
             self._stats.workers_registered += 1
 
     def _publish(self, published_at: float, source: str) -> ParameterSnapshot:
-        """Publish the live estimate over every known entity, array-first.
+        """Publish the live estimate over every known entity, O(changed)-first.
 
-        The updater hands over a compact copy of its live store (every tensor
-        entity plus carried-over ones from restored snapshots) — one C-level
-        array copy per publish instead of flattening a ``ModelParameters``
-        dict over the whole, ever-growing entity universe.
+        Steady-state micro-batches publish a dirty-row delta onto the
+        previous snapshot's immutable base — only the rows this batch touched
+        are copied.  The full-copy path (one C-level array copy of the live
+        store plus carried-over entities, never a ``ModelParameters``
+        flatten) remains for the first publish, full refreshes, universe
+        growth, and whenever an external publisher interleaved with ours.
         """
-        store = self._updater.publish_store(self._answers)
-        # The store copy was made solely for this publish — hand it over
-        # instead of paying a second full-array copy inside the snapshot.
-        snapshot = self._snapshots.publish(
-            store, published_at=published_at, source=source, copy=False
-        )
+        delta = self._updater.collect_publish_delta()
+        latest = self._snapshots.latest()
+        if (
+            delta is not None
+            and latest is not None
+            and (latest.num_workers, latest.num_tasks)
+            == (delta.num_workers, delta.num_tasks)
+        ):
+            snapshot = self._snapshots.publish_delta(
+                delta, published_at=published_at, source=source
+            )
+            self._updater.mark_published()
+            self._stats.delta_publishes += 1
+        else:
+            store = self._updater.publish_store(
+                self._answers if self._retain else None
+            )
+            # The store copy was made solely for this publish — hand it over
+            # instead of paying a second full-array copy inside the snapshot.
+            snapshot = self._snapshots.publish(
+                store, published_at=published_at, source=source, copy=False
+            )
         self._stats.snapshots_published += 1
         return snapshot

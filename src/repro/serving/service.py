@@ -12,8 +12,11 @@ online system over a :class:`~repro.crowd.platform.CrowdPlatform` workload:
 3. the platform simulates the worker's answers and charges the budget;
 4. the answers stream into the :class:`~repro.serving.ingest.AnswerIngestor`,
    which micro-batches them into incremental EM updates (periodic full
-   refreshes on the vectorised engine) and publishes a fresh snapshot after
-   every update.
+   refreshes run straight off the incremental updater's live tensor — zero
+   answer-log re-flattens) and publishes a fresh snapshot after every update,
+   dirty-row deltas in the steady state.  The ingestor shares the platform's
+   own answer log (the simulator needs it anyway), but the update path never
+   reads it back.
 
 The loop ends when the budget is exhausted, a round yields no assignable task,
 or ``max_rounds`` is reached; a final full refresh then produces the snapshot
@@ -122,12 +125,15 @@ class ServingReport:
             f"answers ingested: {self.answers_ingested}",
             f"ingest: {self.ingest.batches} micro-batches "
             f"({self.ingest.incremental_updates} incremental, "
-            f"{self.ingest.full_refreshes} full refreshes), "
+            f"{self.ingest.full_refreshes} full refreshes, "
+            f"{self.ingest.log_flattens} log flattens), "
             f"{self.ingest_answers_per_second:,.0f} answers/s of update time",
             f"open world: {self.workers_joined} workers / {self.tasks_joined} tasks "
             f"joined mid-stream, {self.open_world_answers} answers "
             f"({self.open_world_fraction:.0%}) from entities absent at startup",
-            f"snapshots: {self.snapshots_published} published, latest version {version}",
+            f"snapshots: {self.snapshots_published} published "
+            f"({self.ingest.delta_publishes} dirty-row deltas), "
+            f"latest version {version}",
             f"assignment latency: p50 {self.frontend.p50_latency_ms:.2f} ms, "
             f"p95 {self.frontend.p95_latency_ms:.2f} ms over "
             f"{self.frontend.requests} requests",

@@ -9,9 +9,21 @@ copy-on-write publish protocol:
   :class:`~repro.core.params.ArrayParameterStore`, marks every array read-only
   and stamps the copy with a monotonically increasing version id — writers keep
   mutating their own store, readers keep whatever version they already hold;
+* :meth:`SnapshotStore.publish_delta` is the **O(changed) publish**: instead
+  of a full store copy, the new version records only a
+  :class:`~repro.core.params.StoreDelta` (the dirty rows since the previous
+  publish) on top of the previous snapshot as its immutable base.  The full
+  array form is **materialised lazily** — on the first read of
+  :attr:`ParameterSnapshot.store` the delta chain is applied onto the nearest
+  materialised ancestor in one pass — so publishes a reader never looks at
+  cost O(changed rows), and a read costs at most what a full-copy publish
+  used to.  Chains are bounded (:attr:`SnapshotStore.max_delta_chain`):
+  every so many delta publishes the new snapshot is materialised eagerly,
+  keeping both materialisation latency and retained-history memory bounded;
 * retention is bounded (:attr:`SnapshotStore.max_snapshots`): publishing past
   the cap drops the oldest versions, mirroring a production parameter server
-  that keeps a short history for rollback;
+  that keeps a short history for rollback (delta snapshots keep their base
+  chain alive until materialised);
 * :meth:`ParameterSnapshot.save` / :func:`load_snapshot` persist a snapshot to
   disk as a plain ``.npz`` archive (no pickling) so a service can restore its
   parameters across restarts; versions keep increasing across a restore.
@@ -23,42 +35,99 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.params import ArrayParameterStore, ModelParameters
+from repro.core.params import ArrayParameterStore, ModelParameters, StoreDelta
 
 
 class ParameterSnapshot:
     """One immutable, versioned copy of all model parameters.
 
-    The wrapped :class:`~repro.core.params.ArrayParameterStore` has every
-    array frozen (read-only); consumers that need the id-oriented
+    A snapshot is either **materialised** (it owns a frozen
+    :class:`~repro.core.params.ArrayParameterStore`) or a **delta** recorded
+    on top of a base snapshot; accessing :attr:`store` materialises a delta
+    snapshot on first read by applying the delta chain onto the nearest
+    materialised ancestor.  Either way the arrays handed out are frozen
+    (read-only).  Consumers that need the id-oriented
     :class:`~repro.core.params.ModelParameters` view (the task assigners) call
     :meth:`as_model`, which converts lazily and caches — the same snapshot is
     typically read by many assignment requests.
     """
 
-    __slots__ = ("version", "store", "published_at", "source", "_model")
+    __slots__ = (
+        "version",
+        "published_at",
+        "source",
+        "num_workers",
+        "num_tasks",
+        "_store",
+        "_base",
+        "_delta",
+        "_model",
+    )
 
     def __init__(
         self,
         version: int,
-        store: ArrayParameterStore,
+        store: ArrayParameterStore | None = None,
         published_at: float = 0.0,
         source: str = "publish",
+        base: "ParameterSnapshot | None" = None,
+        delta: StoreDelta | None = None,
     ) -> None:
         if version < 0:
             raise ValueError(f"version must be non-negative, got {version}")
+        if (store is None) == (base is None or delta is None):
+            raise ValueError(
+                "a snapshot needs either a store or a (base, delta) pair"
+            )
         self.version = version
-        self.store = store
         self.published_at = published_at
         self.source = source
+        self._store = store
+        self._base = base
+        self._delta = delta
+        if store is not None:
+            self.num_workers = store.num_workers
+            self.num_tasks = store.num_tasks
+        else:
+            self.num_workers = delta.num_workers
+            self.num_tasks = delta.num_tasks
         self._model: ModelParameters | None = None
 
     def __repr__(self) -> str:
+        kind = "delta" if self._store is None else "full"
         return (
             f"ParameterSnapshot(version={self.version}, "
-            f"workers={self.store.num_workers}, tasks={self.store.num_tasks}, "
-            f"source={self.source!r})"
+            f"workers={self.num_workers}, tasks={self.num_tasks}, "
+            f"source={self.source!r}, {kind})"
         )
+
+    @property
+    def materialized(self) -> bool:
+        """Whether the full array form already exists (no chain walk on read)."""
+        return self._store is not None
+
+    @property
+    def store(self) -> ArrayParameterStore:
+        """The full array form of this version, materialising it on first read.
+
+        For a delta snapshot this copies the nearest materialised ancestor
+        once and applies every delta up the chain (oldest first) — O(universe)
+        on the first read, cached afterwards, and never paid for versions no
+        reader looks at.
+        """
+        if self._store is None:
+            chain: list[ParameterSnapshot] = [self]
+            node = self._base
+            while node._store is None:
+                chain.append(node)
+                node = node._base
+            out = node._store.copy()
+            for snapshot in reversed(chain):
+                snapshot._delta.apply(out)
+            self._store = out.freeze()
+            self._base = None
+            self._delta = None
+        return self._store
 
     def as_model(self) -> ModelParameters:
         """The dict-of-dataclasses view of this snapshot (converted once).
@@ -96,12 +165,19 @@ def load_snapshot(path: str | Path) -> ParameterSnapshot:
 class SnapshotStore:
     """Bounded history of published parameter snapshots, newest last."""
 
+    #: Delta publishes allowed before the next one is materialised eagerly:
+    #: bounds both the first-read materialisation latency and the memory held
+    #: by unmaterialised history, at an amortised O(universe / cap) copy cost
+    #: per publish.
+    max_delta_chain = 16
+
     def __init__(self, max_snapshots: int = 8) -> None:
         if max_snapshots <= 0:
             raise ValueError(f"max_snapshots must be positive, got {max_snapshots}")
         self._max_snapshots = max_snapshots
         self._snapshots: list[ParameterSnapshot] = []
         self._next_version = 0
+        self._chain_length = 0
 
     def __len__(self) -> int:
         return len(self._snapshots)
@@ -132,9 +208,9 @@ class SnapshotStore:
         is never aliased: the snapshot owns a frozen copy, so a reader holding
         version ``v`` is unaffected by any update applied after ``v`` was
         published.  A caller handing over a store it will never touch again
-        (the ingestion layer flattens a fresh one per publish) can pass
-        ``copy=False`` to transfer ownership and skip the copy; the store is
-        frozen in place either way.
+        (the ingestion layer's full-publish path) can pass ``copy=False`` to
+        transfer ownership and skip the copy; the store is frozen in place
+        either way.
         """
         snapshot = ParameterSnapshot(
             version=self._next_version,
@@ -142,7 +218,48 @@ class SnapshotStore:
             published_at=published_at,
             source=source,
         )
-        self._next_version += 1
+        self._chain_length = 0
+        return self._append(snapshot)
+
+    def publish_delta(
+        self,
+        delta: StoreDelta,
+        published_at: float = 0.0,
+        source: str = "incremental",
+    ) -> ParameterSnapshot:
+        """O(changed) publish: record only the dirty rows on the latest base.
+
+        The new version shares everything with the previous snapshot except
+        the rows carried by ``delta``; the full array form is materialised
+        only when (and if) a reader asks for it.  Requires a published base
+        over the same entity universe — callers fall back to :meth:`publish`
+        on the first publish or whenever the universe changed.
+        """
+        base = self.latest()
+        if base is None:
+            raise ValueError("cannot publish a delta before any full snapshot")
+        if (base.num_workers, base.num_tasks) != (delta.num_workers, delta.num_tasks):
+            raise ValueError(
+                f"delta universe {delta.num_workers} workers / {delta.num_tasks} "
+                f"tasks does not match the latest snapshot "
+                f"({base.num_workers} / {base.num_tasks})"
+            )
+        snapshot = ParameterSnapshot(
+            version=self._next_version,
+            published_at=published_at,
+            source=source,
+            base=base,
+            delta=delta,
+        )
+        self._append(snapshot)
+        self._chain_length += 1
+        if self._chain_length >= self.max_delta_chain:
+            snapshot.store  # materialise eagerly: bound the chain
+            self._chain_length = 0
+        return snapshot
+
+    def _append(self, snapshot: ParameterSnapshot) -> ParameterSnapshot:
+        self._next_version = snapshot.version + 1
         self._snapshots.append(snapshot)
         if len(self._snapshots) > self._max_snapshots:
             del self._snapshots[: len(self._snapshots) - self._max_snapshots]
@@ -162,6 +279,7 @@ class SnapshotStore:
             )
         self._snapshots.append(snapshot)
         self._next_version = max(self._next_version, snapshot.version + 1)
+        self._chain_length = 0
         if len(self._snapshots) > self._max_snapshots:
             del self._snapshots[: len(self._snapshots) - self._max_snapshots]
         return snapshot

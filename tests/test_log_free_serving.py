@@ -1,0 +1,576 @@
+"""Log-free serving hot-path tests (PR 5).
+
+Pins the O(changed) update-path invariants:
+
+* **refresh equivalence** — a full refresh run straight off the incremental
+  updater's live tensor (:meth:`IncrementalUpdater.full_refresh` →
+  ``fit_from_tensor``) matches the classic ``AnswerSet``-reflattening
+  :meth:`LocationAwareInference.fit` to <= 1e-9, warm and cold, including
+  streams with mid-stream open-world arrivals;
+* **zero flattens** — a micro-batched stream with periodic full refreshes
+  through a log-free :class:`AnswerIngestor` performs no ``AnswerSet`` →
+  tensor flatten at all (``stats.log_flattens == 0``) and keeps no answer
+  log;
+* **dirty-row publishes** — every delta-published snapshot materialises to
+  exactly the store a full-copy publish would have produced, and published
+  versions stay immutable under later publishes;
+* **per-entity early exit** — threshold 0 keeps the sweeps bit-identical to
+  the exact engine, a saturating threshold degenerates to a single sweep;
+* **bounded latency reservoir** — exact percentiles below the cap, bounded
+  memory above it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.em_kernel import AnswerTensor
+from repro.core.incremental import IncrementalUpdater
+from repro.core.inference import InferenceConfig, LocationAwareInference
+from repro.core.params import ArrayParameterStore
+from repro.crowd.answer_model import AnswerSimulator
+from repro.data.models import POI, Answer, AnswerSet, Task, Worker
+from repro.serving.frontend import LatencyReservoir
+from repro.serving.ingest import AnswerEvent, AnswerIngestor, IngestConfig
+from repro.serving.snapshots import SnapshotStore, load_snapshot
+from repro.spatial.geometry import GeoPoint
+
+
+def assert_parameters_close(a, b, atol=1e-9):
+    assert set(a.workers) == set(b.workers)
+    assert set(a.tasks) == set(b.tasks)
+    for worker_id, worker in a.workers.items():
+        other = b.workers[worker_id]
+        np.testing.assert_allclose(worker.p_qualified, other.p_qualified, atol=atol)
+        np.testing.assert_allclose(
+            worker.distance_weights, other.distance_weights, atol=atol
+        )
+    for task_id, task in a.tasks.items():
+        other = b.tasks[task_id]
+        np.testing.assert_allclose(task.label_probs, other.label_probs, atol=atol)
+        np.testing.assert_allclose(
+            task.influence_weights, other.influence_weights, atol=atol
+        )
+
+
+def assert_stores_equal(a: ArrayParameterStore, b: ArrayParameterStore):
+    assert a.worker_ids == b.worker_ids
+    assert a.task_ids == b.task_ids
+    np.testing.assert_array_equal(a.label_offsets, b.label_offsets)
+    np.testing.assert_array_equal(a.p_qualified, b.p_qualified)
+    np.testing.assert_array_equal(a.distance_weights, b.distance_weights)
+    np.testing.assert_array_equal(a.influence_weights, b.influence_weights)
+    np.testing.assert_array_equal(a.label_probs, b.label_probs)
+
+
+def stream_batches(small_dataset, worker_pool, distance_model, existing, count=12):
+    """Fresh (worker, task) answers not present in ``existing``, in a list."""
+    simulator = AnswerSimulator(distance_model, noise=0.0)
+    batch = []
+    index = 0
+    for profile in worker_pool:
+        for task in small_dataset.tasks:
+            if existing.get(profile.worker_id, task.task_id) is None:
+                batch.append(simulator.sample_answer(profile, task, seed=500 + index))
+                index += 1
+                if len(batch) >= count:
+                    return batch
+    return batch
+
+
+def late_entities():
+    worker = Worker("late-w", (GeoPoint(39.94, 116.39),))
+    task = Task(
+        task_id="late-t",
+        poi=POI(poi_id="late-poi", name="Late POI", location=GeoPoint(39.96, 116.37)),
+        labels=("a", "b", "c"),
+        truth=(1, 0, 1),
+    )
+    return worker, task
+
+
+class TestRefreshEquivalence:
+    """Live-tensor full refresh == log-reflattening fit, <= 1e-9."""
+
+    def _drive(self, model, collected_answers, batches):
+        """Fit, stream ``batches`` through an updater, return (updater, log)."""
+        model.fit(collected_answers)
+        updater = IncrementalUpdater(model, full_refresh_interval=10_000)
+        log = collected_answers.copy()
+        for start in range(0, len(batches), 3):
+            chunk = batches[start : start + 3]
+            for answer in chunk:
+                log.add(answer)
+            updater.apply(log, chunk)
+        return updater, log
+
+    @pytest.mark.parametrize("warm", [True, False])
+    def test_matches_log_reflatten_fit(
+        self, small_dataset, worker_pool, distance_model, collected_answers, warm
+    ):
+        model = LocationAwareInference(
+            small_dataset.tasks, worker_pool.workers, distance_model
+        )
+        batches = stream_batches(
+            small_dataset, worker_pool, distance_model, collected_answers
+        )
+        updater, log = self._drive(model, collected_answers, batches)
+        pre_refresh = model.parameters
+
+        offline = LocationAwareInference(
+            small_dataset.tasks, worker_pool.workers, distance_model
+        )
+        offline.fit(log, initial=pre_refresh if warm else None)
+
+        flattens_before_refresh = updater.tensor_rebuilds
+        refreshed = updater.full_refresh([], warm=warm)
+        assert_parameters_close(refreshed, offline.parameters)
+        # The refresh itself never flattens (the one recorded flatten is the
+        # updater joining the pre-existing corpus on its first apply).
+        assert updater.tensor_rebuilds == flattens_before_refresh == 1
+        # The adopted live store mirrors the refreshed estimate, row-aligned.
+        assert updater.live_store.worker_ids == updater.live_tensor.worker_ids
+        assert model.last_result.store is updater.live_store
+
+    @pytest.mark.parametrize("warm", [True, False])
+    def test_matches_with_midstream_arrivals(
+        self, small_dataset, worker_pool, distance_model, collected_answers, warm
+    ):
+        new_worker, new_task = late_entities()
+        model = LocationAwareInference(
+            small_dataset.tasks, worker_pool.workers, distance_model
+        )
+        model.fit(collected_answers)
+        model.add_worker(new_worker)
+        model.add_task(new_task)
+        updater = IncrementalUpdater(model, full_refresh_interval=10_000)
+        log = collected_answers.copy()
+        known = small_dataset.tasks[0]
+        arrivals = [
+            Answer("late-w", known.task_id, (1,) * known.num_labels),
+            Answer(worker_pool.worker_ids[0], "late-t", (1, 0, 1)),
+            Answer("late-w", "late-t", (0, 1, 1)),
+        ]
+        for answer in arrivals:
+            log.add(answer)
+        updater.apply(log, arrivals)
+        pre_refresh = model.parameters
+
+        offline = LocationAwareInference(
+            small_dataset.tasks + [new_task],
+            worker_pool.workers + [new_worker],
+            distance_model,
+        )
+        offline.fit(log, initial=pre_refresh if warm else None)
+
+        refreshed = updater.full_refresh([], warm=warm)
+        assert "late-w" in refreshed.workers and "late-t" in refreshed.tasks
+        assert_parameters_close(refreshed, offline.parameters)
+
+    def test_refresh_consumes_the_triggering_batch(
+        self, small_dataset, worker_pool, distance_model, collected_answers
+    ):
+        """The batch handed to full_refresh lands in the tensor and the fit."""
+        model = LocationAwareInference(
+            small_dataset.tasks, worker_pool.workers, distance_model
+        )
+        model.fit(collected_answers)
+        updater = IncrementalUpdater(model)
+        batch = stream_batches(
+            small_dataset, worker_pool, distance_model, collected_answers, count=4
+        )
+        log = collected_answers.copy()
+        for answer in batch:
+            log.add(answer)
+        pre_refresh = model.parameters
+
+        offline = LocationAwareInference(
+            small_dataset.tasks, worker_pool.workers, distance_model
+        )
+        offline.fit(log, initial=pre_refresh)
+
+        refreshed = updater.full_refresh(batch, answers=log, warm=True)
+        assert updater.live_tensor.num_answers == len(log)
+        assert_parameters_close(refreshed, offline.parameters)
+        assert updater.answers_since_full_refresh == 0
+
+    def test_refresh_without_log_or_stream_history_is_rejected(
+        self, small_dataset, worker_pool, distance_model, collected_answers
+    ):
+        """A fitted model + no live tensor + no log would silently drop history."""
+        model = LocationAwareInference(
+            small_dataset.tasks, worker_pool.workers, distance_model
+        )
+        model.fit(collected_answers)
+        updater = IncrementalUpdater(model)
+        batch = stream_batches(
+            small_dataset, worker_pool, distance_model, collected_answers, count=2
+        )
+        with pytest.raises(RuntimeError, match="answer log"):
+            updater.full_refresh(batch)
+        # Priming (the snapshot-restore path) makes the log-less start legal.
+        updater.prime_carryover(model.parameters)
+        refreshed = updater.full_refresh(batch)
+        assert set(refreshed.workers) <= set(model.parameters.workers)
+
+
+class TestLogFreeIngest:
+    def _stream(self, small_dataset, worker_pool, distance_model, count=60):
+        simulator = AnswerSimulator(distance_model, noise=0.0)
+        events = []
+        index = 0
+        for profile in worker_pool:
+            for task in small_dataset.tasks:
+                if index >= count:
+                    return events
+                events.append(
+                    AnswerEvent(
+                        simulator.sample_answer(profile, task, seed=900 + index),
+                        time=0.1 * index,
+                    )
+                )
+                index += 1
+        return events
+
+    def test_zero_log_flattens_across_periodic_refreshes(
+        self, small_dataset, worker_pool, distance_model
+    ):
+        inference = LocationAwareInference(
+            small_dataset.tasks, worker_pool.workers, distance_model
+        )
+        snapshots = SnapshotStore(max_snapshots=64)
+        ingest = AnswerIngestor(
+            inference,
+            snapshots,
+            config=IngestConfig(
+                max_batch_answers=6, max_batch_delay=100.0, full_refresh_interval=20
+            ),
+        )
+        for event in self._stream(small_dataset, worker_pool, distance_model):
+            ingest.submit(event)
+        ingest.flush(full=True)
+        assert ingest.stats.full_refreshes >= 3
+        assert ingest.stats.incremental_updates >= 1
+        assert ingest.stats.log_flattens == 0
+        assert len(ingest.answers) == 0  # log-free: nothing retained
+        assert ingest._updater.live_tensor.num_answers == ingest.stats.answers
+
+    def test_cold_final_flush_matches_offline_fit(
+        self, small_dataset, worker_pool, distance_model
+    ):
+        """warm=False shutdown refresh == offline fit, without any log."""
+        inference = LocationAwareInference(
+            small_dataset.tasks, worker_pool.workers, distance_model
+        )
+        ingest = AnswerIngestor(
+            inference,
+            SnapshotStore(),
+            config=IngestConfig(
+                max_batch_answers=8, max_batch_delay=100.0, full_refresh_interval=30
+            ),
+        )
+        events = self._stream(small_dataset, worker_pool, distance_model)
+        for event in events:
+            ingest.submit(event)
+        ingest.flush(full=True, warm=False)
+        assert ingest.stats.log_flattens == 0
+
+        offline = LocationAwareInference(
+            small_dataset.tasks, worker_pool.workers, distance_model
+        )
+        offline.fit(AnswerSet(event.answer for event in events))
+        assert_parameters_close(inference.parameters, offline.parameters)
+
+    def test_delta_publish_equals_full_copy_publish(
+        self, small_dataset, worker_pool, distance_model
+    ):
+        inference = LocationAwareInference(
+            small_dataset.tasks, worker_pool.workers, distance_model
+        )
+        snapshots = SnapshotStore(max_snapshots=64)
+        ingest = AnswerIngestor(
+            inference,
+            snapshots,
+            config=IngestConfig(
+                max_batch_answers=5, max_batch_delay=100.0, full_refresh_interval=1000
+            ),
+        )
+        checked_deltas = 0
+        for event in self._stream(small_dataset, worker_pool, distance_model):
+            snapshot = ingest.submit(event)
+            if snapshot is None:
+                continue
+            # publish_store rebuilds the full-copy form of the exact same
+            # estimate (dirty state was already consumed by the publish).
+            full = ingest._updater.publish_store()
+            if not snapshot.materialized:
+                checked_deltas += 1
+            assert_stores_equal(snapshot.store, full)
+        assert ingest.stats.delta_publishes >= 3
+        assert checked_deltas >= 3
+
+    def test_published_versions_stay_immutable_under_later_publishes(
+        self, small_dataset, worker_pool, distance_model
+    ):
+        inference = LocationAwareInference(
+            small_dataset.tasks, worker_pool.workers, distance_model
+        )
+        snapshots = SnapshotStore(max_snapshots=64)
+        ingest = AnswerIngestor(
+            inference,
+            snapshots,
+            config=IngestConfig(
+                max_batch_answers=5, max_batch_delay=100.0, full_refresh_interval=1000
+            ),
+        )
+        events = self._stream(small_dataset, worker_pool, distance_model)
+        pinned = None
+        pinned_copy = None
+        for index, event in enumerate(events):
+            snapshot = ingest.submit(event)
+            if snapshot is not None and pinned is None and snapshot.version >= 2:
+                pinned = snapshot
+                pinned_copy = snapshot.store.copy()  # materialises version v
+        ingest.flush(full=True)
+        # Later publishes (including a full refresh) never mutate version v.
+        assert pinned is not None
+        assert_stores_equal(pinned.store, pinned_copy)
+        with pytest.raises((ValueError, RuntimeError)):
+            pinned.store.p_qualified[0] = 0.0
+
+    def test_delta_snapshot_save_load_round_trip(
+        self, small_dataset, worker_pool, distance_model, tmp_path
+    ):
+        inference = LocationAwareInference(
+            small_dataset.tasks, worker_pool.workers, distance_model
+        )
+        snapshots = SnapshotStore(max_snapshots=64)
+        ingest = AnswerIngestor(
+            inference,
+            snapshots,
+            config=IngestConfig(
+                max_batch_answers=5, max_batch_delay=100.0, full_refresh_interval=1000
+            ),
+        )
+        delta_snapshot = None
+        for event in self._stream(small_dataset, worker_pool, distance_model):
+            snapshot = ingest.submit(event)
+            if snapshot is not None and not snapshot.materialized:
+                delta_snapshot = snapshot
+        assert delta_snapshot is not None
+        path = delta_snapshot.save(tmp_path / "delta.npz")
+        restored = load_snapshot(path)
+        assert restored.version == delta_snapshot.version
+        assert_stores_equal(restored.store, delta_snapshot.store)
+
+
+class TestDeltaChainBound:
+    def _base_store(self):
+        from repro.core.params import ModelParameters
+
+        params = ModelParameters()
+        params.workers["w1"] = params.worker("w1")
+        params.workers["w2"] = params.worker("w2")
+        params.tasks["t1"] = params.task("t1", num_labels=2)
+        return params.to_array_store(["w1", "w2"], ["t1"], [2])
+
+    def _delta(self, store, p_qualified):
+        from repro.core.params import StoreDelta
+
+        return StoreDelta(
+            worker_rows=np.asarray([0], dtype=np.intp),
+            p_qualified=np.asarray([p_qualified]),
+            distance_weights=store.distance_weights[:1].copy(),
+            task_rows=np.empty(0, dtype=np.intp),
+            influence_weights=np.empty((0, store.influence_weights.shape[1])),
+            label_slots=np.empty(0, dtype=np.intp),
+            label_probs=np.empty(0),
+            num_workers=store.num_workers,
+            num_tasks=store.num_tasks,
+        )
+
+    def test_chain_is_bounded_and_materialises_correctly(self):
+        store = self._base_store()
+        snapshots = SnapshotStore(max_snapshots=100)
+        snapshots.publish(store)
+        published = []
+        for index in range(SnapshotStore.max_delta_chain + 3):
+            value = 0.5 + 0.001 * index
+            published.append(
+                (value, snapshots.publish_delta(self._delta(store, value)))
+            )
+        # The chain cap forced at least one eager materialisation mid-stream.
+        assert any(s.materialized for _, s in published[:-1])
+        # Every version, materialised in arbitrary order, reads its own value.
+        for value, snapshot in reversed(published):
+            assert snapshot.store.p_qualified[0] == pytest.approx(value)
+
+    def test_delta_universe_mismatch_is_rejected(self):
+        store = self._base_store()
+        snapshots = SnapshotStore()
+        snapshots.publish(store)
+        bad = self._delta(store, 0.9)
+        object.__setattr__(bad, "num_workers", store.num_workers + 1)
+        with pytest.raises(ValueError, match="universe"):
+            snapshots.publish_delta(bad)
+
+    def test_delta_before_any_publish_is_rejected(self):
+        store = self._base_store()
+        with pytest.raises(ValueError, match="full snapshot"):
+            SnapshotStore().publish_delta(self._delta(store, 0.7))
+
+
+class TestEarlyExit:
+    def _setup(self, small_dataset, worker_pool, distance_model, collected_answers):
+        model = LocationAwareInference(
+            small_dataset.tasks, worker_pool.workers, distance_model
+        )
+        model.fit(collected_answers)
+        batch = stream_batches(
+            small_dataset, worker_pool, distance_model, collected_answers, count=5
+        )
+        log = collected_answers.copy()
+        for answer in batch:
+            log.add(answer)
+        return model, log, batch
+
+    def test_zero_threshold_is_exact(
+        self, small_dataset, worker_pool, distance_model, collected_answers
+    ):
+        results = {}
+        for threshold in (0.0, None):  # None = plain updater default
+            model, log, batch = self._setup(
+                small_dataset, worker_pool, distance_model, collected_answers
+            )
+            kwargs = {} if threshold is None else {"early_exit_threshold": threshold}
+            updater = IncrementalUpdater(model, local_iterations=3, **kwargs)
+            results[threshold] = updater.apply(log, batch)
+        assert_parameters_close(results[0.0], results[None], atol=0.0)
+
+    def test_saturating_threshold_degenerates_to_one_sweep(
+        self, small_dataset, worker_pool, distance_model, collected_answers
+    ):
+        model, log, batch = self._setup(
+            small_dataset, worker_pool, distance_model, collected_answers
+        )
+        eager = IncrementalUpdater(model, local_iterations=3, early_exit_threshold=1.0)
+        eager_params = eager.apply(log, batch)
+
+        model2, log2, batch2 = self._setup(
+            small_dataset, worker_pool, distance_model, collected_answers
+        )
+        single = IncrementalUpdater(model2, local_iterations=1)
+        single_params = single.apply(log2, batch2)
+        assert_parameters_close(eager_params, single_params, atol=0.0)
+
+    def test_drift_stays_within_threshold_scale(
+        self, small_dataset, worker_pool, distance_model, collected_answers
+    ):
+        threshold = 0.005
+        model, log, batch = self._setup(
+            small_dataset, worker_pool, distance_model, collected_answers
+        )
+        exact_updater = IncrementalUpdater(model, local_iterations=2)
+        exact = exact_updater.apply(log, batch)
+
+        model2, log2, batch2 = self._setup(
+            small_dataset, worker_pool, distance_model, collected_answers
+        )
+        early = IncrementalUpdater(
+            model2, local_iterations=2, early_exit_threshold=threshold
+        )
+        approx = early.apply(log2, batch2)
+        # A settled entity skipped its last sweep, which by definition would
+        # have moved it at most `threshold`; everything else is exact.
+        assert_parameters_close(exact, approx, atol=threshold)
+
+    def test_invalid_threshold_rejected(
+        self, small_dataset, worker_pool, distance_model, collected_answers
+    ):
+        model = LocationAwareInference(
+            small_dataset.tasks, worker_pool.workers, distance_model
+        )
+        model.fit(collected_answers)
+        with pytest.raises(ValueError):
+            IncrementalUpdater(model, early_exit_threshold=-0.1)
+        with pytest.raises(ValueError):
+            IngestConfig(local_convergence_threshold=-1.0)
+
+
+class TestLatencyReservoir:
+    def test_exact_percentiles_below_cap(self):
+        reservoir = LatencyReservoir(capacity=64)
+        values = [float(v) for v in range(50)]
+        for value in values:
+            reservoir.add(value)
+        assert len(reservoir) == 50
+        assert reservoir.count == 50
+        assert not reservoir.saturated
+        assert reservoir.percentile(50.0) == pytest.approx(np.percentile(values, 50.0))
+        assert reservoir.percentile(95.0) == pytest.approx(np.percentile(values, 95.0))
+
+    def test_bounded_beyond_cap_and_representative(self):
+        reservoir = LatencyReservoir(capacity=128, seed=7)
+        for value in range(10_000):
+            reservoir.add(float(value))
+        assert len(reservoir) == 128
+        assert reservoir.count == 10_000
+        assert reservoir.saturated
+        # A uniform sample of 0..9999: the median estimate lands mid-range.
+        assert 2_000 <= reservoir.percentile(50.0) <= 8_000
+
+    def test_frontend_stats_compatibility_view(self):
+        from repro.serving.frontend import FrontendStats
+
+        stats = FrontendStats()
+        for value in (1.0, 2.0, 3.0, 4.0):
+            stats.latencies.add(value)
+        assert stats.latencies_ms == [1.0, 2.0, 3.0, 4.0]
+        assert stats.p50_latency_ms == pytest.approx(2.5)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LatencyReservoir(capacity=0)
+
+
+class TestFitFromTensor:
+    def test_matches_fit_on_the_same_answers(
+        self, small_dataset, worker_pool, distance_model, collected_answers
+    ):
+        model = LocationAwareInference(
+            small_dataset.tasks, worker_pool.workers, distance_model
+        )
+        tensor = AnswerTensor.build(
+            collected_answers,
+            model._tasks,
+            model._workers,
+            distance_model,
+            model.config.function_set,
+        )
+        model.fit_from_tensor(tensor)
+        from_tensor = model.parameters
+        assert model.last_result.store is not None
+
+        offline = LocationAwareInference(
+            small_dataset.tasks, worker_pool.workers, distance_model
+        )
+        offline.fit(collected_answers)
+        assert_parameters_close(from_tensor, offline.parameters, atol=0.0)
+
+    def test_reference_engine_rejects_tensor_fit(
+        self, small_dataset, worker_pool, distance_model, collected_answers
+    ):
+        model = LocationAwareInference(
+            small_dataset.tasks,
+            worker_pool.workers,
+            distance_model,
+            config=InferenceConfig(engine="reference"),
+        )
+        tensor = AnswerTensor.build(
+            collected_answers,
+            model._tasks,
+            model._workers,
+            distance_model,
+            model.config.function_set,
+        )
+        with pytest.raises(ValueError, match="reference"):
+            model.fit_from_tensor(tensor)

@@ -95,14 +95,56 @@ class TestMicroBatching:
         assert ingest.flush() is None
         assert len(snapshots) == 0
 
-    def test_answers_accumulate_in_log(
+    def test_log_free_by_default(
         self, ingestor, small_dataset, worker_pool, distance_model
     ):
+        """The ingestor-owned log stays empty: updates run off the live tensor."""
         ingest, _ = ingestor
         events = make_events(small_dataset, worker_pool, distance_model, 8)
         for event in events:
             ingest.submit(event)
+        assert not ingest.retains_answer_log
+        assert len(ingest.answers) == 0
+        assert ingest.stats.answers == 8
+        assert ingest._updater.live_tensor.num_answers == 8
+
+    def test_answers_accumulate_in_log_when_retained(
+        self, small_dataset, worker_pool, distance_model
+    ):
+        inference = LocationAwareInference(
+            small_dataset.tasks, worker_pool.workers, distance_model
+        )
+        config = IngestConfig(
+            max_batch_answers=4,
+            max_batch_delay=10.0,
+            full_refresh_interval=100,
+            retain_answer_log=True,
+        )
+        ingest = AnswerIngestor(inference, SnapshotStore(), config=config)
+        events = make_events(small_dataset, worker_pool, distance_model, 8)
+        for event in events:
+            ingest.submit(event)
+        assert ingest.retains_answer_log
         assert len(ingest.answers) == 8
+
+    def test_shared_log_implies_retention(
+        self, small_dataset, worker_pool, distance_model
+    ):
+        """A caller-provided AnswerSet keeps receiving every submitted answer."""
+        inference = LocationAwareInference(
+            small_dataset.tasks, worker_pool.workers, distance_model
+        )
+        shared = AnswerSet()
+        config = IngestConfig(
+            max_batch_answers=4, max_batch_delay=10.0, full_refresh_interval=100
+        )
+        ingest = AnswerIngestor(
+            inference, SnapshotStore(), config=config, answers=shared
+        )
+        for event in make_events(small_dataset, worker_pool, distance_model, 8):
+            ingest.submit(event)
+        assert ingest.retains_answer_log
+        assert len(shared) == 8
 
 
 class TestRefreshPolicy:
