@@ -56,6 +56,12 @@ GATES = [
         "min_open_world_fraction",
         ">=",
     ),
+    (
+        "BENCH_serving_throughput.json",
+        "journaled_answers_per_sec",
+        "min_journaled_answers_per_sec",
+        ">=",
+    ),
 ]
 
 

@@ -114,6 +114,22 @@ def _build_parser() -> argparse.ArgumentParser:
     serve = subparsers.add_parser(
         "serve-sim",
         help="replay a simulated workload through the online serving subsystem",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "Crash recovery:\n"
+            "  With --state-dir DIR every accepted answer is appended to a\n"
+            "  checksummed write-ahead journal in DIR/journal before it is\n"
+            "  applied, and (with --checkpoint-interval N > 0) the live model\n"
+            "  state is checkpointed to DIR/checkpoints every N applied\n"
+            "  answers; each checkpoint truncates the journal segments it\n"
+            "  covers.  After a crash, rerun the same command with --resume:\n"
+            "  the newest valid checkpoint is loaded (corrupt ones are\n"
+            "  skipped), the journal tail is replayed through the ordinary\n"
+            "  ingestion path (a torn final record is dropped), and serving\n"
+            "  continues with a live estimate matching the uncrashed run.\n"
+            "  Use the same --seed so the regenerated workload matches the\n"
+            "  crashed session's."
+        ),
     )
     serve.add_argument("--dataset-file", default=None,
                        help="dataset JSON; omitted -> a synthetic dataset is generated")
@@ -146,6 +162,20 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="held-back tasks admitted per arrival round")
     serve.add_argument("--snapshot-out", default=None,
                        help="optional path to save the final parameter snapshot (.npz)")
+    serve.add_argument("--state-dir", default=None,
+                       help="directory for the durable answer journal and "
+                            "checkpoints (omitted -> in-memory only)")
+    serve.add_argument("--resume", action="store_true",
+                       help="recover from --state-dir (checkpoint + journal "
+                            "replay) before serving")
+    serve.add_argument("--checkpoint-interval", type=int, default=0,
+                       help="applied answers between checkpoints "
+                            "(0 disables; requires --state-dir)")
+    serve.add_argument("--journal-fsync", action="store_true",
+                       help="fsync every journal append (power-loss safe, slower)")
+    serve.add_argument("--guard", action="store_true",
+                       help="validate events at intake and quarantine malformed "
+                            "ones instead of failing the stream")
     serve.add_argument("--seed", type=int, default=42)
 
     compare = subparsers.add_parser(
@@ -307,6 +337,14 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         workers_per_round=args.workers_per_round,
         seed=args.seed,
     )
+    if args.checkpoint_interval and args.state_dir is None:
+        print("--checkpoint-interval requires --state-dir", file=sys.stderr)
+        return 2
+    if args.resume and args.state_dir is None:
+        print("--resume requires --state-dir", file=sys.stderr)
+        return 2
+    from repro.serving import GuardConfig
+
     config = ServingConfig(
         strategy=args.assigner,
         assigner_engine=args.assigner_engine,
@@ -315,18 +353,28 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
             max_batch_answers=args.batch_answers,
             max_batch_delay=args.batch_delay,
             full_refresh_interval=args.full_refresh_interval,
+            checkpoint_interval=args.checkpoint_interval,
         ),
         holdback_worker_fraction=args.holdback_workers,
         holdback_task_fraction=args.holdback_tasks,
         tasks_released_per_round=args.tasks_released_per_round,
         seed=args.seed,
+        state_dir=args.state_dir,
+        resume=args.resume,
+        journal_fsync=args.journal_fsync,
+        guard=GuardConfig() if args.guard else None,
     )
     service = OnlineServingService(platform, config=config)
+    durable = " (durable)" if args.state_dir else ""
     print(
         f"serving {dataset.name}: budget {args.budget}, strategy {args.assigner}, "
         f"micro-batch {args.batch_answers} answers / {args.batch_delay}s window"
+        f"{durable}"
     )
-    report = service.run()
+    try:
+        report = service.run()
+    finally:
+        service.close()
     print(report.summary())
     if args.snapshot_out:
         saved = service.save_latest_snapshot(args.snapshot_out)

@@ -277,6 +277,38 @@ class AnswerTensor:
             raise RuntimeError("enable_row_tracking() must be called first")
         return self._task_row[task_id]
 
+    def export_answers(self) -> list[Answer]:
+        """Reconstruct the answer log from the tensor, in row order.
+
+        The inverse of :meth:`build` / :meth:`append_answers`: row order is
+        insertion order with re-answers rewritten in place, i.e. exactly the
+        iteration order of the :class:`~repro.data.models.AnswerSet` the
+        tensor was grown from.  Consequently ``AnswerTensor.build`` over an
+        ``AnswerSet`` of the exported answers reproduces this tensor bit for
+        bit, including worker/task registration order — the crash-recovery
+        checkpoint path relies on this equivalence.
+        """
+        answers: list[Answer] = []
+        a_worker = self._a_worker
+        a_task = self._a_task
+        starts = self._a_label_start
+        num_labels = self._num_labels
+        responses = self._responses
+        for row in range(self._num_answers):
+            tidx = int(a_task[row])
+            start = int(starts[row])
+            count = int(num_labels[tidx])
+            answers.append(
+                Answer(
+                    worker_id=self._worker_ids[int(a_worker[row])],
+                    task_id=self._task_ids[tidx],
+                    responses=tuple(
+                        int(v) for v in responses[start : start + count]
+                    ),
+                )
+            )
+        return answers
+
     # ------------------------------------------------------- open-world growth
     def _register_worker(self, worker_id: str) -> int:
         index = len(self._worker_ids)

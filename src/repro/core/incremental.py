@@ -320,10 +320,15 @@ class IncrementalUpdater:
             # is no log to rebuild from: silently fitting on the micro-batch
             # alone would discard that history.  (A snapshot restore is the
             # legitimate log-less case; prime_carryover marks it.)
-            raise RuntimeError(
-                "the inference model was fitted outside this updater and no "
-                "answer log was provided; pass `answers`, or prime_carryover "
-                "after a snapshot restore"
+            from repro.serving import LiveStateError
+
+            raise LiveStateError(
+                "cannot rebuild the live answer tensor: the inference model "
+                "was fitted outside this updater and no answer log was "
+                "provided, so the estimate's history is unrecoverable here. "
+                "Pass the full `answers` log to this call, or — after a "
+                "snapshot restore — call prime_carryover(parameters) so the "
+                "restored entities ride along without a log."
             )
         source = answers if answers is not None else AnswerSet()
         if len(source):
@@ -334,6 +339,44 @@ class IncrementalUpdater:
         self._store = None
         self._synced_params = None
         self._publish_full = True
+
+    def export_answers(self) -> list[Answer]:
+        """The live tensor's answer log in row order (empty before any sync).
+
+        Row order equals the stream's insertion order with re-answers
+        rewritten in place, so rebuilding a tensor from these answers
+        reproduces the live tensor bit for bit — the checkpoint path's
+        durable form of the answer history.
+        """
+        if self._tensor is None:
+            return []
+        return self._tensor.export_answers()
+
+    def restore_live_state(
+        self,
+        answers: AnswerSet,
+        answers_since_full_refresh: int = 0,
+    ) -> None:
+        """Rebuild the live tensor/store from a checkpointed answer log.
+
+        The crash-recovery path: ``answers`` is the log a checkpoint exported
+        (via :meth:`export_answers`) and the inference model has already been
+        re-fitted/warm-started to the checkpointed estimate.  The tensor is
+        rebuilt in the same row order the crashed run maintained (bit-equal
+        per the export contract), the live store is force-gathered from the
+        current estimate over that universe, and the refresh counter resumes
+        where the crashed run left it.  Unlike :meth:`_rebuild_tensor` this
+        does **not** count toward :attr:`tensor_rebuilds` — recovery is a
+        restart, not a serving-path log flatten (the throughput gate pins
+        steady-state flattens at zero).
+        """
+        tensor = self.inference._build_tensor(answers)
+        tensor.enable_row_tracking()
+        self._tensor = tensor
+        self._store = None
+        self._synced_params = None
+        self._ensure_store(self.inference.parameters, force=True)
+        self.answers_since_full_refresh = answers_since_full_refresh
 
     def _ensure_store(self, params: ModelParameters, force: bool = False) -> None:
         """Gather ``params`` into a store row-aligned with the live tensor.

@@ -278,11 +278,57 @@ class StoreDelta:
         return int(self.worker_rows.size + self.task_rows.size)
 
     def apply(self, store: "ArrayParameterStore") -> "ArrayParameterStore":
-        """Patch the dirty rows into ``store`` (unfrozen, same universe)."""
+        """Patch the dirty rows into ``store`` (unfrozen, same universe).
+
+        Validates row/slot bounds and carried-array shapes against the base
+        before touching it, so a delta recorded against a different store (a
+        corrupted or mis-sequenced chain) fails loudly instead of scribbling
+        over the wrong rows.
+        """
         if store.num_workers != self.num_workers or store.num_tasks != self.num_tasks:
             raise ValueError(
                 f"delta over {self.num_workers} workers / {self.num_tasks} tasks "
                 f"cannot apply to a store with {store.num_workers} / {store.num_tasks}"
+            )
+        if self.worker_rows.size and (
+            int(self.worker_rows.min()) < 0
+            or int(self.worker_rows.max()) >= store.num_workers
+        ):
+            raise ValueError(
+                f"delta worker rows {self.worker_rows.min()}..{self.worker_rows.max()} "
+                f"fall outside the base store's {store.num_workers} worker rows"
+            )
+        if self.task_rows.size and (
+            int(self.task_rows.min()) < 0
+            or int(self.task_rows.max()) >= store.num_tasks
+        ):
+            raise ValueError(
+                f"delta task rows {self.task_rows.min()}..{self.task_rows.max()} "
+                f"fall outside the base store's {store.num_tasks} task rows"
+            )
+        if self.label_slots.size and (
+            int(self.label_slots.min()) < 0
+            or int(self.label_slots.max()) >= store.num_label_slots
+        ):
+            raise ValueError(
+                f"delta label slots {self.label_slots.min()}..{self.label_slots.max()} "
+                f"fall outside the base store's {store.num_label_slots} label slots"
+            )
+        if (
+            self.p_qualified.shape != self.worker_rows.shape
+            or self.distance_weights.shape[:1] != self.worker_rows.shape
+            or self.influence_weights.shape[:1] != self.task_rows.shape
+            or self.label_probs.shape != self.label_slots.shape
+        ):
+            raise ValueError(
+                "delta value arrays do not align with their row/slot indexes "
+                f"(workers {self.worker_rows.shape[0]}, "
+                f"p_qualified {self.p_qualified.shape[0]}, "
+                f"distance_weights {self.distance_weights.shape[0]}; "
+                f"tasks {self.task_rows.shape[0]}, "
+                f"influence_weights {self.influence_weights.shape[0]}; "
+                f"label slots {self.label_slots.shape[0]}, "
+                f"label_probs {self.label_probs.shape[0]})"
             )
         store.p_qualified[self.worker_rows] = self.p_qualified
         store.distance_weights[self.worker_rows] = self.distance_weights
@@ -681,6 +727,60 @@ class ArrayParameterStore:
         """Restore a store previously written with :meth:`save_npz`."""
         with np.load(Path(path), allow_pickle=False) as data:
             return cls.from_npz_dict(data)
+
+    def validate(self) -> "ArrayParameterStore":
+        """Structural integrity check; raises ``ValueError`` on any violation.
+
+        Used when a store re-enters the process from disk (snapshot /
+        checkpoint restore): verifies the ragged label layout is coherent
+        (offsets start at 0, are non-decreasing, and the flat storage matches
+        their total), row counts align across the worker- and task-side
+        arrays, and every probability is finite and within [0, 1].  Returns
+        ``self`` so it chains.
+        """
+        offsets = self.label_offsets
+        if offsets.size != self.num_tasks + 1:
+            raise ValueError(
+                f"label_offsets has {offsets.size} entries for {self.num_tasks} tasks"
+            )
+        if offsets.size and int(offsets[0]) != 0:
+            raise ValueError(f"label_offsets must start at 0, got {int(offsets[0])}")
+        if offsets.size > 1 and bool(np.any(np.diff(offsets) <= 0)):
+            raise ValueError("label_offsets must be strictly increasing")
+        expected_slots = int(offsets[-1]) if offsets.size else 0
+        if self.label_probs.size != expected_slots:
+            raise ValueError(
+                f"label_probs holds {self.label_probs.size} slots, "
+                f"label_offsets expect {expected_slots}"
+            )
+        if self.p_qualified.shape != (self.num_workers,):
+            raise ValueError(
+                f"p_qualified shape {self.p_qualified.shape} does not match "
+                f"{self.num_workers} workers"
+            )
+        if self.distance_weights.shape != (self.num_workers, len(self.function_set)):
+            raise ValueError(
+                f"distance_weights shape {self.distance_weights.shape} does not "
+                f"match {self.num_workers} workers × {len(self.function_set)} functions"
+            )
+        if self.influence_weights.shape != (self.num_tasks, len(self.function_set)):
+            raise ValueError(
+                f"influence_weights shape {self.influence_weights.shape} does not "
+                f"match {self.num_tasks} tasks × {len(self.function_set)} functions"
+            )
+        for name in ("p_qualified", "label_probs"):
+            values = getattr(self, name)
+            if values.size and (
+                not np.all(np.isfinite(values))
+                or float(values.min()) < 0.0
+                or float(values.max()) > 1.0
+            ):
+                raise ValueError(f"{name} contains values outside [0, 1] or non-finite")
+        for name in ("distance_weights", "influence_weights"):
+            values = getattr(self, name)
+            if values.size and not np.all(np.isfinite(values)):
+                raise ValueError(f"{name} contains non-finite values")
+        return self
 
     def max_difference(self, other: "ArrayParameterStore") -> float:
         """Maximum absolute parameter change versus ``other``.

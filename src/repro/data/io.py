@@ -18,6 +18,57 @@ from repro.spatial.geometry import GeoPoint
 FORMAT_VERSION = 1
 
 
+def task_to_entry(task: Task) -> dict[str, Any]:
+    """One task as a JSON-serialisable entry (shared by datasets/journals/checkpoints)."""
+    return {
+        "task_id": task.task_id,
+        "labels": list(task.labels),
+        "truth": list(task.truth),
+        "poi": {
+            "poi_id": task.poi.poi_id,
+            "name": task.poi.name,
+            "x": task.poi.location.x,
+            "y": task.poi.location.y,
+            "category": task.poi.category,
+            "review_count": task.poi.review_count,
+        },
+    }
+
+
+def task_from_entry(entry: dict[str, Any]) -> Task:
+    """Rebuild one task from :func:`task_to_entry` output."""
+    poi_entry = entry["poi"]
+    poi = POI(
+        poi_id=poi_entry["poi_id"],
+        name=poi_entry["name"],
+        location=GeoPoint(float(poi_entry["x"]), float(poi_entry["y"])),
+        category=poi_entry.get("category", "generic"),
+        review_count=int(poi_entry.get("review_count", 0)),
+    )
+    return Task(
+        task_id=entry["task_id"],
+        poi=poi,
+        labels=tuple(entry["labels"]),
+        truth=tuple(int(v) for v in entry["truth"]),
+    )
+
+
+def worker_to_entry(worker: Worker) -> dict[str, Any]:
+    """One worker as a JSON-serialisable entry."""
+    return {
+        "worker_id": worker.worker_id,
+        "locations": [[loc.x, loc.y] for loc in worker.locations],
+    }
+
+
+def worker_from_entry(entry: dict[str, Any]) -> Worker:
+    """Rebuild one worker from :func:`worker_to_entry` output."""
+    return Worker(
+        worker_id=entry["worker_id"],
+        locations=tuple(GeoPoint(float(x), float(y)) for x, y in entry["locations"]),
+    )
+
+
 def dataset_to_dict(dataset: Dataset) -> dict[str, Any]:
     """Convert ``dataset`` into a JSON-serialisable dictionary."""
     return {
@@ -26,22 +77,7 @@ def dataset_to_dict(dataset: Dataset) -> dict[str, Any]:
         "metric": dataset.metric,
         "max_distance": dataset.max_distance,
         "description": dataset.description,
-        "tasks": [
-            {
-                "task_id": task.task_id,
-                "labels": list(task.labels),
-                "truth": list(task.truth),
-                "poi": {
-                    "poi_id": task.poi.poi_id,
-                    "name": task.poi.name,
-                    "x": task.poi.location.x,
-                    "y": task.poi.location.y,
-                    "category": task.poi.category,
-                    "review_count": task.poi.review_count,
-                },
-            }
-            for task in dataset.tasks
-        ],
+        "tasks": [task_to_entry(task) for task in dataset.tasks],
     }
 
 
@@ -50,27 +86,9 @@ def dataset_from_dict(payload: dict[str, Any]) -> Dataset:
     version = payload.get("format_version")
     if version != FORMAT_VERSION:
         raise ValueError(f"unsupported dataset format version: {version!r}")
-    tasks = []
-    for entry in payload["tasks"]:
-        poi_entry = entry["poi"]
-        poi = POI(
-            poi_id=poi_entry["poi_id"],
-            name=poi_entry["name"],
-            location=GeoPoint(float(poi_entry["x"]), float(poi_entry["y"])),
-            category=poi_entry.get("category", "generic"),
-            review_count=int(poi_entry.get("review_count", 0)),
-        )
-        tasks.append(
-            Task(
-                task_id=entry["task_id"],
-                poi=poi,
-                labels=tuple(entry["labels"]),
-                truth=tuple(int(v) for v in entry["truth"]),
-            )
-        )
     return Dataset(
         name=payload["name"],
-        tasks=tasks,
+        tasks=[task_from_entry(entry) for entry in payload["tasks"]],
         metric=payload.get("metric", "euclidean"),
         max_distance=payload.get("max_distance"),
         description=payload.get("description", ""),
@@ -141,13 +159,7 @@ def workers_to_dict(workers: list[Worker]) -> dict[str, Any]:
     """Convert a worker list into a JSON-serialisable dictionary."""
     return {
         "format_version": FORMAT_VERSION,
-        "workers": [
-            {
-                "worker_id": worker.worker_id,
-                "locations": [[loc.x, loc.y] for loc in worker.locations],
-            }
-            for worker in workers
-        ],
+        "workers": [worker_to_entry(worker) for worker in workers],
     }
 
 
@@ -156,10 +168,20 @@ def workers_from_dict(payload: dict[str, Any]) -> list[Worker]:
     version = payload.get("format_version")
     if version != FORMAT_VERSION:
         raise ValueError(f"unsupported worker format version: {version!r}")
-    return [
-        Worker(
-            worker_id=entry["worker_id"],
-            locations=tuple(GeoPoint(float(x), float(y)) for x, y in entry["locations"]),
-        )
-        for entry in payload["workers"]
-    ]
+    return [worker_from_entry(entry) for entry in payload["workers"]]
+
+
+def tasks_to_dict(tasks: list[Task]) -> dict[str, Any]:
+    """Convert a bare task list (no dataset envelope) into a JSON dictionary."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "tasks": [task_to_entry(task) for task in tasks],
+    }
+
+
+def tasks_from_dict(payload: dict[str, Any]) -> list[Task]:
+    """Rebuild a task list from :func:`tasks_to_dict` output."""
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported task format version: {version!r}")
+    return [task_from_entry(entry) for entry in payload["tasks"]]

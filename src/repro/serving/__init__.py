@@ -20,9 +20,62 @@ updater of :mod:`repro.core`:
 * :mod:`repro.serving.frontend`  — serves an AccOpt / uncertainty /
   spatial-first assignment to each arriving worker against the latest
   published snapshot, recording per-request latency;
-* :mod:`repro.serving.service`   — wires the three together over a
+* :mod:`repro.serving.journal`   — the segmented, checksummed write-ahead
+  :class:`~repro.serving.journal.AnswerJournal` plus the
+  :func:`~repro.serving.journal.recover_ingestor` crash-recovery entry point;
+* :mod:`repro.serving.guard`     — the event-validation / quarantine gate that
+  keeps malformed, duplicate or rate-anomalous submissions out of the EM
+  kernel;
+* :mod:`repro.serving.faults`    — the deterministic fault-injection harness
+  (seeded crash points, refresh exceptions, torn journal tails, corrupt
+  checkpoint files) driving the chaos test suite;
+* :mod:`repro.serving.service`   — wires everything together over a
   :class:`~repro.crowd.platform.CrowdPlatform` workload and exposes a
   run-to-completion simulation (the ``repro-poi serve-sim`` CLI subcommand).
+
+**Durability and crash recovery.**  By default the serving stack is purely
+in-memory; giving the service a *state directory* turns on the
+journal → checkpoint → replay → degraded-mode lifecycle:
+
+1. **Journal (write-ahead).**  Every accepted answer event is appended to the
+   segmented, CRC-checksummed :class:`~repro.serving.journal.AnswerJournal`
+   *before* it is buffered or applied, so a crash at any point loses at most
+   the single record that was mid-write (a *torn tail*, detected and dropped
+   on recovery).  Segments rotate at a bounded record count.
+2. **Checkpoint.**  Every ``IngestConfig.checkpoint_interval`` applied
+   answers, the ingestor persists a
+   :class:`~repro.serving.snapshots.CheckpointManager` checkpoint: the latest
+   published parameter store, the reconstructed answer log, the entity
+   metadata of every registered worker/task, and the update counters —
+   everything needed to rebuild the live
+   :class:`~repro.core.incremental.IncrementalUpdater` state.  Journal
+   segments wholly covered by the checkpoint are truncated.
+3. **Replay (recovery).**  :func:`~repro.serving.journal.recover_ingestor`
+   loads the newest *valid* checkpoint (corrupt ones are skipped with a
+   diagnostic, falling back to older checkpoints or a cold start), rebuilds
+   the inference model and the live tensor/store, then replays the journal
+   tail through the exact same micro-batching code path — so the recovered
+   live store matches the uncrashed run to ≤1e-9, including batch boundaries.
+   ``repro-poi serve-sim --state-dir DIR --resume`` drives this end to end.
+4. **Degraded mode.**  Model refreshes and snapshot publishes run under a
+   supervisor with bounded retries and exponential backoff; when an update
+   keeps failing, the batch is dropped, the
+   :class:`~repro.serving.snapshots.SnapshotStore` is marked *degraded* and
+   the frontend keeps serving the last good snapshot — requests served in
+   that state are counted in ``FrontendStats.stale_serves`` instead of
+   raising mid-stream.  Invalid events never get this far: the
+   :class:`~repro.serving.guard.EventGuard` quarantines them with per-reason
+   counters before they touch the journal or the EM kernel.
+
+**Typed failure surface.**  Everything that can go wrong with persisted or
+live serving state raises a :class:`ServingStateError` subclass with an
+actionable message: :class:`JournalCorruptionError` (a checksummed journal
+record failed validation away from the tail), :class:`CheckpointCorruptionError`
+(a checkpoint failed its CRC or shape validation),
+:class:`SnapshotIntegrityError` (a persisted snapshot or a delta chain failed
+row-count/shape validation), and :class:`LiveStateError` (the in-memory
+tensor/store lifecycle was violated, e.g. an externally fitted model with no
+answer log to rebuild from).
 
 **Open-world serving.**  The stack does not assume the worker/task universe is
 known at startup — new entities flow through every layer as they arrive:
@@ -59,25 +112,102 @@ Typical usage::
     service = OnlineServingService(platform, config=ServingConfig())
     report = service.run()
     print(report.summary())
+
+Durable usage (restart-safe)::
+
+    config = ServingConfig(state_dir="serving-state")
+    OnlineServingService(platform, config=config).run()      # crashes at t
+    config = ServingConfig(state_dir="serving-state", resume=True)
+    OnlineServingService(platform, config=config).run()      # resumes from t
 """
+
+
+class ServingStateError(RuntimeError):
+    """Base class for every durable/live serving-state failure.
+
+    Raised (via its subclasses) instead of bare ``RuntimeError`` / ``ValueError``
+    deep inside the serving stack, so callers can catch one type and every
+    message names both what broke and what to do about it.
+    """
+
+
+class JournalCorruptionError(ServingStateError):
+    """A write-ahead journal record failed its checksum away from the tail.
+
+    A *torn tail* (the final record of the final segment cut short by a
+    crash) is expected and silently dropped; corruption anywhere else means
+    the journal cannot be trusted and replay refuses to continue past it.
+    """
+
+
+class CheckpointCorruptionError(ServingStateError):
+    """A persisted checkpoint failed its CRC or its shape validation.
+
+    Recovery skips corrupt checkpoints and falls back to the next older one
+    (or a cold start + full journal replay); loading one directly raises.
+    """
+
+
+class SnapshotIntegrityError(ServingStateError):
+    """A persisted snapshot or a delta chain failed integrity validation.
+
+    Raised when a ``.npz`` snapshot cannot be read back consistently, or when
+    materialising a delta chain meets rows/shapes that do not match the base
+    store they claim to patch.
+    """
+
+
+class LiveStateError(ServingStateError):
+    """The in-memory serving state lifecycle was violated.
+
+    For example: the incremental updater is asked to rebuild its live tensor
+    but the inference model was fitted outside the updater and no answer log
+    (nor primed snapshot carryover) exists to rebuild from.
+    """
+
 
 from repro.serving.frontend import AssignmentFrontend, AssignmentResponse, FrontendStats
 from repro.serving.ingest import AnswerEvent, AnswerIngestor, IngestConfig, IngestStats
-from repro.serving.snapshots import ParameterSnapshot, SnapshotStore, load_snapshot
+from repro.serving.snapshots import (
+    CheckpointManager,
+    CheckpointState,
+    ParameterSnapshot,
+    SnapshotStore,
+    load_snapshot,
+)
+from repro.serving.journal import AnswerJournal, RecoveryReport, recover_ingestor
+from repro.serving.guard import EventGuard, GuardConfig, GuardStats, QuarantinedEvent
+from repro.serving.faults import FaultInjector, InjectedFault, SimulatedCrash
 from repro.serving.service import OnlineServingService, ServingConfig, ServingReport
 
 __all__ = [
     "AnswerEvent",
     "AnswerIngestor",
+    "AnswerJournal",
     "AssignmentFrontend",
     "AssignmentResponse",
+    "CheckpointCorruptionError",
+    "CheckpointManager",
+    "CheckpointState",
+    "EventGuard",
+    "FaultInjector",
     "FrontendStats",
+    "GuardConfig",
+    "GuardStats",
     "IngestConfig",
     "IngestStats",
+    "InjectedFault",
+    "JournalCorruptionError",
+    "LiveStateError",
     "OnlineServingService",
     "ParameterSnapshot",
+    "QuarantinedEvent",
+    "RecoveryReport",
     "ServingConfig",
     "ServingReport",
+    "ServingStateError",
+    "SimulatedCrash",
+    "SnapshotIntegrityError",
     "SnapshotStore",
     "load_snapshot",
 ]

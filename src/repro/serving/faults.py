@@ -1,0 +1,145 @@
+"""Deterministic fault injection for the serving stack's chaos tests.
+
+Crash safety cannot be tested by waiting for real crashes.  This module gives
+the serving layers named *check points* (``"ingest.submit"``,
+``"journal.append"``, ``"refresh"``, ``"apply"``, ``"publish"``,
+``"checkpoint.save"``) that are no-ops in production and raise on demand in
+tests: a :class:`FaultInjector` armed at a point counts invocations and, at a
+chosen hit, raises either
+
+* :class:`InjectedFault` — an ordinary exception standing in for a transient
+  failure (a refresh that throws, a publish that fails); the ingestion
+  supervisor is expected to catch it, retry with backoff, and degrade
+  gracefully when retries are exhausted; or
+* :class:`SimulatedCrash` — simulated process death.  **Nothing in the
+  serving stack may catch this**: it must propagate out of the service so the
+  chaos tests can assert that whatever hit the disk before the crash is
+  enough to recover from.
+
+Both are deterministic: the same arming schedule against the same seeded
+stream fails at exactly the same event, so every chaos scenario is
+replayable.  The module also provides the on-disk corrupters used to simulate
+the failure modes a raised exception cannot: :func:`tear_journal_tail` (a
+crash mid-``write`` leaves a half-record at the end of a segment) and
+:func:`corrupt_file` (bit rot / partial writes inside a checkpoint or
+snapshot file).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+class InjectedFault(RuntimeError):
+    """A transient failure injected at a named check point.
+
+    The supervisor in :class:`~repro.serving.ingest.AnswerIngestor` treats it
+    like any other exception from the wrapped operation: retry with backoff,
+    then degrade.
+    """
+
+
+class SimulatedCrash(BaseException):
+    """Simulated process death injected at a named check point.
+
+    Derives from :class:`BaseException` precisely so that supervisors catching
+    ``Exception`` let it through — exactly like a real ``kill -9`` would not
+    be catchable.  Only the chaos test harness may catch it.
+    """
+
+
+@dataclass
+class _Arming:
+    """One armed failure: fire ``times`` times starting at hit ``after``."""
+
+    after: int
+    times: int
+    crash: bool
+    fired: int = 0
+
+
+@dataclass
+class FaultInjector:
+    """Counts named check-point hits and raises at armed ones.
+
+    ``arm(point, after=n)`` schedules a failure on the *n*-th hit of
+    ``point`` (1-based) — ``times`` consecutive hits fail from there, then
+    the point goes quiet again.  ``crash=True`` raises
+    :class:`SimulatedCrash` instead of :class:`InjectedFault`.
+
+    A disarmed injector is safe to leave wired in: :meth:`check` on a point
+    with no arming only bumps a counter.
+    """
+
+    hits: dict[str, int] = field(default_factory=dict)
+    raised: dict[str, int] = field(default_factory=dict)
+    _armed: dict[str, list[_Arming]] = field(default_factory=dict)
+
+    def arm(
+        self, point: str, after: int = 1, times: int = 1, crash: bool = False
+    ) -> None:
+        """Schedule a failure at ``point``: fail ``times`` hits from hit ``after``."""
+        if after <= 0:
+            raise ValueError(f"after must be positive (1-based hit index), got {after}")
+        if times <= 0:
+            raise ValueError(f"times must be positive, got {times}")
+        self._armed.setdefault(point, []).append(
+            _Arming(after=after, times=times, crash=crash)
+        )
+
+    def disarm(self, point: str | None = None) -> None:
+        """Clear armed failures for ``point`` (or every point when ``None``)."""
+        if point is None:
+            self._armed.clear()
+        else:
+            self._armed.pop(point, None)
+
+    def check(self, point: str) -> None:
+        """Record a hit of ``point``; raise if an arming covers this hit."""
+        hit = self.hits.get(point, 0) + 1
+        self.hits[point] = hit
+        for arming in self._armed.get(point, ()):  # few armings per point
+            if arming.after <= hit < arming.after + arming.times:
+                arming.fired += 1
+                self.raised[point] = self.raised.get(point, 0) + 1
+                if arming.crash:
+                    raise SimulatedCrash(
+                        f"simulated crash at check point {point!r} (hit {hit})"
+                    )
+                raise InjectedFault(
+                    f"injected fault at check point {point!r} (hit {hit})"
+                )
+
+
+def tear_journal_tail(path: str | Path, drop_bytes: int = 7) -> int:
+    """Truncate the final ``drop_bytes`` bytes of a file: a torn-write tail.
+
+    Emulates a crash in the middle of an ``append``: the last record is left
+    incomplete.  Returns the number of bytes actually removed (the file may
+    be shorter than ``drop_bytes``).
+    """
+    path = Path(path)
+    size = path.stat().st_size
+    removed = min(max(drop_bytes, 0), size)
+    with open(path, "r+b") as handle:
+        handle.truncate(size - removed)
+    return removed
+
+
+def corrupt_file(path: str | Path, offset: int | None = None, flips: int = 1) -> None:
+    """Flip ``flips`` consecutive bytes of a file in place (bit rot).
+
+    ``offset`` defaults to the middle of the file so the damage lands away
+    from both the header and the (torn-tail-tolerant) end.
+    """
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if not data:
+        return
+    if offset is None:
+        offset = len(data) // 2
+    offset = min(max(offset, 0), len(data) - 1)
+    for index in range(offset, min(offset + flips, len(data))):
+        data[index] ^= 0xFF
+    path.write_bytes(bytes(data))

@@ -123,6 +123,11 @@ class FrontendStats:
     tasks_assigned: int = 0
     empty_responses: int = 0
     parameter_refreshes: int = 0
+    #: Requests served while the snapshot store was marked degraded — the
+    #: update path was failing and the response came off the last good
+    #: snapshot instead of a fresh estimate.  Nonzero means the frontend kept
+    #: answering through a fault storm; it never raises for staleness.
+    stale_serves: int = 0
     latencies: LatencyReservoir = field(default_factory=LatencyReservoir)
 
     @property
@@ -201,10 +206,15 @@ class AssignmentFrontend:
 
         Before any snapshot exists the assigner runs on its optimistic priors
         (the paper's footnote-3 cold start); afterwards it always reflects the
-        latest published version.
+        latest published version.  While the snapshot store is degraded (the
+        update path is failing) the frontend keeps serving off the last good
+        snapshot and counts the request as a stale serve — degraded mode
+        trades freshness for availability, never raising at the read side.
         """
         started = time.perf_counter()
         snapshot = self._snapshots.latest()
+        if self._snapshots.degraded:
+            self._stats.stale_serves += 1
         version = NO_SNAPSHOT
         if snapshot is not None:
             version = snapshot.version

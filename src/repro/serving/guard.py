@@ -1,0 +1,299 @@
+"""Event validation and quarantine: crowd input is untrusted by construction.
+
+Everything the EM kernel consumes arrives over the open submission surface,
+and one malformed event deep inside a micro-batch used to surface as a bare
+``KeyError``/``ValueError`` mid-flush — killing the whole serving loop for
+one bad submission.  :class:`EventGuard` moves that validation to the intake
+boundary: :meth:`EventGuard.admit` inspects every
+:class:`~repro.serving.ingest.AnswerEvent` *before* it touches the journal or
+the buffer and either accepts it or files it into a bounded in-memory
+quarantine log (optionally mirrored to a JSONL sink) under a per-reason
+counter, without raising.
+
+Rejection reasons (the keys of :attr:`GuardStats.reasons`):
+
+``coordinates``
+    A first-sight worker/task payload carries a non-finite coordinate or one
+    outside :attr:`GuardConfig.coordinate_bounds`.
+``unknown-worker`` / ``unknown-task``
+    The answer references an entity the model does not know and the event
+    carries no payload to register it — the exact condition that previously
+    raised ``KeyError`` inside the flush.
+``payload-mismatch``
+    The event's payload id contradicts the answer's worker/task id.
+``label-arity``
+    The answer's response vector length does not match the task's label count.
+``duplicate``
+    The identical ``(worker, task, responses)`` submission was already
+    accepted — replays add no information and skew rate accounting.
+``reanswer``
+    A changed re-answer for an already-answered pair while
+    :attr:`GuardConfig.allow_reanswers` is off.
+``rate-limit``
+    The worker exceeded :attr:`GuardConfig.max_answers_per_window` accepted
+    answers inside the trailing :attr:`GuardConfig.rate_window` simulated
+    seconds (0 disables the check).
+
+:meth:`EventGuard.observe` records an event into the duplicate/rate history
+*without* validating — used when replaying journal events that were already
+admitted before a crash, so recovery never re-litigates (and never drops)
+history the crashed run accepted.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.data.models import AnswerSet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.inference import LocationAwareInference
+    from repro.serving.ingest import AnswerEvent
+
+
+@dataclass
+class GuardConfig:
+    """Validation policy of one :class:`EventGuard`."""
+
+    #: ``(min_x, min_y, max_x, max_y)`` accepted for payload coordinates;
+    #: ``None`` only checks finiteness.
+    coordinate_bounds: tuple[float, float, float, float] | None = None
+    #: Whether a changed re-answer of an answered pair is accepted (identical
+    #: resubmissions are always quarantined as duplicates).
+    allow_reanswers: bool = True
+    #: Accepted answers allowed per worker inside ``rate_window``; 0 disables.
+    max_answers_per_window: int = 0
+    #: Trailing window (simulated seconds) for the rate check.
+    rate_window: float = 60.0
+    #: Quarantined events retained in memory, newest last.
+    quarantine_capacity: int = 256
+    #: Optional JSONL file every quarantined event is appended to.
+    quarantine_sink: str | Path | None = None
+
+    def __post_init__(self) -> None:
+        if self.coordinate_bounds is not None:
+            min_x, min_y, max_x, max_y = self.coordinate_bounds
+            if not (min_x < max_x and min_y < max_y):
+                raise ValueError(
+                    f"coordinate_bounds must be (min_x, min_y, max_x, max_y) "
+                    f"with positive extent, got {self.coordinate_bounds}"
+                )
+        if self.max_answers_per_window < 0:
+            raise ValueError(
+                f"max_answers_per_window must be non-negative, "
+                f"got {self.max_answers_per_window}"
+            )
+        if self.rate_window <= 0:
+            raise ValueError(f"rate_window must be positive, got {self.rate_window}")
+        if self.quarantine_capacity <= 0:
+            raise ValueError(
+                f"quarantine_capacity must be positive, got {self.quarantine_capacity}"
+            )
+
+
+@dataclass(frozen=True)
+class QuarantinedEvent:
+    """One rejected submission with its reason and diagnostic detail."""
+
+    event: "AnswerEvent"
+    reason: str
+    detail: str
+
+
+@dataclass
+class GuardStats:
+    """Counters of one :class:`EventGuard`."""
+
+    inspected: int = 0
+    accepted: int = 0
+    quarantined: int = 0
+    reasons: dict[str, int] = field(default_factory=dict)
+
+
+class EventGuard:
+    """Admits or quarantines answer events at the ingestion boundary."""
+
+    def __init__(self, config: GuardConfig | None = None) -> None:
+        self._config = config or GuardConfig()
+        self._stats = GuardStats()
+        self._quarantine: deque[QuarantinedEvent] = deque(
+            maxlen=self._config.quarantine_capacity
+        )
+        # Accepted history: responses per answered pair (duplicate detection)
+        # and accept times per worker (rate anomaly detection).
+        self._seen_responses: dict[tuple[str, str], tuple[int, ...]] = {}
+        self._accept_times: dict[str, deque[float]] = {}
+
+    # ------------------------------------------------------------------ state
+    @property
+    def config(self) -> GuardConfig:
+        return self._config
+
+    @property
+    def stats(self) -> GuardStats:
+        return self._stats
+
+    @property
+    def quarantine(self) -> list[QuarantinedEvent]:
+        """The retained quarantined events, oldest first (bounded)."""
+        return list(self._quarantine)
+
+    # ----------------------------------------------------------------- intake
+    def admit(
+        self, event: "AnswerEvent", inference: "LocationAwareInference"
+    ) -> str | None:
+        """Validate ``event``; return ``None`` to accept or the rejection reason.
+
+        A rejected event is recorded in the quarantine log and the per-reason
+        counters — never raised.  Accepted events enter the duplicate/rate
+        history.
+        """
+        self._stats.inspected += 1
+        verdict = self._inspect(event, inference)
+        if verdict is not None:
+            reason, detail = verdict
+            self._quarantine_event(event, reason, detail)
+            return reason
+        self._stats.accepted += 1
+        self.observe(event)
+        return None
+
+    def observe(self, event: "AnswerEvent") -> None:
+        """Record an already-admitted event into the history (no validation).
+
+        The crash-recovery replay path: journal records were validated before
+        the crash, so replay must update the duplicate/rate history without
+        being able to reject them.
+        """
+        answer = event.answer
+        self._seen_responses[(answer.worker_id, answer.task_id)] = answer.responses
+        if self._config.max_answers_per_window > 0:
+            self._accept_times.setdefault(answer.worker_id, deque()).append(event.time)
+
+    def seed_history(self, answers: AnswerSet | list) -> None:
+        """Seed the duplicate history from a restored answer log."""
+        for answer in answers:
+            self._seen_responses[(answer.worker_id, answer.task_id)] = answer.responses
+
+    # --------------------------------------------------------------- internal
+    def _inspect(
+        self, event: "AnswerEvent", inference: "LocationAwareInference"
+    ) -> tuple[str, str] | None:
+        answer = event.answer
+        config = self._config
+
+        coords = self._payload_coordinate_issue(event)
+        if coords is not None:
+            return "coordinates", coords
+
+        if event.task is not None and event.task.task_id != answer.task_id:
+            return (
+                "payload-mismatch",
+                f"task payload {event.task.task_id!r} vs answer task "
+                f"{answer.task_id!r}",
+            )
+        if event.worker is not None and event.worker.worker_id != answer.worker_id:
+            return (
+                "payload-mismatch",
+                f"worker payload {event.worker.worker_id!r} vs answer worker "
+                f"{answer.worker_id!r}",
+            )
+
+        task = inference._tasks.get(answer.task_id)
+        if task is None:
+            if event.task is None:
+                return (
+                    "unknown-task",
+                    f"task {answer.task_id!r} is unknown and the event carries "
+                    "no payload",
+                )
+            task = event.task
+        if answer.worker_id not in inference._workers and event.worker is None:
+            return (
+                "unknown-worker",
+                f"worker {answer.worker_id!r} is unknown and the event carries "
+                "no payload",
+            )
+
+        if answer.num_labels != task.num_labels:
+            return (
+                "label-arity",
+                f"{answer.num_labels} responses for task {answer.task_id!r} "
+                f"with {task.num_labels} labels",
+            )
+
+        previous = self._seen_responses.get((answer.worker_id, answer.task_id))
+        if previous is not None:
+            if previous == answer.responses:
+                return (
+                    "duplicate",
+                    f"identical resubmission of ({answer.worker_id!r}, "
+                    f"{answer.task_id!r})",
+                )
+            if not config.allow_reanswers:
+                return (
+                    "reanswer",
+                    f"changed re-answer of ({answer.worker_id!r}, "
+                    f"{answer.task_id!r}) with re-answers disabled",
+                )
+
+        if config.max_answers_per_window > 0:
+            times = self._accept_times.get(answer.worker_id)
+            if times is not None:
+                while times and event.time - times[0] > config.rate_window:
+                    times.popleft()
+                if len(times) >= config.max_answers_per_window:
+                    return (
+                        "rate-limit",
+                        f"worker {answer.worker_id!r} exceeded "
+                        f"{config.max_answers_per_window} answers per "
+                        f"{config.rate_window:g} s",
+                    )
+        return None
+
+    def _payload_coordinate_issue(self, event: "AnswerEvent") -> str | None:
+        bounds = self._config.coordinate_bounds
+        points = []
+        if event.worker is not None:
+            points.extend(
+                (f"worker {event.worker.worker_id!r}", loc)
+                for loc in event.worker.locations
+            )
+        if event.task is not None:
+            points.append((f"task {event.task.task_id!r}", event.task.location))
+        for origin, point in points:
+            x, y = float(point.x), float(point.y)
+            if not (math.isfinite(x) and math.isfinite(y)):
+                return f"{origin} has a non-finite coordinate ({x}, {y})"
+            if bounds is not None:
+                min_x, min_y, max_x, max_y = bounds
+                if not (min_x <= x <= max_x and min_y <= y <= max_y):
+                    return (
+                        f"{origin} coordinate ({x:g}, {y:g}) lies outside "
+                        f"bounds {bounds}"
+                    )
+        return None
+
+    def _quarantine_event(self, event: "AnswerEvent", reason: str, detail: str) -> None:
+        self._stats.quarantined += 1
+        self._stats.reasons[reason] = self._stats.reasons.get(reason, 0) + 1
+        entry = QuarantinedEvent(event=event, reason=reason, detail=detail)
+        self._quarantine.append(entry)
+        sink = self._config.quarantine_sink
+        if sink is not None:
+            answer = event.answer
+            record = {
+                "reason": reason,
+                "detail": detail,
+                "time": event.time,
+                "worker_id": answer.worker_id,
+                "task_id": answer.task_id,
+                "responses": list(answer.responses),
+            }
+            with open(Path(sink), "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(record, separators=(",", ":")) + "\n")

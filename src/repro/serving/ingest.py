@@ -39,17 +39,37 @@ metadata (:attr:`AnswerEvent.worker` / :attr:`AnswerEvent.task`).  First-sight
 entities are registered into the inference model before the batch is applied,
 admitted into the live tensor/store with the paper's footnote-3 trusted
 priors, and show up in every snapshot published from then on.
+
+The ingestor is also the durability seam (see :mod:`repro.serving` for the
+full lifecycle): an optional :class:`~repro.serving.guard.EventGuard`
+quarantines malformed events before they can poison a batch, an optional
+:class:`~repro.serving.journal.AnswerJournal` makes every accepted event
+durable *before* it is buffered (write-ahead), model updates and snapshot
+publishes run under a bounded-retry supervisor that degrades the snapshot
+store instead of raising, and an optional
+:class:`~repro.serving.snapshots.CheckpointManager` persists the live state
+every :attr:`IngestConfig.checkpoint_interval` applied answers so recovery
+only replays the journal tail.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.incremental import IncrementalUpdater
 from repro.core.inference import LocationAwareInference
 from repro.data.models import Answer, AnswerSet, Task, Worker
-from repro.serving.snapshots import ParameterSnapshot, SnapshotStore
+from repro.serving.faults import FaultInjector
+from repro.serving.guard import EventGuard
+from repro.serving.journal import AnswerJournal
+from repro.serving.snapshots import (
+    CheckpointManager,
+    CheckpointState,
+    ParameterSnapshot,
+    SnapshotStore,
+)
 
 
 @dataclass(frozen=True)
@@ -97,6 +117,19 @@ class IngestConfig:
     local_iterations: int = 2
     retain_answer_log: bool = False
     local_convergence_threshold: float | None = None
+    #: Write a checkpoint every this many applied answers (0 disables; only
+    #: effective when the ingestor was built with a ``checkpoints`` manager).
+    checkpoint_interval: int = 0
+    #: Retries granted to a failing model update / snapshot publish before the
+    #: batch is dropped and the store is marked degraded.
+    max_update_retries: int = 2
+    #: Initial sleep before the first retry (real seconds; kept tiny so the
+    #: simulated-time serving loop never stalls noticeably).
+    retry_backoff: float = 0.001
+    #: Multiplier applied to the backoff after every failed retry.
+    retry_backoff_factor: float = 2.0
+    #: Ceiling on a single retry sleep (real seconds).
+    max_retry_backoff: float = 0.05
 
     def __post_init__(self) -> None:
         if self.max_batch_answers <= 0:
@@ -123,6 +156,26 @@ class IngestConfig:
                 f"local_convergence_threshold must be non-negative, "
                 f"got {self.local_convergence_threshold}"
             )
+        if self.checkpoint_interval < 0:
+            raise ValueError(
+                f"checkpoint_interval must be non-negative, "
+                f"got {self.checkpoint_interval}"
+            )
+        if self.max_update_retries < 0:
+            raise ValueError(
+                f"max_update_retries must be non-negative, "
+                f"got {self.max_update_retries}"
+            )
+        if self.retry_backoff < 0:
+            raise ValueError(f"retry_backoff must be non-negative, got {self.retry_backoff}")
+        if self.retry_backoff_factor < 1.0:
+            raise ValueError(
+                f"retry_backoff_factor must be >= 1, got {self.retry_backoff_factor}"
+            )
+        if self.max_retry_backoff < 0:
+            raise ValueError(
+                f"max_retry_backoff must be non-negative, got {self.max_retry_backoff}"
+            )
 
 
 @dataclass
@@ -141,6 +194,27 @@ class IngestStats:
     #: live-tensor path — the log-free acceptance counter).
     log_flattens: int = 0
     update_seconds: float = 0.0
+    #: Events the guard rejected at the intake boundary (never journaled).
+    events_quarantined: int = 0
+    #: Events made durable in the write-ahead journal.
+    journal_appends: int = 0
+    #: Events dropped because the journal append itself failed (an event that
+    #: cannot be made durable is never applied).
+    journal_append_failures: int = 0
+    checkpoints_written: int = 0
+    #: Checkpoint attempts that failed; never fatal — the previous checkpoint
+    #: and the (untruncated) journal still cover the state.
+    checkpoint_failures: int = 0
+    #: Individual model-update attempt failures seen by the supervisor.
+    update_failures: int = 0
+    #: Retries the supervisor granted after an update failure.
+    update_retries: int = 0
+    #: Micro-batches durably dropped after retry exhaustion (degraded mode).
+    dropped_batches: int = 0
+    #: Answers inside those dropped batches.
+    answers_dropped: int = 0
+    #: Snapshot publishes abandoned after retry exhaustion (degraded mode).
+    publish_failures: int = 0
 
     @property
     def answers_per_second(self) -> float:
@@ -168,6 +242,22 @@ class AnswerIngestor:
         **log-free**: it owns an empty answer set that stays empty unless
         :attr:`IngestConfig.retain_answer_log` is set (or the reference
         engine, which cannot run without the log, is configured).
+    journal:
+        Optional write-ahead :class:`~repro.serving.journal.AnswerJournal`;
+        accepted events are appended (and flushed) *before* they are buffered,
+        so a crash can never lose an acknowledged submission.
+    guard:
+        Optional :class:`~repro.serving.guard.EventGuard` consulted before
+        journaling; rejected events are quarantined, counted, and dropped
+        without raising.
+    faults:
+        Optional :class:`~repro.serving.faults.FaultInjector` for chaos
+        testing; production paths pass ``None`` and pay one ``is None`` check.
+    checkpoints:
+        Optional :class:`~repro.serving.snapshots.CheckpointManager`; with
+        :attr:`IngestConfig.checkpoint_interval` > 0 the live state is
+        persisted after qualifying publishes and the journal is truncated up
+        to the covered sequence number.
     """
 
     def __init__(
@@ -176,10 +266,26 @@ class AnswerIngestor:
         snapshots: SnapshotStore,
         config: IngestConfig | None = None,
         answers: AnswerSet | None = None,
+        journal: AnswerJournal | None = None,
+        guard: EventGuard | None = None,
+        faults: FaultInjector | None = None,
+        checkpoints: CheckpointManager | None = None,
     ) -> None:
         self._inference = inference
         self._snapshots = snapshots
         self._config = config or IngestConfig()
+        self._journal = journal
+        self._guard = guard
+        self._faults = faults
+        self._checkpoints = checkpoints
+        #: Journal seq of the newest event handed to :meth:`flush` (pending)
+        #: and of the newest event whose batch has been flushed (applied).
+        #: ``applied`` advances even for dropped batches — dropped means
+        #: *durably* dropped, so recovery must not replay those events into a
+        #: state the crashed run never reached.
+        self._pending_seq = 0
+        self._applied_seq = 0
+        self._answers_at_checkpoint = 0
         self._retain = (
             self._config.retain_answer_log
             or answers is not None
@@ -230,13 +336,71 @@ class AnswerIngestor:
         """Events buffered but not yet applied."""
         return len(self._buffer)
 
+    @property
+    def journal(self) -> AnswerJournal | None:
+        return self._journal
+
+    @property
+    def guard(self) -> EventGuard | None:
+        return self._guard
+
+    @property
+    def checkpoints(self) -> CheckpointManager | None:
+        return self._checkpoints
+
+    @property
+    def applied_seq(self) -> int:
+        """Journal seq of the newest event whose micro-batch has been flushed."""
+        return self._applied_seq
+
     # ------------------------------------------------------------------ intake
     def submit(self, event: AnswerEvent) -> ParameterSnapshot | None:
-        """Buffer one answer event; flush if a batch boundary is crossed.
+        """Admit, journal, and buffer one answer event; flush on a boundary.
+
+        The durable intake order is guard → journal → buffer: an event the
+        guard rejects is quarantined (counted, never raised) before it can
+        reach the journal, and an accepted event is made durable *before* it
+        can influence any in-memory state — write-ahead, so a crash can never
+        lose an acknowledged submission.  An event whose journal append fails
+        is dropped (counted) rather than applied: applying it would make the
+        in-memory state unrecoverable from disk.
 
         Returns the snapshot published by the flush, or ``None`` while the
-        batch is still open.
+        batch is still open (or the event was quarantined/dropped).
         """
+        if self._faults is not None:
+            self._faults.check("ingest.submit")
+        if self._guard is not None:
+            if self._guard.admit(event, self._inference) is not None:
+                self._stats.events_quarantined += 1
+                return None
+        if self._journal is not None:
+            try:
+                if self._faults is not None:
+                    self._faults.check("journal.append")
+                seq = self._journal.append(event)
+            except Exception:
+                self._stats.journal_append_failures += 1
+                return None
+            self._stats.journal_appends += 1
+            self._pending_seq = seq
+        return self._buffer_event(event)
+
+    def replay_event(self, seq: int, event: AnswerEvent) -> ParameterSnapshot | None:
+        """Re-ingest one journaled event during crash recovery.
+
+        The event was admitted and journaled before the crash, so replay skips
+        the guard's validation (only updating its duplicate/rate history) and
+        must not re-journal.  Buffering and flushing run through the ordinary
+        micro-batch path, so batch boundaries — and therefore the recovered
+        estimate — reproduce the crashed run exactly.
+        """
+        if self._guard is not None:
+            self._guard.observe(event)
+        self._pending_seq = seq
+        return self._buffer_event(event)
+
+    def _buffer_event(self, event: AnswerEvent) -> ParameterSnapshot | None:
         if self._buffer_opened_at is None:
             self._buffer_opened_at = event.time
         self._buffer.append(event)
@@ -297,20 +461,56 @@ class AnswerIngestor:
             full or not self._inference.is_fitted or self._updater.full_refresh_due
         )
         if run_full:
-            self._updater.full_refresh(new_answers, answers=log, warm=warm)
-            self._stats.full_refreshes += 1
             source = "full_refresh"
+            applied = self._supervised(
+                "refresh",
+                lambda: self._updater.full_refresh(new_answers, answers=log, warm=warm),
+            )
         else:
-            self._updater.apply(log, new_answers)
-            self._stats.incremental_updates += 1
             source = "incremental"
+            applied = self._supervised(
+                "apply", lambda: self._updater.apply(log, new_answers)
+            )
         self._stats.update_seconds += time.perf_counter() - started
-        self._stats.answers += len(new_answers)
+        # Either way these events' fate is settled: a batch dropped after
+        # retry exhaustion is *durably* dropped, so recovery must not replay
+        # it into a state the live run never reached.
+        self._applied_seq = self._pending_seq
         self._stats.log_flattens = self._updater.tensor_rebuilds
+        if not applied:
+            self._stats.dropped_batches += 1
+            self._stats.answers_dropped += len(new_answers)
+            self._snapshots.mark_degraded(
+                f"{source} update failed after "
+                f"{self._config.max_update_retries} retries; serving the last "
+                "good snapshot"
+            )
+            return None
+        if run_full:
+            self._stats.full_refreshes += 1
+        else:
+            self._stats.incremental_updates += 1
+        self._stats.answers += len(new_answers)
         if new_answers:
             self._stats.batches += 1
 
-        return self._publish(published_at=now, source=source)
+        snapshot: ParameterSnapshot | None = None
+
+        def publish() -> None:
+            nonlocal snapshot
+            snapshot = self._publish(published_at=now, source=source)
+
+        if not self._supervised("publish", publish):
+            self._stats.publish_failures += 1
+            self._snapshots.mark_degraded(
+                f"snapshot publish failed after "
+                f"{self._config.max_update_retries} retries; serving the last "
+                "good snapshot"
+            )
+            return None
+        self._snapshots.clear_degraded()
+        self._maybe_checkpoint(snapshot)
+        return snapshot
 
     # ---------------------------------------------------------------- internal
     def _register_event_entities(self, event: AnswerEvent) -> None:
@@ -383,3 +583,127 @@ class AnswerIngestor:
             )
         self._stats.snapshots_published += 1
         return snapshot
+
+    # -------------------------------------------------------------- durability
+    #: Stats carried through a checkpoint so a resumed session's counters
+    #: continue from the crashed run instead of restarting at zero.
+    _CHECKPOINTED_COUNTERS = (
+        "answers",
+        "batches",
+        "incremental_updates",
+        "full_refreshes",
+        "snapshots_published",
+        "delta_publishes",
+        "workers_registered",
+        "tasks_registered",
+        "events_quarantined",
+        "journal_appends",
+        "update_seconds",
+    )
+
+    def _supervised(self, point: str, operation: Callable[[], object]) -> bool:
+        """Run ``operation`` under bounded retry with exponential backoff.
+
+        Returns ``True`` on success, ``False`` after exhausting
+        :attr:`IngestConfig.max_update_retries` — the caller then drops the
+        work and marks the snapshot store degraded instead of raising into
+        the serving loop.  Only :class:`Exception` is absorbed;
+        :class:`~repro.serving.faults.SimulatedCrash` (a ``BaseException``)
+        tears through like a real ``kill -9``.
+        """
+        backoff = self._config.retry_backoff
+        for attempt in range(self._config.max_update_retries + 1):
+            try:
+                if self._faults is not None:
+                    self._faults.check(point)
+                operation()
+                return True
+            except Exception:
+                self._stats.update_failures += 1
+                if attempt >= self._config.max_update_retries:
+                    return False
+                self._stats.update_retries += 1
+                if backoff > 0:
+                    time.sleep(min(backoff, self._config.max_retry_backoff))
+                    backoff *= self._config.retry_backoff_factor
+        return False  # pragma: no cover - loop always returns
+
+    def _maybe_checkpoint(self, snapshot: ParameterSnapshot) -> None:
+        """Persist the live state if the checkpoint interval has elapsed.
+
+        Checkpoints are cut only here — right after a successful publish,
+        with the event buffer empty — so a checkpoint always sits on a
+        micro-batch boundary and journal replay from ``journal_seq`` rebuilds
+        the exact batch boundaries the crashed run would have produced.
+        Failures are counted, never raised: the previous checkpoint plus the
+        untruncated journal still cover the full state.
+        """
+        if self._checkpoints is None or self._config.checkpoint_interval <= 0:
+            return
+        if (
+            self._stats.answers - self._answers_at_checkpoint
+            < self._config.checkpoint_interval
+        ):
+            return
+        try:
+            if self._faults is not None:
+                self._faults.check("checkpoint.save")
+            self._write_checkpoint(snapshot)
+        except Exception:
+            self._stats.checkpoint_failures += 1
+
+    def _write_checkpoint(self, snapshot: ParameterSnapshot) -> None:
+        counters: dict[str, float] = {
+            name: getattr(self._stats, name) for name in self._CHECKPOINTED_COUNTERS
+        }
+        state = CheckpointState(
+            store=snapshot.store,
+            journal_seq=self._applied_seq,
+            snapshot_version=snapshot.version,
+            published_at=snapshot.published_at,
+            answers=self._updater.export_answers(),
+            workers=list(self._inference._workers.values()),
+            tasks=list(self._inference._tasks.values()),
+            answers_since_full_refresh=self._updater.answers_since_full_refresh,
+            counters=counters,
+        )
+        self._checkpoints.save(state)
+        self._stats.checkpoints_written += 1
+        self._answers_at_checkpoint = self._stats.answers
+        if self._journal is not None:
+            # Truncate only what the OLDEST retained checkpoint covers:
+            # recovery falls back across corrupt checkpoints newest-first, and
+            # every retained one must still find its journal tail on disk.
+            self._journal.truncate_covered(self._checkpoints.oldest_covered_seq())
+
+    def restore(self, state: CheckpointState) -> None:
+        """Adopt a checkpoint's live state (the crash-recovery entry point).
+
+        The caller (:func:`~repro.serving.journal.recover_ingestor`) has
+        already re-registered the checkpointed entities and warm-started the
+        inference model from the checkpointed store; this restores the
+        ingestor's side: the live answer tensor/store (bit-equal, via
+        :meth:`~repro.core.incremental.IncrementalUpdater.restore_live_state`),
+        the carried-over counters, the guard's duplicate history, and the
+        journal cursor.
+        """
+        self._updater.restore_live_state(
+            AnswerSet(state.answers), state.answers_since_full_refresh
+        )
+        if self._retain:
+            for answer in state.answers:
+                self._answers.add(answer)
+        for name in self._CHECKPOINTED_COUNTERS:
+            if name in state.counters:
+                value = state.counters[name]
+                setattr(
+                    self._stats,
+                    name,
+                    float(value) if name == "update_seconds" else int(value),
+                )
+        self._stats.log_flattens = self._updater.tensor_rebuilds
+        if self._guard is not None:
+            self._guard.seed_history(state.answers)
+        self._pending_seq = state.journal_seq
+        self._applied_seq = state.journal_seq
+        self._answers_at_checkpoint = self._stats.answers

@@ -33,9 +33,12 @@ from repro.core.inference import InferenceConfig, LocationAwareInference
 from repro.crowd.arrival import TimedArrivalSchedule
 from repro.crowd.platform import CrowdPlatform
 from repro.framework.metrics import labelling_accuracy
+from repro.serving.faults import FaultInjector
 from repro.serving.frontend import AssignmentFrontend, FrontendStats
+from repro.serving.guard import EventGuard, GuardConfig
 from repro.serving.ingest import AnswerEvent, AnswerIngestor, IngestConfig, IngestStats
-from repro.serving.snapshots import ParameterSnapshot, SnapshotStore
+from repro.serving.journal import AnswerJournal, RecoveryReport, recover_ingestor
+from repro.serving.snapshots import CheckpointManager, ParameterSnapshot, SnapshotStore
 from repro.utils.rng import default_rng, derive_seed
 
 
@@ -51,6 +54,13 @@ class ServingConfig:
     ``final_refresh_warm_start=False`` makes the shutdown re-fit a cold start,
     so the final snapshot is bit-identical to an offline fit on the full
     answer log (the open-world acceptance check).
+
+    ``state_dir`` turns on durability: every accepted answer event is
+    journaled before it is applied and (with
+    :attr:`IngestConfig.checkpoint_interval` > 0) the live state is
+    checkpointed periodically.  ``resume=True`` rebuilds a crashed session
+    from that directory — newest valid checkpoint plus journal-tail replay —
+    before serving continues.
     """
 
     strategy: str = "accopt"
@@ -66,6 +76,20 @@ class ServingConfig:
     holdback_task_fraction: float = 0.0
     tasks_released_per_round: int = 1
     seed: int | None = None
+    #: Directory for the write-ahead journal + checkpoints (None = in-memory
+    #: only, the pre-durability behaviour).
+    state_dir: str | Path | None = None
+    #: Recover from ``state_dir`` before serving (requires ``state_dir``).
+    resume: bool = False
+    #: fsync every journal append (safest, slowest; the default trusts the OS
+    #: page cache, which survives process crashes but not power loss).
+    journal_fsync: bool = False
+    #: Records per journal segment before rotating to a new file.
+    journal_segment_records: int = 1024
+    #: Event validation policy; None serves unguarded (trusted input).
+    guard: GuardConfig | None = None
+    #: Deterministic fault injector for chaos tests; None in production.
+    faults: FaultInjector | None = None
 
     def __post_init__(self) -> None:
         if self.tasks_per_worker <= 0:
@@ -85,6 +109,13 @@ class ServingConfig:
                 f"tasks_released_per_round must be positive, "
                 f"got {self.tasks_released_per_round}"
             )
+        if self.journal_segment_records <= 0:
+            raise ValueError(
+                f"journal_segment_records must be positive, "
+                f"got {self.journal_segment_records}"
+            )
+        if self.resume and self.state_dir is None:
+            raise ValueError("resume=True requires a state_dir to recover from")
 
 
 @dataclass
@@ -104,6 +135,12 @@ class ServingReport:
     workers_joined: int = 0
     tasks_joined: int = 0
     open_world_answers: int = 0
+    #: Whether the session ran with a durable journal (state_dir set).
+    durable: bool = False
+    #: Times the snapshot store entered degraded mode during the run.
+    degraded_marks: int = 0
+    #: What crash recovery found and rebuilt (None unless resumed).
+    recovery: RecoveryReport | None = None
 
     @property
     def ingest_answers_per_second(self) -> float:
@@ -141,6 +178,29 @@ class ServingReport:
             f"wall clock: {self.wall_seconds:.2f} s",
             f"final labelling accuracy: {self.final_accuracy:.3f}",
         ]
+        if self.recovery is not None:
+            lines.insert(0, self.recovery.summary())
+        if self.durable:
+            lines.append(
+                f"durability: {self.ingest.journal_appends} journal appends, "
+                f"{self.ingest.checkpoints_written} checkpoints "
+                f"({self.ingest.checkpoint_failures} failed)"
+            )
+        if (
+            self.ingest.events_quarantined
+            or self.ingest.dropped_batches
+            or self.ingest.publish_failures
+            or self.frontend.stale_serves
+            or self.degraded_marks
+        ):
+            lines.append(
+                f"faults absorbed: {self.ingest.events_quarantined} quarantined, "
+                f"{self.ingest.dropped_batches} batches dropped "
+                f"({self.ingest.answers_dropped} answers), "
+                f"{self.ingest.publish_failures} publish failures, "
+                f"{self.frontend.stale_serves} stale serves over "
+                f"{self.degraded_marks} degraded episodes"
+            )
         return "\n".join(lines)
 
 
@@ -186,12 +246,41 @@ class OnlineServingService:
         if initial_snapshot is not None:
             self._snapshots.adopt(initial_snapshot)
             self._inference.warm_start(initial_snapshot.store)
-        self._ingestor = AnswerIngestor(
-            self._inference,
-            self._snapshots,
-            config=self._config.ingest,
-            answers=platform.answers,
-        )
+        self._recovery: RecoveryReport | None = None
+        guard = EventGuard(self._config.guard) if self._config.guard is not None else None
+        if self._config.state_dir is not None and self._config.resume:
+            self._ingestor, self._recovery = recover_ingestor(
+                Path(self._config.state_dir),
+                inference=self._inference,
+                snapshots=self._snapshots,
+                ingest_config=self._config.ingest,
+                answers=platform.answers,
+                guard=guard,
+                faults=self._config.faults,
+                journal_fsync=self._config.journal_fsync,
+                journal_segment_records=self._config.journal_segment_records,
+            )
+        else:
+            journal = None
+            checkpoints = None
+            if self._config.state_dir is not None:
+                state_dir = Path(self._config.state_dir)
+                journal = AnswerJournal(
+                    state_dir / "journal",
+                    max_segment_records=self._config.journal_segment_records,
+                    fsync=self._config.journal_fsync,
+                )
+                checkpoints = CheckpointManager(state_dir / "checkpoints")
+            self._ingestor = AnswerIngestor(
+                self._inference,
+                self._snapshots,
+                config=self._config.ingest,
+                answers=platform.answers,
+                journal=journal,
+                guard=guard,
+                faults=self._config.faults,
+                checkpoints=checkpoints,
+            )
         self._frontend = AssignmentFrontend(
             startup_tasks,
             startup_workers,
@@ -201,11 +290,35 @@ class OnlineServingService:
             seed=self._config.seed,
             engine=self._config.assigner_engine,
         )
+        if self._recovery is not None:
+            self._sync_recovered_universe()
         self._schedule = TimedArrivalSchedule(
             platform.arrival_process,
             mean_interarrival=self._config.mean_interarrival,
             seed=self._config.seed,
         )
+
+    def _sync_recovered_universe(self) -> None:
+        """Propagate entities the crashed run learned mid-stream.
+
+        Recovery re-registered checkpointed/journaled workers and tasks into
+        the inference model; the frontend (built over the startup universe)
+        and the service's own bookkeeping must see them too, and tasks the
+        crashed run already released must not be re-released.
+        """
+        for worker_id, worker in self._inference.workers.items():
+            if worker_id not in self._registered_workers:
+                self._frontend.add_worker(worker)
+                self._registered_workers.add(worker_id)
+                self._workers_joined += 1
+        known_tasks = self._inference.tasks
+        for task in list(self._pending_tasks):
+            if task.task_id in known_tasks:
+                self._frontend.add_task(task)
+                self._tasks_joined += 1
+        self._pending_tasks = [
+            task for task in self._pending_tasks if task.task_id not in known_tasks
+        ]
 
     def _split_universe(self):
         """Partition the platform universe into startup and held-back subsets."""
@@ -259,6 +372,16 @@ class OnlineServingService:
     @property
     def frontend(self) -> AssignmentFrontend:
         return self._frontend
+
+    @property
+    def recovery(self) -> RecoveryReport | None:
+        """What crash recovery rebuilt (None unless constructed with resume)."""
+        return self._recovery
+
+    def close(self) -> None:
+        """Release durable resources (the journal's open segment handle)."""
+        if self._ingestor.journal is not None:
+            self._ingestor.journal.close()
 
     # ---------------------------------------------------------------- running
     def run(self, max_rounds: int | None = None) -> ServingReport:
@@ -335,6 +458,9 @@ class OnlineServingService:
             workers_joined=self._workers_joined,
             tasks_joined=self._tasks_joined,
             open_world_answers=self._open_world_answers,
+            durable=self._ingestor.journal is not None,
+            degraded_marks=self._snapshots.degraded_marks,
+            recovery=self._recovery,
         )
 
     # ------------------------------------------------------- open-world arrival

@@ -31,11 +31,23 @@ copy-on-write publish protocol:
 
 from __future__ import annotations
 
+import json
+import zlib
+from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
 from repro.core.params import ArrayParameterStore, ModelParameters, StoreDelta
+from repro.data.io import (
+    answers_from_dict,
+    answers_to_dict,
+    tasks_from_dict,
+    tasks_to_dict,
+    workers_from_dict,
+    workers_to_dict,
+)
+from repro.data.models import Answer, Task, Worker
 
 
 class ParameterSnapshot:
@@ -113,9 +125,14 @@ class ParameterSnapshot:
         For a delta snapshot this copies the nearest materialised ancestor
         once and applies every delta up the chain (oldest first) — O(universe)
         on the first read, cached afterwards, and never paid for versions no
-        reader looks at.
+        reader looks at.  Every delta is row/shape-validated against the base
+        as it is applied; a chain that does not fit its base raises
+        :class:`~repro.serving.SnapshotIntegrityError` instead of patching
+        the wrong rows.
         """
         if self._store is None:
+            from repro.serving import SnapshotIntegrityError
+
             chain: list[ParameterSnapshot] = [self]
             node = self._base
             while node._store is None:
@@ -123,7 +140,16 @@ class ParameterSnapshot:
                 node = node._base
             out = node._store.copy()
             for snapshot in reversed(chain):
-                snapshot._delta.apply(out)
+                try:
+                    snapshot._delta.apply(out)
+                except (ValueError, IndexError) as error:
+                    raise SnapshotIntegrityError(
+                        f"materialising snapshot version {self.version} failed: "
+                        f"the delta of version {snapshot.version} does not fit "
+                        f"its base (version {node.version}): {error}. The "
+                        "delta chain is inconsistent — republish a full "
+                        "snapshot instead of reading this version."
+                    ) from error
             self._store = out.freeze()
             self._base = None
             self._delta = None
@@ -152,11 +178,30 @@ class ParameterSnapshot:
 
 
 def load_snapshot(path: str | Path) -> ParameterSnapshot:
-    """Restore a snapshot written by :meth:`ParameterSnapshot.save`."""
-    with np.load(Path(path), allow_pickle=False) as data:
-        store = ArrayParameterStore.from_npz_dict(data)
-        version = int(np.asarray(data["snapshot_version"]))
-        published_at = float(np.asarray(data["published_at"]))
+    """Restore a snapshot written by :meth:`ParameterSnapshot.save`.
+
+    The archive is integrity-checked on the way in (readable ``.npz``, all
+    required arrays present, the store's ragged layout and probability ranges
+    coherent); any violation raises
+    :class:`~repro.serving.SnapshotIntegrityError` naming the file, instead
+    of handing a half-read store to the serving path.
+    """
+    from repro.serving import SnapshotIntegrityError
+
+    path = Path(path)
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            store = ArrayParameterStore.from_npz_dict(data).validate()
+            version = int(np.asarray(data["snapshot_version"]))
+            published_at = float(np.asarray(data["published_at"]))
+    except SnapshotIntegrityError:
+        raise
+    except Exception as error:
+        raise SnapshotIntegrityError(
+            f"snapshot file {path} is unreadable or inconsistent: {error}. "
+            "The file is corrupt or was not written by ParameterSnapshot.save; "
+            "restore it from a backup or republish a snapshot."
+        ) from error
     return ParameterSnapshot(
         version=version, store=store.freeze(), published_at=published_at, source="restore"
     )
@@ -178,6 +223,11 @@ class SnapshotStore:
         self._snapshots: list[ParameterSnapshot] = []
         self._next_version = 0
         self._chain_length = 0
+        # Degraded mode: set by the ingestion supervisor when updates keep
+        # failing; readers keep serving the latest retained snapshot and the
+        # frontend counts those serves as stale instead of raising.
+        self._degraded_reason: str | None = None
+        self._degraded_marks = 0
 
     def __len__(self) -> int:
         return len(self._snapshots)
@@ -284,6 +334,37 @@ class SnapshotStore:
             del self._snapshots[: len(self._snapshots) - self._max_snapshots]
         return snapshot
 
+    # ---------------------------------------------------------- degraded mode
+    @property
+    def degraded(self) -> bool:
+        """Whether the writer declared the latest snapshot stale (updates failing)."""
+        return self._degraded_reason is not None
+
+    @property
+    def degraded_reason(self) -> str | None:
+        return self._degraded_reason
+
+    @property
+    def degraded_marks(self) -> int:
+        """How many times the store entered degraded mode over its lifetime."""
+        return self._degraded_marks
+
+    def mark_degraded(self, reason: str) -> None:
+        """Declare the retained snapshots stale: the update path is failing.
+
+        Readers are *not* cut off — the whole point of degraded mode is that
+        the last good snapshot keeps serving — but the frontend counts serves
+        made in this state (``FrontendStats.stale_serves``).  Idempotent while
+        already degraded (one failure storm is one mark).
+        """
+        if self._degraded_reason is None:
+            self._degraded_marks += 1
+        self._degraded_reason = reason
+
+    def clear_degraded(self) -> None:
+        """Leave degraded mode: a publish succeeded, snapshots are fresh again."""
+        self._degraded_reason = None
+
     def latest(self) -> ParameterSnapshot | None:
         """The most recently published snapshot, or ``None`` before the first."""
         return self._snapshots[-1] if self._snapshots else None
@@ -297,3 +378,190 @@ class SnapshotStore:
             f"snapshot version {version} is not retained "
             f"(have {self.versions}, retention {self._max_snapshots})"
         )
+
+
+@dataclass
+class CheckpointState:
+    """Everything a checkpoint persists to rebuild the live serving state.
+
+    ``store`` is the latest *published* snapshot's parameter store (live rows
+    plus carried-over entities), ``answers`` is the live tensor's answer log
+    exported in row order (rebuilding a tensor from it is bit-equal to the
+    crashed run's — see
+    :meth:`~repro.core.em_kernel.AnswerTensor.export_answers`), and
+    ``workers``/``tasks`` carry the metadata of every entity registered in the
+    inference model, so a resumed session can re-register mid-stream arrivals
+    the startup universe never knew.  ``journal_seq`` is the newest journal
+    record reflected in this state; recovery replays strictly after it.
+    """
+
+    store: ArrayParameterStore
+    journal_seq: int
+    snapshot_version: int
+    published_at: float
+    answers: list[Answer] = field(default_factory=list)
+    workers: list[Worker] = field(default_factory=list)
+    tasks: list[Task] = field(default_factory=list)
+    answers_since_full_refresh: int = 0
+    counters: dict = field(default_factory=dict)
+
+
+class CheckpointManager:
+    """Durable, CRC-guarded checkpoints with bounded retention.
+
+    One checkpoint is a single ``.npz`` archive (the parameter store's arrays
+    plus JSON strings for the answer log, entity metadata and counters) and a
+    ``.crc`` sidecar holding the CRC32 of the archive bytes.  :meth:`save`
+    writes archive-then-sidecar, so a crash mid-checkpoint leaves a file that
+    fails its CRC (or has none) and is skipped by :meth:`load_latest` —
+    falling back to the previous checkpoint rather than restoring garbage.
+    """
+
+    def __init__(self, directory: str | Path, keep: int = 3) -> None:
+        if keep <= 0:
+            raise ValueError(f"keep must be positive, got {keep}")
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        self._keep = keep
+        self.saves = 0
+
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    def checkpoint_paths(self) -> list[Path]:
+        """Existing checkpoint archives, oldest first."""
+        return sorted(self._directory.glob("ckpt-*.npz"))
+
+    def oldest_covered_seq(self) -> int:
+        """Journal seq covered by the *oldest retained* checkpoint (0 if none).
+
+        The journal may only be truncated up to this point: recovery skips
+        corrupt checkpoints newest-first, so every retained checkpoint must
+        still find its journal tail intact to be a usable fallback.
+        """
+        paths = self.checkpoint_paths()
+        if not paths:
+            return 0
+        try:
+            return int(paths[0].stem.split("-", 1)[1])
+        except (IndexError, ValueError):
+            return 0
+
+    def save(self, state: CheckpointState) -> Path:
+        """Persist ``state`` as ``ckpt-<journal_seq>.npz`` (+ CRC sidecar)."""
+        path = self._directory / f"ckpt-{state.journal_seq:010d}.npz"
+        payload = state.store.to_npz_dict()
+        payload["journal_seq"] = np.asarray(state.journal_seq, dtype=np.int64)
+        payload["snapshot_version"] = np.asarray(
+            state.snapshot_version, dtype=np.int64
+        )
+        payload["published_at"] = np.asarray(state.published_at, dtype=float)
+        payload["answers_since_full_refresh"] = np.asarray(
+            state.answers_since_full_refresh, dtype=np.int64
+        )
+        from repro.data.models import AnswerSet as _AnswerSet
+
+        payload["answers_json"] = np.asarray(
+            json.dumps(answers_to_dict(_AnswerSet(state.answers))), dtype=np.str_
+        )
+        payload["workers_json"] = np.asarray(
+            json.dumps(workers_to_dict(state.workers)), dtype=np.str_
+        )
+        payload["tasks_json"] = np.asarray(
+            json.dumps(tasks_to_dict(state.tasks)), dtype=np.str_
+        )
+        payload["counters_json"] = np.asarray(
+            json.dumps(state.counters), dtype=np.str_
+        )
+        with open(path, "wb") as handle:
+            np.savez(handle, **payload)
+        crc = zlib.crc32(path.read_bytes())
+        path.with_suffix(".npz.crc").write_text(f"{crc:08x}\n", encoding="utf-8")
+        self.saves += 1
+        self._prune()
+        return path
+
+    def load(self, path: str | Path) -> CheckpointState:
+        """Load one checkpoint, raising on any CRC or content violation."""
+        from repro.serving import CheckpointCorruptionError
+
+        path = Path(path)
+        sidecar = path.with_suffix(".npz.crc")
+        if not sidecar.exists():
+            raise CheckpointCorruptionError(
+                f"checkpoint {path.name} has no CRC sidecar — the save was "
+                "interrupted before the checkpoint became durable; an older "
+                "checkpoint (or a full journal replay) will be used instead."
+            )
+        try:
+            expected = int(sidecar.read_text(encoding="utf-8").strip(), 16)
+        except ValueError as error:
+            raise CheckpointCorruptionError(
+                f"checkpoint {path.name} has an unreadable CRC sidecar: {error}"
+            ) from error
+        actual = zlib.crc32(path.read_bytes())
+        if actual != expected:
+            raise CheckpointCorruptionError(
+                f"checkpoint {path.name} fails its CRC "
+                f"({actual:08x} != {expected:08x}) — the file is torn or "
+                "rotten; recovery falls back to the previous checkpoint."
+            )
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                store = ArrayParameterStore.from_npz_dict(data).validate()
+                journal_seq = int(np.asarray(data["journal_seq"]))
+                snapshot_version = int(np.asarray(data["snapshot_version"]))
+                published_at = float(np.asarray(data["published_at"]))
+                since_refresh = int(np.asarray(data["answers_since_full_refresh"]))
+                answers = list(
+                    answers_from_dict(json.loads(str(np.asarray(data["answers_json"]))))
+                )
+                workers = workers_from_dict(
+                    json.loads(str(np.asarray(data["workers_json"])))
+                )
+                tasks = tasks_from_dict(
+                    json.loads(str(np.asarray(data["tasks_json"])))
+                )
+                counters = json.loads(str(np.asarray(data["counters_json"])))
+        except CheckpointCorruptionError:
+            raise
+        except Exception as error:
+            raise CheckpointCorruptionError(
+                f"checkpoint {path.name} passed its CRC but cannot be decoded "
+                f"({error}) — the format is damaged or from an incompatible "
+                "version; recovery falls back to the previous checkpoint."
+            ) from error
+        return CheckpointState(
+            store=store,
+            journal_seq=journal_seq,
+            snapshot_version=snapshot_version,
+            published_at=published_at,
+            answers=answers,
+            workers=workers,
+            tasks=tasks,
+            answers_since_full_refresh=since_refresh,
+            counters=counters,
+        )
+
+    def load_latest(self) -> tuple[CheckpointState | None, int]:
+        """The newest loadable checkpoint, skipping corrupt ones.
+
+        Returns ``(state, corrupt_skipped)``; ``state`` is ``None`` when no
+        checkpoint is usable (cold start).
+        """
+        from repro.serving import CheckpointCorruptionError
+
+        skipped = 0
+        for path in reversed(self.checkpoint_paths()):
+            try:
+                return self.load(path), skipped
+            except CheckpointCorruptionError:
+                skipped += 1
+        return None, skipped
+
+    def _prune(self) -> None:
+        paths = self.checkpoint_paths()
+        for path in paths[: max(0, len(paths) - self._keep)]:
+            path.unlink(missing_ok=True)
+            path.with_suffix(".npz.crc").unlink(missing_ok=True)

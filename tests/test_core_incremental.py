@@ -141,3 +141,38 @@ class TestIncrementalUpdate:
         fresh.fit(answers)
         full_accuracy = labelling_accuracy(fresh.predict_all(), small_dataset.tasks)
         assert abs(full_accuracy - incremental_accuracy) < 0.15
+
+
+class TestLiveStateError:
+    def test_external_fit_without_log_raises_typed_error(
+        self, fitted_model, small_dataset, worker_pool, distance_model,
+        collected_answers,
+    ):
+        """An updater joining an externally fitted model must be given the
+        answer log (or a primed carryover) — silently refitting on the
+        micro-batch alone would discard the estimate's history."""
+        from repro.serving import LiveStateError, ServingStateError
+
+        updater = IncrementalUpdater(fitted_model)
+        new_answers = simulate_new_answers(
+            small_dataset, worker_pool, distance_model, collected_answers
+        )
+        with pytest.raises(LiveStateError) as excinfo:
+            updater.apply(None, new_answers)
+        assert isinstance(excinfo.value, ServingStateError)
+        assert "prime_carryover" in str(excinfo.value)
+
+    def test_passing_the_log_recovers(
+        self, fitted_model, small_dataset, worker_pool, distance_model,
+        collected_answers,
+    ):
+        updater = IncrementalUpdater(fitted_model)
+        new_answers = simulate_new_answers(
+            small_dataset, worker_pool, distance_model, collected_answers
+        )
+        answers = collected_answers.copy()
+        for answer in new_answers:
+            answers.add(answer)
+        params = updater.apply(answers, new_answers)
+        assert params is fitted_model.parameters
+        assert updater.tensor_rebuilds == 1

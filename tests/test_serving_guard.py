@@ -1,0 +1,227 @@
+"""Tests for repro.serving.guard (event validation and quarantine)."""
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.inference import LocationAwareInference
+from repro.crowd.answer_model import AnswerSimulator
+from repro.data.models import Answer
+from repro.serving import (
+    AnswerEvent,
+    AnswerIngestor,
+    EventGuard,
+    GuardConfig,
+    IngestConfig,
+    SnapshotStore,
+)
+
+
+@pytest.fixture()
+def inference(small_dataset, worker_pool, distance_model):
+    return LocationAwareInference(
+        small_dataset.tasks, worker_pool.workers, distance_model
+    )
+
+
+def make_event(small_dataset, worker_pool, distance_model, index=0, time=0.0):
+    simulator = AnswerSimulator(distance_model, noise=0.0)
+    profile = next(iter(worker_pool))
+    task = small_dataset.tasks[index % len(small_dataset.tasks)]
+    return AnswerEvent(
+        simulator.sample_answer(profile, task, seed=500 + index), time=time
+    )
+
+
+class TestConfigValidation:
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            GuardConfig(coordinate_bounds=(1.0, 0.0, 0.0, 1.0))
+        with pytest.raises(ValueError):
+            GuardConfig(max_answers_per_window=-1)
+        with pytest.raises(ValueError):
+            GuardConfig(rate_window=0.0)
+        with pytest.raises(ValueError):
+            GuardConfig(quarantine_capacity=0)
+
+
+class TestRejectionReasons:
+    def test_valid_event_is_accepted(
+        self, inference, small_dataset, worker_pool, distance_model
+    ):
+        guard = EventGuard()
+        event = make_event(small_dataset, worker_pool, distance_model)
+        assert guard.admit(event, inference) is None
+        assert guard.stats.accepted == 1
+        assert guard.stats.quarantined == 0
+
+    def test_non_finite_coordinates(self, inference, small_dataset, worker_pool, distance_model):
+        event = make_event(small_dataset, worker_pool, distance_model)
+        bad_worker = SimpleNamespace(
+            worker_id=event.answer.worker_id,
+            locations=(SimpleNamespace(x=float("nan"), y=1.0),),
+        )
+        bad = AnswerEvent(event.answer, time=0.0, worker=bad_worker)
+        guard = EventGuard()
+        assert guard.admit(bad, inference) == "coordinates"
+        assert guard.stats.reasons == {"coordinates": 1}
+        assert "non-finite" in guard.quarantine[0].detail
+
+    def test_out_of_bounds_coordinates(self, inference, small_dataset, worker_pool, distance_model):
+        from repro.data.models import Worker
+        from repro.spatial.geometry import GeoPoint
+
+        event = make_event(small_dataset, worker_pool, distance_model)
+        far_worker = Worker(
+            worker_id=event.answer.worker_id, locations=(GeoPoint(500.0, 500.0),)
+        )
+        bad = AnswerEvent(event.answer, time=0.0, worker=far_worker)
+        guard = EventGuard(GuardConfig(coordinate_bounds=(0.0, 0.0, 200.0, 200.0)))
+        assert guard.admit(bad, inference) == "coordinates"
+        assert "outside" in guard.quarantine[0].detail
+
+    def test_unknown_task_without_payload(self, inference):
+        event = AnswerEvent(Answer(worker_id="w0", task_id="ghost", responses=(1,)))
+        guard = EventGuard()
+        assert guard.admit(event, inference) == "unknown-task"
+
+    def test_unknown_worker_without_payload(self, inference, small_dataset):
+        task = small_dataset.tasks[0]
+        answer = Answer(
+            worker_id="ghost",
+            task_id=task.task_id,
+            responses=tuple(0 for _ in range(task.num_labels)),
+        )
+        guard = EventGuard()
+        assert guard.admit(AnswerEvent(answer), inference) == "unknown-worker"
+
+    def test_payload_mismatch(self, inference, small_dataset, worker_pool, distance_model):
+        event = make_event(small_dataset, worker_pool, distance_model)
+        other = small_dataset.tasks[1]
+        assert other.task_id != event.answer.task_id
+        bad = AnswerEvent(event.answer, time=0.0, task=other)
+        guard = EventGuard()
+        assert guard.admit(bad, inference) == "payload-mismatch"
+
+    def test_label_arity(self, inference, small_dataset, worker_pool):
+        task = small_dataset.tasks[0]
+        worker = worker_pool.workers[0]
+        answer = Answer(
+            worker_id=worker.worker_id, task_id=task.task_id, responses=(1,)
+        )
+        assert task.num_labels != 1
+        guard = EventGuard()
+        assert guard.admit(AnswerEvent(answer), inference) == "label-arity"
+
+    def test_duplicate_and_reanswer(
+        self, inference, small_dataset, worker_pool, distance_model
+    ):
+        event = make_event(small_dataset, worker_pool, distance_model)
+        guard = EventGuard()
+        assert guard.admit(event, inference) is None
+        # Identical resubmission: always quarantined.
+        assert guard.admit(event, inference) == "duplicate"
+        # A changed re-answer is fine by default...
+        flipped = Answer(
+            worker_id=event.answer.worker_id,
+            task_id=event.answer.task_id,
+            responses=tuple(1 - r for r in event.answer.responses),
+        )
+        assert guard.admit(AnswerEvent(flipped), inference) is None
+        # ...but rejected when re-answers are disabled.
+        strict = EventGuard(GuardConfig(allow_reanswers=False))
+        assert strict.admit(event, inference) is None
+        assert strict.admit(AnswerEvent(flipped), inference) == "reanswer"
+
+    def test_rate_limit_sliding_window(
+        self, inference, small_dataset, worker_pool, distance_model
+    ):
+        guard = EventGuard(
+            GuardConfig(max_answers_per_window=2, rate_window=10.0)
+        )
+        events = [
+            make_event(small_dataset, worker_pool, distance_model, index=i, time=t)
+            for i, t in enumerate((0.0, 1.0, 2.0, 20.0))
+        ]
+        assert guard.admit(events[0], inference) is None
+        assert guard.admit(events[1], inference) is None
+        assert guard.admit(events[2], inference) == "rate-limit"
+        # The window slides: 20s later the worker may answer again.
+        assert guard.admit(events[3], inference) is None
+
+
+class TestQuarantineLog:
+    def test_capacity_bounds_the_log(self, inference):
+        guard = EventGuard(GuardConfig(quarantine_capacity=2))
+        for i in range(5):
+            guard.admit(
+                AnswerEvent(Answer(worker_id="w", task_id=f"ghost{i}", responses=(1,))),
+                inference,
+            )
+        assert guard.stats.quarantined == 5
+        assert len(guard.quarantine) == 2  # newest two retained
+        assert guard.quarantine[-1].event.answer.task_id == "ghost4"
+
+    def test_jsonl_sink_mirrors_quarantined_events(self, tmp_path, inference):
+        sink = tmp_path / "quarantine.jsonl"
+        guard = EventGuard(GuardConfig(quarantine_sink=sink))
+        guard.admit(
+            AnswerEvent(Answer(worker_id="w", task_id="ghost", responses=(1,))),
+            inference,
+        )
+        lines = sink.read_text().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["reason"] == "unknown-task"
+        assert record["task_id"] == "ghost"
+
+
+class TestHistoryPaths:
+    def test_observe_bypasses_validation(
+        self, inference, small_dataset, worker_pool, distance_model
+    ):
+        guard = EventGuard()
+        event = make_event(small_dataset, worker_pool, distance_model)
+        # Recovery replay: record history without inspecting.
+        guard.observe(event)
+        assert guard.stats.quarantined == 0
+        # The replayed pair now counts for duplicate detection.
+        assert guard.admit(event, inference) == "duplicate"
+
+    def test_seed_history_from_checkpoint_answers(
+        self, inference, small_dataset, worker_pool, distance_model
+    ):
+        guard = EventGuard()
+        event = make_event(small_dataset, worker_pool, distance_model)
+        guard.seed_history([event.answer])
+        assert guard.admit(event, inference) == "duplicate"
+
+
+class TestIngestorIntegration:
+    def test_quarantined_events_never_reach_the_model(
+        self, inference, small_dataset, worker_pool, distance_model
+    ):
+        snapshots = SnapshotStore()
+        ingestor = AnswerIngestor(
+            inference,
+            snapshots,
+            config=IngestConfig(max_batch_answers=2, max_batch_delay=100.0),
+            guard=EventGuard(),
+        )
+        good = [
+            make_event(small_dataset, worker_pool, distance_model, index=i)
+            for i in range(2)
+        ]
+        bad = AnswerEvent(Answer(worker_id="w", task_id="ghost", responses=(1,)))
+
+        # A malformed event used to raise KeyError inside the flush; now it is
+        # quarantined at intake and the stream keeps flowing.
+        assert ingestor.submit(bad) is None
+        assert ingestor.submit(good[0]) is None
+        snapshot = ingestor.submit(good[1])
+        assert snapshot is not None  # the batch of two good events flushed
+
+        assert ingestor.stats.events_quarantined == 1
+        assert ingestor.stats.answers == 2
+        assert ingestor.guard.stats.reasons == {"unknown-task": 1}

@@ -1,0 +1,305 @@
+"""Tests for repro.serving.journal (write-ahead log) and the checkpoint store."""
+
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.core.inference import LocationAwareInference
+from repro.crowd.answer_model import AnswerSimulator
+from repro.serving import (
+    AnswerEvent,
+    AnswerJournal,
+    CheckpointCorruptionError,
+    CheckpointManager,
+    CheckpointState,
+    JournalCorruptionError,
+    LiveStateError,
+    RecoveryReport,
+    ServingStateError,
+    SnapshotIntegrityError,
+)
+from repro.serving.snapshots import SnapshotStore
+
+
+def make_events(small_dataset, worker_pool, distance_model, count, with_payloads=False):
+    simulator = AnswerSimulator(distance_model, noise=0.0)
+    events = []
+    index = 0
+    for profile in worker_pool:
+        for task in small_dataset.tasks:
+            if index >= count:
+                return events
+            events.append(
+                AnswerEvent(
+                    simulator.sample_answer(profile, task, seed=1000 + index),
+                    time=0.1 * index,
+                    worker=profile.worker if with_payloads else None,
+                    task=task if with_payloads else None,
+                )
+            )
+            index += 1
+    return events
+
+
+class TestErrorHierarchy:
+    def test_typed_errors_share_a_root(self):
+        for err in (
+            JournalCorruptionError,
+            CheckpointCorruptionError,
+            SnapshotIntegrityError,
+            LiveStateError,
+        ):
+            assert issubclass(err, ServingStateError)
+            # Callers that guarded with bare RuntimeError keep working.
+            assert issubclass(err, RuntimeError)
+
+
+class TestAppendReplay:
+    def test_round_trip_preserves_events(
+        self, tmp_path, small_dataset, worker_pool, distance_model
+    ):
+        events = make_events(
+            small_dataset, worker_pool, distance_model, 10, with_payloads=True
+        )
+        journal = AnswerJournal(tmp_path)
+        seqs = [journal.append(event) for event in events]
+        assert seqs == list(range(1, 11))
+        assert journal.last_seq == 10
+
+        replayed = list(journal.replay())
+        assert [seq for seq, _ in replayed] == seqs
+        for original, (_, decoded) in zip(events, replayed):
+            assert decoded.answer == original.answer
+            assert decoded.time == original.time
+            assert decoded.worker == original.worker
+            assert decoded.task == original.task
+        journal.close()
+
+    def test_replay_after_skips_covered_prefix(
+        self, tmp_path, small_dataset, worker_pool, distance_model
+    ):
+        events = make_events(small_dataset, worker_pool, distance_model, 8)
+        journal = AnswerJournal(tmp_path)
+        for event in events:
+            journal.append(event)
+        tail = list(journal.replay(after=5))
+        assert [seq for seq, _ in tail] == [6, 7, 8]
+        journal.close()
+
+    def test_reopen_continues_the_sequence(
+        self, tmp_path, small_dataset, worker_pool, distance_model
+    ):
+        events = make_events(small_dataset, worker_pool, distance_model, 6)
+        journal = AnswerJournal(tmp_path)
+        for event in events[:4]:
+            journal.append(event)
+        journal.close()
+
+        reopened = AnswerJournal(tmp_path)
+        assert reopened.last_seq == 4
+        assert [reopened.append(event) for event in events[4:]] == [5, 6]
+        assert len(list(reopened.replay())) == 6
+        reopened.close()
+
+
+class TestSegments:
+    def test_rotation_and_truncate_covered(
+        self, tmp_path, small_dataset, worker_pool, distance_model
+    ):
+        events = make_events(small_dataset, worker_pool, distance_model, 10)
+        journal = AnswerJournal(tmp_path, max_segment_records=3)
+        for event in events:
+            journal.append(event)
+        assert len(journal.segment_paths()) == 4  # 3+3+3+1
+        assert journal.stats.segments_created == 4
+
+        # A checkpoint covering seq 7 frees the first two segments (last seqs
+        # 3 and 6) but not the third (last seq 9 > 7) or the open tail.
+        removed = journal.truncate_covered(7)
+        assert removed == 2
+        assert journal.stats.segments_truncated == 2
+        remaining = journal.segment_paths()
+        assert len(remaining) == 2
+        # Replay over the remaining segments still yields the uncovered tail.
+        assert [seq for seq, _ in journal.replay(after=7)] == [8, 9, 10]
+        journal.close()
+
+    def test_truncate_never_removes_the_open_segment(
+        self, tmp_path, small_dataset, worker_pool, distance_model
+    ):
+        events = make_events(small_dataset, worker_pool, distance_model, 4)
+        journal = AnswerJournal(tmp_path, max_segment_records=100)
+        for event in events:
+            journal.append(event)
+        assert journal.truncate_covered(4) == 0
+        assert len(journal.segment_paths()) == 1
+        journal.close()
+
+
+class TestCorruption:
+    def test_torn_tail_is_dropped_on_reopen(
+        self, tmp_path, small_dataset, worker_pool, distance_model
+    ):
+        from repro.serving.faults import tear_journal_tail
+
+        events = make_events(small_dataset, worker_pool, distance_model, 5)
+        journal = AnswerJournal(tmp_path)
+        for event in events:
+            journal.append(event)
+        journal.close()
+
+        segment = journal.segment_paths()[-1]
+        assert tear_journal_tail(segment, drop_bytes=7) == 7
+
+        reopened = AnswerJournal(tmp_path)
+        assert reopened.last_seq == 4  # the torn final record is gone
+        assert reopened.stats.torn_records_dropped == 1
+        assert [seq for seq, _ in reopened.replay()] == [1, 2, 3, 4]
+        # The truncation is durable: appending continues from the torn point.
+        assert reopened.append(events[4]) == 5
+        reopened.close()
+
+    def test_mid_file_corruption_refuses_to_open(
+        self, tmp_path, small_dataset, worker_pool, distance_model
+    ):
+        events = make_events(small_dataset, worker_pool, distance_model, 5)
+        journal = AnswerJournal(tmp_path)
+        for event in events:
+            journal.append(event)
+        journal.close()
+
+        segment = journal.segment_paths()[0]
+        lines = segment.read_bytes().splitlines(keepends=True)
+        lines[1] = b"deadbeef" + lines[1][8:]  # break record 2's checksum
+        segment.write_bytes(b"".join(lines))
+
+        with pytest.raises(JournalCorruptionError):
+            AnswerJournal(tmp_path)
+
+    def test_checksum_actually_covers_the_payload(
+        self, tmp_path, small_dataset, worker_pool, distance_model
+    ):
+        events = make_events(small_dataset, worker_pool, distance_model, 1)
+        journal = AnswerJournal(tmp_path)
+        journal.append(events[0])
+        journal.close()
+        segment = journal.segment_paths()[0]
+        raw = segment.read_bytes()
+        crc_hex, payload = raw.split(b" ", 1)
+        assert int(crc_hex, 16) == zlib.crc32(payload.rstrip(b"\n"))
+
+
+class TestCheckpointManager:
+    def _state(self, small_dataset, worker_pool, distance_model, seq=7):
+        inference = LocationAwareInference(
+            small_dataset.tasks, worker_pool.workers, distance_model
+        )
+        events = make_events(small_dataset, worker_pool, distance_model, 12)
+        answers = [event.answer for event in events]
+        from repro.data.models import AnswerSet
+
+        inference.fit(AnswerSet(answers))
+        task_ids = list(inference.tasks)
+        store = inference.parameters.to_array_store(
+            list(inference.workers),
+            task_ids,
+            [inference.tasks[task_id].num_labels for task_id in task_ids],
+        )
+        return CheckpointState(
+            store=store,
+            journal_seq=seq,
+            snapshot_version=3,
+            published_at=12.5,
+            answers=answers,
+            workers=list(inference.workers.values()),
+            tasks=list(inference.tasks.values()),
+            answers_since_full_refresh=5,
+            counters={"answers": 12, "update_seconds": 0.25},
+        )
+
+    def test_save_load_round_trip(
+        self, tmp_path, small_dataset, worker_pool, distance_model
+    ):
+        state = self._state(small_dataset, worker_pool, distance_model)
+        manager = CheckpointManager(tmp_path)
+        path = manager.save(state)
+        assert path.exists() and path.with_suffix(".npz.crc").exists()
+
+        loaded, skipped = CheckpointManager(tmp_path).load_latest()
+        assert skipped == 0
+        assert loaded.journal_seq == 7
+        assert loaded.snapshot_version == 3
+        assert loaded.published_at == 12.5
+        assert loaded.answers == state.answers
+        assert loaded.workers == state.workers
+        assert loaded.tasks == state.tasks
+        assert loaded.answers_since_full_refresh == 5
+        assert loaded.counters["answers"] == 12
+        assert loaded.counters["update_seconds"] == pytest.approx(0.25)
+        assert state.store.max_difference(loaded.store) == 0.0
+        np.testing.assert_array_equal(state.store.p_qualified, loaded.store.p_qualified)
+
+    def test_corrupt_checkpoint_is_skipped_for_an_older_one(
+        self, tmp_path, small_dataset, worker_pool, distance_model
+    ):
+        from repro.serving.faults import corrupt_file
+
+        manager = CheckpointManager(tmp_path)
+        manager.save(self._state(small_dataset, worker_pool, distance_model, seq=5))
+        newest = manager.save(
+            self._state(small_dataset, worker_pool, distance_model, seq=9)
+        )
+        corrupt_file(newest)
+
+        with pytest.raises(CheckpointCorruptionError):
+            manager.load(newest)
+        loaded, skipped = manager.load_latest()
+        assert skipped == 1
+        assert loaded.journal_seq == 5
+
+    def test_missing_crc_sidecar_is_corruption(
+        self, tmp_path, small_dataset, worker_pool, distance_model
+    ):
+        manager = CheckpointManager(tmp_path)
+        path = manager.save(self._state(small_dataset, worker_pool, distance_model))
+        path.with_suffix(".npz.crc").unlink()
+        with pytest.raises(CheckpointCorruptionError):
+            manager.load(path)
+        loaded, skipped = manager.load_latest()
+        assert loaded is None and skipped == 1
+
+    def test_prune_keeps_the_newest(
+        self, tmp_path, small_dataset, worker_pool, distance_model
+    ):
+        manager = CheckpointManager(tmp_path, keep=2)
+        for seq in (3, 6, 9, 12):
+            manager.save(
+                self._state(small_dataset, worker_pool, distance_model, seq=seq)
+            )
+        remaining = manager.checkpoint_paths()
+        assert [p.name for p in remaining] == [
+            "ckpt-0000000009.npz",
+            "ckpt-0000000012.npz",
+        ]
+
+    def test_empty_directory_is_a_cold_start(self, tmp_path):
+        loaded, skipped = CheckpointManager(tmp_path / "none").load_latest()
+        assert loaded is None and skipped == 0
+
+
+class TestRecoveryReport:
+    def test_summaries(self):
+        cold = RecoveryReport(cold_start=True, replayed_events=4, torn_tail=True)
+        assert "cold start" in cold.summary()
+        assert "torn journal tail" in cold.summary()
+        warm = RecoveryReport(
+            checkpoint_seq=40,
+            checkpoint_version=7,
+            checkpoint_answers=40,
+            replayed_events=3,
+            corrupt_checkpoints_skipped=1,
+        )
+        text = warm.summary()
+        assert "seq 40" in text and "v7" in text and "replayed 3" in text
+        assert "1 corrupt" in text

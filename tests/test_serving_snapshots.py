@@ -171,3 +171,88 @@ class TestWarmStartFromSnapshot:
         j = fitted_store.task_ids.index(task_id)
         expected = fitted_store.label_probs[fitted_store.task_label_slice(j)]
         assert model.label_probabilities(task_id) == pytest.approx(expected)
+
+
+class TestIntegrity:
+    def test_corrupt_snapshot_file_raises_typed_error(self, fitted_store, tmp_path):
+        from repro.serving import ServingStateError, SnapshotIntegrityError
+        from repro.serving.faults import corrupt_file
+
+        path = SnapshotStore().publish(fitted_store).save(tmp_path / "snap.npz")
+        # Smash the archive header: a flipped data byte deep inside a float
+        # array can go unnoticed here (that is what the checkpoint manager's
+        # CRC sidecars exist for); plain snapshot loads promise to catch
+        # *structural* corruption.
+        corrupt_file(path, offset=0, flips=8)
+        with pytest.raises(SnapshotIntegrityError) as excinfo:
+            load_snapshot(path)
+        assert "snap.npz" in str(excinfo.value)
+        assert isinstance(excinfo.value, ServingStateError)
+
+    def test_truncated_snapshot_file_raises(self, fitted_store, tmp_path):
+        from repro.serving import SnapshotIntegrityError
+
+        path = SnapshotStore().publish(fitted_store).save(tmp_path / "snap.npz")
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(SnapshotIntegrityError):
+            load_snapshot(path)
+
+    def test_missing_metadata_is_integrity_failure(self, fitted_store, tmp_path):
+        from repro.serving import SnapshotIntegrityError
+
+        # A bare parameter archive is readable but is not a snapshot: the
+        # version/published_at metadata is missing.
+        path = fitted_store.save_npz(tmp_path / "params.npz")
+        with pytest.raises(SnapshotIntegrityError):
+            load_snapshot(path)
+
+    def test_round_trip_still_works_after_corruption_check(
+        self, fitted_store, tmp_path
+    ):
+        path = SnapshotStore().publish(fitted_store).save(tmp_path / "snap.npz")
+        assert_stores_equal(load_snapshot(path).store, fitted_store)
+
+
+class TestDeltaChainValidation:
+    def _bad_delta(self, fitted_store, worker_row):
+        import numpy as np
+
+        from repro.core.params import StoreDelta
+
+        return StoreDelta(
+            worker_rows=np.array([worker_row], dtype=np.int64),
+            p_qualified=np.array([0.5]),
+            distance_weights=np.asarray(fitted_store.distance_weights[:1]).copy(),
+            task_rows=np.array([], dtype=np.int64),
+            influence_weights=np.empty(
+                (0,) + np.asarray(fitted_store.influence_weights).shape[1:]
+            ),
+            label_slots=np.array([], dtype=np.int64),
+            label_probs=np.array([]),
+            num_workers=fitted_store.num_workers,
+            num_tasks=fitted_store.num_tasks,
+        )
+
+    def test_out_of_bounds_delta_raises_on_materialization(self, fitted_store):
+        from repro.serving import SnapshotIntegrityError
+
+        store = SnapshotStore()
+        store.publish(fitted_store)
+        # The delta stamps the right universe (so the publish is accepted)
+        # but carries a row index outside the base store.
+        snapshot = store.publish_delta(
+            self._bad_delta(fitted_store, fitted_store.num_workers + 3)
+        )
+        with pytest.raises(SnapshotIntegrityError) as excinfo:
+            snapshot.store
+        assert "does not fit" in str(excinfo.value)
+
+    def test_valid_delta_still_materializes(self, fitted_store):
+        store = SnapshotStore()
+        base = store.publish(fitted_store)
+        snapshot = store.publish_delta(self._bad_delta(fitted_store, 0))
+        materialized = snapshot.store
+        assert materialized.p_qualified[0] == 0.5
+        # The base snapshot is untouched (copy-on-write).
+        assert base.store.p_qualified[0] == fitted_store.p_qualified[0]
