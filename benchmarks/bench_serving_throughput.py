@@ -30,7 +30,15 @@ online serving subsystem (:mod:`repro.serving`) and writes
 * **the journal-overhead gate** — an identical full-stream replay with the
   write-ahead answer journal enabled (crash-safe serving) must sustain at
   least ``JOURNAL_OVERHEAD_FLOOR`` of the throughput ratchet: durability may
-  not cost more than 30% of the log-free hot path.
+  not cost more than 30% of the log-free hot path;
+* **the phase breakdown** — the full-stream replay runs with the telemetry
+  tracer attached (:mod:`repro.obs`): per-quarter shares of wall time spent
+  in apply/refresh/publish land in the artifact (diagnosing throughput decay
+  by stage, not just observing it), and the attributed-coverage gate requires
+  spans to explain at least ``MIN_ATTRIBUTED_WALL_FRACTION`` of the replay's
+  wall clock — if attribution drifts below that, the breakdown is lying by
+  omission.  The registry snapshot and a Chrome ``trace_event`` ring are
+  written next to the JSON artifact for CI upload.
 """
 
 from __future__ import annotations
@@ -51,6 +59,8 @@ from bench_common import (
 
 from repro.core.inference import InferenceConfig, LocationAwareInference
 from repro.data.models import AnswerSet
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import PhaseTimeline, Tracer
 from repro.serving.frontend import AssignmentFrontend
 from repro.serving.ingest import AnswerIngestor, IngestConfig
 from repro.serving.journal import AnswerJournal
@@ -107,6 +117,11 @@ MIN_JOURNALED_ANSWERS_PER_SEC = JOURNAL_OVERHEAD_FLOOR * MIN_FULL_STREAM_ANSWERS
 #: cadence: ~20 segment files over the 20k stream).
 JOURNAL_SEGMENT_RECORDS = 1024
 
+#: Attribution-coverage gate: pipeline spans (apply/refresh/publish and the
+#: per-batch guard/journal attributions) must explain at least this fraction
+#: of the full-stream replay's wall clock.
+MIN_ATTRIBUTED_WALL_FRACTION = 0.9
+
 #: Prefix replayed under tracemalloc for the peak-memory report (kept off the
 #: timed replays — allocation tracking itself costs wall-clock).
 MEMORY_PREFIX_ANSWERS = 4000
@@ -120,12 +135,16 @@ OPEN_WORLD_HOLDBACK_TASKS = 0.10
 MIN_OPEN_WORLD_FRACTION = 0.2
 
 
-def _replay(dataset, pool, distance_model, events, ingest_config, journal=None):
+def _replay(
+    dataset, pool, distance_model, events, ingest_config, journal=None, tracer=None
+):
     """Stream ``events`` through a fresh ingestor.
 
-    Returns ``(ingestor, snapshots, seconds, quarter_marks)`` where
+    Returns ``(ingestor, snapshots, seconds, quarter_marks, phases)`` where
     ``quarter_marks`` are ``(events_submitted, elapsed_seconds)`` checkpoints
-    at each quarter of the stream, for the degradation gate.
+    at each quarter of the stream, for the degradation gate, and ``phases``
+    is the phase-attributed :class:`PhaseBreakdown` when ``tracer`` is given
+    (None otherwise).
     """
     inference = LocationAwareInference(
         dataset.tasks,
@@ -135,18 +154,26 @@ def _replay(dataset, pool, distance_model, events, ingest_config, journal=None):
     )
     snapshots = SnapshotStore()
     ingestor = AnswerIngestor(
-        inference, snapshots, config=ingest_config, journal=journal
+        inference, snapshots, config=ingest_config, journal=journal, tracer=tracer
     )
+    timeline = PhaseTimeline(tracer) if tracer is not None else None
     quarter = max(1, len(events) // 4)
     marks = []
     started = time.perf_counter()
     for index, event in enumerate(events, start=1):
         ingestor.submit(event)
         if index % quarter == 0:
-            marks.append((index, time.perf_counter() - started))
+            elapsed = time.perf_counter() - started
+            marks.append((index, elapsed))
+            if timeline is not None:
+                timeline.mark(index, elapsed)
     ingestor.flush()
     elapsed = time.perf_counter() - started
-    return ingestor, snapshots, elapsed, marks
+    phases = None
+    if timeline is not None:
+        timeline.mark(len(events), elapsed)
+        phases = timeline.breakdown()
+    return ingestor, snapshots, elapsed, marks, phases
 
 
 def _micro_batched_config() -> IngestConfig:
@@ -191,10 +218,15 @@ def test_serving_throughput_gate(benchmark):
             _micro_batched_config())
 
     # Full-stream micro-batched replay: the headline ingestion throughput.
-    full_ingestor, full_snapshots, full_seconds, quarter_marks = _replay(
-        dataset, pool, distance_model, events, _micro_batched_config()
+    # The tracer rides along so the artifact carries the phase-attributed
+    # breakdown — which stage eats the wall time as the stream ages.
+    metrics = MetricsRegistry()
+    tracer = Tracer(metrics, ring_capacity=4096)
+    full_ingestor, full_snapshots, full_seconds, quarter_marks, phases = _replay(
+        dataset, pool, distance_model, events, _micro_batched_config(), tracer=tracer
     )
     assert full_ingestor.stats.answers == len(events)
+    assert phases is not None
     full_rate = len(events) / full_seconds
 
     # Steady-state-vs-late degradation: per-quarter rates, gating the last
@@ -217,7 +249,7 @@ def test_serving_throughput_gate(benchmark):
         journal = AnswerJournal(
             journal_dir, max_segment_records=JOURNAL_SEGMENT_RECORDS
         )
-        journaled_ingestor, _, journaled_seconds, _ = _replay(
+        journaled_ingestor, _, journaled_seconds, _, _ = _replay(
             dataset,
             pool,
             distance_model,
@@ -235,10 +267,10 @@ def test_serving_throughput_gate(benchmark):
 
     # Gate: identical prefix, micro-batched vs refresh-per-answer.
     prefix = events[:GATE_PREFIX_ANSWERS]
-    _, _, micro_seconds, _ = _replay(
+    _, _, micro_seconds, _, _ = _replay(
         dataset, pool, distance_model, prefix, _micro_batched_config()
     )
-    naive_ingestor, _, naive_seconds, _ = _replay(
+    naive_ingestor, _, naive_seconds, _, _ = _replay(
         dataset, pool, distance_model, prefix, _naive_config()
     )
     assert naive_ingestor.stats.batches == len(prefix)  # one update per answer
@@ -347,10 +379,29 @@ def test_serving_throughput_gate(benchmark):
         "open_world_answers_per_sec": round(len(ow_events) / ow_seconds, 1),
         "open_world_workers_registered": ow_ingestor.stats.workers_registered,
         "open_world_tasks_registered": ow_ingestor.stats.tasks_registered,
+        "attributed_wall_fraction": round(phases.attributed_fraction, 3),
+        "min_attributed_wall_fraction": MIN_ATTRIBUTED_WALL_FRACTION,
+        "phase_stage_totals_seconds": {
+            stage: round(seconds, 4)
+            for stage, seconds in sorted(phases.stage_totals.items())
+        },
+        "phase_quarter_shares": [
+            {stage: round(q.share(stage), 3) for stage in phases.stages}
+            for q in phases.quarters
+        ],
     }
     path = RESULTS_DIR / "BENCH_serving_throughput.json"
     path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     print(f"\n=== serving_throughput ===\n{json.dumps(payload, indent=2)}\n")
+    # Telemetry artifacts next to the JSON payload, for CI upload.
+    metrics.export_jsonl(
+        RESULTS_DIR / "serving_metrics.jsonl", answers=len(events)
+    )
+    trace_events = tracer.export_chrome(RESULTS_DIR / "serving_trace.json")
+    print(
+        f"phase breakdown ({trace_events} trace events retained):\n"
+        f"{phases.render()}\n"
+    )
 
     # The timed unit for pytest-benchmark: one micro-batched prefix replay.
     benchmark.pedantic(
@@ -390,4 +441,10 @@ def test_serving_throughput_gate(benchmark):
         f"open-world stream only draws {ow_fraction:.0%} of its events from "
         f"held-back entities (required: {MIN_OPEN_WORLD_FRACTION:.0%}); "
         f"raise the holdback fractions"
+    )
+    assert phases.attributed_fraction >= MIN_ATTRIBUTED_WALL_FRACTION, (
+        f"pipeline spans only attribute {phases.attributed_fraction:.0%} of "
+        f"the full-stream wall clock (required: "
+        f"{MIN_ATTRIBUTED_WALL_FRACTION:.0%}) — a stage is running untimed; "
+        f"see {path}"
     )

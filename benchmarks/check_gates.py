@@ -62,6 +62,12 @@ GATES = [
         "min_journaled_answers_per_sec",
         ">=",
     ),
+    (
+        "BENCH_serving_throughput.json",
+        "attributed_wall_fraction",
+        "min_attributed_wall_fraction",
+        ">=",
+    ),
 ]
 
 

@@ -176,6 +176,18 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--guard", action="store_true",
                        help="validate events at intake and quarantine malformed "
                             "ones instead of failing the stream")
+    serve.add_argument("--metrics-dir", default=None,
+                       help="directory for telemetry exports: metrics.jsonl "
+                            "snapshots plus a final Prometheus-style rendering")
+    serve.add_argument("--metrics-interval", type=int, default=0,
+                       help="rounds between periodic metrics.jsonl snapshots "
+                            "(0 = final snapshot only; requires --metrics-dir)")
+    serve.add_argument("--trace", action="store_true",
+                       help="record a bounded span ring and export it as Chrome "
+                            "trace_event JSON into --metrics-dir")
+    serve.add_argument("--metrics-summary", action="store_true",
+                       help="print the full phase-attributed breakdown and the "
+                            "registry's key series after the run")
     serve.add_argument("--seed", type=int, default=42)
 
     compare = subparsers.add_parser(
@@ -321,6 +333,28 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _metrics_digest(metrics) -> str:
+    """One line per registered series: counters/gauges as values, histograms
+    as count/p50/p95/max — the terminal view of ``--metrics-summary``."""
+    lines = ["metrics:"]
+    for entry in metrics.snapshot()["series"]:
+        labels = entry["labels"]
+        rendered = (
+            "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+            if labels
+            else ""
+        )
+        name = f"{entry['name']}{rendered}"
+        if entry["kind"] == "histogram":
+            lines.append(
+                f"  {name}: count={entry['count']} p50={entry['p50']:.6g} "
+                f"p95={entry['p95']:.6g} max={entry['max']:.6g}"
+            )
+        else:
+            lines.append(f"  {name}: {entry['value']:g}")
+    return "\n".join(lines)
+
+
 def _cmd_serve_sim(args: argparse.Namespace) -> int:
     if args.dataset_file is not None:
         dataset = load_dataset(args.dataset_file)
@@ -343,6 +377,12 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     if args.resume and args.state_dir is None:
         print("--resume requires --state-dir", file=sys.stderr)
         return 2
+    if args.metrics_interval and args.metrics_dir is None:
+        print("--metrics-interval requires --metrics-dir", file=sys.stderr)
+        return 2
+    if args.trace and args.metrics_dir is None:
+        print("--trace requires --metrics-dir to export into", file=sys.stderr)
+        return 2
     from repro.serving import GuardConfig
 
     config = ServingConfig(
@@ -363,6 +403,9 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         resume=args.resume,
         journal_fsync=args.journal_fsync,
         guard=GuardConfig() if args.guard else None,
+        metrics_dir=args.metrics_dir,
+        metrics_interval=args.metrics_interval,
+        trace=args.trace,
     )
     service = OnlineServingService(platform, config=config)
     durable = " (durable)" if args.state_dir else ""
@@ -376,6 +419,10 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     finally:
         service.close()
     print(report.summary())
+    if args.metrics_summary:
+        print(_metrics_digest(service.metrics))
+    if args.metrics_dir:
+        print(f"telemetry exported -> {args.metrics_dir}")
     if args.snapshot_out:
         saved = service.save_latest_snapshot(args.snapshot_out)
         if saved is not None:

@@ -870,6 +870,18 @@ def label_slots_of_tasks(
     )
 
 
+@dataclass(frozen=True)
+class SweepReport:
+    """Work accounting of one :func:`localized_sweeps` invocation."""
+
+    #: Localized E/M sweeps actually executed (≤ the requested iterations).
+    sweeps_run: int = 0
+    #: Affected workers dropped from later sweeps by the convergence exit.
+    workers_settled: int = 0
+    #: Affected tasks dropped from later sweeps by the convergence exit.
+    tasks_settled: int = 0
+
+
 def localized_sweeps(
     tensor: AnswerTensor,
     store: ArrayParameterStore,
@@ -879,7 +891,7 @@ def localized_sweeps(
     label_slots: np.ndarray,
     iterations: int,
     early_exit_threshold: float = 0.0,
-) -> None:
+) -> SweepReport:
     """Run up to ``iterations`` localized sweeps with per-entity early exit.
 
     With ``early_exit_threshold > 0``, entities whose parameters all moved at
@@ -899,6 +911,9 @@ def localized_sweeps(
     rows = answer_rows
     slots = label_slots
     offsets = store.label_offsets
+    sweeps_run = 0
+    workers_settled = 0
+    tasks_settled = 0
     for sweep in range(iterations):
         track = early_exit_threshold > 0.0 and sweep + 1 < iterations
         if track:
@@ -908,6 +923,7 @@ def localized_sweeps(
             prev_iw = store.influence_weights[active_t]
             prev_lp = store.label_probs[slots]
         em_step_localized(tensor, store, rows, active_w, active_t, slots)
+        sweeps_run += 1
         if not track:
             continue
         if active_w.size:
@@ -932,6 +948,8 @@ def localized_sweeps(
             keep_t = active_t[t_delta > early_exit_threshold]
         else:
             keep_t = active_t
+        workers_settled += active_w.size - keep_w.size
+        tasks_settled += active_t.size - keep_t.size
         if keep_w.size == 0 and keep_t.size == 0:
             break
         if keep_w.size == active_w.size and keep_t.size == active_t.size:
@@ -940,6 +958,11 @@ def localized_sweeps(
         active_t = keep_t
         slots = label_slots_of_tasks(offsets, active_t)
         rows = gather_affected_rows(tensor, active_w, active_t)
+    return SweepReport(
+        sweeps_run=sweeps_run,
+        workers_settled=workers_settled,
+        tasks_settled=tasks_settled,
+    )
 
 
 def warm_start_extra_delta(

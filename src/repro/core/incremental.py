@@ -52,6 +52,7 @@ objects with the previous estimate.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -67,6 +68,9 @@ from repro.core.params import (
     _trusted_worker_parameters,
 )
 from repro.data.models import Answer, AnswerSet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass
@@ -100,6 +104,9 @@ class IncrementalUpdater:
     full_refresh_interval: int = 100
     local_iterations: int = 2
     early_exit_threshold: float = 0.0
+    #: Optional registry the EM work accounting (sweeps run, entities settled
+    #: by the early exit, refresh iterations/convergence) is reported into.
+    metrics: "MetricsRegistry | None" = None
     answers_since_full_refresh: int = field(default=0, init=False)
     #: AnswerSet → tensor flattens performed so far (0 on a pure live-tensor
     #: stream; the serving benchmark pins it there).
@@ -287,6 +294,15 @@ class IncrementalUpdater:
             self._store = inference.last_result.store
             self._synced_params = inference.parameters
             self._prune_carryover()
+            if self.metrics is not None:
+                result = inference.last_result
+                self.metrics.histogram("em_refresh_iterations").observe(
+                    float(result.iterations)
+                )
+                if result.convergence_trace:
+                    self.metrics.histogram("em_refresh_final_delta").observe(
+                        float(result.convergence_trace[-1])
+                    )
         self._publish_full = True
         self._dirty_workers.clear()
         self._dirty_tasks.clear()
@@ -705,7 +721,7 @@ class IncrementalUpdater:
         )
         label_slots = em_kernel.label_slots_of_tasks(store.label_offsets, affected_t)
         relevant_rows = em_kernel.gather_affected_rows(tensor, affected_w, affected_t)
-        em_kernel.localized_sweeps(
+        sweep_report = em_kernel.localized_sweeps(
             tensor,
             store,
             relevant_rows,
@@ -715,6 +731,16 @@ class IncrementalUpdater:
             iterations=self.local_iterations,
             early_exit_threshold=self.early_exit_threshold,
         )
+        if self.metrics is not None:
+            self.metrics.counter("em_localized_sweeps_total").inc(
+                sweep_report.sweeps_run
+            )
+            self.metrics.counter("em_entities_settled_total", kind="worker").inc(
+                sweep_report.workers_settled
+            )
+            self.metrics.counter("em_entities_settled_total", kind="task").inc(
+                sweep_report.tasks_settled
+            )
         self._dirty_workers.update(int(i) for i in affected_w)
         self._dirty_tasks.update(int(j) for j in affected_t)
 

@@ -1,0 +1,51 @@
+"""Unified telemetry substrate: metrics registry, spans, phase attribution.
+
+One :class:`MetricsRegistry` per process collects counters, gauges, and
+mergeable log-linear histograms from every serving stage; a :class:`Tracer`
+wrapping it hands out ``span("stage", **tags)`` context managers that feed
+phase-attributed wall time into the registry (and, optionally, a bounded
+trace ring exportable to Chrome ``trace_event`` JSON).
+
+Typical wiring::
+
+    from repro.obs import MetricsRegistry, Tracer, PhaseTimeline
+
+    metrics = MetricsRegistry()
+    tracer = Tracer(metrics, ring_capacity=4096)
+    timeline = PhaseTimeline(tracer)
+
+    with tracer.span("refresh", batch=7):
+        updater.full_refresh(batch)
+    timeline.mark(position=answers_seen, wall_seconds=run_timer.split())
+
+    print(timeline.breakdown().render())   # per-quarter stage shares
+    metrics.export_jsonl("metrics.jsonl", answers=answers_seen)
+    print(metrics.render_prometheus())
+
+Everything is stdlib-only and cheap enough to stay on in the serving hot
+path; see ``ROADMAP.md`` for the throughput gates that pin the overhead.
+"""
+
+from .metrics import Counter, Gauge, Histogram, HistogramConfig, MetricsRegistry
+from .trace import (
+    PIPELINE_STAGES,
+    PhaseBreakdown,
+    PhaseQuarter,
+    PhaseTimeline,
+    TraceEvent,
+    Tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramConfig",
+    "MetricsRegistry",
+    "PIPELINE_STAGES",
+    "PhaseBreakdown",
+    "PhaseQuarter",
+    "PhaseTimeline",
+    "TraceEvent",
+    "Tracer",
+]

@@ -1,0 +1,345 @@
+"""Dependency-free metrics primitives: counters, gauges, histograms, registry.
+
+The serving stack reports into one :class:`MetricsRegistry` per process.  The
+registry hands out :class:`Counter`, :class:`Gauge`, and :class:`Histogram`
+instruments keyed by ``(name, labels)``; the same key always returns the same
+instrument, so call sites can re-resolve instruments cheaply instead of
+holding references.
+
+The histogram uses **log-linear buckets**: each power-of-two octave between
+``lowest`` and ``highest`` is split into ``sub_buckets`` linear slots.  Counts
+are exact, memory is fixed at construction, and two histograms with the same
+bucket configuration can be merged by adding their count arrays — the property
+that lets per-shard registries be summed into a fleet view later.
+
+Export formats:
+
+- :meth:`MetricsRegistry.snapshot` — a plain dict (JSON-safe).
+- :meth:`MetricsRegistry.export_jsonl` — appends one snapshot per line.
+- :meth:`MetricsRegistry.render_prometheus` — Prometheus text exposition
+  (sparse ``_bucket`` series: only occupied buckets plus ``+Inf``).
+
+Everything here is pure stdlib; no third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from bisect import bisect_left
+from pathlib import Path
+from typing import Iterator, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramConfig",
+    "MetricsRegistry",
+]
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count (events, retries, failures)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge for deltas")
+        self.value += amount
+
+    def merge(self, other: "Counter") -> None:
+        self.value += other.value
+
+
+class Gauge:
+    """Point-in-time value (queue depth, chain length, armed faults)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def merge(self, other: "Gauge") -> None:
+        # For shard merges the freshest write wins; without timestamps we take
+        # the maximum so a merge never hides a worst-case reading.
+        self.value = max(self.value, other.value)
+
+
+class HistogramConfig:
+    """Log-linear bucket layout shared by mergeable histograms.
+
+    ``lowest``/``highest`` bound the trackable range; values outside land in
+    dedicated underflow/overflow counts.  Each power-of-two octave is split
+    into ``sub_buckets`` equal-width slots, so relative error is bounded by
+    ``1 / sub_buckets`` at every scale.
+    """
+
+    __slots__ = ("lowest", "highest", "sub_buckets", "bounds")
+
+    _cache: dict[tuple[float, float, int], "HistogramConfig"] = {}
+
+    def __new__(
+        cls, lowest: float = 1e-7, highest: float = 1e4, sub_buckets: int = 8
+    ) -> "HistogramConfig":
+        key = (float(lowest), float(highest), int(sub_buckets))
+        cached = cls._cache.get(key)
+        if cached is not None:
+            return cached
+        if lowest <= 0 or highest <= lowest:
+            raise ValueError("need 0 < lowest < highest")
+        if sub_buckets < 1:
+            raise ValueError("sub_buckets must be >= 1")
+        self = super().__new__(cls)
+        self.lowest, self.highest, self.sub_buckets = key
+        bounds: list[float] = []
+        octaves = math.ceil(math.log2(highest / lowest))
+        for octave in range(octaves):
+            base = lowest * (2.0**octave)
+            for slot in range(1, sub_buckets + 1):
+                bound = base * (1.0 + slot / sub_buckets)
+                if bound >= highest:
+                    break
+                bounds.append(bound)
+        bounds.append(float(highest))
+        self.bounds = bounds
+        cls._cache[key] = self
+        return self
+
+    def __len__(self) -> int:
+        return len(self.bounds)
+
+
+class Histogram:
+    """Bounded log-linear histogram with exact counts and fixed memory.
+
+    Values below ``config.lowest`` are counted in the underflow bucket,
+    values at or above ``config.highest`` in the overflow bucket; exact
+    ``min``/``max`` are kept so percentile queries stay anchored to observed
+    values at both tails.
+    """
+
+    __slots__ = ("config", "counts", "underflow", "overflow", "count", "sum", "min", "max")
+
+    def __init__(self, config: HistogramConfig | None = None) -> None:
+        self.config = config or HistogramConfig()
+        self.counts = [0] * len(self.config)
+        self.underflow = 0
+        self.overflow = 0
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        cfg = self.config
+        if value < cfg.lowest:
+            self.underflow += 1
+        elif value >= cfg.highest:
+            self.overflow += 1
+        else:
+            self.counts[bisect_left(cfg.bounds, value)] += 1
+
+    def percentile(self, p: float) -> float:
+        """Return the value at percentile ``p`` (0..100); 0.0 when empty.
+
+        Within a bucket the value is linearly interpolated between its
+        bounds; results are clamped to the observed ``[min, max]`` and are
+        monotonically non-decreasing in ``p``.
+        """
+        if self.count == 0:
+            return 0.0
+        if p <= 0:
+            return self.min
+        if p >= 100:
+            return self.max
+        target = p / 100.0 * self.count
+        cum = self.underflow
+        if target <= cum:
+            return self.min
+        cfg = self.config
+        for idx, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            upper = cfg.bounds[idx]
+            lower = cfg.bounds[idx - 1] if idx > 0 else cfg.lowest
+            if target <= cum + bucket_count:
+                frac = (target - cum) / bucket_count
+                value = lower + frac * (upper - lower)
+                return min(max(value, self.min), self.max)
+            cum += bucket_count
+        return self.max
+
+    def merge(self, other: "Histogram") -> None:
+        if self.config is not other.config:
+            raise ValueError("cannot merge histograms with different bucket layouts")
+        for idx, n in enumerate(other.counts):
+            self.counts[idx] += n
+        self.underflow += other.underflow
+        self.overflow += other.overflow
+        self.count += other.count
+        self.sum += other.sum
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def summary(self) -> dict:
+        empty = self.count == 0
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": 0.0 if empty else self.min,
+            "max": 0.0 if empty else self.max,
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+            "p99": self.percentile(99.0),
+            "underflow": self.underflow,
+            "overflow": self.overflow,
+        }
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Process-local instrument store keyed by ``(name, labels)``.
+
+    Resolving the same name/labels pair always returns the same instrument;
+    resolving an existing pair as a different kind raises ``ValueError``.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, LabelKey], object] = {}
+        self._kinds: dict[str, str] = {}
+
+    def _resolve(self, kind: str, name: str, labels: Mapping[str, object], **extra):
+        registered = self._kinds.get(name)
+        if registered is None:
+            self._kinds[name] = kind
+        elif registered != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {registered}, not {kind}"
+            )
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = _KINDS[kind](**extra)
+            self._metrics[key] = metric
+        return metric
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._resolve("counter", name, labels)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self._resolve("gauge", name, labels)
+
+    def histogram(
+        self, name: str, config: HistogramConfig | None = None, **labels: object
+    ) -> Histogram:
+        return self._resolve("histogram", name, labels, config=config)
+
+    def get(self, name: str, **labels: object):
+        """Return the instrument if registered, else ``None`` (no creation)."""
+        return self._metrics.get((name, _label_key(labels)))
+
+    def find(self, name: str) -> Iterator[tuple[dict[str, str], object]]:
+        """Yield ``(labels, instrument)`` for every series under ``name``."""
+        for (metric_name, key), metric in self._metrics.items():
+            if metric_name == name:
+                yield dict(key), metric
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other`` into this registry (per-shard roll-up)."""
+        for (name, key), theirs in other._metrics.items():
+            kind = other._kinds[name]
+            mine = self._resolve(
+                kind,
+                name,
+                dict(key),
+                **({"config": theirs.config} if kind == "histogram" else {}),
+            )
+            mine.merge(theirs)
+
+    def snapshot(self) -> dict:
+        """Return a JSON-safe dict of every registered series."""
+        series = []
+        for (name, key), metric in sorted(self._metrics.items()):
+            entry: dict = {"name": name, "labels": dict(key), "kind": self._kinds[name]}
+            if isinstance(metric, Histogram):
+                entry.update(metric.summary())
+            else:
+                entry["value"] = metric.value
+            series.append(entry)
+        return {"series": series}
+
+    def export_jsonl(self, path: str | Path, **stamp: object) -> None:
+        """Append one snapshot line to ``path`` (created if missing).
+
+        Keyword arguments (e.g. ``answers=1200``) are recorded alongside the
+        series so readers can align snapshots with stream progress.
+        """
+        record = dict(stamp)
+        record.update(self.snapshot())
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, separators=(",", ":"), sort_keys=True))
+            fh.write("\n")
+
+    def render_prometheus(self) -> str:
+        """Render the registry in Prometheus text exposition format."""
+        lines: list[str] = []
+        seen_types: set[str] = set()
+        for (name, key), metric in sorted(self._metrics.items()):
+            kind = self._kinds[name]
+            if name not in seen_types:
+                lines.append(f"# TYPE {name} {kind}")
+                seen_types.add(name)
+            if isinstance(metric, Histogram):
+                cum = metric.underflow
+                for idx, bucket_count in enumerate(metric.counts):
+                    if bucket_count == 0:
+                        continue
+                    cum += bucket_count
+                    bound = metric.config.bounds[idx]
+                    labels = _render_labels(key, le=f"{bound:.9g}")
+                    lines.append(f"{name}_bucket{labels} {cum}")
+                labels = _render_labels(key, le="+Inf")
+                lines.append(f"{name}_bucket{labels} {metric.count}")
+                lines.append(f"{name}_sum{_render_labels(key)} {metric.sum:.9g}")
+                lines.append(f"{name}_count{_render_labels(key)} {metric.count}")
+            else:
+                lines.append(f"{name}{_render_labels(key)} {metric.value:.9g}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _render_labels(key: LabelKey, **extra: str) -> str:
+    pairs = list(key) + sorted(extra.items())
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + body + "}"

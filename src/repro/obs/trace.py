@@ -1,0 +1,322 @@
+"""Lightweight spans with phase attribution and an optional trace ring.
+
+A :class:`Tracer` wraps a :class:`~repro.obs.metrics.MetricsRegistry` and
+hands out ``span("stage", **tags)`` context managers.  Every span records its
+wall time (measured with :class:`repro.utils.timing.Timer`) into the
+``stage_seconds`` histogram labelled by stage, bumps ``stage_calls_total``,
+and — when the span body raises — ``stage_errors_total`` labelled by the
+exception type before re-raising.  Span durations are *inclusive*: a nested
+span's time is also counted in its parent.  The serving pipeline's top-level
+stages (guard, journal, apply, refresh, publish, checkpoint, assign) never
+nest among themselves, so summing their ``stage_seconds`` attributes wall
+time without double counting.
+
+When constructed with ``ring_capacity > 0`` the tracer also keeps the most
+recent spans in a bounded ring, exportable with :meth:`Tracer.export_chrome`
+to Chrome's ``chrome://tracing`` / Perfetto ``trace_event`` JSON format.
+
+:class:`PhaseTimeline` turns cumulative stage totals sampled at points along
+a stream (e.g. every serving round) into a per-quarter phase breakdown — the
+instrument that answers "which stage eats the wall time as the stream ages".
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+from ..utils.timing import Timer
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "PIPELINE_STAGES",
+    "PhaseBreakdown",
+    "PhaseQuarter",
+    "PhaseTimeline",
+    "TraceEvent",
+    "Tracer",
+]
+
+#: Canonical ordering of the serving pipeline stages for reports.
+PIPELINE_STAGES = (
+    "guard",
+    "journal",
+    "apply",
+    "refresh",
+    "publish",
+    "checkpoint",
+    "assign",
+)
+
+STAGE_SECONDS = "stage_seconds"
+STAGE_CALLS = "stage_calls_total"
+STAGE_ERRORS = "stage_errors_total"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One completed span in the ring: offsets are seconds since tracer start."""
+
+    name: str
+    start: float
+    duration: float
+    depth: int
+    tags: dict[str, object]
+    error: str | None = None
+
+
+class Tracer:
+    """Span factory feeding a metrics registry and an optional trace ring."""
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        *,
+        ring_capacity: int = 0,
+    ) -> None:
+        self.metrics = metrics
+        self.ring: deque[TraceEvent] | None = (
+            deque(maxlen=ring_capacity) if ring_capacity > 0 else None
+        )
+        self._depth = 0
+        self._epoch = time.perf_counter()
+
+    @contextmanager
+    def span(self, stage: str, **tags: object) -> Iterator[Timer]:
+        """Time a pipeline stage; yields the running :class:`Timer`.
+
+        The timer is stopped even when the body raises, and the exception is
+        attributed (by type name) to the stage before propagating.
+        """
+        timer = Timer()
+        self._depth += 1
+        error: str | None = None
+        timer.start()
+        try:
+            yield timer
+        except BaseException as exc:
+            error = type(exc).__name__
+            raise
+        finally:
+            if timer.running:
+                timer.stop()
+            self._depth -= 1
+            self._record(stage, timer.elapsed, tags, error)
+
+    def record(self, stage: str, duration: float, **tags: object) -> None:
+        """Attribute an externally measured duration to ``stage``.
+
+        Used where per-event timing is aggregated into one per-batch
+        observation (guard admission, journal appends) instead of opening a
+        span around every event.
+        """
+        self._record(stage, duration, tags, None)
+
+    def _record(
+        self, stage: str, duration: float, tags: dict[str, object], error: str | None
+    ) -> None:
+        if self.metrics is not None:
+            self.metrics.histogram(STAGE_SECONDS, stage=stage).observe(duration)
+            self.metrics.counter(STAGE_CALLS, stage=stage).inc()
+            if error is not None:
+                self.metrics.counter(STAGE_ERRORS, stage=stage, error=error).inc()
+        if self.ring is not None:
+            end = time.perf_counter() - self._epoch
+            self.ring.append(
+                TraceEvent(
+                    name=stage,
+                    start=end - duration,
+                    duration=duration,
+                    depth=self._depth,
+                    tags=dict(tags),
+                    error=error,
+                )
+            )
+
+    def stage_totals(self) -> dict[str, float]:
+        """Cumulative seconds attributed to each stage so far."""
+        totals: dict[str, float] = {}
+        if self.metrics is None:
+            return totals
+        for labels, histogram in self.metrics.find(STAGE_SECONDS):
+            stage = labels.get("stage", "?")
+            totals[stage] = totals.get(stage, 0.0) + histogram.sum
+        return totals
+
+    def export_chrome(self, path: str | Path) -> int:
+        """Write the trace ring as Chrome ``trace_event`` JSON; returns #events."""
+        events = []
+        for event in self.ring or ():
+            args: dict[str, object] = dict(event.tags)
+            if event.error is not None:
+                args["error"] = event.error
+            events.append(
+                {
+                    "name": event.name,
+                    "ph": "X",
+                    "ts": round(event.start * 1e6, 3),
+                    "dur": round(event.duration * 1e6, 3),
+                    "pid": 0,
+                    "tid": event.depth,
+                    "cat": "serving",
+                    "args": args,
+                }
+            )
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+        path.write_text(json.dumps(payload, separators=(",", ":")), encoding="utf-8")
+        return len(events)
+
+
+@dataclass(frozen=True)
+class PhaseQuarter:
+    """Per-stage seconds spent inside one quarter of the stream."""
+
+    index: int
+    start_position: float
+    end_position: float
+    wall_seconds: float
+    stage_seconds: dict[str, float]
+
+    @property
+    def attributed_seconds(self) -> float:
+        return sum(self.stage_seconds.values())
+
+    def share(self, stage: str) -> float:
+        """Fraction of this quarter's wall time spent in ``stage`` (0.0 if idle)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.stage_seconds.get(stage, 0.0) / self.wall_seconds
+
+
+@dataclass
+class PhaseBreakdown:
+    """Phase-attributed wall time, overall and per stream quarter."""
+
+    stages: list[str]
+    quarters: list[PhaseQuarter]
+    wall_seconds: float
+    stage_totals: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def attributed_seconds(self) -> float:
+        return sum(self.stage_totals.values())
+
+    @property
+    def attributed_fraction(self) -> float:
+        """Fraction of wall time covered by spans; 0.0 when no wall elapsed."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.attributed_seconds / self.wall_seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "stages": list(self.stages),
+            "wall_seconds": self.wall_seconds,
+            "attributed_seconds": self.attributed_seconds,
+            "attributed_fraction": self.attributed_fraction,
+            "stage_totals": dict(self.stage_totals),
+            "quarters": [
+                {
+                    "index": q.index,
+                    "start_position": q.start_position,
+                    "end_position": q.end_position,
+                    "wall_seconds": q.wall_seconds,
+                    "stage_seconds": dict(q.stage_seconds),
+                    "stage_shares": {s: q.share(s) for s in self.stages},
+                }
+                for q in self.quarters
+            ],
+        }
+
+    def render(self) -> str:
+        """Human-readable per-quarter table of stage shares of wall time."""
+        header = ["quarter"] + list(self.stages) + ["other", "wall_s"]
+        rows = [header]
+        for quarter in self.quarters:
+            attributed = quarter.attributed_seconds
+            other = max(0.0, quarter.wall_seconds - attributed)
+            cells = [f"Q{quarter.index + 1}"]
+            cells += [f"{quarter.share(stage) * 100.0:5.1f}%" for stage in self.stages]
+            other_share = other / quarter.wall_seconds if quarter.wall_seconds > 0 else 0.0
+            cells.append(f"{other_share * 100.0:5.1f}%")
+            cells.append(f"{quarter.wall_seconds:.3f}")
+            rows.append(cells)
+        widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+        lines = [
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+            for row in rows
+        ]
+        lines.append(
+            f"attributed {self.attributed_seconds:.3f}s of {self.wall_seconds:.3f}s "
+            f"wall ({self.attributed_fraction * 100.0:.1f}%)"
+        )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class _Mark:
+    position: float
+    wall_seconds: float
+    totals: dict[str, float]
+
+
+class PhaseTimeline:
+    """Samples cumulative stage totals along a stream for quarterisation.
+
+    Call :meth:`mark` whenever progress is known (per round, per batch) with
+    the stream position (e.g. answers ingested) and the loop's wall-clock
+    reading; :meth:`breakdown` then splits the stream into equal position
+    ranges and differences the cumulative totals at their boundaries.
+    """
+
+    def __init__(self, tracer: Tracer) -> None:
+        self._tracer = tracer
+        self._marks: list[_Mark] = [_Mark(0.0, 0.0, {})]
+
+    def mark(self, position: float, wall_seconds: float) -> None:
+        self._marks.append(
+            _Mark(float(position), float(wall_seconds), self._tracer.stage_totals())
+        )
+
+    def breakdown(self, num_quarters: int = 4) -> PhaseBreakdown:
+        final = self._marks[-1]
+        seen = set(final.totals)
+        stages = [s for s in PIPELINE_STAGES if s in seen]
+        stages += sorted(seen.difference(PIPELINE_STAGES))
+        quarters: list[PhaseQuarter] = []
+        if final.position > 0 and num_quarters > 0:
+            prev = self._marks[0]
+            for index in range(num_quarters):
+                boundary = final.position * (index + 1) / num_quarters
+                mark = final
+                for candidate in self._marks:
+                    if candidate.position >= boundary:
+                        mark = candidate
+                        break
+                stage_seconds = {
+                    stage: mark.totals.get(stage, 0.0) - prev.totals.get(stage, 0.0)
+                    for stage in stages
+                }
+                quarters.append(
+                    PhaseQuarter(
+                        index=index,
+                        start_position=prev.position,
+                        end_position=mark.position,
+                        wall_seconds=mark.wall_seconds - prev.wall_seconds,
+                        stage_seconds=stage_seconds,
+                    )
+                )
+                prev = mark
+        return PhaseBreakdown(
+            stages=stages,
+            quarters=quarters,
+            wall_seconds=final.wall_seconds,
+            stage_totals=dict(final.totals),
+        )

@@ -105,6 +105,45 @@ known at startup — new entities flow through every layer as they arrive:
    and the report records how much of the stream came from entities absent at
    startup.
 
+**Observability.**  The whole pipeline reports into the dependency-free
+telemetry substrate of :mod:`repro.obs` — one
+:class:`~repro.obs.metrics.MetricsRegistry` per service, one
+:class:`~repro.obs.trace.Tracer` threading phase-attributed wall time through
+every stage:
+
+* **pipeline spans** — every micro-batch's guard / journal / apply / refresh /
+  publish / checkpoint work and every frontend ``assign`` request record into
+  the ``stage_seconds`` histogram (labelled by stage) plus
+  ``stage_calls_total`` / ``stage_errors_total`` counters.  The top-level
+  stages never nest among themselves, so summing their totals attributes wall
+  time without double counting;
+* **component counters** — guard acceptances and per-reason quarantines,
+  journal appends (fsync-labelled latency histogram) and segment rotations,
+  snapshot publishes by kind (full vs dirty-row delta) with the live delta
+  chain depth, ingest answers/batches/retries/drops, fault-injector
+  armed/fired counts, and the EM work rate (localized sweeps run, entities
+  settled by early-exit, refresh iterations and final convergence deltas);
+* **serving histograms** — assignment latency (the registry histogram is the
+  authoritative percentile source; the frontend's
+  :class:`~repro.serving.frontend.LatencyReservoir` stays as a compatibility
+  view) and snapshot age at serve time;
+* **the phase breakdown** — :class:`~repro.obs.trace.PhaseTimeline` samples
+  cumulative stage totals every round, and
+  :meth:`ServingReport.summary <repro.serving.service.ServingReport.summary>`
+  renders the per-stream-quarter share of wall time spent in each stage —
+  the instrument that answers *which stage eats the throughput as the stream
+  ages* (apply vs refresh vs publish), not just that it decays;
+* **exports** — ``ServingConfig(metrics_dir=...)`` writes stamped
+  ``metrics.jsonl`` snapshots (every ``metrics_interval`` rounds and at
+  shutdown), a Prometheus text rendering, and (``trace=True``) a bounded
+  span ring as Chrome ``trace_event`` JSON.  CLI:
+  ``repro-poi serve-sim --metrics-dir DIR --metrics-interval N --trace
+  --metrics-summary``.
+
+Telemetry is always on in-process (a handful of histogram observations per
+micro-batch); components constructed without a tracer fall back to an inert
+metricless :class:`~repro.obs.trace.Tracer`, so the hot path never branches.
+
 Typical usage::
 
     from repro.serving import OnlineServingService, ServingConfig

@@ -29,6 +29,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
 
 
 class InjectedFault(RuntimeError):
@@ -75,6 +79,15 @@ class FaultInjector:
     hits: dict[str, int] = field(default_factory=dict)
     raised: dict[str, int] = field(default_factory=dict)
     _armed: dict[str, list[_Arming]] = field(default_factory=dict)
+    metrics: "MetricsRegistry | None" = field(default=None, repr=False)
+
+    def bind_metrics(self, metrics: "MetricsRegistry") -> None:
+        """Mirror armed/fired counts into ``metrics`` from now on.
+
+        Lets chaos tests assert on injections through the same registry the
+        rest of the pipeline reports into.
+        """
+        self.metrics = metrics
 
     def arm(
         self, point: str, after: int = 1, times: int = 1, crash: bool = False
@@ -87,6 +100,8 @@ class FaultInjector:
         self._armed.setdefault(point, []).append(
             _Arming(after=after, times=times, crash=crash)
         )
+        if self.metrics is not None:
+            self.metrics.counter("faults_armed_total", point=point).inc()
 
     def disarm(self, point: str | None = None) -> None:
         """Clear armed failures for ``point`` (or every point when ``None``)."""
@@ -103,6 +118,12 @@ class FaultInjector:
             if arming.after <= hit < arming.after + arming.times:
                 arming.fired += 1
                 self.raised[point] = self.raised.get(point, 0) + 1
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        "faults_fired_total",
+                        point=point,
+                        kind="crash" if arming.crash else "fault",
+                    ).inc()
                 if arming.crash:
                     raise SimulatedCrash(
                         f"simulated crash at check point {point!r} (hit {hit})"

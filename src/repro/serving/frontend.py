@@ -26,6 +26,8 @@ import numpy as np
 
 from repro.assign import build_assigner
 from repro.data.models import AnswerSet, Task, Worker
+from repro.obs.metrics import Histogram
+from repro.obs.trace import Tracer
 from repro.serving.snapshots import SnapshotStore
 from repro.spatial.distance import DistanceModel
 
@@ -93,7 +95,11 @@ class LatencyReservoir:
             self._samples[slot] = float(value)
 
     def percentile(self, percentile: float) -> float:
-        """Latency percentile over the retained sample (0 when empty)."""
+        """Latency percentile over the retained sample.
+
+        Contract: an empty reservoir returns exactly ``0.0`` — never ``NaN``
+        and never a division error — so rate/latency reporting is total.
+        """
         if not self._samples:
             return 0.0
         return float(np.percentile(self._samples, percentile))
@@ -136,7 +142,11 @@ class FrontendStats:
         return self.latencies.samples
 
     def latency_percentile(self, percentile: float) -> float:
-        """Latency percentile in milliseconds (0 when no requests were served)."""
+        """Latency percentile in milliseconds.
+
+        Contract: exactly ``0.0`` when no requests were served (empty
+        reservoir) — never ``NaN`` or a raised error.
+        """
         return self.latencies.percentile(percentile)
 
     @property
@@ -160,6 +170,7 @@ class AssignmentFrontend:
         strategy: str = "accopt",
         seed: int | None = None,
         engine: str = "vectorized",
+        tracer: Tracer | None = None,
     ) -> None:
         self._assigner = build_assigner(
             strategy,
@@ -173,6 +184,14 @@ class AssignmentFrontend:
         self._strategy = strategy
         self._seen_version: int | None = None
         self._stats = FrontendStats()
+        # The registry histogram is the authoritative percentile source when
+        # telemetry is wired; the reservoir stays as a compatibility view.
+        self._tracer = tracer
+        self._latency_hist: Histogram | None = None
+        self._age_hist: Histogram | None = None
+        if tracer is not None and tracer.metrics is not None:
+            self._latency_hist = tracer.metrics.histogram("assign_latency_seconds")
+            self._age_hist = tracer.metrics.histogram("snapshot_age_at_serve_seconds")
 
     @property
     def strategy(self) -> str:
@@ -186,6 +205,17 @@ class AssignmentFrontend:
     def seen_version(self) -> int | None:
         """Version of the snapshot the assigner's parameters came from."""
         return self._seen_version
+
+    def latency_percentile_ms(self, percentile: float) -> float:
+        """Assignment latency percentile in milliseconds (0.0 before any request).
+
+        Prefers the registry histogram (exact counts over the whole request
+        stream) and falls back to the reservoir's retained sample when the
+        frontend runs without telemetry.
+        """
+        if self._latency_hist is not None and self._latency_hist.count > 0:
+            return self._latency_hist.percentile(percentile) * 1000.0
+        return self._stats.latency_percentile(percentile)
 
     # --------------------------------------------------------- open-world growth
     def add_task(self, task: Task) -> bool:
@@ -231,6 +261,12 @@ class AssignmentFrontend:
         if not task_ids:
             self._stats.empty_responses += 1
         self._stats.latencies.add(latency_ms)
+        if self._tracer is not None:
+            self._tracer.record("assign", latency_ms / 1000.0)
+            if self._latency_hist is not None:
+                self._latency_hist.observe(latency_ms / 1000.0)
+            if self._age_hist is not None and snapshot is not None:
+                self._age_hist.observe(time.monotonic() - snapshot.published_wall)
         return AssignmentResponse(
             worker_id=worker_id,
             task_ids=task_ids,

@@ -53,6 +53,7 @@ from repro.data.models import AnswerSet
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.inference import LocationAwareInference
+    from repro.obs.metrics import MetricsRegistry
     from repro.serving.ingest import AnswerEvent
 
 
@@ -118,8 +119,13 @@ class GuardStats:
 class EventGuard:
     """Admits or quarantines answer events at the ingestion boundary."""
 
-    def __init__(self, config: GuardConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: GuardConfig | None = None,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
         self._config = config or GuardConfig()
+        self._metrics = metrics
         self._stats = GuardStats()
         self._quarantine: deque[QuarantinedEvent] = deque(
             maxlen=self._config.quarantine_capacity
@@ -143,6 +149,10 @@ class EventGuard:
         """The retained quarantined events, oldest first (bounded)."""
         return list(self._quarantine)
 
+    def bind_metrics(self, metrics: "MetricsRegistry") -> None:
+        """Mirror accept/quarantine counters into ``metrics`` from now on."""
+        self._metrics = metrics
+
     # ----------------------------------------------------------------- intake
     def admit(
         self, event: "AnswerEvent", inference: "LocationAwareInference"
@@ -160,6 +170,8 @@ class EventGuard:
             self._quarantine_event(event, reason, detail)
             return reason
         self._stats.accepted += 1
+        if self._metrics is not None:
+            self._metrics.counter("guard_accepted_total").inc()
         self.observe(event)
         return None
 
@@ -282,6 +294,8 @@ class EventGuard:
     def _quarantine_event(self, event: "AnswerEvent", reason: str, detail: str) -> None:
         self._stats.quarantined += 1
         self._stats.reasons[reason] = self._stats.reasons.get(reason, 0) + 1
+        if self._metrics is not None:
+            self._metrics.counter("guard_quarantined_total", reason=reason).inc()
         entry = QuarantinedEvent(event=event, reason=reason, detail=detail)
         self._quarantine.append(entry)
         sink = self._config.quarantine_sink

@@ -61,7 +61,9 @@ from typing import Callable
 from repro.core.incremental import IncrementalUpdater
 from repro.core.inference import LocationAwareInference
 from repro.data.models import Answer, AnswerSet, Task, Worker
+from repro.obs.trace import Tracer
 from repro.serving.faults import FaultInjector
+from repro.utils.timing import Timer
 from repro.serving.guard import EventGuard
 from repro.serving.journal import AnswerJournal
 from repro.serving.snapshots import (
@@ -258,6 +260,12 @@ class AnswerIngestor:
         :attr:`IngestConfig.checkpoint_interval` > 0 the live state is
         persisted after qualifying publishes and the journal is truncated up
         to the covered sequence number.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`; when given, every pipeline
+        stage (guard/journal/apply/refresh/publish/checkpoint) reports
+        phase-attributed wall time and counters into its registry, and the
+        journal/guard/snapshot-store/fault-injector are bound to the same
+        registry so one surface carries the whole pipeline's telemetry.
     """
 
     def __init__(
@@ -270,6 +278,7 @@ class AnswerIngestor:
         guard: EventGuard | None = None,
         faults: FaultInjector | None = None,
         checkpoints: CheckpointManager | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self._inference = inference
         self._snapshots = snapshots
@@ -278,6 +287,22 @@ class AnswerIngestor:
         self._guard = guard
         self._faults = faults
         self._checkpoints = checkpoints
+        # A metricless tracer keeps the span/record call sites branch-free;
+        # it observes nothing and costs one no-op call per micro-batch.
+        self._tracer = tracer if tracer is not None else Tracer()
+        # Per-event guard/journal time is accumulated here and attributed as
+        # one per-batch observation at the next flush.
+        self._guard_timer = Timer()
+        self._journal_timer = Timer()
+        if tracer is not None and tracer.metrics is not None:
+            metrics = tracer.metrics
+            if guard is not None:
+                guard.bind_metrics(metrics)
+            if journal is not None:
+                journal.bind_metrics(metrics)
+            if faults is not None:
+                faults.bind_metrics(metrics)
+            snapshots.bind_metrics(metrics)
         #: Journal seq of the newest event handed to :meth:`flush` (pending)
         #: and of the newest event whose batch has been flushed (applied).
         #: ``applied`` advances even for dropped batches — dropped means
@@ -300,6 +325,7 @@ class AnswerIngestor:
             full_refresh_interval=self._config.full_refresh_interval,
             local_iterations=self._config.local_iterations,
             early_exit_threshold=threshold,
+            metrics=self._tracer.metrics,
         )
         # Estimates to carry across re-fits: a model warm-started from a
         # restored snapshot knows entities the growing answer log may not
@@ -353,6 +379,11 @@ class AnswerIngestor:
         """Journal seq of the newest event whose micro-batch has been flushed."""
         return self._applied_seq
 
+    @property
+    def tracer(self) -> Tracer:
+        """The tracer every pipeline stage reports into (metricless if unwired)."""
+        return self._tracer
+
     # ------------------------------------------------------------------ intake
     def submit(self, event: AnswerEvent) -> ParameterSnapshot | None:
         """Admit, journal, and buffer one answer event; flush on a boundary.
@@ -371,10 +402,16 @@ class AnswerIngestor:
         if self._faults is not None:
             self._faults.check("ingest.submit")
         if self._guard is not None:
-            if self._guard.admit(event, self._inference) is not None:
+            self._guard_timer.start()
+            try:
+                verdict = self._guard.admit(event, self._inference)
+            finally:
+                self._guard_timer.stop()
+            if verdict is not None:
                 self._stats.events_quarantined += 1
                 return None
         if self._journal is not None:
+            self._journal_timer.start()
             try:
                 if self._faults is not None:
                     self._faults.check("journal.append")
@@ -382,6 +419,8 @@ class AnswerIngestor:
             except Exception:
                 self._stats.journal_append_failures += 1
                 return None
+            finally:
+                self._journal_timer.stop()
             self._stats.journal_appends += 1
             self._pending_seq = seq
         return self._buffer_event(event)
@@ -456,21 +495,36 @@ class AnswerIngestor:
                 self._answers.add(answer)
         log = self._answers if self._retain else None
 
+        # Attribute the guard/journal time this batch's events accumulated in
+        # submit() as one per-batch observation each.
+        if self._guard_timer.elapsed > 0.0:
+            self._tracer.record("guard", self._guard_timer.elapsed, events=len(events))
+            self._guard_timer.reset()
+        if self._journal_timer.elapsed > 0.0:
+            self._tracer.record(
+                "journal", self._journal_timer.elapsed, events=len(events)
+            )
+            self._journal_timer.reset()
+
         started = time.perf_counter()
         run_full = (
             full or not self._inference.is_fitted or self._updater.full_refresh_due
         )
         if run_full:
             source = "full_refresh"
-            applied = self._supervised(
-                "refresh",
-                lambda: self._updater.full_refresh(new_answers, answers=log, warm=warm),
-            )
+            with self._tracer.span("refresh", events=len(new_answers)):
+                applied = self._supervised(
+                    "refresh",
+                    lambda: self._updater.full_refresh(
+                        new_answers, answers=log, warm=warm
+                    ),
+                )
         else:
             source = "incremental"
-            applied = self._supervised(
-                "apply", lambda: self._updater.apply(log, new_answers)
-            )
+            with self._tracer.span("apply", events=len(new_answers)):
+                applied = self._supervised(
+                    "apply", lambda: self._updater.apply(log, new_answers)
+                )
         self._stats.update_seconds += time.perf_counter() - started
         # Either way these events' fate is settled: a batch dropped after
         # retry exhaustion is *durably* dropped, so recovery must not replay
@@ -480,6 +534,8 @@ class AnswerIngestor:
         if not applied:
             self._stats.dropped_batches += 1
             self._stats.answers_dropped += len(new_answers)
+            if self._tracer.metrics is not None:
+                self._tracer.metrics.counter("ingest_dropped_batches_total").inc()
             self._snapshots.mark_degraded(
                 f"{source} update failed after "
                 f"{self._config.max_update_retries} retries; serving the last "
@@ -493,6 +549,10 @@ class AnswerIngestor:
         self._stats.answers += len(new_answers)
         if new_answers:
             self._stats.batches += 1
+        metrics = self._tracer.metrics
+        if metrics is not None:
+            metrics.counter("ingest_answers_total").inc(len(new_answers))
+            metrics.counter("ingest_batches_total", kind=source).inc()
 
         snapshot: ParameterSnapshot | None = None
 
@@ -500,7 +560,9 @@ class AnswerIngestor:
             nonlocal snapshot
             snapshot = self._publish(published_at=now, source=source)
 
-        if not self._supervised("publish", publish):
+        with self._tracer.span("publish"):
+            published = self._supervised("publish", publish)
+        if not published:
             self._stats.publish_failures += 1
             self._snapshots.mark_degraded(
                 f"snapshot publish failed after "
@@ -620,9 +682,17 @@ class AnswerIngestor:
                 return True
             except Exception:
                 self._stats.update_failures += 1
+                if self._tracer.metrics is not None:
+                    self._tracer.metrics.counter(
+                        "ingest_update_failures_total", point=point
+                    ).inc()
                 if attempt >= self._config.max_update_retries:
                     return False
                 self._stats.update_retries += 1
+                if self._tracer.metrics is not None:
+                    self._tracer.metrics.counter(
+                        "ingest_update_retries_total", point=point
+                    ).inc()
                 if backoff > 0:
                     time.sleep(min(backoff, self._config.max_retry_backoff))
                     backoff *= self._config.retry_backoff_factor
@@ -648,7 +718,8 @@ class AnswerIngestor:
         try:
             if self._faults is not None:
                 self._faults.check("checkpoint.save")
-            self._write_checkpoint(snapshot)
+            with self._tracer.span("checkpoint"):
+                self._write_checkpoint(snapshot)
         except Exception:
             self._stats.checkpoint_failures += 1
 

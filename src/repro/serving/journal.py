@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -49,6 +50,8 @@ from repro.data.models import Answer, AnswerSet
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.inference import LocationAwareInference
+    from repro.obs.metrics import Histogram, MetricsRegistry
+    from repro.obs.trace import Tracer
     from repro.serving.faults import FaultInjector
     from repro.serving.guard import EventGuard
     from repro.serving.ingest import AnswerEvent, AnswerIngestor, IngestConfig
@@ -160,6 +163,8 @@ class AnswerJournal:
         self._current_segment: Path | None = None
         self._current_records = 0
         self._last_seq = 0
+        self._metrics: "MetricsRegistry | None" = None
+        self._append_seconds: "Histogram | None" = None
         self._recover_existing()
 
     # ------------------------------------------------------------------ state
@@ -175,6 +180,17 @@ class AnswerJournal:
     def last_seq(self) -> int:
         """Sequence number of the newest durable record (0 when empty)."""
         return self._last_seq
+
+    def bind_metrics(self, metrics: "MetricsRegistry") -> None:
+        """Record per-append durability time (flush + fsync) and rotations.
+
+        The append-seconds series is labelled with the fsync policy so a
+        fleet roll-up can tell durable and OS-buffered writers apart.
+        """
+        self._metrics = metrics
+        self._append_seconds = metrics.histogram(
+            "journal_append_seconds", fsync="on" if self._fsync else "off"
+        )
 
     def segment_paths(self) -> list[Path]:
         """Existing segment files, oldest first."""
@@ -192,10 +208,13 @@ class AnswerJournal:
         if self._handle is None or self._current_records >= self._max_segment_records:
             self._open_segment(first_seq=seq)
         line = _encode_record(seq, event)
+        started = time.perf_counter() if self._append_seconds is not None else 0.0
         self._handle.write(line)
         self._handle.flush()
         if self._fsync:
             os.fsync(self._handle.fileno())
+        if self._append_seconds is not None:
+            self._append_seconds.observe(time.perf_counter() - started)
         self._last_seq = seq
         self._current_records += 1
         self._stats.appends += 1
@@ -278,6 +297,8 @@ class AnswerJournal:
         self._handle = open(self._current_segment, "ab")
         self._current_records = 0
         self._stats.segments_created += 1
+        if self._metrics is not None:
+            self._metrics.counter("journal_segments_created_total").inc()
 
     def _recover_existing(self) -> None:
         """Scan pre-existing segments: find the tail, drop a torn final record."""
@@ -369,6 +390,7 @@ def recover_ingestor(
     faults: "FaultInjector | None" = None,
     journal_fsync: bool = False,
     journal_segment_records: int = 1024,
+    tracer: "Tracer | None" = None,
 ) -> tuple["AnswerIngestor", RecoveryReport]:
     """Rebuild a crashed serving session's ingestion state from ``state_dir``.
 
@@ -429,6 +451,7 @@ def recover_ingestor(
         guard=guard,
         faults=faults,
         checkpoints=checkpoints,
+        tracer=tracer,
     )
     if state is not None:
         ingestor.restore(state)

@@ -33,6 +33,8 @@ from repro.core.inference import InferenceConfig, LocationAwareInference
 from repro.crowd.arrival import TimedArrivalSchedule
 from repro.crowd.platform import CrowdPlatform
 from repro.framework.metrics import labelling_accuracy
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import PhaseBreakdown, PhaseTimeline, Tracer
 from repro.serving.faults import FaultInjector
 from repro.serving.frontend import AssignmentFrontend, FrontendStats
 from repro.serving.guard import EventGuard, GuardConfig
@@ -90,6 +92,18 @@ class ServingConfig:
     guard: GuardConfig | None = None
     #: Deterministic fault injector for chaos tests; None in production.
     faults: FaultInjector | None = None
+    #: Directory for telemetry exports: ``metrics.jsonl`` snapshots, a final
+    #: ``metrics.prom`` rendering and (with ``trace=True``) ``trace.json``.
+    #: None disables exports; the in-memory registry still runs.
+    metrics_dir: str | Path | None = None
+    #: Rounds between periodic ``metrics.jsonl`` snapshots while the session
+    #: runs (0 = export only the final snapshot).  Requires ``metrics_dir``.
+    metrics_interval: int = 0
+    #: Keep a bounded in-memory trace ring and export it as Chrome
+    #: ``trace_event`` JSON to ``metrics_dir``.
+    trace: bool = False
+    #: Span events retained in the trace ring (oldest evicted first).
+    trace_capacity: int = 4096
 
     def __post_init__(self) -> None:
         if self.tasks_per_worker <= 0:
@@ -116,6 +130,16 @@ class ServingConfig:
             )
         if self.resume and self.state_dir is None:
             raise ValueError("resume=True requires a state_dir to recover from")
+        if self.metrics_interval < 0:
+            raise ValueError(
+                f"metrics_interval must be non-negative, got {self.metrics_interval}"
+            )
+        if self.metrics_interval > 0 and self.metrics_dir is None:
+            raise ValueError("metrics_interval > 0 requires a metrics_dir to export to")
+        if self.trace_capacity <= 0:
+            raise ValueError(
+                f"trace_capacity must be positive, got {self.trace_capacity}"
+            )
 
 
 @dataclass
@@ -141,15 +165,41 @@ class ServingReport:
     degraded_marks: int = 0
     #: What crash recovery found and rebuilt (None unless resumed).
     recovery: RecoveryReport | None = None
+    #: Phase-attributed wall-time breakdown per stream quarter (None when the
+    #: session ran without the service-level tracer).
+    phases: PhaseBreakdown | None = None
+    #: Assignment latency percentiles, preferring the registry histogram
+    #: (exact counts over the whole stream) over the reservoir's sample.
+    #: Contract: exactly ``0.0`` when no requests were served.
+    assign_p50_ms: float = 0.0
+    assign_p95_ms: float = 0.0
 
     @property
     def ingest_answers_per_second(self) -> float:
-        """Answers applied per second of model-update time."""
+        """Answers applied per second of model-update time.
+
+        Contract: exactly ``0.0`` when no update time was recorded — never
+        ``NaN`` or a division error, so rate reporting is total.
+        """
         return self.ingest.answers_per_second
 
     @property
+    def wall_answers_per_second(self) -> float:
+        """End-to-end throughput: answers ingested per second of wall clock.
+
+        Contract: exactly ``0.0`` when ``wall_seconds`` is zero (a session
+        that never entered its run loop) — never ``NaN`` or a division error.
+        """
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.answers_ingested / self.wall_seconds
+
+    @property
     def open_world_fraction(self) -> float:
-        """Share of ingested answers involving an entity absent at startup."""
+        """Share of ingested answers involving an entity absent at startup.
+
+        Contract: exactly ``0.0`` when nothing was ingested.
+        """
         if self.answers_ingested <= 0:
             return 0.0
         return self.open_world_answers / self.answers_ingested
@@ -171,8 +221,8 @@ class ServingReport:
             f"snapshots: {self.snapshots_published} published "
             f"({self.ingest.delta_publishes} dirty-row deltas), "
             f"latest version {version}",
-            f"assignment latency: p50 {self.frontend.p50_latency_ms:.2f} ms, "
-            f"p95 {self.frontend.p95_latency_ms:.2f} ms over "
+            f"assignment latency: p50 {self.assign_p50_ms:.2f} ms, "
+            f"p95 {self.assign_p95_ms:.2f} ms over "
             f"{self.frontend.requests} requests",
             f"simulated duration: {self.simulated_duration:.1f} s, "
             f"wall clock: {self.wall_seconds:.2f} s",
@@ -201,6 +251,9 @@ class ServingReport:
                 f"{self.frontend.stale_serves} stale serves over "
                 f"{self.degraded_marks} degraded episodes"
             )
+        if self.phases is not None and self.phases.quarters:
+            lines.append("phase breakdown (share of wall time per stream quarter):")
+            lines.append(self.phases.render())
         return "\n".join(lines)
 
 
@@ -228,6 +281,14 @@ class OnlineServingService:
             )
         self._platform = platform
         self._config = config or ServingConfig()
+        # The service always runs its telemetry in memory (registry overhead
+        # is a few histogram observes per micro-batch); metrics_dir only
+        # controls whether anything is exported to disk.
+        self._metrics = MetricsRegistry()
+        self._tracer = Tracer(
+            self._metrics,
+            ring_capacity=self._config.trace_capacity if self._config.trace else 0,
+        )
         startup_workers, startup_tasks, pending_tasks = self._split_universe()
         self._pending_tasks = pending_tasks
         self._startup_worker_ids = frozenset(w.worker_id for w in startup_workers)
@@ -259,6 +320,7 @@ class OnlineServingService:
                 faults=self._config.faults,
                 journal_fsync=self._config.journal_fsync,
                 journal_segment_records=self._config.journal_segment_records,
+                tracer=self._tracer,
             )
         else:
             journal = None
@@ -280,6 +342,7 @@ class OnlineServingService:
                 guard=guard,
                 faults=self._config.faults,
                 checkpoints=checkpoints,
+                tracer=self._tracer,
             )
         self._frontend = AssignmentFrontend(
             startup_tasks,
@@ -289,6 +352,7 @@ class OnlineServingService:
             strategy=self._config.strategy,
             seed=self._config.seed,
             engine=self._config.assigner_engine,
+            tracer=self._tracer,
         )
         if self._recovery is not None:
             self._sync_recovered_universe()
@@ -378,6 +442,16 @@ class OnlineServingService:
         """What crash recovery rebuilt (None unless constructed with resume)."""
         return self._recovery
 
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The session-wide registry every pipeline component reports into."""
+        return self._metrics
+
+    @property
+    def tracer(self) -> Tracer:
+        """The tracer attributing wall time to pipeline stages."""
+        return self._tracer
+
     def close(self) -> None:
         """Release durable resources (the journal's open segment handle)."""
         if self._ingestor.journal is not None:
@@ -391,6 +465,7 @@ class OnlineServingService:
         wall_started = time.perf_counter()
         rounds = 0
         workers_served = 0
+        timeline = PhaseTimeline(self._tracer)
 
         while not platform.budget.exhausted:
             if max_rounds is not None and rounds >= max_rounds:
@@ -425,6 +500,15 @@ class OnlineServingService:
                         self._open_world_answers += 1
                     self._ingestor.submit(AnswerEvent(answer, time=batch.time))
             rounds += 1
+            timeline.mark(
+                float(self._ingestor.stats.answers),
+                time.perf_counter() - wall_started,
+            )
+            if (
+                self._config.metrics_interval > 0
+                and rounds % self._config.metrics_interval == 0
+            ):
+                self._export_metrics_snapshot(rounds)
             if assigned_in_round == 0:
                 # Every arrival in this round was saturated — stop, mirroring
                 # the batch framework's zero-assignment exit; the post-loop
@@ -437,6 +521,9 @@ class OnlineServingService:
             warm=self._config.final_refresh_warm_start,
         )
         wall_seconds = time.perf_counter() - wall_started
+        timeline.mark(float(self._ingestor.stats.answers), wall_seconds)
+        phases = timeline.breakdown()
+        self._export_final_telemetry(rounds)
 
         latest = self._snapshots.latest()
         tasks = platform.dataset.tasks
@@ -461,7 +548,36 @@ class OnlineServingService:
             durable=self._ingestor.journal is not None,
             degraded_marks=self._snapshots.degraded_marks,
             recovery=self._recovery,
+            phases=phases,
+            assign_p50_ms=self._frontend.latency_percentile_ms(50.0),
+            assign_p95_ms=self._frontend.latency_percentile_ms(95.0),
         )
+
+    # ------------------------------------------------------------- telemetry
+    def _export_metrics_snapshot(self, rounds: int) -> None:
+        """Append one stamped registry snapshot to ``metrics_dir/metrics.jsonl``."""
+        if self._config.metrics_dir is None:
+            return
+        metrics_dir = Path(self._config.metrics_dir)
+        metrics_dir.mkdir(parents=True, exist_ok=True)
+        self._metrics.export_jsonl(
+            metrics_dir / "metrics.jsonl",
+            rounds=rounds,
+            answers=self._ingestor.stats.answers,
+        )
+
+    def _export_final_telemetry(self, rounds: int) -> None:
+        """Write the closing telemetry artifacts into ``metrics_dir``."""
+        if self._config.metrics_dir is None:
+            return
+        metrics_dir = Path(self._config.metrics_dir)
+        metrics_dir.mkdir(parents=True, exist_ok=True)
+        self._export_metrics_snapshot(rounds)
+        (metrics_dir / "metrics.prom").write_text(
+            self._metrics.render_prometheus(), encoding="utf-8"
+        )
+        if self._config.trace:
+            self._tracer.export_chrome(metrics_dir / "trace.json")
 
     # ------------------------------------------------------- open-world arrival
     def _release_pending_tasks(self) -> None:

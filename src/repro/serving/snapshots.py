@@ -32,9 +32,11 @@ copy-on-write publish protocol:
 from __future__ import annotations
 
 import json
+import time
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -48,6 +50,9 @@ from repro.data.io import (
     workers_to_dict,
 )
 from repro.data.models import Answer, Task, Worker
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
 
 
 class ParameterSnapshot:
@@ -67,6 +72,7 @@ class ParameterSnapshot:
     __slots__ = (
         "version",
         "published_at",
+        "published_wall",
         "source",
         "num_workers",
         "num_tasks",
@@ -93,6 +99,8 @@ class ParameterSnapshot:
             )
         self.version = version
         self.published_at = published_at
+        #: Monotonic wall-clock stamp of creation, for snapshot-age-at-serve.
+        self.published_wall = time.monotonic()
         self.source = source
         self._store = store
         self._base = base
@@ -216,10 +224,15 @@ class SnapshotStore:
     #: per publish.
     max_delta_chain = 16
 
-    def __init__(self, max_snapshots: int = 8) -> None:
+    def __init__(
+        self,
+        max_snapshots: int = 8,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
         if max_snapshots <= 0:
             raise ValueError(f"max_snapshots must be positive, got {max_snapshots}")
         self._max_snapshots = max_snapshots
+        self._metrics = metrics
         self._snapshots: list[ParameterSnapshot] = []
         self._next_version = 0
         self._chain_length = 0
@@ -245,6 +258,15 @@ class SnapshotStore:
     def next_version(self) -> int:
         return self._next_version
 
+    def bind_metrics(self, metrics: "MetricsRegistry") -> None:
+        """Mirror publish kinds, chain depth, and degraded marks into ``metrics``."""
+        self._metrics = metrics
+
+    def _note_publish(self, kind: str) -> None:
+        if self._metrics is not None:
+            self._metrics.counter("snapshot_publishes_total", kind=kind).inc()
+            self._metrics.gauge("snapshot_delta_chain_depth").set(self._chain_length)
+
     def publish(
         self,
         store: ArrayParameterStore,
@@ -269,6 +291,7 @@ class SnapshotStore:
             source=source,
         )
         self._chain_length = 0
+        self._note_publish("full")
         return self._append(snapshot)
 
     def publish_delta(
@@ -306,6 +329,7 @@ class SnapshotStore:
         if self._chain_length >= self.max_delta_chain:
             snapshot.store  # materialise eagerly: bound the chain
             self._chain_length = 0
+        self._note_publish("delta")
         return snapshot
 
     def _append(self, snapshot: ParameterSnapshot) -> ParameterSnapshot:
@@ -359,6 +383,8 @@ class SnapshotStore:
         """
         if self._degraded_reason is None:
             self._degraded_marks += 1
+            if self._metrics is not None:
+                self._metrics.counter("snapshot_degraded_marks_total").inc()
         self._degraded_reason = reason
 
     def clear_degraded(self) -> None:

@@ -33,6 +33,17 @@ class Timer:
         self._started_at = None
         return self.elapsed
 
+    def split(self) -> float:
+        """Return the current lap reading without stopping the timer.
+
+        The reading is ``elapsed`` plus the time accrued since the last
+        :meth:`start`; the timer keeps running, so successive calls give
+        monotonically non-decreasing lap values.
+        """
+        if self._started_at is None:
+            return self.elapsed
+        return self.elapsed + (time.perf_counter() - self._started_at)
+
     def reset(self) -> None:
         self.elapsed = 0.0
         self._started_at = None
@@ -50,4 +61,7 @@ class Timer:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self.stop()
+        # Stop only if still running: the block may have stopped the timer
+        # itself, and raising from __exit__ would mask the block's exception.
+        if self._started_at is not None:
+            self.stop()

@@ -31,6 +31,7 @@ ALL_EXAMPLES = [
     "worker_analysis",
     "custom_dataset",
     "scalability_study",
+    "serving_telemetry",
 ]
 
 

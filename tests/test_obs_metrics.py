@@ -1,0 +1,185 @@
+"""Tests for repro.obs.metrics: counters, gauges, log-linear histograms, registry."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, HistogramConfig, MetricsRegistry
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5.0
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        g = Gauge()
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7.0
+
+
+class TestHistogramConfig:
+    def test_interned_by_parameters(self):
+        assert HistogramConfig() is HistogramConfig()
+        assert HistogramConfig(1e-3, 1e3, 4) is HistogramConfig(1e-3, 1e3, 4)
+        assert HistogramConfig(1e-3, 1e3, 4) is not HistogramConfig()
+
+    def test_bounds_are_sorted_and_capped(self):
+        cfg = HistogramConfig(1e-3, 1e3, 4)
+        assert cfg.bounds == sorted(cfg.bounds)
+        assert cfg.bounds[-1] == 1e3
+        assert all(b > 1e-3 for b in cfg.bounds)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            HistogramConfig(0.0, 1.0)
+        with pytest.raises(ValueError):
+            HistogramConfig(1.0, 0.5)
+        with pytest.raises(ValueError):
+            HistogramConfig(1e-3, 1e3, 0)
+
+
+class TestHistogram:
+    def test_empty_percentile_is_zero(self):
+        assert Histogram().percentile(50) == 0.0
+
+    def test_value_below_first_bucket_goes_to_underflow(self):
+        h = Histogram(HistogramConfig(1e-3, 1e3))
+        h.observe(1e-9)
+        assert h.underflow == 1
+        assert sum(h.counts) == 0
+        assert h.count == 1
+        # Percentiles anchor to the exact observed minimum.
+        assert h.percentile(50) == pytest.approx(1e-9)
+
+    def test_value_above_last_bucket_goes_to_overflow(self):
+        h = Histogram(HistogramConfig(1e-3, 1e3))
+        h.observe(5e6)
+        assert h.overflow == 1
+        assert sum(h.counts) == 0
+        assert h.percentile(99) == pytest.approx(5e6)
+
+    def test_count_sum_min_max(self):
+        h = Histogram()
+        for v in (0.001, 0.002, 0.004, 0.1):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(0.107)
+        assert h.min == 0.001
+        assert h.max == 0.1
+
+    def test_percentile_bounded_relative_error(self):
+        h = Histogram()
+        for v in (0.001, 0.002, 0.004, 0.1):
+            h.observe(v)
+        # sub_buckets=8 bounds relative bucket width by 1/8 per octave.
+        assert h.percentile(0) == 0.001
+        assert h.percentile(100) == 0.1
+        assert h.percentile(50) == pytest.approx(0.002, rel=0.25)
+
+    def test_percentile_monotone_in_p(self):
+        h = Histogram()
+        values = [1e-4 * (1.7**i) for i in range(40)]
+        for v in values:
+            h.observe(v)
+        readings = [h.percentile(p) for p in range(0, 101, 5)]
+        assert readings == sorted(readings)
+        assert readings[0] == min(values)
+        assert readings[-1] == max(values)
+
+    def test_merge_adds_counts_exactly(self):
+        a, b = Histogram(), Histogram()
+        for v in (0.001, 0.01, 1e-9):
+            a.observe(v)
+        for v in (0.02, 5e5):
+            b.observe(v)
+        a.merge(b)
+        assert a.count == 5
+        assert a.underflow == 1
+        assert a.overflow == 1
+        assert a.sum == pytest.approx(0.001 + 0.01 + 1e-9 + 0.02 + 5e5)
+        assert a.min == 1e-9
+        assert a.max == 5e5
+
+    def test_merge_rejects_different_layouts(self):
+        with pytest.raises(ValueError):
+            Histogram().merge(Histogram(HistogramConfig(1e-3, 1e3)))
+
+
+class TestMetricsRegistry:
+    def test_same_key_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("events", kind="a") is reg.counter("events", kind="a")
+        assert reg.counter("events", kind="a") is not reg.counter("events", kind="b")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+    def test_get_does_not_create(self):
+        reg = MetricsRegistry()
+        assert reg.get("missing") is None
+        reg.counter("present")
+        assert reg.get("present") is not None
+
+    def test_find_iterates_series(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", stage="a").inc(1)
+        reg.counter("hits", stage="b").inc(2)
+        series = {labels["stage"]: m.value for labels, m in reg.find("hits")}
+        assert series == {"a": 1.0, "b": 2.0}
+
+    def test_merge_of_two_registries(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n").inc(3)
+        b.counter("n").inc(4)
+        b.counter("only_b").inc(1)
+        a.gauge("depth").set(2)
+        b.gauge("depth").set(5)
+        a.histogram("lat").observe(0.01)
+        b.histogram("lat").observe(0.02)
+        a.merge(b)
+        assert a.counter("n").value == 7.0
+        assert a.counter("only_b").value == 1.0
+        assert a.gauge("depth").value == 5.0  # max wins
+        assert a.histogram("lat").count == 2
+        assert a.histogram("lat").sum == pytest.approx(0.03)
+
+    def test_snapshot_and_jsonl_roundtrip(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("events", stage="guard").inc(7)
+        reg.histogram("lat").observe(0.5)
+        path = tmp_path / "metrics.jsonl"
+        reg.export_jsonl(path, answers=100)
+        reg.export_jsonl(path, answers=200)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["answers"] == 100
+        by_name = {s["name"]: s for s in first["series"]}
+        assert by_name["events"]["value"] == 7.0
+        assert by_name["events"]["labels"] == {"stage": "guard"}
+        assert by_name["lat"]["count"] == 1
+
+    def test_prometheus_rendering(self):
+        reg = MetricsRegistry()
+        reg.counter("events_total", stage="guard").inc(3)
+        reg.gauge("chain_depth").set(4)
+        reg.histogram("lat_seconds").observe(0.01)
+        text = reg.render_prometheus()
+        assert "# TYPE events_total counter" in text
+        assert 'events_total{stage="guard"} 3' in text
+        assert "chain_depth 4" in text
+        assert 'lat_seconds_bucket{le="+Inf"} 1' in text
+        assert "lat_seconds_count 1" in text
+        assert "lat_seconds_sum 0.01" in text

@@ -1,0 +1,169 @@
+"""Tests for repro.obs.trace: spans, ring export, phase timelines."""
+
+import json
+import time
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import PIPELINE_STAGES, PhaseTimeline, Tracer
+
+
+def make_tracer(**kwargs):
+    metrics = MetricsRegistry()
+    return Tracer(metrics, **kwargs), metrics
+
+
+class TestSpan:
+    def test_span_records_duration_and_call(self):
+        tracer, metrics = make_tracer()
+        with tracer.span("apply", batch=1):
+            time.sleep(0.001)
+        hist = metrics.get("stage_seconds", stage="apply")
+        assert hist.count == 1
+        assert hist.sum >= 0.001
+        assert metrics.get("stage_calls_total", stage="apply").value == 1.0
+
+    def test_span_yields_running_timer_with_split(self):
+        tracer, _ = make_tracer()
+        with tracer.span("apply") as timer:
+            assert timer.running
+            assert timer.split() >= 0.0
+
+    def test_exception_attributed_and_propagated(self):
+        tracer, metrics = make_tracer()
+        with pytest.raises(KeyError):
+            with tracer.span("refresh"):
+                raise KeyError("boom")
+        assert metrics.get("stage_seconds", stage="refresh").count == 1
+        errors = metrics.get("stage_errors_total", stage="refresh", error="KeyError")
+        assert errors is not None and errors.value == 1.0
+
+    def test_body_stopping_timer_is_tolerated(self):
+        tracer, metrics = make_tracer()
+        with tracer.span("apply") as timer:
+            timer.stop()
+        assert metrics.get("stage_seconds", stage="apply").count == 1
+
+    def test_nested_spans_attribute_inclusively(self):
+        tracer, metrics = make_tracer()
+        with tracer.span("refresh"):
+            with tracer.span("apply"):
+                time.sleep(0.001)
+        outer = metrics.get("stage_seconds", stage="refresh")
+        inner = metrics.get("stage_seconds", stage="apply")
+        assert outer.sum >= inner.sum  # parent includes child time
+
+    def test_record_attributes_external_duration(self):
+        tracer, metrics = make_tracer()
+        tracer.record("journal", 0.25, batch=3)
+        assert metrics.get("stage_seconds", stage="journal").sum == pytest.approx(0.25)
+
+    def test_stage_totals(self):
+        tracer, _ = make_tracer()
+        tracer.record("guard", 0.1)
+        tracer.record("guard", 0.2)
+        tracer.record("apply", 0.5)
+        totals = tracer.stage_totals()
+        assert totals["guard"] == pytest.approx(0.3)
+        assert totals["apply"] == pytest.approx(0.5)
+
+    def test_metricless_tracer_is_inert(self):
+        tracer = Tracer()
+        with tracer.span("apply"):
+            pass
+        assert tracer.stage_totals() == {}
+
+
+class TestTraceRing:
+    def test_ring_bounded_and_exported(self, tmp_path):
+        tracer, _ = make_tracer(ring_capacity=4)
+        for i in range(10):
+            with tracer.span("apply", batch=i):
+                pass
+        assert len(tracer.ring) == 4
+        path = tmp_path / "trace.json"
+        written = tracer.export_chrome(path)
+        assert written == 4
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        assert [e["args"]["batch"] for e in events] == [6, 7, 8, 9]
+        assert all(e["ph"] == "X" for e in events)
+        assert all(e["dur"] >= 0 for e in events)
+
+    def test_ring_records_nesting_depth_and_error(self):
+        tracer, _ = make_tracer(ring_capacity=8)
+        with pytest.raises(RuntimeError):
+            with tracer.span("refresh"):
+                with tracer.span("apply"):
+                    raise RuntimeError("x")
+        inner, outer = tracer.ring[0], tracer.ring[1]
+        assert inner.name == "apply" and inner.depth == 1
+        assert outer.name == "refresh" and outer.depth == 0
+        assert inner.error == "RuntimeError" and outer.error == "RuntimeError"
+
+    def test_no_ring_export_is_empty(self, tmp_path):
+        tracer, _ = make_tracer()
+        assert tracer.export_chrome(tmp_path / "t.json") == 0
+
+
+class TestPhaseTimeline:
+    def test_breakdown_quarters_difference_cumulative_totals(self):
+        tracer, _ = make_tracer()
+        timeline = PhaseTimeline(tracer)
+        # Simulate a stream where refresh cost grows while apply stays flat.
+        wall = 0.0
+        for i in range(1, 9):
+            tracer.record("apply", 0.1)
+            tracer.record("refresh", 0.1 * i)
+            wall += 0.1 + 0.1 * i + 0.05  # 0.05s unattributed per step
+            timeline.mark(position=i * 100, wall_seconds=wall)
+        breakdown = timeline.breakdown(num_quarters=4)
+        assert breakdown.stages[:2] == ["apply", "refresh"]
+        assert len(breakdown.quarters) == 4
+        # Refresh share must grow quarter over quarter (the decay signature).
+        shares = [q.share("refresh") for q in breakdown.quarters]
+        assert shares == sorted(shares)
+        # Quarter walls sum to the total wall; attribution below 100%.
+        assert sum(q.wall_seconds for q in breakdown.quarters) == pytest.approx(wall)
+        assert 0.0 < breakdown.attributed_fraction < 1.0
+        assert breakdown.attributed_seconds == pytest.approx(
+            sum(tracer.stage_totals().values())
+        )
+
+    def test_breakdown_without_marks_is_empty(self):
+        tracer, _ = make_tracer()
+        breakdown = PhaseTimeline(tracer).breakdown()
+        assert breakdown.quarters == []
+        assert breakdown.attributed_fraction == 0.0
+
+    def test_stage_order_follows_pipeline(self):
+        tracer, _ = make_tracer()
+        timeline = PhaseTimeline(tracer)
+        for stage in ("assign", "guard", "zz_custom", "refresh"):
+            tracer.record(stage, 0.1)
+        timeline.mark(position=10, wall_seconds=1.0)
+        breakdown = timeline.breakdown(num_quarters=1)
+        expected = [s for s in PIPELINE_STAGES if s in {"assign", "guard", "refresh"}]
+        assert breakdown.stages == expected + ["zz_custom"]
+
+    def test_render_mentions_stages_and_coverage(self):
+        tracer, _ = make_tracer()
+        timeline = PhaseTimeline(tracer)
+        tracer.record("refresh", 0.6)
+        tracer.record("apply", 0.3)
+        timeline.mark(position=100, wall_seconds=1.0)
+        text = timeline.breakdown().render()
+        assert "refresh" in text and "apply" in text
+        assert "90.0%" in text  # attributed coverage line
+
+    def test_to_dict_is_json_safe(self):
+        tracer, _ = make_tracer()
+        timeline = PhaseTimeline(tracer)
+        tracer.record("apply", 0.2)
+        timeline.mark(position=4, wall_seconds=0.5)
+        payload = timeline.breakdown().to_dict()
+        json.dumps(payload)
+        assert payload["attributed_fraction"] == pytest.approx(0.4)
+        # With a single mark all progress collapses into the first quarter.
+        assert payload["quarters"][0]["stage_shares"]["apply"] > 0

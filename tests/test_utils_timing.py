@@ -40,6 +40,36 @@ class TestTimer:
         assert timer.elapsed == 0.0
         assert not timer.running
 
+    def test_raising_block_still_stops_timer(self):
+        timer = Timer()
+        with pytest.raises(ValueError):
+            with timer:
+                raise ValueError("boom")
+        assert not timer.running
+        assert timer.elapsed >= 0.0
+
+    def test_block_that_stops_timer_does_not_mask_exception(self):
+        timer = Timer()
+        with pytest.raises(ValueError):
+            with timer:
+                timer.stop()
+                raise ValueError("original")
+        assert not timer.running
+
+    def test_split_reads_lap_without_stopping(self):
+        timer = Timer()
+        timer.start()
+        first = timer.split()
+        second = timer.split()
+        assert timer.running
+        assert 0.0 <= first <= second
+
+    def test_split_on_stopped_timer_returns_elapsed(self):
+        timer = Timer()
+        with timer:
+            pass
+        assert timer.split() == timer.elapsed
+
     def test_running_flag(self):
         timer = Timer()
         assert not timer.running
