@@ -16,8 +16,14 @@ online serving subsystem (:mod:`repro.serving`) and writes
   by the frontend against the final published snapshot;
 * **the steady-state ratchet** — the full-stream micro-batched rate must hold
   ``MIN_FULL_STREAM_ANSWERS_PER_SEC`` (ratcheted to 2x the PR 4 gate when the
-  log-free hot path landed: live-tensor full refreshes, per-entity sweep
-  early-exit and dirty-row delta publishes);
+  log-free hot path landed, then again when the pipelined loop moved the
+  periodic full re-fits onto a background thread and the sufficient-stat
+  cache made micro-batch applies O(changed rows));
+* **the stall gate** — the longest single ingest stall (one ``flush`` call,
+  including any wait at a background-refresh integration point) and the
+  longest gap between consecutive snapshot publishes are recorded, and the
+  stall must stay under ``MAX_INGEST_STALL_MS`` — the pipelined loop's whole
+  point is that no batch ever waits behind tens of EM iterations;
 * **the log-free invariant** — the full-stream replay must perform **zero**
   ``AnswerSet`` → tensor flattens (``log_flattens`` stays 0: every full
   refresh runs straight off the live tensor) — recorded in the artifact and
@@ -71,6 +77,13 @@ MICRO_BATCH_ANSWERS = 64
 MICRO_BATCH_DELAY = 2.0
 FULL_REFRESH_INTERVAL = 4000
 
+#: Integration lag of the pipelined background refresh: answers applied
+#: between launching a full fit and adopting its result.  Measured sweet spot
+#: at this scale — the default (interval/4 = 1000) integrates too early and
+#: waits out most of each fit, while 2000+ pushes the big late-stream
+#: integration waits into the last quarter and fails the degradation gate.
+PIPELINE_LAG_ANSWERS = 1500
+
 #: Prefix replayed by BOTH configurations for the gate comparison.
 GATE_PREFIX_ANSWERS = 1000
 
@@ -90,17 +103,27 @@ FULL_REFRESH_MAX_ITERATIONS = 25
 #: incremental updater gathered relevant answers through the AnswerSet indexes
 #: and published copy-on-write estimates, per-batch cost tracked the *total*
 #: log size and the tail collapsed to ~150 answers/s (~0.17x of early);
-#: what remains is the bounded growth of the affected neighbourhood itself
-#: (~0.4x measured).
-MIN_LATE_OVER_STEADY = 0.3
+#: the log-free hot path bounded the neighbourhood cost (~0.4x measured,
+#: gated at 0.3), and the pipelined loop took the late-stream full re-fits
+#: off the ingest thread entirely (~0.8x measured), so the gate doubles.
+MIN_LATE_OVER_STEADY = 0.6
 
 #: Steady-state throughput ratchet: full-stream micro-batched ingestion of the
 #: 20k-answer corpus.  PR 4 (incrementally maintained AnswerTensor +
 #: array-first publishes) gated at 900 and measured ~1400 here; the log-free
-#: hot path — full refreshes running straight off the live tensor, per-entity
-#: convergence early-exit in the localized sweeps, and O(changed) dirty-row
-#: delta publishes — measures ~2100-2200, so the gate ratchets 2x to 1800.
-MIN_FULL_STREAM_ANSWERS_PER_SEC = 1800.0
+#: hot path (live-tensor refreshes, sweep early-exit, dirty-row delta
+#: publishes) measured ~2100-2200 and gated at 1800; the pipelined loop —
+#: background full re-fits overlapped with ingest plus sufficient-stat
+#: O(changed rows) applies — measures ~3700, so the gate ratchets to 3000.
+MIN_FULL_STREAM_ANSWERS_PER_SEC = 3000.0
+
+#: Stall ceiling: the longest single ingest stall — one ``submit``/``flush``
+#: call, including any wait at a background-refresh integration point — over
+#: the full-stream replay.  The pipelined loop's worst flush is one
+#: micro-batch apply plus the residual integration wait (~1.5 s measured for
+#: the final, largest fit, vs ~1.7 s for the same fit run inline by the
+#: serial loop); the ceiling pins that with headroom for CI machines.
+MAX_INGEST_STALL_MS = 2500.0
 
 #: Log-free invariant: AnswerSet -> tensor flattens allowed on the full-stream
 #: replay (every full refresh must reuse the live tensor).
@@ -140,11 +163,14 @@ def _replay(
 ):
     """Stream ``events`` through a fresh ingestor.
 
-    Returns ``(ingestor, snapshots, seconds, quarter_marks, phases)`` where
-    ``quarter_marks`` are ``(events_submitted, elapsed_seconds)`` checkpoints
-    at each quarter of the stream, for the degradation gate, and ``phases``
-    is the phase-attributed :class:`PhaseBreakdown` when ``tracer`` is given
-    (None otherwise).
+    Returns ``(ingestor, snapshots, seconds, quarter_marks, phases,
+    max_publish_gap)`` where ``quarter_marks`` are ``(events_submitted,
+    elapsed_seconds)`` checkpoints at each quarter of the stream, for the
+    degradation gate, ``phases`` is the phase-attributed
+    :class:`PhaseBreakdown` when ``tracer`` is given (None otherwise), and
+    ``max_publish_gap`` is the longest wall-clock gap (seconds) between
+    consecutive snapshot publishes — the freshness counterpart of the stall
+    gate.
     """
     inference = LocationAwareInference(
         dataset.tasks,
@@ -160,20 +186,30 @@ def _replay(
     quarter = max(1, len(events) // 4)
     marks = []
     started = time.perf_counter()
+    last_publish = started
+    max_publish_gap = 0.0
     for index, event in enumerate(events, start=1):
-        ingestor.submit(event)
+        if ingestor.submit(event) is not None:
+            now = time.perf_counter()
+            max_publish_gap = max(max_publish_gap, now - last_publish)
+            last_publish = now
         if index % quarter == 0:
             elapsed = time.perf_counter() - started
             marks.append((index, elapsed))
             if timeline is not None:
                 timeline.mark(index, elapsed)
-    ingestor.flush()
+    if ingestor.flush() is not None:
+        now = time.perf_counter()
+        max_publish_gap = max(max_publish_gap, now - last_publish)
     elapsed = time.perf_counter() - started
+    # Drain any still-running background fit *outside* the timed window so it
+    # cannot bleed CPU into the next timed section of the benchmark.
+    ingestor.close()
     phases = None
     if timeline is not None:
         timeline.mark(len(events), elapsed)
         phases = timeline.breakdown()
-    return ingestor, snapshots, elapsed, marks, phases
+    return ingestor, snapshots, elapsed, marks, phases, max_publish_gap
 
 
 def _micro_batched_config() -> IngestConfig:
@@ -181,6 +217,7 @@ def _micro_batched_config() -> IngestConfig:
         max_batch_answers=MICRO_BATCH_ANSWERS,
         max_batch_delay=MICRO_BATCH_DELAY,
         full_refresh_interval=FULL_REFRESH_INTERVAL,
+        pipeline_lag_answers=PIPELINE_LAG_ANSWERS,
     )
 
 
@@ -222,7 +259,14 @@ def test_serving_throughput_gate(benchmark):
     # breakdown — which stage eats the wall time as the stream ages.
     metrics = MetricsRegistry()
     tracer = Tracer(metrics, ring_capacity=4096)
-    full_ingestor, full_snapshots, full_seconds, quarter_marks, phases = _replay(
+    (
+        full_ingestor,
+        full_snapshots,
+        full_seconds,
+        quarter_marks,
+        phases,
+        max_publish_gap,
+    ) = _replay(
         dataset, pool, distance_model, events, _micro_batched_config(), tracer=tracer
     )
     assert full_ingestor.stats.answers == len(events)
@@ -249,7 +293,7 @@ def test_serving_throughput_gate(benchmark):
         journal = AnswerJournal(
             journal_dir, max_segment_records=JOURNAL_SEGMENT_RECORDS
         )
-        journaled_ingestor, _, journaled_seconds, _, _ = _replay(
+        journaled_ingestor, _, journaled_seconds, _, _, _ = _replay(
             dataset,
             pool,
             distance_model,
@@ -267,10 +311,10 @@ def test_serving_throughput_gate(benchmark):
 
     # Gate: identical prefix, micro-batched vs refresh-per-answer.
     prefix = events[:GATE_PREFIX_ANSWERS]
-    _, _, micro_seconds, _, _ = _replay(
+    _, _, micro_seconds, _, _, _ = _replay(
         dataset, pool, distance_model, prefix, _micro_batched_config()
     )
-    naive_ingestor, _, naive_seconds, _, _ = _replay(
+    naive_ingestor, _, naive_seconds, _, _, _ = _replay(
         dataset, pool, distance_model, prefix, _naive_config()
     )
     assert naive_ingestor.stats.batches == len(prefix)  # one update per answer
@@ -355,6 +399,13 @@ def test_serving_throughput_gate(benchmark):
         "full_stream_full_refreshes": full_ingestor.stats.full_refreshes,
         "full_stream_log_flattens": full_ingestor.stats.log_flattens,
         "max_full_stream_log_flattens": MAX_FULL_STREAM_LOG_FLATTENS,
+        "pipeline_lag_answers": PIPELINE_LAG_ANSWERS,
+        "refreshes_overlapped": full_ingestor.stats.refreshes_overlapped,
+        "answers_reconciled": full_ingestor.stats.answers_reconciled,
+        "refresh_wait_ms": round(full_ingestor.stats.refresh_wait_seconds * 1e3, 1),
+        "max_ingest_stall_ms": round(full_ingestor.stats.max_flush_stall_ms, 1),
+        "max_allowed_ingest_stall_ms": MAX_INGEST_STALL_MS,
+        "max_publish_gap_ms": round(max_publish_gap * 1e3, 1),
         "journaled_answers_per_sec": round(journaled_rate, 1),
         "min_journaled_answers_per_sec": MIN_JOURNALED_ANSWERS_PER_SEC,
         "journaled_over_plain": round(journaled_rate / full_rate, 3),
@@ -423,8 +474,14 @@ def test_serving_throughput_gate(benchmark):
     )
     assert full_rate >= MIN_FULL_STREAM_ANSWERS_PER_SEC, (
         f"full-stream micro-batched ingestion ran at {full_rate:.0f} answers/s "
-        f"(ratchet: {MIN_FULL_STREAM_ANSWERS_PER_SEC:.0f}, 2x the PR 4 gate); "
-        f"see {path}"
+        f"(ratchet: {MIN_FULL_STREAM_ANSWERS_PER_SEC:.0f}, raised when the "
+        f"pipelined loop landed); see {path}"
+    )
+    assert full_ingestor.stats.max_flush_stall_ms <= MAX_INGEST_STALL_MS, (
+        f"the longest single ingest stall was "
+        f"{full_ingestor.stats.max_flush_stall_ms:.0f} ms (ceiling: "
+        f"{MAX_INGEST_STALL_MS:.0f} ms) — a batch waited behind a full "
+        f"re-fit; see {path}"
     )
     assert full_ingestor.stats.log_flattens <= MAX_FULL_STREAM_LOG_FLATTENS, (
         f"the serving replay flattened the answer log "

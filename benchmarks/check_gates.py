@@ -52,6 +52,12 @@ GATES = [
     ),
     (
         "BENCH_serving_throughput.json",
+        "max_ingest_stall_ms",
+        "max_allowed_ingest_stall_ms",
+        "<=",
+    ),
+    (
+        "BENCH_serving_throughput.json",
         "open_world_fraction",
         "min_open_world_fraction",
         ">=",

@@ -152,6 +152,15 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="micro-batch window in simulated seconds (time trigger)")
     serve.add_argument("--full-refresh-interval", type=int, default=200,
                        help="answers between full EM re-fits")
+    serve.add_argument("--pipeline", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="overlap full EM re-fits with ingest on a background "
+                            "thread (--no-pipeline restores the blocking serial "
+                            "loop)")
+    serve.add_argument("--pipeline-lag", type=int, default=None, metavar="N",
+                       help="answers applied after a background fit launches "
+                            "before it is integrated (default: derived from the "
+                            "batch size and refresh interval)")
     serve.add_argument("--holdback-workers", type=float, default=0.0,
                        help="fraction of workers withheld from the serving model at "
                             "startup and admitted on first arrival (open world)")
@@ -394,6 +403,8 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
             max_batch_delay=args.batch_delay,
             full_refresh_interval=args.full_refresh_interval,
             checkpoint_interval=args.checkpoint_interval,
+            pipeline=args.pipeline,
+            pipeline_lag_answers=args.pipeline_lag,
         ),
         holdback_worker_fraction=args.holdback_workers,
         holdback_task_fraction=args.holdback_tasks,

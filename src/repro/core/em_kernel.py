@@ -277,6 +277,36 @@ class AnswerTensor:
             raise RuntimeError("enable_row_tracking() must be called first")
         return self._task_row[task_id]
 
+    def snapshot(self) -> "AnswerTensor":
+        """A frozen copy of the logical prefix, safe to read off-thread.
+
+        The live tensor's backing buffers are append-only *except* for two
+        hazards a concurrent reader must not observe: re-submitted
+        ``(worker, task)`` answers rewrite their ``_responses`` slice in
+        place, and capacity growth reallocates whole buffers mid-append.
+        The snapshot copies every logical-prefix array into a fresh tensor
+        (no row tracking — a full fit never needs the per-entity indexes),
+        which is what the background refresh worker fits against while the
+        ingest thread keeps appending to the original.  Cost is a handful of
+        C-level memcpys over the logical sizes.
+        """
+        return AnswerTensor(
+            worker_ids=self.worker_ids,
+            task_ids=self.task_ids,
+            num_labels=self.num_labels.copy(),
+            label_offsets=self.label_offsets.copy(),
+            a_worker=self.a_worker.copy(),
+            a_task=self.a_task.copy(),
+            distances=self.distances.copy(),
+            f_values=self.f_values.copy(),
+            r_answer=self.r_answer.copy(),
+            r_worker=self.r_worker.copy(),
+            r_task=self.r_task.copy(),
+            r_label=self.r_label.copy(),
+            responses=self.responses.copy(),
+            task_of_label=self.task_of_label.copy(),
+        )
+
     def export_answers(self) -> list[Answer]:
         """Reconstruct the answer log from the tensor, in row order.
 
@@ -880,6 +910,10 @@ class SweepReport:
     workers_settled: int = 0
     #: Affected tasks dropped from later sweeps by the convergence exit.
     tasks_settled: int = 0
+    #: Store rows of the workers that settled (cached sweeps only, else None).
+    settled_worker_rows: np.ndarray | None = None
+    #: Store rows of the tasks that settled (cached sweeps only, else None).
+    settled_task_rows: np.ndarray | None = None
 
 
 def localized_sweeps(
@@ -962,6 +996,345 @@ def localized_sweeps(
         sweeps_run=sweeps_run,
         workers_settled=workers_settled,
         tasks_settled=tasks_settled,
+    )
+
+
+class SufficientStatCache:
+    """Incremental-EM sufficient statistics over a live tensor/store pair.
+
+    :func:`em_step_localized` is only O(changed) in its E-step — the
+    restricted M-step re-gathers *every* answer of every affected entity so
+    its denominators and sums span the entity's whole history, which makes a
+    micro-batch sweep O(entity-history) and is exactly the cost that grows
+    with the stream.  This cache keeps the M-step sums themselves:
+
+    * per label row, the posterior contributions of that row as last
+      computed (``z1``, ``i1`` and the (M, |F|) ``dw``/``dt`` blocks);
+    * per entity, the running totals those rows sum into (``slot_z`` per
+      label slot, ``i``/``dw`` per worker, ``dt`` per task) plus the pure
+      count denominators (labels per worker/task, answers per task).
+
+    A batch sweep then *folds* only the batch's label rows: it recomputes
+    their posteriors under the current parameters, adds the difference
+    against the cached values into the totals, and runs the closed-form
+    M-step straight off the totals.  Rows outside the batch keep the
+    contribution from whenever they were last computed — the classic
+    incremental-EM scheme (Neal & Hinton), which converges to the same
+    stationary points as full sweeps and coincides with them whenever the
+    cache is rebuilt (every full refresh replaces the store, invalidating
+    the cache, so drift never survives a refresh interval).
+
+    The cache is bound to one ``(tensor, store)`` object pair; check
+    :meth:`in_sync_with` before reuse and rebuild when either was replaced.
+    """
+
+    def __init__(self, tensor: AnswerTensor, store: ArrayParameterStore) -> None:
+        self.tensor = tensor
+        self.store = store
+        floor = PROBABILITY_FLOOR
+        p_qualified = np.clip(store.p_qualified[tensor.a_worker], floor, 1.0 - floor)
+        pz1 = np.clip(store.label_probs[tensor.r_label], 1e-9, 1.0 - 1e-9)
+        post_z1, post_i1, post_dw, post_dt, _ = _estep_posteriors(
+            alpha=store.alpha,
+            p_qualified=p_qualified,
+            dw=store.distance_weights[tensor.a_worker],
+            dt=store.influence_weights[tensor.a_task],
+            f_values=tensor.f_values,
+            expand=tensor.r_answer,
+            pz1=pz1,
+            observed_one=tensor.responses == 1,
+        )
+        num_workers = store.num_workers
+        num_tasks = store.num_tasks
+        num_slots = store.num_label_slots
+        self._row_z1 = post_z1
+        self._row_i1 = post_i1
+        self._row_dw = post_dw
+        self._row_dt = post_dt
+        self._slot_z = np.bincount(tensor.r_label, weights=post_z1, minlength=num_slots)
+        self._worker_i = np.bincount(
+            tensor.r_worker, weights=post_i1, minlength=num_workers
+        )
+        self._worker_dw = _segment_sum_columns(post_dw, tensor.r_worker, num_workers)
+        self._task_dt = _segment_sum_columns(post_dt, tensor.r_task, num_tasks)
+        self._worker_labels = np.bincount(
+            tensor.r_worker, minlength=num_workers
+        ).astype(float)
+        self._task_labels = np.bincount(tensor.r_task, minlength=num_tasks).astype(
+            float
+        )
+        self._task_answers = np.bincount(tensor.a_task, minlength=num_tasks).astype(
+            float
+        )
+        self._num_workers = num_workers
+        self._num_tasks = num_tasks
+        self._num_slots = num_slots
+        self._synced_answers = tensor.num_answers
+        self._synced_label_rows = tensor.num_label_responses
+
+    def in_sync_with(self, tensor: AnswerTensor, store: ArrayParameterStore) -> bool:
+        """Whether the cache still describes this exact tensor/store pair."""
+        return self.tensor is tensor and self.store is store
+
+    def sync_growth(self) -> None:
+        """Absorb rows and entities appended to the tensor since the last fold.
+
+        New label rows start with a zero cached contribution (their first fold
+        adds the full posterior); new entities start with zero totals; the
+        count denominators are advanced by the fresh answer rows.  Re-answers
+        rewrite existing rows in place and are recomputed by the fold itself,
+        so only genuinely new rows matter here.
+        """
+        tensor = self.tensor
+        num_rows = tensor.num_label_responses
+        if num_rows > self._synced_label_rows:
+            old = self._synced_label_rows
+            self._row_z1 = _grown_buffer(self._row_z1, num_rows)
+            self._row_i1 = _grown_buffer(self._row_i1, num_rows)
+            self._row_dw = _grown_buffer(self._row_dw, num_rows)
+            self._row_dt = _grown_buffer(self._row_dt, num_rows)
+            self._row_z1[old:num_rows] = 0.0
+            self._row_i1[old:num_rows] = 0.0
+            self._row_dw[old:num_rows] = 0.0
+            self._row_dt[old:num_rows] = 0.0
+            self._synced_label_rows = num_rows
+        num_workers = tensor.num_workers
+        if num_workers > self._num_workers:
+            old = self._num_workers
+            self._worker_i = _grown_buffer(self._worker_i, num_workers)
+            self._worker_dw = _grown_buffer(self._worker_dw, num_workers)
+            self._worker_labels = _grown_buffer(self._worker_labels, num_workers)
+            self._worker_i[old:num_workers] = 0.0
+            self._worker_dw[old:num_workers] = 0.0
+            self._worker_labels[old:num_workers] = 0.0
+            self._num_workers = num_workers
+        num_tasks = tensor.num_tasks
+        if num_tasks > self._num_tasks:
+            old = self._num_tasks
+            self._task_dt = _grown_buffer(self._task_dt, num_tasks)
+            self._task_labels = _grown_buffer(self._task_labels, num_tasks)
+            self._task_answers = _grown_buffer(self._task_answers, num_tasks)
+            self._task_dt[old:num_tasks] = 0.0
+            self._task_labels[old:num_tasks] = 0.0
+            self._task_answers[old:num_tasks] = 0.0
+            self._num_tasks = num_tasks
+        num_slots = int(tensor.label_offsets[-1])
+        if num_slots > self._num_slots:
+            old = self._num_slots
+            self._slot_z = _grown_buffer(self._slot_z, num_slots)
+            self._slot_z[old:num_slots] = 0.0
+            self._num_slots = num_slots
+        num_answers = tensor.num_answers
+        if num_answers > self._synced_answers:
+            fresh = slice(self._synced_answers, num_answers)
+            aw = tensor.a_worker[fresh]
+            at = tensor.a_task[fresh]
+            counts = tensor.num_labels[at].astype(float)
+            self._worker_labels[: self._num_workers] += np.bincount(
+                aw, weights=counts, minlength=self._num_workers
+            )
+            self._task_labels[: self._num_tasks] += np.bincount(
+                at, weights=counts, minlength=self._num_tasks
+            )
+            self._task_answers[: self._num_tasks] += np.bincount(
+                at, minlength=self._num_tasks
+            )
+            self._synced_answers = num_answers
+
+    def fold(self, answer_rows: np.ndarray) -> int:
+        """Recompute the posteriors of ``answer_rows`` and fold the deltas in.
+
+        Returns the number of label rows recomputed.  Cost is O(batch label
+        rows · |F|) plus O(W + T + S) for the zero-filled segment sums —
+        independent of how much history the touched entities have.
+        """
+        tensor = self.tensor
+        store = self.store
+        floor = PROBABILITY_FLOOR
+        aw = tensor.a_worker[answer_rows]
+        at = tensor.a_task[answer_rows]
+        f_values = tensor.f_values[answer_rows]
+        counts = tensor.num_labels[at]
+        starts = tensor.a_label_start[answer_rows]
+        total = int(counts.sum())
+        expand = np.repeat(np.arange(answer_rows.size, dtype=np.intp), counts)
+        batch_starts = np.cumsum(counts) - counts
+        label_rows = (
+            np.arange(total, dtype=np.intp)
+            - np.repeat(batch_starts, counts)
+            + np.repeat(starts, counts)
+        )
+        r_label = tensor.r_label[label_rows]
+        responses = tensor.responses[label_rows]
+        r_worker = aw[expand]
+        r_task = at[expand]
+
+        p_qualified = np.clip(store.p_qualified[aw], floor, 1.0 - floor)
+        pz1 = np.clip(store.label_probs[r_label], 1e-9, 1.0 - 1e-9)
+        post_z1, post_i1, post_dw, post_dt, _ = _estep_posteriors(
+            alpha=store.alpha,
+            p_qualified=p_qualified,
+            dw=store.distance_weights[aw],
+            dt=store.influence_weights[at],
+            f_values=f_values,
+            expand=expand,
+            pz1=pz1,
+            observed_one=responses == 1,
+        )
+        self._slot_z[: self._num_slots] += np.bincount(
+            r_label,
+            weights=post_z1 - self._row_z1[label_rows],
+            minlength=self._num_slots,
+        )
+        self._worker_i[: self._num_workers] += np.bincount(
+            r_worker,
+            weights=post_i1 - self._row_i1[label_rows],
+            minlength=self._num_workers,
+        )
+        self._worker_dw[: self._num_workers] += _segment_sum_columns(
+            post_dw - self._row_dw[label_rows], r_worker, self._num_workers
+        )
+        self._task_dt[: self._num_tasks] += _segment_sum_columns(
+            post_dt - self._row_dt[label_rows], r_task, self._num_tasks
+        )
+        self._row_z1[label_rows] = post_z1
+        self._row_i1[label_rows] = post_i1
+        self._row_dw[label_rows] = post_dw
+        self._row_dt[label_rows] = post_dt
+        return total
+
+    def estimate(
+        self,
+        affected_workers: np.ndarray,
+        affected_tasks: np.ndarray,
+        label_slots: np.ndarray,
+    ) -> None:
+        """Closed-form M-step for the affected entities, straight off totals.
+
+        Identical formulas to :func:`em_step_localized`'s restricted M-step —
+        the totals equal what a full per-entity re-gather would sum, so the
+        only difference is which E-step parameters old rows were computed at.
+        """
+        store = self.store
+        uniform = store.function_set.uniform_weights()
+        if label_slots.size:
+            denominators = np.maximum(
+                1.0, self._task_answers[self.tensor.task_of_label[label_slots]]
+            )
+            store.label_probs[label_slots] = np.clip(
+                self._slot_z[label_slots] / denominators, 0.0, 1.0
+            )
+        if affected_tasks.size:
+            store.influence_weights[affected_tasks] = _normalise_rows(
+                self._task_dt[affected_tasks],
+                self._task_labels[affected_tasks],
+                uniform,
+            )
+        if affected_workers.size:
+            store.p_qualified[affected_workers] = np.clip(
+                self._worker_i[affected_workers]
+                / np.maximum(1.0, self._worker_labels[affected_workers]),
+                0.0,
+                1.0,
+            )
+            store.distance_weights[affected_workers] = _normalise_rows(
+                self._worker_dw[affected_workers],
+                self._worker_labels[affected_workers],
+                uniform,
+            )
+
+
+def cached_sweeps(
+    cache: SufficientStatCache,
+    batch_rows: np.ndarray,
+    affected_workers: np.ndarray,
+    affected_tasks: np.ndarray,
+    label_slots: np.ndarray,
+    iterations: int,
+    early_exit_threshold: float,
+) -> SweepReport:
+    """Run up to ``iterations`` O(changed) sweeps off the sufficient stats.
+
+    The cached twin of :func:`localized_sweeps`: each sweep folds only the
+    batch's own label rows (new answer slots) and re-estimates the affected
+    entities from the running totals, instead of re-gathering whole entity
+    histories.  The per-entity convergence exit mirrors the exact path, but
+    settled entities additionally *shrink the fold set* to the rows still
+    touching an active entity, and the report carries the settled store rows
+    so the caller can defer them across future batches.
+    """
+    tensor = cache.tensor
+    store = cache.store
+    offsets = store.label_offsets
+    active_w = affected_workers
+    active_t = affected_tasks
+    rows = batch_rows
+    slots = label_slots
+    sweeps_run = 0
+    settled_w: list[np.ndarray] = []
+    settled_t: list[np.ndarray] = []
+    for sweep in range(iterations):
+        track = early_exit_threshold > 0.0 and sweep + 1 < iterations
+        if track:
+            prev_pq = store.p_qualified[active_w]
+            prev_dw = store.distance_weights[active_w]
+            prev_iw = store.influence_weights[active_t]
+            prev_lp = store.label_probs[slots]
+        cache.fold(rows)
+        cache.estimate(active_w, active_t, slots)
+        sweeps_run += 1
+        if not track:
+            continue
+        if active_w.size:
+            w_delta = np.maximum(
+                np.abs(store.p_qualified[active_w] - prev_pq),
+                np.abs(store.distance_weights[active_w] - prev_dw).max(axis=1),
+            )
+            keep_w = active_w[w_delta > early_exit_threshold]
+            if keep_w.size < active_w.size:
+                settled_w.append(active_w[w_delta <= early_exit_threshold])
+        else:
+            keep_w = active_w
+        if active_t.size:
+            t_delta = np.abs(store.influence_weights[active_t] - prev_iw).max(axis=1)
+            counts = np.asarray(
+                offsets[active_t + 1] - offsets[active_t], dtype=np.intp
+            )
+            starts = np.cumsum(counts) - counts
+            t_delta = np.maximum(
+                t_delta,
+                np.maximum.reduceat(np.abs(store.label_probs[slots] - prev_lp), starts),
+            )
+            keep_t = active_t[t_delta > early_exit_threshold]
+            if keep_t.size < active_t.size:
+                settled_t.append(active_t[t_delta <= early_exit_threshold])
+        else:
+            keep_t = active_t
+        if keep_w.size == 0 and keep_t.size == 0:
+            break
+        if keep_w.size == active_w.size and keep_t.size == active_t.size:
+            continue
+        active_w = keep_w
+        active_t = keep_t
+        slots = label_slots_of_tasks(offsets, active_t)
+        keep_rows = np.isin(tensor.a_worker[rows], active_w) | np.isin(
+            tensor.a_task[rows], active_t
+        )
+        rows = rows[keep_rows]
+        if rows.size == 0:
+            break
+    settled_worker_rows = (
+        np.concatenate(settled_w) if settled_w else np.empty(0, dtype=np.intp)
+    )
+    settled_task_rows = (
+        np.concatenate(settled_t) if settled_t else np.empty(0, dtype=np.intp)
+    )
+    return SweepReport(
+        sweeps_run=sweeps_run,
+        workers_settled=int(settled_worker_rows.size),
+        tasks_settled=int(settled_task_rows.size),
+        settled_worker_rows=settled_worker_rows,
+        settled_task_rows=settled_task_rows,
     )
 
 

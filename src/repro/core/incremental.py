@@ -51,7 +51,7 @@ objects with the previous estimate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -104,6 +104,18 @@ class IncrementalUpdater:
     full_refresh_interval: int = 100
     local_iterations: int = 2
     early_exit_threshold: float = 0.0
+    #: Run micro-batch sweeps off a :class:`~repro.core.em_kernel.SufficientStatCache`
+    #: instead of re-gathering whole entity histories: each sweep folds only
+    #: the batch's own label rows into cached per-entity totals, making
+    #: :meth:`apply` O(batch) rather than O(entity-history).  Requires a
+    #: positive :attr:`early_exit_threshold` (the cache's incremental-EM
+    #: semantics already accept convergence-threshold-sized drift; with a
+    #: zero threshold the exact reference-equivalent path is kept).
+    sufficient_stats: bool = False
+    #: After the cached sweeps report an entity settled, skip re-estimating
+    #: it for this many subsequent batches it appears in — its statistics
+    #: keep folding, only the M-step write is deferred.  ``0`` disables.
+    settle_defer_batches: int = 0
     #: Optional registry the EM work accounting (sweeps run, entities settled
     #: by the early exit, refresh iterations/convergence) is reported into.
     metrics: "MetricsRegistry | None" = None
@@ -136,6 +148,13 @@ class IncrementalUpdater:
     _dirty_workers: set[int] = field(default_factory=set, init=False, repr=False)
     _dirty_tasks: set[int] = field(default_factory=set, init=False, repr=False)
     _publish_full: bool = field(default=True, init=False, repr=False)
+    # Sufficient-statistic state: the cache bound to the current live
+    # tensor/store pair, and per-store-row defer credits of settled entities.
+    _stat_cache: "em_kernel.SufficientStatCache | None" = field(
+        default=None, init=False, repr=False
+    )
+    _worker_defer: dict[int, int] = field(default_factory=dict, init=False, repr=False)
+    _task_defer: dict[int, int] = field(default_factory=dict, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.full_refresh_interval <= 0:
@@ -150,6 +169,11 @@ class IncrementalUpdater:
             raise ValueError(
                 f"early_exit_threshold must be non-negative, "
                 f"got {self.early_exit_threshold}"
+            )
+        if self.settle_defer_batches < 0:
+            raise ValueError(
+                f"settle_defer_batches must be non-negative, "
+                f"got {self.settle_defer_batches}"
             )
 
     @property
@@ -294,6 +318,7 @@ class IncrementalUpdater:
             self._store = inference.last_result.store
             self._synced_params = inference.parameters
             self._prune_carryover()
+            self._reset_sufficient_stats()
             if self.metrics is not None:
                 result = inference.last_result
                 self.metrics.histogram("em_refresh_iterations").observe(
@@ -308,6 +333,157 @@ class IncrementalUpdater:
         self._dirty_tasks.clear()
         self.notify_full_refresh()
         return inference.parameters
+
+    # ------------------------------------------------------ pipelined refresh
+    def capture_refresh_state(
+        self, warm: bool = True
+    ) -> tuple[
+        em_kernel.AnswerTensor, ModelParameters | None, ArrayParameterStore | None
+    ]:
+        """Frozen copies of the live state for an off-thread full fit.
+
+        Returns ``(tensor, initial, initial_store)`` ready to hand to
+        :meth:`~repro.core.inference.LocationAwareInference.run_em_detached`:
+        a :meth:`~repro.core.em_kernel.AnswerTensor.snapshot` of the live
+        tensor and, on warm starts, the current estimate plus a copy of the
+        live store (copied because the ingest thread's localized sweeps keep
+        mutating the original while the background fit runs).  The live state
+        itself is not touched — batches keep applying against it.
+        """
+        inference = self.inference
+        if inference.config.engine == "reference":
+            raise RuntimeError(
+                "pipelined refreshes fit from the live tensor; the reference "
+                "engine has no tensor form"
+            )
+        if self._tensor is None:
+            from repro.serving import LiveStateError
+
+            raise LiveStateError(
+                "cannot capture refresh state before the live tensor exists; "
+                "apply at least one batch (or run a blocking full_refresh) first"
+            )
+        params = inference.parameters if inference.is_fitted else None
+        warm = warm and params is not None
+        tensor = self._tensor.snapshot()
+        store = None
+        if warm and self._store is not None and self._synced_params is params:
+            store = self._store.copy()
+        return tensor, (params if warm else None), store
+
+    def integrate_refresh_result(
+        self,
+        result: "object",
+        reconcile_workers: set[str],
+        reconcile_tasks: set[str],
+    ) -> ModelParameters:
+        """Adopt a detached fit's store, reconciling answers that arrived mid-fit.
+
+        ``result`` is the :class:`~repro.core.inference.InferenceResult` of a
+        :meth:`~repro.core.inference.LocationAwareInference.run_em_detached`
+        call on a tensor captured by :meth:`capture_refresh_state`;
+        ``reconcile_workers`` / ``reconcile_tasks`` are the entities touched
+        by every batch applied since that capture.  The fitted store is grown
+        to the live universe (entities admitted mid-fit copy their current
+        live estimates), the mid-fit answers are replayed as localized sweeps
+        against the live tensor, and the reconciled result is installed on the
+        inference model — after which the next publish is a full copy, exactly
+        like a blocking :meth:`full_refresh`.  The refresh counter is **not**
+        reset here: the caller reset it at launch so the refresh schedule is a
+        pure function of applied-answer counts (crash-recovery replay then
+        re-launches at the same batch boundaries).
+        """
+        inference = self.inference
+        fitted: ArrayParameterStore = result.store
+        live = self._tensor
+        old_store = self._store
+        # Entities admitted after the snapshot was cut: the fitted store must
+        # span the live universe again before it can serve.  Copy their
+        # current live estimates (carryover-seeded, locally swept) when the
+        # old live store has them; fall back to the footnote-3 priors.
+        for i in range(fitted.num_workers, live.num_workers):
+            worker_id = live.worker_ids[i]
+            if old_store is not None and i < old_store.num_workers:
+                fitted.add_worker(
+                    worker_id,
+                    float(old_store.p_qualified[i]),
+                    old_store.distance_weights[i].copy(),
+                )
+            else:
+                fitted.add_worker(worker_id)
+        for j in range(fitted.num_tasks, live.num_tasks):
+            task_id = live.task_ids[j]
+            num_labels = inference._tasks[task_id].num_labels
+            if old_store is not None and j < old_store.num_tasks:
+                fitted.add_task(
+                    task_id,
+                    num_labels,
+                    old_store.label_probs[old_store.task_label_slice(j)].copy(),
+                    old_store.influence_weights[j].copy(),
+                )
+            else:
+                fitted.add_task(task_id, num_labels)
+        # Replay the mid-fit neighbourhood: the same localized sweeps those
+        # batches ran against the old store, now against the fresh fit.
+        if reconcile_workers or reconcile_tasks:
+            affected_w = np.asarray(
+                sorted(live.worker_row(w) for w in reconcile_workers),
+                dtype=np.intp,
+            )
+            affected_t = np.asarray(
+                sorted(live.task_row(t) for t in reconcile_tasks), dtype=np.intp
+            )
+            label_slots = em_kernel.label_slots_of_tasks(
+                fitted.label_offsets, affected_t
+            )
+            rows = em_kernel.gather_affected_rows(live, affected_w, affected_t)
+            em_kernel.localized_sweeps(
+                live,
+                fitted,
+                rows,
+                affected_w,
+                affected_t,
+                label_slots,
+                iterations=self.local_iterations,
+                early_exit_threshold=self.early_exit_threshold,
+            )
+        params = fitted.to_model()
+        inference.adopt_result(replace(result, parameters=params, store=fitted))
+        self._store = fitted
+        self._synced_params = params
+        self._prune_carryover()
+        self._reset_sufficient_stats()
+        if self.metrics is not None:
+            self.metrics.histogram("em_refresh_iterations").observe(
+                float(result.iterations)
+            )
+            if result.convergence_trace:
+                self.metrics.histogram("em_refresh_final_delta").observe(
+                    float(result.convergence_trace[-1])
+                )
+        self._publish_full = True
+        self._dirty_workers.clear()
+        self._dirty_tasks.clear()
+        return params
+
+    def _reset_sufficient_stats(self) -> None:
+        """Drop the cache and defer credits (the store they index was replaced)."""
+        self._stat_cache = None
+        self._worker_defer.clear()
+        self._task_defer.clear()
+
+    def reset_sufficient_stats(self) -> None:
+        """Drop the sufficient-stat cache and settle-defer credits.
+
+        The cache is path-dependent (each row's contribution is frozen at the
+        parameters current when it was last folded), so a run replayed from a
+        checkpoint cannot reproduce it.  The ingest layer therefore calls
+        this at every checkpoint boundary: both the original run and any
+        replayed run re-seed the cache at the same applied-answer counts,
+        keeping recovery bit-equal.  The next batch pays one full E-step to
+        rebuild.
+        """
+        self._reset_sufficient_stats()
 
     # -------------------------------------------------------------- live state
     @property
@@ -355,6 +531,7 @@ class IncrementalUpdater:
         self._store = None
         self._synced_params = None
         self._publish_full = True
+        self._reset_sufficient_stats()
 
     def export_answers(self) -> list[Answer]:
         """The live tensor's answer log in row order (empty before any sync).
@@ -391,6 +568,7 @@ class IncrementalUpdater:
         self._tensor = tensor
         self._store = None
         self._synced_params = None
+        self._reset_sufficient_stats()
         self._ensure_store(self.inference.parameters, force=True)
         self.answers_since_full_refresh = answers_since_full_refresh
 
@@ -719,18 +897,45 @@ class IncrementalUpdater:
         affected_t = np.asarray(
             sorted(tensor.task_row(t) for t in affected_tasks), dtype=np.intp
         )
-        label_slots = em_kernel.label_slots_of_tasks(store.label_offsets, affected_t)
-        relevant_rows = em_kernel.gather_affected_rows(tensor, affected_w, affected_t)
-        sweep_report = em_kernel.localized_sweeps(
-            tensor,
-            store,
-            relevant_rows,
-            affected_w,
-            affected_t,
-            label_slots,
-            iterations=self.local_iterations,
-            early_exit_threshold=self.early_exit_threshold,
-        )
+        if self.sufficient_stats and self.early_exit_threshold > 0.0:
+            cache = self._stat_cache
+            if cache is None or not cache.in_sync_with(tensor, store):
+                # One full E-step pass seeds the cache; every full refresh
+                # replaces the store and so pays this once per interval.
+                cache = em_kernel.SufficientStatCache(tensor, store)
+                self._stat_cache = cache
+                self._worker_defer.clear()
+                self._task_defer.clear()
+                if self.metrics is not None:
+                    self.metrics.counter("em_statcache_rebuilds_total").inc()
+            else:
+                cache.sync_growth()
+            est_w, est_t = self._defer_filter(affected_w, affected_t)
+            label_slots = em_kernel.label_slots_of_tasks(store.label_offsets, est_t)
+            sweep_report = em_kernel.cached_sweeps(
+                cache,
+                np.unique(result.rows),
+                est_w,
+                est_t,
+                label_slots,
+                iterations=self.local_iterations,
+                early_exit_threshold=self.early_exit_threshold,
+            )
+            self._note_settled(sweep_report)
+        else:
+            est_w, est_t = affected_w, affected_t
+            label_slots = em_kernel.label_slots_of_tasks(store.label_offsets, est_t)
+            relevant_rows = em_kernel.gather_affected_rows(tensor, est_w, est_t)
+            sweep_report = em_kernel.localized_sweeps(
+                tensor,
+                store,
+                relevant_rows,
+                est_w,
+                est_t,
+                label_slots,
+                iterations=self.local_iterations,
+                early_exit_threshold=self.early_exit_threshold,
+            )
         if self.metrics is not None:
             self.metrics.counter("em_localized_sweeps_total").inc(
                 sweep_report.sweeps_run
@@ -741,12 +946,12 @@ class IncrementalUpdater:
             self.metrics.counter("em_entities_settled_total", kind="task").inc(
                 sweep_report.tasks_settled
             )
-        self._dirty_workers.update(int(i) for i in affected_w)
-        self._dirty_tasks.update(int(j) for j in affected_t)
+        self._dirty_workers.update(int(i) for i in est_w)
+        self._dirty_tasks.update(int(j) for j in est_t)
 
         # Copy-on-write publish: share the unaffected entities' parameter
         # objects (nothing in the system mutates them in place) and replace
-        # only the affected entries.  A deep copy here costs a full
+        # only the re-estimated entries.  A deep copy here costs a full
         # re-validation of every entity per micro-batch — it was the serving
         # path's dominant late-stream cost, far above the EM sweep itself.
         new_params = ModelParameters(
@@ -755,19 +960,61 @@ class IncrementalUpdater:
             workers=dict(params.workers),
             tasks=dict(params.tasks),
         )
-        for worker_id in affected_workers:
-            i = tensor.worker_row(worker_id)
+        for i in est_w:
+            worker_id = tensor.worker_ids[int(i)]
             new_params.workers[worker_id] = _trusted_worker_parameters(
                 float(store.p_qualified[i]), store.distance_weights[i].copy()
             )
-        for task_id in affected_tasks:
-            j = tensor.task_row(task_id)
+        for j in est_t:
+            task_id = tensor.task_ids[int(j)]
             new_params.tasks[task_id] = _trusted_task_parameters(
                 store.label_probs[store.task_label_slice(j)].copy(),
                 store.influence_weights[j].copy(),
             )
         self._synced_params = new_params
         return new_params
+
+    def _defer_filter(
+        self, affected_w: np.ndarray, affected_t: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Drop entities holding settle-defer credit, spending one credit each."""
+        if self.settle_defer_batches <= 0 or not (
+            self._worker_defer or self._task_defer
+        ):
+            return affected_w, affected_t
+
+        def spend(rows: np.ndarray, credits: dict[int, int]) -> np.ndarray:
+            if not credits:
+                return rows
+            kept: list[int] = []
+            for row in rows:
+                row = int(row)
+                credit = credits.get(row, 0)
+                if credit > 0:
+                    if credit == 1:
+                        del credits[row]
+                    else:
+                        credits[row] = credit - 1
+                else:
+                    kept.append(row)
+            if len(kept) == rows.size:
+                return rows
+            return np.asarray(kept, dtype=np.intp)
+
+        return spend(affected_w, self._worker_defer), spend(
+            affected_t, self._task_defer
+        )
+
+    def _note_settled(self, report: em_kernel.SweepReport) -> None:
+        """Grant defer credit to the entities the cached sweeps settled."""
+        if self.settle_defer_batches <= 0:
+            return
+        if report.settled_worker_rows is not None:
+            for row in report.settled_worker_rows:
+                self._worker_defer[int(row)] = self.settle_defer_batches
+        if report.settled_task_rows is not None:
+            for row in report.settled_task_rows:
+                self._task_defer[int(row)] = self.settle_defer_batches
 
     def _local_maximisation(
         self,

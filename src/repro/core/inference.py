@@ -238,6 +238,38 @@ class LocationAwareInference(LabelInferenceModel):
         self._fitted = True
         return self
 
+    def run_em_detached(
+        self,
+        tensor: AnswerTensor,
+        initial: ModelParameters | None = None,
+        initial_store: ArrayParameterStore | None = None,
+    ) -> InferenceResult:
+        """Run the vectorised EM loop **without mutating this model**.
+
+        The pipelined serving refresh calls this from a background thread
+        against a frozen :meth:`AnswerTensor.snapshot` while the ingest thread
+        keeps using the model for localized applies: the loop reads only the
+        immutable :class:`InferenceConfig`, so concurrent detached runs are
+        safe.  The caller makes the result current later (after reconciling
+        answers that arrived mid-fit) via :meth:`adopt_result`.
+        """
+        return self._run_em_vectorized(
+            None, initial, tensor=tensor, initial_store=initial_store
+        )
+
+    def adopt_result(self, result: InferenceResult) -> "LocationAwareInference":
+        """Install a detached EM result as the model's current fit.
+
+        The atomic publish step of a pipelined refresh: after the background
+        fit finished and its store was reconciled with mid-fit answers, this
+        makes the result visible exactly as :meth:`fit_from_tensor` would
+        have.
+        """
+        self._last_result = result
+        self._parameters = result.parameters
+        self._fitted = True
+        return self
+
     def label_probabilities(self, task_id: str) -> np.ndarray:
         self._require_fitted()
         task = self._require_task(task_id)

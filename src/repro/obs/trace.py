@@ -43,11 +43,16 @@ __all__ = [
 ]
 
 #: Canonical ordering of the serving pipeline stages for reports.
+#: ``refresh_wait`` is the ingest thread blocking at a pipelined-refresh
+#: integration point (the fit itself runs on a background thread and is
+#: deliberately *not* a stage — stage totals attribute the ingest thread's
+#: wall time, and overlapped fit time would double-count it).
 PIPELINE_STAGES = (
     "guard",
     "journal",
     "apply",
     "refresh",
+    "refresh_wait",
     "publish",
     "checkpoint",
     "assign",

@@ -12,6 +12,9 @@ updater of :mod:`repro.core`:
   re-fit runs **directly off the updater's live tensor** (zero answer-log
   re-flattens), so the ingestor is log-free by default
   (``IngestConfig.retain_answer_log`` opts back in);
+* :mod:`repro.serving.pipeline`  — the background
+  :class:`~repro.serving.pipeline.RefreshWorker` that overlaps the periodic
+  full EM re-fit with continued ingest (see the pipelined loop below);
 * :mod:`repro.serving.snapshots` — immutable, versioned views of the
   :class:`~repro.core.params.ArrayParameterStore` (copy-on-write publish,
   O(changed) dirty-row delta publishes with lazy materialisation,
@@ -32,6 +35,35 @@ updater of :mod:`repro.core`:
 * :mod:`repro.serving.service`   — wires everything together over a
   :class:`~repro.crowd.platform.CrowdPlatform` workload and exposes a
   run-to-completion simulation (the ``repro-poi serve-sim`` CLI subcommand).
+
+**The pipelined serving loop.**  By default (``IngestConfig.pipeline``) the
+periodic full EM re-fit no longer stalls the stream: when the refresh
+interval trips, the triggering batch is applied incrementally and the fit is
+handed to a :class:`~repro.serving.pipeline.RefreshWorker` thread over frozen
+copies of the live tensor and store, while the ingest thread keeps applying
+localized sweeps and publishing dirty-row delta snapshots::
+
+    ingest thread   ... A A A [launch] A A A A [integrate] A A ...
+                              |  capture tensor/store  ^ replay mid-fit
+                              v  copies (O(state))     | answers, publish
+    refresh thread           [========= full EM fit ==========]
+
+Determinism is preserved for crash recovery: launch happens at a fixed
+applied-answer count (the interval trip), integration at a fixed count
+(launch watermark + ``IngestConfig.pipeline_lag_answers``), and the ingest
+thread *waits* at the integration point if the fit is still running (the
+only nondeterministic quantity is that wait, recorded as the
+``refresh_wait`` stage).  Answers applied mid-fit are accumulated by a
+:class:`~repro.serving.pipeline.PendingRefresh` and replayed as localized
+sweeps against the fresh store before it is atomically published.
+``pipeline=False`` (CLI ``--no-pipeline``) restores the blocking serial
+loop, which doubles as the equivalence oracle: both modes end in stores
+matching to ≤1e-9.  Micro-batch applies themselves are O(changed) via the
+sufficient-statistic cache of :mod:`repro.core.em_kernel` — a sweep folds
+only the dirty rows' new answer slots into cached per-entity posteriors
+totals instead of re-running E-steps over whole neighbourhoods, and
+recently settled entities are deferred for
+``IngestConfig.settle_defer_batches`` batches.
 
 **Durability and crash recovery.**  By default the serving stack is purely
 in-memory; giving the service a *state directory* turns on the
@@ -215,6 +247,7 @@ from repro.serving.snapshots import (
     load_snapshot,
 )
 from repro.serving.journal import AnswerJournal, RecoveryReport, recover_ingestor
+from repro.serving.pipeline import PendingRefresh, RefreshOutcome, RefreshWorker
 from repro.serving.guard import EventGuard, GuardConfig, GuardStats, QuarantinedEvent
 from repro.serving.faults import FaultInjector, InjectedFault, SimulatedCrash
 from repro.serving.service import OnlineServingService, ServingConfig, ServingReport
@@ -240,8 +273,11 @@ __all__ = [
     "LiveStateError",
     "OnlineServingService",
     "ParameterSnapshot",
+    "PendingRefresh",
     "QuarantinedEvent",
     "RecoveryReport",
+    "RefreshOutcome",
+    "RefreshWorker",
     "ServingConfig",
     "ServingReport",
     "ServingStateError",

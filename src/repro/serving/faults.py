@@ -2,9 +2,10 @@
 
 Crash safety cannot be tested by waiting for real crashes.  This module gives
 the serving layers named *check points* (``"ingest.submit"``,
-``"journal.append"``, ``"refresh"``, ``"apply"``, ``"publish"``,
-``"checkpoint.save"``) that are no-ops in production and raise on demand in
-tests: a :class:`FaultInjector` armed at a point counts invocations and, at a
+``"journal.append"``, ``"refresh"``, ``"refresh.background"`` — hit inside
+the :class:`~repro.serving.pipeline.RefreshWorker` fit on the background
+thread — ``"apply"``, ``"publish"``, ``"checkpoint.save"``) that are no-ops
+in production and raise on demand in tests: a :class:`FaultInjector` armed at a point counts invocations and, at a
 chosen hit, raises either
 
 * :class:`InjectedFault` — an ordinary exception standing in for a transient

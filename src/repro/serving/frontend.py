@@ -113,6 +113,10 @@ class AssignmentResponse:
     task_ids: tuple[str, ...]
     snapshot_version: int
     latency_ms: float
+    #: Age of the snapshot this response was computed against, measured from
+    #: that snapshot's own monotonic publish stamp at serve time (clamped at
+    #: 0; 0.0 when no snapshot existed yet).
+    snapshot_age_s: float = 0.0
 
 
 @dataclass
@@ -256,6 +260,13 @@ class AssignmentFrontend:
         task_ids = tuple(assignment.get(worker_id, ()))
         latency_ms = (time.perf_counter() - started) * 1000.0
 
+        # Age of the *served* snapshot — the one this request's parameters
+        # came from, which a concurrent publish cannot retroactively change —
+        # against its own monotonic stamp, clamped so clock granularity can
+        # never report a negative age.
+        age_s = 0.0
+        if snapshot is not None:
+            age_s = max(0.0, time.monotonic() - snapshot.published_wall)
         self._stats.requests += 1
         self._stats.tasks_assigned += len(task_ids)
         if not task_ids:
@@ -266,10 +277,11 @@ class AssignmentFrontend:
             if self._latency_hist is not None:
                 self._latency_hist.observe(latency_ms / 1000.0)
             if self._age_hist is not None and snapshot is not None:
-                self._age_hist.observe(time.monotonic() - snapshot.published_wall)
+                self._age_hist.observe(age_s)
         return AssignmentResponse(
             worker_id=worker_id,
             task_ids=task_ids,
             snapshot_version=version,
             latency_ms=latency_ms,
+            snapshot_age_s=age_s,
         )

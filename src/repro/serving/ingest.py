@@ -63,6 +63,7 @@ from repro.core.inference import LocationAwareInference
 from repro.data.models import Answer, AnswerSet, Task, Worker
 from repro.obs.trace import Tracer
 from repro.serving.faults import FaultInjector
+from repro.serving.pipeline import PendingRefresh, RefreshWorker
 from repro.utils.timing import Timer
 from repro.serving.guard import EventGuard
 from repro.serving.journal import AnswerJournal
@@ -111,6 +112,16 @@ class IngestConfig:
     :attr:`~repro.core.incremental.IncrementalUpdater.early_exit_threshold`);
     ``None`` inherits the inference model's EM convergence threshold, ``0.0``
     disables the exit.
+
+    ``pipeline`` selects the pipelined serving loop: interval full refreshes
+    run as background fits on a :class:`~repro.serving.pipeline.RefreshWorker`
+    while the ingest thread keeps applying incremental sweeps, and the fresh
+    store is reconciled + published ``pipeline_lag_answers`` applied answers
+    after launch (``None`` resolves to
+    ``max(max_batch_answers, full_refresh_interval // 4)``).  ``False`` keeps
+    the serial loop — the equivalence oracle the pipelined path is tested
+    against.  The reference engine always runs serially (it has no tensor
+    form to snapshot).
     """
 
     max_batch_answers: int = 64
@@ -119,6 +130,18 @@ class IngestConfig:
     local_iterations: int = 2
     retain_answer_log: bool = False
     local_convergence_threshold: float | None = None
+    #: Overlap interval full refreshes with ingest (see class docstring).
+    pipeline: bool = True
+    #: Applied answers between a background-fit launch and its integration
+    #: point; ``None`` resolves from the batching/refresh config.
+    pipeline_lag_answers: int | None = None
+    #: Maintain per-row sufficient statistics so incremental sweeps fold only
+    #: the batch's own rows instead of re-reading whole neighbourhoods (see
+    #: :attr:`~repro.core.incremental.IncrementalUpdater.sufficient_stats`).
+    sufficient_stats: bool = True
+    #: Batches a per-entity-converged (settled) entity sits out of the M-step
+    #: before being re-estimated (0 disables deferral).
+    settle_defer_batches: int = 2
     #: Write a checkpoint every this many applied answers (0 disables; only
     #: effective when the ingestor was built with a ``checkpoints`` manager).
     checkpoint_interval: int = 0
@@ -178,6 +201,16 @@ class IngestConfig:
             raise ValueError(
                 f"max_retry_backoff must be non-negative, got {self.max_retry_backoff}"
             )
+        if self.pipeline_lag_answers is not None and self.pipeline_lag_answers <= 0:
+            raise ValueError(
+                f"pipeline_lag_answers must be positive when given, "
+                f"got {self.pipeline_lag_answers}"
+            )
+        if self.settle_defer_batches < 0:
+            raise ValueError(
+                f"settle_defer_batches must be non-negative, "
+                f"got {self.settle_defer_batches}"
+            )
 
 
 @dataclass
@@ -217,6 +250,20 @@ class IngestStats:
     answers_dropped: int = 0
     #: Snapshot publishes abandoned after retry exhaustion (degraded mode).
     publish_failures: int = 0
+    #: Full refreshes that ran as background fits overlapped with ingest.
+    refreshes_overlapped: int = 0
+    #: Answers applied mid-background-fit and replayed as localized sweeps
+    #: against the fresh store at integration.
+    answers_reconciled: int = 0
+    #: Background fits that raised an ordinary exception (counted, non-fatal;
+    #: the stream kept serving incrementally and the next interval retries).
+    refresh_failures: int = 0
+    #: Wall time the ingest thread actually blocked waiting for a background
+    #: fit at an integration point (0 when the stream out-runs the fit).
+    refresh_wait_seconds: float = 0.0
+    #: Longest single flush (update through checkpoint) in wall milliseconds —
+    #: the worst ingest stall a steady stream observes between batch applies.
+    max_flush_stall_ms: float = 0.0
 
     @property
     def answers_per_second(self) -> float:
@@ -311,6 +358,7 @@ class AnswerIngestor:
         self._pending_seq = 0
         self._applied_seq = 0
         self._answers_at_checkpoint = 0
+        self._answers_at_stat_epoch = 0
         self._retain = (
             self._config.retain_answer_log
             or answers is not None
@@ -326,7 +374,23 @@ class AnswerIngestor:
             local_iterations=self._config.local_iterations,
             early_exit_threshold=threshold,
             metrics=self._tracer.metrics,
+            sufficient_stats=self._config.sufficient_stats,
+            settle_defer_batches=self._config.settle_defer_batches,
         )
+        # Pipelined refreshes need a tensor to snapshot — the reference
+        # engine has none, so it always runs the serial loop.
+        self._pipeline = (
+            self._config.pipeline and inference.config.engine != "reference"
+        )
+        lag = self._config.pipeline_lag_answers
+        if lag is None:
+            lag = max(
+                self._config.max_batch_answers,
+                self._config.full_refresh_interval // 4,
+            )
+        self._pipeline_lag = lag
+        self._refresh_worker = RefreshWorker()
+        self._pending_refresh: PendingRefresh | None = None
         # Estimates to carry across re-fits: a model warm-started from a
         # restored snapshot knows entities the growing answer log may not
         # cover yet, and a full EM re-fit only returns entities present in
@@ -507,10 +571,54 @@ class AnswerIngestor:
             self._journal_timer.reset()
 
         started = time.perf_counter()
+        try:
+            return self._flush_update(
+                new_answers, log, now=now, full=full, warm=warm
+            )
+        finally:
+            stall_ms = (time.perf_counter() - started) * 1000.0
+            if stall_ms > self._stats.max_flush_stall_ms:
+                self._stats.max_flush_stall_ms = stall_ms
+            if self._tracer.metrics is not None:
+                self._tracer.metrics.histogram("ingest_stall_seconds").observe(
+                    stall_ms / 1000.0
+                )
+
+    def _flush_update(
+        self,
+        new_answers: list[Answer],
+        log: AnswerSet | None,
+        now: float,
+        full: bool,
+        warm: bool,
+    ) -> ParameterSnapshot | None:
+        """Apply one closed micro-batch, schedule refreshes, and publish.
+
+        Pipelined refresh scheduling is deliberately a pure function of
+        applied-answer counts (launch when the refresh interval trips,
+        integrate ``pipeline_lag_answers`` applied answers later, waiting if
+        the fit is still running) so journal replay reproduces the exact same
+        launch/integrate/publish sequence — wall clock and thread timing only
+        ever change how long the deterministic wait takes.
+        """
+        started = time.perf_counter()
+        if full and self._pending_refresh is not None:
+            # A forced (final) refresh is synchronous by contract: fold the
+            # in-flight background fit in first so the closing serial fit
+            # starts from the reconciled state.
+            self._integrate_refresh()
         run_full = (
-            full or not self._inference.is_fitted or self._updater.full_refresh_due
+            full
+            or not self._inference.is_fitted
+            or (self._pending_refresh is None and self._updater.full_refresh_due)
         )
-        if run_full:
+        # The interval refresh runs in the background only once there is a
+        # fitted estimate to keep serving from; the first fit and the forced
+        # final fit stay serial.
+        launch_background = (
+            run_full and not full and self._pipeline and self._inference.is_fitted
+        )
+        if run_full and not launch_background:
             source = "full_refresh"
             with self._tracer.span("refresh", events=len(new_answers)):
                 applied = self._supervised(
@@ -520,6 +628,9 @@ class AnswerIngestor:
                     ),
                 )
         else:
+            # The batch that trips the interval is applied incrementally; the
+            # background fit snapshots the tensor *after* it, so the fitted
+            # store covers every answer up to the launch watermark.
             source = "incremental"
             with self._tracer.span("apply", events=len(new_answers)):
                 applied = self._supervised(
@@ -542,13 +653,25 @@ class AnswerIngestor:
                 "good snapshot"
             )
             return None
-        if run_full:
+        if run_full and not launch_background:
             self._stats.full_refreshes += 1
         else:
             self._stats.incremental_updates += 1
         self._stats.answers += len(new_answers)
         if new_answers:
             self._stats.batches += 1
+
+        pipeline_started = time.perf_counter()
+        pending = self._pending_refresh
+        if pending is not None:
+            pending.note_batch(new_answers)
+            if pending.answers_since_launch >= self._pipeline_lag:
+                if self._integrate_refresh():
+                    source = "full_refresh"
+        elif launch_background:
+            self._launch_refresh(warm)
+        self._stats.update_seconds += time.perf_counter() - pipeline_started
+
         metrics = self._tracer.metrics
         if metrics is not None:
             metrics.counter("ingest_answers_total").inc(len(new_answers))
@@ -572,7 +695,132 @@ class AnswerIngestor:
             return None
         self._snapshots.clear_degraded()
         self._maybe_checkpoint(snapshot)
+        self._maybe_reset_stat_epoch()
         return snapshot
+
+    def _maybe_reset_stat_epoch(self) -> None:
+        """Re-seed the sufficient-stat cache on the checkpoint cadence.
+
+        The cache is path-dependent (each row's contribution is frozen at the
+        parameters current when it was last folded), so a run replayed from a
+        checkpoint cannot reproduce an arbitrary-aged cache.  Resetting it
+        every ``checkpoint_interval`` applied answers — on the *interval*
+        alone, whether or not a checkpoint manager is attached, and deferred
+        while a background refresh is in flight exactly like checkpoint cuts
+        — keeps the reset schedule a pure function of the answer stream, so
+        durable, non-durable and recovered runs all re-seed at the same
+        points and remain bit-equal.
+        """
+        interval = self._config.checkpoint_interval
+        if interval <= 0 or not self._config.sufficient_stats:
+            return
+        if self._pending_refresh is not None:
+            return
+        if self._stats.answers - self._answers_at_stat_epoch < interval:
+            return
+        self._updater.reset_sufficient_stats()
+        self._answers_at_stat_epoch = self._stats.answers
+
+    def _launch_refresh(self, warm: bool) -> bool:
+        """Hand the interval full refresh to the background worker.
+
+        The fit runs on a frozen copy of the live tensor (and, for warm
+        starts, a copy of the live store) so the ingest thread may keep
+        growing both; the refresh counter resets *now* — the launch is the
+        refresh event as far as scheduling is concerned, and integration is
+        just its deferred publish.
+        """
+        watermark = self._stats.answers
+
+        def capture_and_launch() -> None:
+            tensor, initial, initial_store = self._updater.capture_refresh_state(
+                warm=warm
+            )
+            faults = self._faults
+            inference = self._inference
+
+            def fit() -> object:
+                # Runs on the worker thread; the fault check lives here so
+                # chaos can kill the process *inside* an overlapped fit.
+                if faults is not None:
+                    faults.check("refresh.background")
+                return inference.run_em_detached(
+                    tensor, initial=initial, initial_store=initial_store
+                )
+
+            self._refresh_worker.launch(fit)
+
+        with self._tracer.span("refresh", kind="launch"):
+            ok = self._supervised("refresh", capture_and_launch)
+        if not ok:
+            # The batch itself was already applied incrementally; a failed
+            # launch just means this interval's refresh never happened — the
+            # counter keeps growing and the next due flush retries.
+            return False
+        self._pending_refresh = PendingRefresh(
+            watermark_answers=watermark, warm=warm
+        )
+        self._updater.notify_full_refresh()
+        self._stats.full_refreshes += 1
+        self._stats.refreshes_overlapped += 1
+        if self._tracer.metrics is not None:
+            self._tracer.metrics.counter("ingest_refreshes_overlapped_total").inc()
+        return True
+
+    def _integrate_refresh(self) -> bool:
+        """Collect the in-flight background fit and fold it into serving.
+
+        Blocks (rarely — only when the fit is slower than ``pipeline_lag``
+        answers of stream) until the worker finishes; the wait is recorded as
+        the ``refresh_wait`` stage.  An ordinary exception from the fit is a
+        counted, non-fatal refresh failure; a
+        :class:`~repro.serving.faults.SimulatedCrash` re-raises on this
+        thread so injected process death tears through exactly like the
+        serial path.  Returns ``True`` when a fresh store was adopted.
+        """
+        pending = self._pending_refresh
+        if pending is None:
+            return False
+        wait_started = time.perf_counter()
+        outcome = self._refresh_worker.wait()
+        waited = time.perf_counter() - wait_started
+        self._pending_refresh = None
+        self._stats.refresh_wait_seconds += waited
+        self._tracer.record("refresh_wait", waited)
+        if outcome.error is not None:
+            if not isinstance(outcome.error, Exception):
+                raise outcome.error
+            self._stats.refresh_failures += 1
+            self._stats.update_failures += 1
+            if self._tracer.metrics is not None:
+                self._tracer.metrics.counter(
+                    "ingest_update_failures_total", point="refresh.background"
+                ).inc()
+            return False
+        with self._tracer.span("refresh", kind="reconcile"):
+            self._updater.integrate_refresh_result(
+                outcome.result,
+                pending.reconcile_workers,
+                pending.reconcile_tasks,
+            )
+        self._stats.answers_reconciled += pending.answers_since_launch
+        metrics = self._tracer.metrics
+        if metrics is not None:
+            metrics.histogram("refresh_fit_seconds").observe(outcome.fit_seconds)
+            metrics.counter("ingest_reconciled_answers_total").inc(
+                pending.answers_since_launch
+            )
+        return True
+
+    def close(self) -> None:
+        """Drain the background worker (discarding any in-flight fit).
+
+        Shutdown seam: the service flushes ``full=True`` first — which
+        integrates any in-flight fit — so a fit still running here belongs to
+        an abandoned stream and is simply discarded.
+        """
+        self._pending_refresh = None
+        self._refresh_worker.close()
 
     # ---------------------------------------------------------------- internal
     def _register_event_entities(self, event: AnswerEvent) -> None:
@@ -660,6 +908,8 @@ class AnswerIngestor:
         "tasks_registered",
         "events_quarantined",
         "journal_appends",
+        "refreshes_overlapped",
+        "answers_reconciled",
         "update_seconds",
     )
 
@@ -709,6 +959,13 @@ class AnswerIngestor:
         untruncated journal still cover the full state.
         """
         if self._checkpoints is None or self._config.checkpoint_interval <= 0:
+            return
+        if self._pending_refresh is not None:
+            # Never cut a checkpoint while a background refresh is in flight:
+            # a checkpoint must be a state journal replay can reproduce, and
+            # an in-flight fit is not part of that durable state — replay
+            # re-launches it at the same deterministic answer count instead.
+            # The cut happens at the first boundary after integration.
             return
         if (
             self._stats.answers - self._answers_at_checkpoint
@@ -778,3 +1035,7 @@ class AnswerIngestor:
         self._pending_seq = state.journal_seq
         self._applied_seq = state.journal_seq
         self._answers_at_checkpoint = self._stats.answers
+        # Checkpoints are only cut on stat-epoch boundaries (both follow the
+        # same interval + in-flight deferral), so restoring one lands exactly
+        # on a reset point: the original run re-seeded its cache here too.
+        self._answers_at_stat_epoch = self._stats.answers

@@ -224,6 +224,10 @@ class ServingReport:
             f"assignment latency: p50 {self.assign_p50_ms:.2f} ms, "
             f"p95 {self.assign_p95_ms:.2f} ms over "
             f"{self.frontend.requests} requests",
+            f"pipeline: {self.ingest.refreshes_overlapped} refreshes overlapped "
+            f"with ingest, {self.ingest.answers_reconciled} answers reconciled, "
+            f"longest ingest stall {self.ingest.max_flush_stall_ms:.1f} ms, "
+            f"refresh wait {self.ingest.refresh_wait_seconds * 1000.0:.1f} ms",
             f"simulated duration: {self.simulated_duration:.1f} s, "
             f"wall clock: {self.wall_seconds:.2f} s",
             f"final labelling accuracy: {self.final_accuracy:.3f}",
@@ -453,7 +457,9 @@ class OnlineServingService:
         return self._tracer
 
     def close(self) -> None:
-        """Release durable resources (the journal's open segment handle)."""
+        """Release durable resources (the journal's open segment handle) and
+        drain the ingest layer's background refresh worker."""
+        self._ingestor.close()
         if self._ingestor.journal is not None:
             self._ingestor.journal.close()
 

@@ -32,6 +32,7 @@ copy-on-write publish protocol:
 from __future__ import annotations
 
 import json
+import threading
 import time
 import zlib
 from dataclasses import dataclass, field
@@ -80,6 +81,7 @@ class ParameterSnapshot:
         "_base",
         "_delta",
         "_model",
+        "_lock",
     )
 
     def __init__(
@@ -112,6 +114,8 @@ class ParameterSnapshot:
             self.num_workers = delta.num_workers
             self.num_tasks = delta.num_tasks
         self._model: ModelParameters | None = None
+        # Reentrant: as_model() materialises the store under the same lock.
+        self._lock = threading.RLock()
 
     def __repr__(self) -> str:
         kind = "delta" if self._store is None else "full"
@@ -137,41 +141,68 @@ class ParameterSnapshot:
         as it is applied; a chain that does not fit its base raises
         :class:`~repro.serving.SnapshotIntegrityError` instead of patching
         the wrong rows.
-        """
-        if self._store is None:
-            from repro.serving import SnapshotIntegrityError
 
-            chain: list[ParameterSnapshot] = [self]
-            node = self._base
-            while node._store is None:
-                chain.append(node)
-                node = node._base
-            out = node._store.copy()
-            for snapshot in reversed(chain):
-                try:
-                    snapshot._delta.apply(out)
-                except (ValueError, IndexError) as error:
-                    raise SnapshotIntegrityError(
-                        f"materialising snapshot version {self.version} failed: "
-                        f"the delta of version {snapshot.version} does not fit "
-                        f"its base (version {node.version}): {error}. The "
-                        "delta chain is inconsistent — republish a full "
-                        "snapshot instead of reading this version."
-                    ) from error
-            self._store = out.freeze()
-            self._base = None
-            self._delta = None
-        return self._store
+        Thread-safe: concurrent first reads materialise once, under the
+        snapshot's own lock (the lock-free fast path covers every later
+        read — ``_store`` is only ever written while holding the lock and
+        never reset).
+        """
+        store = self._store
+        if store is not None:
+            return store
+        with self._lock:
+            if self._store is None:
+                from repro.serving import SnapshotIntegrityError
+
+                # Walk the base chain capturing (version, delta) pairs.  An
+                # ancestor may be materialising concurrently under its *own*
+                # lock (it sets ``_store`` first, then clears ``_base`` and
+                # ``_delta``), so each node's fields are captured base/delta
+                # before store: if the store read comes back non-None the
+                # captured pair is simply unused — the materialised array
+                # already includes that delta.
+                deltas: list[tuple[int, StoreDelta]] = [(self.version, self._delta)]
+                node = self._base
+                while True:
+                    base = node._base
+                    delta = node._delta
+                    store = node._store
+                    if store is not None:
+                        base_version = node.version
+                        out = store.copy()
+                        break
+                    deltas.append((node.version, delta))
+                    node = base
+                for version, delta in reversed(deltas):
+                    try:
+                        delta.apply(out)
+                    except (ValueError, IndexError) as error:
+                        raise SnapshotIntegrityError(
+                            f"materialising snapshot version {self.version} failed: "
+                            f"the delta of version {version} does not fit "
+                            f"its base (version {base_version}): {error}. The "
+                            "delta chain is inconsistent — republish a full "
+                            "snapshot instead of reading this version."
+                        ) from error
+                self._store = out.freeze()
+                self._base = None
+                self._delta = None
+            return self._store
 
     def as_model(self) -> ModelParameters:
         """The dict-of-dataclasses view of this snapshot (converted once).
 
         The returned object is shared between callers; treat it as read-only,
-        like the snapshot itself.
+        like the snapshot itself.  Thread-safe: concurrent first calls convert
+        once (double-checked under the snapshot lock).
         """
-        if self._model is None:
-            self._model = self.store.to_model()
-        return self._model
+        model = self._model
+        if model is not None:
+            return model
+        with self._lock:
+            if self._model is None:
+                self._model = self.store.to_model()
+            return self._model
 
     def save(self, path: str | Path) -> Path:
         """Persist the snapshot (parameters + version metadata) as ``.npz``."""
@@ -236,6 +267,11 @@ class SnapshotStore:
         self._snapshots: list[ParameterSnapshot] = []
         self._next_version = 0
         self._chain_length = 0
+        # One writer (the ingest thread) and many readers (assignment
+        # frontends, the pipelined refresh worker's launch site): every
+        # publish/adopt and every history read holds this.  Reentrant because
+        # publish_delta() reads latest() while publishing.
+        self._mutex = threading.RLock()
         # Degraded mode: set by the ingestion supervisor when updates keep
         # failing; readers keep serving the latest retained snapshot and the
         # frontend counts those serves as stale instead of raising.
@@ -284,15 +320,16 @@ class SnapshotStore:
         transfer ownership and skip the copy; the store is frozen in place
         either way.
         """
-        snapshot = ParameterSnapshot(
-            version=self._next_version,
-            store=(store.copy() if copy else store).freeze(),
-            published_at=published_at,
-            source=source,
-        )
-        self._chain_length = 0
-        self._note_publish("full")
-        return self._append(snapshot)
+        with self._mutex:
+            snapshot = ParameterSnapshot(
+                version=self._next_version,
+                store=(store.copy() if copy else store).freeze(),
+                published_at=published_at,
+                source=source,
+            )
+            self._chain_length = 0
+            self._note_publish("full")
+            return self._append(snapshot)
 
     def publish_delta(
         self,
@@ -308,29 +345,33 @@ class SnapshotStore:
         over the same entity universe — callers fall back to :meth:`publish`
         on the first publish or whenever the universe changed.
         """
-        base = self.latest()
-        if base is None:
-            raise ValueError("cannot publish a delta before any full snapshot")
-        if (base.num_workers, base.num_tasks) != (delta.num_workers, delta.num_tasks):
-            raise ValueError(
-                f"delta universe {delta.num_workers} workers / {delta.num_tasks} "
-                f"tasks does not match the latest snapshot "
-                f"({base.num_workers} / {base.num_tasks})"
+        with self._mutex:
+            base = self.latest()
+            if base is None:
+                raise ValueError("cannot publish a delta before any full snapshot")
+            if (base.num_workers, base.num_tasks) != (
+                delta.num_workers,
+                delta.num_tasks,
+            ):
+                raise ValueError(
+                    f"delta universe {delta.num_workers} workers / {delta.num_tasks} "
+                    f"tasks does not match the latest snapshot "
+                    f"({base.num_workers} / {base.num_tasks})"
+                )
+            snapshot = ParameterSnapshot(
+                version=self._next_version,
+                published_at=published_at,
+                source=source,
+                base=base,
+                delta=delta,
             )
-        snapshot = ParameterSnapshot(
-            version=self._next_version,
-            published_at=published_at,
-            source=source,
-            base=base,
-            delta=delta,
-        )
-        self._append(snapshot)
-        self._chain_length += 1
-        if self._chain_length >= self.max_delta_chain:
-            snapshot.store  # materialise eagerly: bound the chain
-            self._chain_length = 0
-        self._note_publish("delta")
-        return snapshot
+            self._append(snapshot)
+            self._chain_length += 1
+            if self._chain_length >= self.max_delta_chain:
+                snapshot.store  # materialise eagerly: bound the chain
+                self._chain_length = 0
+            self._note_publish("delta")
+            return snapshot
 
     def _append(self, snapshot: ParameterSnapshot) -> ParameterSnapshot:
         self._next_version = snapshot.version + 1
@@ -346,17 +387,18 @@ class SnapshotStore:
         original version id and every later publish strictly increases from
         there.
         """
-        if self._snapshots and snapshot.version <= self._snapshots[-1].version:
-            raise ValueError(
-                f"cannot adopt version {snapshot.version}: latest retained version "
-                f"is {self._snapshots[-1].version}"
-            )
-        self._snapshots.append(snapshot)
-        self._next_version = max(self._next_version, snapshot.version + 1)
-        self._chain_length = 0
-        if len(self._snapshots) > self._max_snapshots:
-            del self._snapshots[: len(self._snapshots) - self._max_snapshots]
-        return snapshot
+        with self._mutex:
+            if self._snapshots and snapshot.version <= self._snapshots[-1].version:
+                raise ValueError(
+                    f"cannot adopt version {snapshot.version}: latest retained "
+                    f"version is {self._snapshots[-1].version}"
+                )
+            self._snapshots.append(snapshot)
+            self._next_version = max(self._next_version, snapshot.version + 1)
+            self._chain_length = 0
+            if len(self._snapshots) > self._max_snapshots:
+                del self._snapshots[: len(self._snapshots) - self._max_snapshots]
+            return snapshot
 
     # ---------------------------------------------------------- degraded mode
     @property
@@ -381,11 +423,12 @@ class SnapshotStore:
         made in this state (``FrontendStats.stale_serves``).  Idempotent while
         already degraded (one failure storm is one mark).
         """
-        if self._degraded_reason is None:
-            self._degraded_marks += 1
-            if self._metrics is not None:
-                self._metrics.counter("snapshot_degraded_marks_total").inc()
-        self._degraded_reason = reason
+        with self._mutex:
+            if self._degraded_reason is None:
+                self._degraded_marks += 1
+                if self._metrics is not None:
+                    self._metrics.counter("snapshot_degraded_marks_total").inc()
+            self._degraded_reason = reason
 
     def clear_degraded(self) -> None:
         """Leave degraded mode: a publish succeeded, snapshots are fresh again."""
@@ -393,17 +436,19 @@ class SnapshotStore:
 
     def latest(self) -> ParameterSnapshot | None:
         """The most recently published snapshot, or ``None`` before the first."""
-        return self._snapshots[-1] if self._snapshots else None
+        with self._mutex:
+            return self._snapshots[-1] if self._snapshots else None
 
     def get(self, version: int) -> ParameterSnapshot:
         """The retained snapshot with exactly ``version``; ``KeyError`` if evicted."""
-        for snapshot in reversed(self._snapshots):
-            if snapshot.version == version:
-                return snapshot
-        raise KeyError(
-            f"snapshot version {version} is not retained "
-            f"(have {self.versions}, retention {self._max_snapshots})"
-        )
+        with self._mutex:
+            for snapshot in reversed(self._snapshots):
+                if snapshot.version == version:
+                    return snapshot
+            raise KeyError(
+                f"snapshot version {version} is not retained "
+                f"(have {self.versions}, retention {self._max_snapshots})"
+            )
 
 
 @dataclass

@@ -12,6 +12,8 @@ central claims:
   serving the last good snapshot (counted as stale serves).
 """
 
+import os
+
 import numpy as np
 import pytest
 
@@ -71,11 +73,16 @@ def event_stream(small_dataset, worker_pool, distance_model):
     return events
 
 
+# CI runs this suite twice: SERVING_PIPELINE=1 (default, background refreshes
+# overlapped with ingest) and SERVING_PIPELINE=0 (the serial oracle loop).
+PIPELINE = os.environ.get("SERVING_PIPELINE", "1") != "0"
+
 CHAOS_CONFIG = dict(
     max_batch_answers=8,
     max_batch_delay=4.0,
     full_refresh_interval=30,
     checkpoint_interval=20,
+    pipeline=PIPELINE,
 )
 
 
@@ -257,10 +264,12 @@ class TestCrashRecoveryEquivalence:
         reference_store, _ = uncrashed_store
         run_durable_until_crash(
             tmp_path, small_dataset, worker_pool, distance_model,
-            event_stream, crash_after=47,
+            event_stream, crash_after=57,
         )
         checkpoints = sorted((tmp_path / "checkpoints").glob("ckpt-*.npz"))
-        assert len(checkpoints) == 2  # seq 20 and seq 40
+        # Serial mode cuts at 20 and 40; pipelined mode defers the cut due at
+        # 40 past the in-flight background refresh and lands it at 50.
+        assert len(checkpoints) == 2
         corrupt_file(checkpoints[-1])
 
         recovered, report = recover_and_finish(
@@ -268,8 +277,48 @@ class TestCrashRecoveryEquivalence:
         )
         assert report.corrupt_checkpoints_skipped == 1
         assert report.checkpoint_seq == 20  # fell back to the older checkpoint
-        assert report.replayed_events == 27  # 21..47 replayed from the journal
+        assert report.replayed_events == 37  # 21..57 replayed from the journal
         assert reference_store.max_difference(recovered._updater.live_store) <= 1e-9
+
+    def test_crash_during_background_refresh_recovers(
+        self, tmp_path, small_dataset, worker_pool, distance_model,
+        event_stream, uncrashed_store,
+    ):
+        """Process death *inside* an overlapped background fit: the worker
+        captures the crash, the ingest thread re-raises it at the
+        deterministic integration point, and journal replay reproduces the
+        uncrashed store bit-equal."""
+        if not PIPELINE:
+            pytest.skip("background refreshes only exist in pipelined mode")
+        reference_store, _ = uncrashed_store
+        faults = FaultInjector()
+        faults.arm("refresh.background", crash=True)
+        journal = AnswerJournal(tmp_path / "journal", max_segment_records=16)
+        ingestor, _ = fresh_ingestor(
+            small_dataset,
+            worker_pool,
+            distance_model,
+            journal=journal,
+            checkpoints=CheckpointManager(tmp_path / "checkpoints"),
+            faults=faults,
+        )
+        with pytest.raises(SimulatedCrash):
+            for event in event_stream:
+                ingestor.submit(event)
+        journal.close()
+        # The fit was launched overlapped; the crash surfaced on the ingest
+        # thread, not silently on the worker.
+        assert ingestor.stats.refreshes_overlapped == 1
+
+        recovered, report = recover_and_finish(
+            tmp_path, small_dataset, worker_pool, distance_model, event_stream
+        )
+        assert not report.cold_start
+        diff = reference_store.max_difference(recovered._updater.live_store)
+        assert diff <= 1e-9
+        np.testing.assert_array_equal(
+            reference_store.p_qualified, recovered._updater.live_store.p_qualified
+        )
 
     def test_checkpoints_truncate_the_journal(
         self, tmp_path, small_dataset, worker_pool, distance_model, event_stream
@@ -423,6 +472,7 @@ class TestDegradedMode:
                 full_refresh_interval=40,
                 max_update_retries=1,
                 retry_backoff=0.0,
+                pipeline=PIPELINE,
             ),
             seed=13,
             faults=faults,
@@ -454,6 +504,7 @@ class TestServiceResume:
         ingest = dict(
             max_batch_answers=4, max_batch_delay=4.0,
             full_refresh_interval=40, checkpoint_interval=12,
+            pipeline=PIPELINE,
         )
         faults = FaultInjector()
         faults.arm("ingest.submit", after=30, crash=True)

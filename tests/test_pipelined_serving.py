@@ -1,0 +1,381 @@
+"""Tests for the pipelined serving loop (repro.serving.pipeline + wiring).
+
+Covers, in order:
+
+- serial-vs-pipelined equivalence: the same event stream through both loop
+  modes ends in bit-equal parameter stores after the closing cold full
+  refresh, with the pipelined run having genuinely overlapped fits;
+- the deterministic launch/integrate schedule (pure function of applied
+  answer counts) and its book-keeping counters;
+- :class:`~repro.serving.pipeline.RefreshWorker` unit behaviour, including
+  exception capture on the worker thread;
+- :class:`~repro.serving.pipeline.PendingRefresh` reconcile accounting;
+- thread-safety of :class:`~repro.serving.snapshots.SnapshotStore` and
+  delta-chain materialisation under concurrent readers and a writer;
+- isolation of :meth:`IncrementalUpdater.capture_refresh_state` copies from
+  subsequent live mutations.
+"""
+
+import threading
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.core.inference import LocationAwareInference
+from repro.core.params import StoreDelta
+from repro.crowd.answer_model import AnswerSimulator
+from repro.serving.faults import SimulatedCrash
+from repro.serving.ingest import AnswerEvent, AnswerIngestor, IngestConfig
+from repro.serving.pipeline import PendingRefresh, RefreshOutcome, RefreshWorker
+from repro.serving.snapshots import SnapshotStore
+
+
+def make_events(small_dataset, worker_pool, distance_model, count, gap=0.1):
+    """Deterministic stream of distinct (worker, task) answer events."""
+    simulator = AnswerSimulator(distance_model, noise=0.0)
+    events = []
+    index = 0
+    for profile in worker_pool:
+        for task in small_dataset.tasks:
+            if index >= count:
+                return events
+            events.append(
+                AnswerEvent(
+                    simulator.sample_answer(profile, task, seed=1000 + index),
+                    time=gap * index,
+                )
+            )
+            index += 1
+    return events
+
+
+def run_stream(small_dataset, worker_pool, distance_model, events, *, pipeline):
+    """Feed ``events`` through one ingest loop and close with a cold full fit."""
+    inference = LocationAwareInference(
+        small_dataset.tasks, worker_pool.workers, distance_model
+    )
+    snapshots = SnapshotStore(max_snapshots=64)
+    config = IngestConfig(
+        max_batch_answers=6,
+        max_batch_delay=1000.0,
+        full_refresh_interval=24,
+        pipeline=pipeline,
+        pipeline_lag_answers=6,
+    )
+    ingest = AnswerIngestor(inference, snapshots, config=config)
+    for event in events:
+        ingest.submit(event)
+    # Cold closing fit: both modes end on a full E/M pass over the (bit-equal)
+    # live tensors, so any divergence in the stores below is a pipelining bug.
+    ingest.flush(full=True, warm=False)
+    ingest.close()
+    return ingest, snapshots
+
+
+class TestPipelinedEquivalence:
+    def test_pipelined_stream_matches_serial_oracle(
+        self, small_dataset, worker_pool, distance_model
+    ):
+        events = make_events(small_dataset, worker_pool, distance_model, 72)
+        serial, _ = run_stream(
+            small_dataset, worker_pool, distance_model, events, pipeline=False
+        )
+        piped, _ = run_stream(
+            small_dataset, worker_pool, distance_model, events, pipeline=True
+        )
+        serial_store = serial._updater.live_store
+        piped_store = piped._updater.live_store
+        assert serial_store.max_difference(piped_store) <= 1e-9
+        np.testing.assert_array_equal(
+            serial_store.p_qualified, piped_store.p_qualified
+        )
+        np.testing.assert_array_equal(
+            serial_store.label_probs, piped_store.label_probs
+        )
+        # The pipelined run did real overlapped work along the way.
+        assert piped.stats.refreshes_overlapped == 2
+        assert serial.stats.refreshes_overlapped == 0
+
+    def test_launch_and_integrate_points_are_count_based(
+        self, small_dataset, worker_pool, distance_model
+    ):
+        """Interval 24 + lag 6 over 72 answers: launches at 36 and 66,
+        integrations at 42 and 72 — independent of fit wall time."""
+        events = make_events(small_dataset, worker_pool, distance_model, 72)
+        ingest, snapshots = run_stream(
+            small_dataset, worker_pool, distance_model, events, pipeline=True
+        )
+        stats = ingest.stats
+        assert stats.answers == 72
+        assert stats.refreshes_overlapped == 2
+        # Each refresh integrated after exactly one lag's worth of answers.
+        assert stats.answers_reconciled == 12
+        # Cold start at 6, two overlapped launches, plus the closing flush.
+        assert stats.full_refreshes == 4
+        assert stats.refresh_failures == 0
+        assert stats.max_flush_stall_ms > 0.0
+        assert snapshots.latest().source == "full_refresh"
+
+    def test_serial_mode_never_touches_the_worker(
+        self, small_dataset, worker_pool, distance_model
+    ):
+        events = make_events(small_dataset, worker_pool, distance_model, 72)
+        ingest, _ = run_stream(
+            small_dataset, worker_pool, distance_model, events, pipeline=False
+        )
+        assert ingest._refresh_worker.launches == 0
+        assert ingest.stats.answers_reconciled == 0
+        assert ingest.stats.refresh_wait_seconds == 0.0
+
+    def test_reference_engine_falls_back_to_serial(
+        self, small_dataset, worker_pool, distance_model
+    ):
+        """The reference engine has no tensor form to snapshot, so the
+        pipeline flag silently degrades to the blocking loop."""
+        from repro.core.inference import InferenceConfig
+
+        inference = LocationAwareInference(
+            small_dataset.tasks,
+            worker_pool.workers,
+            distance_model,
+            config=InferenceConfig(engine="reference"),
+        )
+        ingest = AnswerIngestor(
+            inference,
+            SnapshotStore(),
+            config=IngestConfig(
+                max_batch_answers=4, max_batch_delay=100.0, full_refresh_interval=8
+            ),
+        )
+        for event in make_events(small_dataset, worker_pool, distance_model, 12):
+            ingest.submit(event)
+        assert ingest._refresh_worker.launches == 0
+        assert ingest.stats.refreshes_overlapped == 0
+        ingest.close()
+
+
+class TestRefreshWorker:
+    def test_launch_wait_roundtrip(self):
+        worker = RefreshWorker()
+        assert not worker.in_flight
+        worker.launch(lambda: "fitted")
+        assert worker.in_flight
+        outcome = worker.wait()
+        assert isinstance(outcome, RefreshOutcome)
+        assert outcome.result == "fitted"
+        assert outcome.error is None
+        assert outcome.fit_seconds >= 0.0
+        assert not worker.in_flight
+        assert worker.launches == 1
+
+    def test_sequential_launches_allowed(self):
+        worker = RefreshWorker()
+        for value in range(3):
+            worker.launch(lambda value=value: value)
+            assert worker.wait().result == value
+        assert worker.launches == 3
+
+    def test_launch_while_in_flight_raises(self):
+        release = threading.Event()
+        worker = RefreshWorker()
+        worker.launch(release.wait)
+        try:
+            with pytest.raises(RuntimeError):
+                worker.launch(lambda: None)
+        finally:
+            release.set()
+            worker.wait()
+
+    def test_wait_without_launch_raises(self):
+        with pytest.raises(RuntimeError):
+            RefreshWorker().wait()
+
+    def test_ordinary_exception_is_captured_not_raised(self):
+        worker = RefreshWorker()
+
+        def explode():
+            raise ValueError("fit diverged")
+
+        worker.launch(explode)
+        outcome = worker.wait()
+        assert outcome.result is None
+        assert isinstance(outcome.error, ValueError)
+
+    def test_simulated_crash_is_captured_for_relay(self):
+        """BaseException subclasses must not die silently on the thread —
+        they are carried back for the ingest loop to re-raise."""
+        worker = RefreshWorker()
+
+        def crash():
+            raise SimulatedCrash("refresh.background")
+
+        worker.launch(crash)
+        outcome = worker.wait()
+        assert isinstance(outcome.error, SimulatedCrash)
+
+    def test_close_is_noop_when_idle_and_drains_when_not(self):
+        worker = RefreshWorker()
+        assert worker.close() is None
+        worker.launch(lambda: 41)
+        drained = worker.close()
+        assert drained is not None
+        assert drained.result == 41
+        assert not worker.in_flight
+
+
+class TestPendingRefresh:
+    def test_note_batch_accumulates_counts_and_entities(self):
+        pending = PendingRefresh(watermark_answers=30, warm=True)
+        batch1 = [
+            SimpleNamespace(worker_id="w1", task_id="t1"),
+            SimpleNamespace(worker_id="w2", task_id="t1"),
+        ]
+        batch2 = [SimpleNamespace(worker_id="w1", task_id="t2")]
+        pending.note_batch(batch1)
+        pending.note_batch(batch2)
+        assert pending.answers_since_launch == 3
+        assert pending.reconcile_workers == {"w1", "w2"}
+        assert pending.reconcile_tasks == {"t1", "t2"}
+
+
+@pytest.fixture()
+def fitted_store(small_dataset, worker_pool, distance_model, collected_answers):
+    """An ArrayParameterStore flattened from a real fit over the test corpus."""
+    model = LocationAwareInference(
+        small_dataset.tasks, worker_pool.workers, distance_model
+    )
+    model.fit(collected_answers)
+    worker_ids = collected_answers.worker_ids()
+    task_ids = collected_answers.task_ids()
+    registry = small_dataset.task_index
+    num_labels = [registry[task_id].num_labels for task_id in task_ids]
+    return model.parameters.to_array_store(worker_ids, task_ids, num_labels)
+
+
+class TestSnapshotStoreConcurrency:
+    """A writer publishing full snapshots and delta chains while readers
+    materialise: no torn reads, no SnapshotIntegrityError, sane values."""
+
+    def _delta(self, store, p_qualified):
+        return StoreDelta(
+            worker_rows=np.asarray([0], dtype=np.intp),
+            p_qualified=np.asarray([p_qualified]),
+            distance_weights=np.asarray(store.distance_weights[:1]).copy(),
+            task_rows=np.empty(0, dtype=np.intp),
+            influence_weights=np.empty(
+                (0,) + np.asarray(store.influence_weights).shape[1:]
+            ),
+            label_slots=np.empty(0, dtype=np.intp),
+            label_probs=np.empty(0),
+            num_workers=store.num_workers,
+            num_tasks=store.num_tasks,
+        )
+
+    def test_concurrent_publish_and_materialise(self, fitted_store):
+        snapshots = SnapshotStore(max_snapshots=8)
+        snapshots.publish(fitted_store, source="full_refresh")
+        errors: list[BaseException] = []
+        done = threading.Event()
+
+        def writer():
+            try:
+                for i in range(300):
+                    if i % 20 == 0:
+                        snapshots.publish(fitted_store, source="full_refresh")
+                    else:
+                        snapshots.publish_delta(
+                            self._delta(fitted_store, 0.05 + (i % 18) * 0.05)
+                        )
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+            finally:
+                done.set()
+
+        def reader():
+            try:
+                while not done.is_set():
+                    snapshot = snapshots.latest()
+                    store = snapshot.store  # materialises any delta chain
+                    assert store.num_workers == fitted_store.num_workers
+                    assert store.num_tasks == fitted_store.num_tasks
+                    assert 0.0 < store.p_qualified[0] <= 1.0
+                    assert np.all(np.isfinite(store.label_probs))
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer)]
+        threads += [threading.Thread(target=reader) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert not any(thread.is_alive() for thread in threads)
+        assert errors == []
+        # The chain still materialises correctly after the storm.
+        final = snapshots.latest().store
+        assert float(final.p_qualified[0]) == pytest.approx(0.05 + (299 % 18) * 0.05)
+
+    def test_concurrent_reads_of_one_deep_chain(self, fitted_store):
+        """Many threads racing to materialise the *same* delta chain must
+        all see the identical store (first materialisation wins, others
+        reuse it)."""
+        snapshots = SnapshotStore(max_snapshots=64)
+        snapshots.publish(fitted_store, source="full_refresh")
+        for i in range(12):
+            tip = snapshots.publish_delta(self._delta(fitted_store, 0.1 + i * 0.05))
+        expected = 0.1 + 11 * 0.05
+        results: list[float] = []
+        errors: list[BaseException] = []
+        gate = threading.Barrier(8)
+
+        def materialise():
+            try:
+                gate.wait(timeout=30.0)
+                results.append(float(tip.store.p_qualified[0]))
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=materialise) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert errors == []
+        assert results == [pytest.approx(expected)] * 8
+
+
+class TestCaptureIsolation:
+    def test_captured_state_is_frozen_against_live_mutation(
+        self, small_dataset, worker_pool, distance_model
+    ):
+        inference = LocationAwareInference(
+            small_dataset.tasks, worker_pool.workers, distance_model
+        )
+        ingest = AnswerIngestor(
+            inference,
+            SnapshotStore(),
+            config=IngestConfig(
+                max_batch_answers=4,
+                max_batch_delay=1000.0,
+                full_refresh_interval=100,
+            ),
+        )
+        events = make_events(small_dataset, worker_pool, distance_model, 16)
+        for event in events[:8]:
+            ingest.submit(event)
+        tensor, initial, initial_store = ingest._updater.capture_refresh_state(
+            warm=True
+        )
+        assert tensor.num_answers == 8
+        assert initial is not None
+        assert initial_store is not None
+        frozen = np.asarray(initial_store.p_qualified).copy()
+        # Keep streaming: the live tensor and store move on...
+        for event in events[8:]:
+            ingest.submit(event)
+        assert ingest._updater.live_tensor.num_answers == 16
+        # ...while the captured copies stay put.
+        assert tensor.num_answers == 8
+        np.testing.assert_array_equal(initial_store.p_qualified, frozen)
+        ingest.close()

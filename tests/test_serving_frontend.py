@@ -129,6 +129,27 @@ class TestStats:
         assert frontend.stats.p50_latency_ms == 0.0
         assert frontend.stats.p95_latency_ms == 0.0
 
+    def test_snapshot_age_measures_the_served_snapshot(
+        self, small_dataset, worker_pool, distance_model, snapshot_setup
+    ):
+        """Age is the served snapshot's own published_wall gap, clamped >= 0 —
+        not the distance to whatever newer version exists in the store."""
+        snapshots, store = snapshot_setup
+        frontend = make_frontend(
+            small_dataset, worker_pool, distance_model, snapshots
+        )
+        # No snapshot yet: prior-only responses report zero age.
+        response = frontend.assign(worker_pool.worker_ids[0], 1, AnswerSet())
+        assert response.snapshot_age_s == 0.0
+        snapshot = snapshots.publish(store)
+        import time as time_module
+
+        before = time_module.monotonic() - snapshot.published_wall
+        response = frontend.assign(worker_pool.worker_ids[1], 1, AnswerSet())
+        after = time_module.monotonic() - snapshot.published_wall
+        assert before <= response.snapshot_age_s <= after
+        assert response.snapshot_age_s >= 0.0
+
     def test_saturated_worker_gets_empty_response(
         self, small_dataset, worker_pool, distance_model, collected_answers,
         snapshot_setup,

@@ -176,7 +176,10 @@ class TestRefreshPolicy:
         )
         snapshots = SnapshotStore(max_snapshots=32)
         config = IngestConfig(
-            max_batch_answers=4, max_batch_delay=100.0, full_refresh_interval=8
+            max_batch_answers=4,
+            max_batch_delay=100.0,
+            full_refresh_interval=8,
+            pipeline=False,  # serial loop: the refresh runs inline
         )
         ingest = AnswerIngestor(inference, snapshots, config=config)
         for event in make_events(small_dataset, worker_pool, distance_model, 16):
@@ -185,6 +188,30 @@ class TestRefreshPolicy:
         # (counter 4, 8); batch 4 sees the 8-answer interval elapsed.
         assert ingest.stats.full_refreshes == 2
         assert ingest.stats.incremental_updates == 2
+
+    def test_interval_refresh_is_overlapped_when_pipelined(
+        self, small_dataset, worker_pool, distance_model
+    ):
+        inference = LocationAwareInference(
+            small_dataset.tasks, worker_pool.workers, distance_model
+        )
+        snapshots = SnapshotStore(max_snapshots=32)
+        config = IngestConfig(
+            max_batch_answers=4,
+            max_batch_delay=100.0,
+            full_refresh_interval=8,
+            pipeline_lag_answers=4,
+        )
+        ingest = AnswerIngestor(inference, snapshots, config=config)
+        for event in make_events(small_dataset, worker_pool, distance_model, 16):
+            ingest.submit(event)
+        # Batch 1 cold-starts serially; batch 4 trips the interval, is applied
+        # incrementally, and launches a background fit (counted as a full
+        # refresh at launch) that batch 5 would integrate.
+        assert ingest.stats.full_refreshes == 2
+        assert ingest.stats.refreshes_overlapped == 1
+        assert ingest.stats.incremental_updates == 3
+        ingest.close()
 
     def test_forced_full_flush_refits_without_new_answers(
         self, ingestor, small_dataset, worker_pool, distance_model
