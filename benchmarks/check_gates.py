@@ -74,6 +74,19 @@ GATES = [
         "min_attributed_wall_fraction",
         ">=",
     ),
+    (
+        "BENCH_scale_sparse.json",
+        "peak_memory_mb",
+        "max_allowed_peak_memory_mb",
+        "<=",
+    ),
+    ("BENCH_scale_sparse.json", "total_wall_s", "max_allowed_wall_s", "<="),
+    (
+        "BENCH_scale_sparse.json",
+        "oracle_max_param_diff",
+        "max_oracle_param_diff",
+        "<=",
+    ),
 ]
 
 

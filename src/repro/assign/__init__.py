@@ -40,13 +40,19 @@ def build_assigner(
     distance_model: DistanceModel | None = None,
     seed: int | None = None,
     engine: str = "vectorized",
+    candidate_radius: float | None = None,
+    metrics=None,
 ) -> TaskAssigner:
     """Construct the assignment strategy called ``name``.
 
     ``distance_model`` is required by the distance-aware strategies
     (``"accopt"`` and ``"spatial"``); ``seed`` only affects ``"random"``;
     ``engine`` selects the ``"accopt"`` ΔAcc scoring path (``"vectorized"``
-    batched kernels by default, ``"reference"`` for the scalar oracle).
+    batched kernels by default, ``"sparse"`` for the candidate-pruned CSR
+    path — which additionally needs ``candidate_radius`` — and
+    ``"reference"`` for the scalar oracle).  ``metrics`` is an optional
+    :class:`~repro.obs.metrics.MetricsRegistry` receiving the sparse
+    engine's candidate-pruning statistics.
     """
     if name not in ASSIGNER_NAMES:
         raise ValueError(f"unknown assigner {name!r}; expected one of {ASSIGNER_NAMES}")
@@ -58,7 +64,14 @@ def build_assigner(
         raise ValueError(f"assigner {name!r} requires a distance_model")
     if name == "spatial":
         return SpatialFirstAssigner(tasks, workers, distance_model)
-    return AccOptAssigner(tasks, workers, distance_model, engine=engine)
+    return AccOptAssigner(
+        tasks,
+        workers,
+        distance_model,
+        engine=engine,
+        candidate_radius=candidate_radius,
+        metrics=metrics,
+    )
 
 
 __all__ = [

@@ -16,6 +16,15 @@ Lemma 2's recursion, and stop when every worker has ``h`` tasks.
   :class:`~repro.core.params.ArrayParameterStore` arrays and a cached
   normalised-distance matrix, one fused marginal-gain matrix, and an O(|W|)
   column re-score after each greedy pick.
+* ``engine="sparse"`` scores only the radius-bounded candidate pairs of a
+  :class:`~repro.spatial.candidates.CandidateIndex` (CSR layout over a
+  :class:`~repro.spatial.grid_index.GridIndex` bulk query), substituting the
+  shared closed-form :func:`~repro.core.accuracy_kernel.far_field_accuracy`
+  for every out-of-radius pair.  Because the far-field accuracy is one scalar,
+  far marginal gains collapse to per-task values, so the greedy loop needs
+  only O(nnz) candidate state plus an O(|T|) far-side heap instead of the
+  dense ``(|W|, |T|)`` matrices — with ``candidate_radius=inf`` (every pair a
+  candidate) it reproduces the vectorized engine's pick sequence exactly.
 * ``engine="reference"`` keeps the original scalar path — per-label
   :class:`~repro.core.accuracy.LabelAccuracy` recursion driven through an
   :class:`~repro.core.accuracy.AccuracyEstimator` and a lazy max-heap — as the
@@ -25,7 +34,7 @@ Lemma 2's recursion, and stop when every worker has ``h`` tasks.
 from __future__ import annotations
 
 import heapq
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -34,10 +43,14 @@ from repro.core.accuracy import AccuracyEstimator, LabelAccuracy
 from repro.core.assignment import TaskAssigner
 from repro.core.params import ArrayParameterStore, ModelParameters
 from repro.data.models import AnswerSet, Task, Worker
+from repro.spatial.candidates import CandidateIndex
 from repro.spatial.distance import DistanceModel, normalised_distance_matrix
 
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.obs.metrics import MetricsRegistry
+
 #: Engines accepted by :class:`AccOptAssigner`.
-ACCOPT_ENGINES = ("vectorized", "reference")
+ACCOPT_ENGINES = ("vectorized", "sparse", "reference")
 
 
 class AccOptAssigner(TaskAssigner):
@@ -65,15 +78,25 @@ class AccOptAssigner(TaskAssigner):
         distance_model: DistanceModel,
         parameters: ModelParameters | None = None,
         engine: str = "vectorized",
+        candidate_radius: float | None = None,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         super().__init__(tasks, workers)
         if engine not in ACCOPT_ENGINES:
             raise ValueError(
                 f"unknown engine {engine!r}; expected one of {ACCOPT_ENGINES}"
             )
+        if engine == "sparse" and candidate_radius is None:
+            raise ValueError(
+                "engine='sparse' needs a candidate_radius (raw coordinate "
+                "units; use inf to keep every pair a candidate)"
+            )
         self._distance_model = distance_model
         self._parameters = parameters or ModelParameters()
         self._engine = engine
+        self._candidate_radius = candidate_radius
+        self._metrics = metrics
+        self._candidate_index: CandidateIndex | None = None
         # Task-side orderings shared by every vectorized call; initially sorted
         # to match the reference path's _candidate_tasks ordering, with tasks
         # arriving later (open-world growth) appended in arrival order.
@@ -97,6 +120,8 @@ class AccOptAssigner(TaskAssigner):
         self._task_locations.append(task.location)
         self._task_layout = None
         self._task_arrays = None
+        if self._candidate_index is not None:
+            self._candidate_index.add_task(task)
 
     @property
     def parameters(self) -> ModelParameters:
@@ -129,6 +154,8 @@ class AccOptAssigner(TaskAssigner):
             return {}
         if self._engine == "reference":
             return self._assign_reference(available_workers, h, answers)
+        if self._engine == "sparse":
+            return self._assign_sparse(available_workers, h, answers)
         return self._assign_vectorized(available_workers, h, answers)
 
     # ------------------------------------------------------- vectorized engine
@@ -190,28 +217,9 @@ class AccOptAssigner(TaskAssigner):
         worker_list = sorted(available_workers)
         num_workers = len(worker_list)
         num_tasks = len(self._task_ids)
-        function_count = len(self._parameters.function_set)
 
-        num_labels, label_offsets = self._ensure_task_layout()
-        label_probs, influence_weights = self._task_parameter_arrays()
-        p_qualified = np.empty(num_workers, dtype=float)
-        distance_weights = np.empty((num_workers, function_count), dtype=float)
-        for i, worker_id in enumerate(worker_list):
-            worker = self._parameters.worker(worker_id)
-            p_qualified[i] = worker.p_qualified
-            distance_weights[i] = worker.distance_weights
-        store = ArrayParameterStore(
-            function_set=self._parameters.function_set,
-            alpha=self._parameters.alpha,
-            worker_ids=tuple(worker_list),
-            task_ids=tuple(self._task_ids),
-            label_offsets=label_offsets,
-            p_qualified=p_qualified,
-            distance_weights=distance_weights,
-            influence_weights=influence_weights,
-            label_probs=label_probs,
-        )
-
+        store, _, label_offsets = self._build_store(worker_list)
+        label_probs, _ = self._task_parameter_arrays()
         distances = np.stack([self._distance_row(w) for w in worker_list])
         accuracies = accuracy_kernel.answer_accuracy_matrix(store, distances)
         state = accuracy_kernel.baseline_state(
@@ -250,6 +258,219 @@ class AccOptAssigner(TaskAssigner):
             scores[:, j] = np.where(
                 eligible[:, j] & (capacity > 0), column_gains, -np.inf
             )
+        return assignment
+
+    # ----------------------------------------------------------- sparse engine
+    def _ensure_candidate_index(self) -> CandidateIndex:
+        """The lazily-built candidate structure; columns follow _task_ids."""
+        if self._candidate_index is None:
+            assert self._candidate_radius is not None
+            self._candidate_index = CandidateIndex(
+                [self._tasks[tid] for tid in self._task_ids],
+                self._distance_model,
+                self._candidate_radius,
+                metrics=self._metrics,
+            )
+        return self._candidate_index
+
+    def _build_store(
+        self, worker_list: Sequence[str]
+    ) -> tuple[ArrayParameterStore, np.ndarray, np.ndarray]:
+        """ArrayParameterStore plus the task layout over sorted workers."""
+        function_count = len(self._parameters.function_set)
+        num_labels, label_offsets = self._ensure_task_layout()
+        label_probs, influence_weights = self._task_parameter_arrays()
+        p_qualified = np.empty(len(worker_list), dtype=float)
+        distance_weights = np.empty((len(worker_list), function_count), dtype=float)
+        for i, worker_id in enumerate(worker_list):
+            worker = self._parameters.worker(worker_id)
+            p_qualified[i] = worker.p_qualified
+            distance_weights[i] = worker.distance_weights
+        store = ArrayParameterStore(
+            function_set=self._parameters.function_set,
+            alpha=self._parameters.alpha,
+            worker_ids=tuple(worker_list),
+            task_ids=tuple(self._task_ids),
+            label_offsets=label_offsets,
+            p_qualified=p_qualified,
+            distance_weights=distance_weights,
+            influence_weights=influence_weights,
+            label_probs=label_probs,
+        )
+        return store, num_labels, label_offsets
+
+    def _assign_sparse(
+        self, available_workers: Sequence[str], h: int, answers: AnswerSet
+    ) -> dict[str, list[str]]:
+        """Algorithm 1 over candidate pairs only (plus a far-field heap).
+
+        Candidate pairs carry exact Equation 9 accuracies computed through
+        the same kernels as the dense path; every out-of-radius pair shares
+        the closed-form far-field accuracy, whose marginal gain is therefore
+        a per-task scalar.  The greedy loop keeps (a) the best candidate per
+        worker row (first-argmax over the row's CSR segment, replicating the
+        dense row-major tie-break) and (b) a lazy max-heap over far-field
+        task gains that is consulted only when it could beat the best
+        candidate — exact ties go to the candidate.  A pick re-scores one
+        CSR column (O(nnz in column)) and one far-gain slot (O(1)).
+        """
+        worker_list = sorted(available_workers)
+        num_workers = len(worker_list)
+        num_tasks = len(self._task_ids)
+
+        store, _, label_offsets = self._build_store(worker_list)
+        label_probs, _ = self._task_parameter_arrays()
+        candidate_index = self._ensure_candidate_index()
+        indptr, indices, data = candidate_index.rows_for(
+            [self._workers[w] for w in worker_list]
+        )
+        nnz = int(indptr[-1])
+        accuracies = accuracy_kernel.answer_accuracy_csr(store, indptr, indices, data)
+        state = accuracy_kernel.baseline_state(
+            label_probs,
+            label_offsets,
+            [answers.answer_count_of_task(tid) for tid in self._task_ids],
+        )
+        scores = accuracy_kernel.marginal_gains_csr(state, indices, accuracies)
+        rows = np.repeat(np.arange(num_workers, dtype=np.intp), np.diff(indptr))
+
+        # Eligibility: pairs already answered by the worker leave the score
+        # space for good (-inf marks a dead slot; real gains are finite).
+        answered_cols: list[np.ndarray] = []
+        total_to_assign = 0
+        for i, worker_id in enumerate(worker_list):
+            done = np.asarray(
+                sorted(
+                    column
+                    for task_id in answers.tasks_of_worker(worker_id)
+                    if (column := self._task_column.get(task_id)) is not None
+                ),
+                dtype=np.intp,
+            )
+            answered_cols.append(done)
+            total_to_assign += min(h, num_tasks - done.size)
+            row_cols = indices[indptr[i] : indptr[i + 1]]
+            if done.size and row_cols.size:
+                pos = np.searchsorted(row_cols, done)
+                inside = pos < row_cols.size
+                hit = inside.copy()
+                hit[inside] = row_cols[pos[inside]] == done[inside]
+                scores[int(indptr[i]) + pos[hit]] = -np.inf
+
+        capacity = np.full(num_workers, h, dtype=np.intp)
+        far_assigned: list[set[int]] = [set() for _ in range(num_workers)]
+
+        # Best candidate per worker row: first-argmax within the ascending-
+        # column segment, so (row argmax, within-row argmax) reproduces the
+        # dense engine's row-major flat argmax on exact ties.
+        row_best = np.full(num_workers, -np.inf)
+        row_arg = np.zeros(num_workers, dtype=np.intp)
+
+        def refresh_row(i: int) -> None:
+            lo, hi = int(indptr[i]), int(indptr[i + 1])
+            segment = scores[lo:hi]
+            if segment.size and capacity[i] > 0:
+                k = int(np.argmax(segment))
+                row_best[i] = segment[k]
+                row_arg[i] = lo + k
+            else:
+                row_best[i] = -np.inf
+
+        for i in range(num_workers):
+            refresh_row(i)
+
+        # Column view of the CSR structure for the per-pick re-score.
+        order_by_col = np.argsort(indices, kind="stable")
+        sorted_cols = indices[order_by_col]
+
+        # Far side: per-task gains under the shared far-field accuracy, in a
+        # lazy max-heap.  Entries are validated by value on pop; a task with
+        # no far-eligible worker left is dropped for good (eligibility only
+        # ever shrinks).  With full coverage no far pair exists at all.
+        far_accuracy = accuracy_kernel.far_field_accuracy(store)
+        far_gains = accuracy_kernel.far_field_gains(state, far_accuracy)
+        full_coverage = nnz == num_workers * num_tasks
+        far_heap: list[tuple[float, int]] = (
+            []
+            if full_coverage
+            else [(-float(far_gains[j]), j) for j in range(num_tasks)]
+        )
+        heapq.heapify(far_heap)
+
+        def far_worker_for(j: int) -> int | None:
+            """Smallest-index worker that can still take task ``j`` as far."""
+            for i in range(num_workers):
+                if capacity[i] <= 0 or j in far_assigned[i]:
+                    continue
+                done = answered_cols[i]
+                pos = np.searchsorted(done, j)
+                if pos < done.size and done[pos] == j:
+                    continue
+                row_cols = indices[indptr[i] : indptr[i + 1]]
+                pos = np.searchsorted(row_cols, j)
+                if pos < row_cols.size and row_cols[pos] == j:
+                    continue  # a candidate pair, scored on the sparse side
+                return i
+            return None
+
+        def best_far_pick(candidate_gain: float) -> tuple[int, int] | None:
+            while far_heap:
+                neg_gain, j = far_heap[0]
+                if -neg_gain <= candidate_gain:
+                    return None  # ties go to the candidate side
+                if -neg_gain != far_gains[j]:
+                    heapq.heapreplace(far_heap, (-float(far_gains[j]), j))
+                    continue
+                far_i = far_worker_for(j)
+                if far_i is None:
+                    heapq.heappop(far_heap)
+                    continue
+                return far_i, j
+            return None
+
+        def rescore_column(j: int) -> np.ndarray:
+            """Recompute the CSR column of ``j``; returns the affected rows."""
+            lo = int(np.searchsorted(sorted_cols, j, side="left"))
+            hi = int(np.searchsorted(sorted_cols, j, side="right"))
+            span = order_by_col[lo:hi]
+            if span.size:
+                column_gains = accuracy_kernel.marginal_gains_for_task(
+                    state, j, accuracies[span]
+                )
+                dead = ~np.isfinite(scores[span])
+                scores[span] = np.where(dead, -np.inf, column_gains)
+            far_gains[j] = accuracy_kernel.far_field_gains(state, far_accuracy)[j]
+            if not full_coverage:
+                heapq.heappush(far_heap, (-float(far_gains[j]), j))
+            return rows[span]
+
+        assignment: dict[str, list[str]] = {w: [] for w in worker_list}
+        for _ in range(total_to_assign):
+            best_i = int(np.argmax(row_best))
+            candidate_gain = float(row_best[best_i])
+            far_pick = best_far_pick(candidate_gain)
+            if far_pick is not None:
+                i, j = far_pick
+                pick_accuracy = far_accuracy
+                far_assigned[i].add(j)
+            elif np.isfinite(candidate_gain):
+                i = best_i
+                pick_pos = int(row_arg[i])
+                j = int(indices[pick_pos])
+                pick_accuracy = float(accuracies[pick_pos])
+                scores[pick_pos] = -np.inf
+            else:
+                break  # defensive: no assignable pair left
+            assignment[worker_list[i]].append(self._task_ids[j])
+            capacity[i] -= 1
+            if capacity[i] == 0:
+                scores[int(indptr[i]) : int(indptr[i + 1])] = -np.inf
+            accuracy_kernel.add_worker(state, j, pick_accuracy)
+            affected = rescore_column(j)
+            refresh_row(i)
+            for other in np.unique(affected).tolist():
+                if other != i:
+                    refresh_row(other)
         return assignment
 
     # -------------------------------------------------------- reference engine

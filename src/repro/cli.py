@@ -109,6 +109,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default="vectorized",
         help="AccOpt ΔAcc scoring path: batched kernels or the scalar reference",
     )
+    campaign.add_argument(
+        "--candidate-radius",
+        type=float,
+        default=None,
+        help="candidate radius (raw coordinate units) for "
+             "--assigner-engine sparse; omitted keeps the dense path",
+    )
     campaign.add_argument("--seed", type=int, default=42)
 
     serve = subparsers.add_parser(
@@ -145,6 +152,13 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=ACCOPT_ENGINES,
         default="vectorized",
         help="AccOpt ΔAcc scoring path: batched kernels or the scalar reference",
+    )
+    serve.add_argument(
+        "--candidate-radius",
+        type=float,
+        default=None,
+        help="candidate radius (raw coordinate units) for "
+             "--assigner-engine sparse; omitted keeps the dense path",
     )
     serve.add_argument("--batch-answers", type=int, default=32,
                        help="micro-batch size (count trigger) of the ingestion layer")
@@ -329,6 +343,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         distance_model,
         seed=args.seed,
         engine=args.assigner_engine,
+        candidate_radius=args.candidate_radius,
     )
 
     framework = PoiLabellingFramework(platform, inference, assigner, config=config)
@@ -397,6 +412,7 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     config = ServingConfig(
         strategy=args.assigner,
         assigner_engine=args.assigner_engine,
+        candidate_radius=args.candidate_radius,
         tasks_per_worker=args.tasks_per_worker,
         ingest=IngestConfig(
             max_batch_answers=args.batch_answers,

@@ -76,6 +76,74 @@ def answer_accuracy_matrix(
     return p_qualified * qualified + (1.0 - p_qualified) * 0.5
 
 
+def answer_accuracy_csr(
+    store: ArrayParameterStore,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    data: np.ndarray,
+) -> np.ndarray:
+    """Equation 9 for the candidate pairs of a CSR structure only.
+
+    Sparse twin of :func:`answer_accuracy_matrix`: ``indptr``/``indices``
+    describe per worker row (in the store's worker order) the candidate task
+    columns, ``data`` their normalised distances, and the result is the
+    ``(nnz,)`` vector of answer accuracies aligned with ``indices``.  The
+    accumulation order over the function set matches the dense kernel exactly
+    (one fused pass per function), so a candidate pair's accuracy is
+    bit-identical to the dense matrix entry — which is what lets the sparse
+    AccOpt engine reproduce the dense greedy pick sequence when the radius
+    covers the whole universe.
+    """
+    indptr = np.asarray(indptr, dtype=np.intp)
+    indices = np.asarray(indices, dtype=np.intp)
+    data = np.asarray(data, dtype=float)
+    if indptr.size != store.num_workers + 1:
+        raise ValueError(
+            f"indptr must have {store.num_workers + 1} entries, got {indptr.size}"
+        )
+    if indices.size != data.size or indices.size != int(indptr[-1]):
+        raise ValueError("indices and data must both hold indptr[-1] entries")
+    rows = np.repeat(np.arange(store.num_workers, dtype=np.intp), np.diff(indptr))
+    squared = data * data
+    distance_quality = np.zeros(data.size)
+    influence_quality = np.zeros(data.size)
+    for index, lam in enumerate(store.function_set.lambdas):
+        quality = (1.0 + np.exp(-lam * squared)) / 2.0
+        distance_quality += store.distance_weights[rows, index] * quality
+        influence_quality += store.influence_weights[indices, index] * quality
+    qualified = (
+        store.alpha * distance_quality + (1.0 - store.alpha) * influence_quality
+    )
+    p_qualified = store.p_qualified[rows]
+    return p_qualified * qualified + (1.0 - p_qualified) * 0.5
+
+
+def far_field_accuracy(
+    store: ArrayParameterStore, far_distance: float = 1.0
+) -> float:
+    """The shared closed-form Equation 9 accuracy of an out-of-radius pair.
+
+    Beyond the candidate radius a worker is "maximally far" from the task
+    (normalised distance clipped to ``far_distance = 1.0``), and the pair
+    carries no fitted signal worth an O(W·T) slot, so the sparse engines
+    score **every** far pair with one shared scalar: Equation 9 evaluated at
+    the far distance with the uniform function weights (the EM
+    initialisation, hence the natural zero-information prior for both the
+    worker's distance weights and the task's influence weights) and the batch
+    mean qualification probability.  Because the scalar is shared, far-field
+    marginal gains collapse to per-task values independent of the worker,
+    which is what keeps the sparse greedy loop's bookkeeping O(T) instead of
+    O(W·T).
+    """
+    lambdas = np.asarray(store.function_set.lambdas, dtype=float)
+    quality = (1.0 + np.exp(-lambdas * far_distance * far_distance)) / 2.0
+    mixed = float(store.function_set.uniform_weights() @ quality)
+    p_qualified = (
+        float(store.p_qualified.mean()) if store.num_workers else 0.0
+    )
+    return p_qualified * mixed + (1.0 - p_qualified) * 0.5
+
+
 def _segment_sums(values: np.ndarray, label_offsets: np.ndarray) -> np.ndarray:
     """Per-task sums of a flat per-label array (tasks always own ≥ 1 label)."""
     return np.add.reduceat(values, label_offsets[:-1])
@@ -179,6 +247,44 @@ def marginal_gains(
     s = _agreement_mass(np.asarray(answer_accuracies, dtype=float))
     return (state.num_labels[None, :] * s - state.expected_sum[None, :]) / (
         state.effective_answers[None, :] + 1.0
+    )
+
+
+def marginal_gains_csr(
+    state: BatchAccuracyState,
+    indices: np.ndarray,
+    answer_accuracies: np.ndarray,
+) -> np.ndarray:
+    """Marginal ΔAcc for candidate pairs only — the sparse twin of
+    :func:`marginal_gains`.
+
+    ``indices`` are the task columns of the CSR candidate structure and
+    ``answer_accuracies`` the aligned Equation 9 values from
+    :func:`answer_accuracy_csr`; entry ``i`` equals the dense matrix entry
+    ``(row_of(i), indices[i])`` bit-for-bit, since the
+    ``(|L_t|·s − E_t)/(m_t+1)`` closed form involves only per-task state and
+    the pair's own accuracy.
+    """
+    s = _agreement_mass(np.asarray(answer_accuracies, dtype=float))
+    return (state.num_labels[indices] * s - state.expected_sum[indices]) / (
+        state.effective_answers[indices] + 1.0
+    )
+
+
+def far_field_gains(
+    state: BatchAccuracyState, far_accuracy: float
+) -> np.ndarray:
+    """Per-task marginal ΔAcc of adding one *far* worker to each task.
+
+    With the shared :func:`far_field_accuracy` scalar, the Lemma 2 closed
+    form no longer depends on which worker is added, so the far side of the
+    sparse greedy loop needs only this ``(|T|,)`` vector — recomputed per
+    task in O(1) after a pick, with ``max()`` acting as the admissible upper
+    bound that decides whether a far assignment can beat the best candidate.
+    """
+    s = _agreement_mass(float(far_accuracy))
+    return (state.num_labels * s - state.expected_sum) / (
+        state.effective_answers + 1.0
     )
 
 

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -46,6 +46,11 @@ from repro.core.params import ArrayParameterStore, ModelParameters, _grown_buffe
 from repro.data.models import Answer, AnswerSet, Task, Worker
 from repro.spatial.distance import DistanceModel
 from repro.utils.validation import PROBABILITY_FLOOR
+
+#: Override for the per-answer distance source of :meth:`AnswerTensor.build` /
+#: :meth:`AnswerTensor.append_answers`: maps the per-answer ``(worker_ids,
+#: task_ids)`` sequences to the aligned normalised-distance vector.
+PairDistanceFn = Callable[[Sequence[str], Sequence[str]], np.ndarray]
 
 
 @dataclass(frozen=True)
@@ -371,6 +376,7 @@ class AnswerTensor:
         workers: dict[str, Worker],
         distance_model: DistanceModel,
         function_set: DistanceFunctionSet,
+        pair_distance_fn: "PairDistanceFn | None" = None,
     ) -> TensorAppendResult:
         """Append a micro-batch of answers to the live tensor.
 
@@ -379,7 +385,8 @@ class AnswerTensor:
         answer re-submitting a known ``(worker, task)`` pair overwrites its
         responses in place.  Validation mirrors :meth:`build`: unknown ids
         raise ``KeyError``, label-count mismatches raise ``ValueError``.
-        Requires :meth:`enable_row_tracking`.
+        Requires :meth:`enable_row_tracking`.  ``pair_distance_fn`` overrides
+        the distance source exactly as in :meth:`build`.
         """
         if self._rows_of_worker is None:
             raise RuntimeError("enable_row_tracking() must be called first")
@@ -433,9 +440,18 @@ class AnswerTensor:
                 task_location_seq.append(task.location)
 
         if fresh:
-            distances = distance_model.worker_task_distances(
-                worker_location_seq, task_location_seq
-            )
+            if pair_distance_fn is not None:
+                distances = np.asarray(
+                    pair_distance_fn(
+                        [entry[3].worker_id for entry in fresh],
+                        [entry[3].task_id for entry in fresh],
+                    ),
+                    dtype=float,
+                )
+            else:
+                distances = distance_model.worker_task_distances(
+                    worker_location_seq, task_location_seq
+                )
             f_values = function_set.evaluate_many(distances)
             self._append_fresh_rows(fresh, distances, f_values, rows)
         return TensorAppendResult(
@@ -507,6 +523,7 @@ class AnswerTensor:
         workers: dict[str, Worker],
         distance_model: DistanceModel,
         function_set: DistanceFunctionSet,
+        pair_distance_fn: "PairDistanceFn | None" = None,
     ) -> "AnswerTensor":
         """Index ``answers`` against the task/worker registries.
 
@@ -514,13 +531,21 @@ class AnswerTensor:
         ids raise ``KeyError``, label-count mismatches raise ``ValueError``.
         Distances are computed with the batched
         :meth:`~repro.spatial.distance.DistanceModel.worker_task_distances`
-        instead of N scalar cache lookups.
+        instead of N scalar cache lookups.  ``pair_distance_fn`` overrides
+        that source: called with the per-answer worker-id and task-id
+        sequences, it must return the aligned normalised-distance vector —
+        the sparse EM engine routes this through a
+        :class:`~repro.spatial.candidates.CandidateIndex` so observed pairs
+        reuse the O(nnz) candidate structure (far pairs fall back to the
+        maximal distance 1.0) and the fit never touches dense W×T geometry.
         """
         worker_index: dict[str, int] = {}
         task_index: dict[str, int] = {}
         task_num_labels: list[int] = []
         a_worker: list[int] = []
         a_task: list[int] = []
+        pair_worker_ids: list[str] = []
+        pair_task_ids: list[str] = []
         worker_location_seq = []
         task_location_seq = []
         response_rows: list[np.ndarray] = []
@@ -543,6 +568,8 @@ class AnswerTensor:
                 task_num_labels.append(task.num_labels)
             a_worker.append(widx)
             a_task.append(tidx)
+            pair_worker_ids.append(answer.worker_id)
+            pair_task_ids.append(answer.task_id)
             worker_location_seq.append(worker.locations)
             task_location_seq.append(task.location)
             response_rows.append(np.asarray(answer.responses, dtype=float))
@@ -554,9 +581,14 @@ class AnswerTensor:
         label_offsets = np.concatenate(([0], np.cumsum(num_labels)))
         task_of_label = np.repeat(np.arange(num_labels.size, dtype=np.intp), num_labels)
 
-        distances = distance_model.worker_task_distances(
-            worker_location_seq, task_location_seq
-        )
+        if pair_distance_fn is not None:
+            distances = np.asarray(
+                pair_distance_fn(pair_worker_ids, pair_task_ids), dtype=float
+            )
+        else:
+            distances = distance_model.worker_task_distances(
+                worker_location_seq, task_location_seq
+            )
         f_values = function_set.evaluate_many(distances)
 
         counts = (

@@ -32,6 +32,15 @@ Two EM engines implement that iteration:
   dict-based scatter-adds in the M-step).  It is kept as the executable
   specification the vectorised engine is equivalence-tested against
   (``tests/test_em_equivalence.py``), and as a fallback for debugging.
+* ``engine="sparse"`` runs the same vectorised iteration but sources the
+  per-answer distances from a :class:`~repro.spatial.candidates.CandidateIndex`
+  (the CSR candidate structure shared with the sparse AccOpt engine) instead
+  of exact per-pair geometry: observed pairs within
+  :attr:`InferenceConfig.candidate_radius` get their cached exact normalised
+  distance, pruned pairs the maximal distance ``1.0``.  The EM iteration was
+  already O(answers) — never dense W×T — so what this buys is a fit whose
+  *distance* work is O(nnz) and shared with assignment; with a radius
+  covering the whole universe it is bit-identical to ``"vectorized"``.
 
 The class implements the common :class:`~repro.baselines.base.LabelInferenceModel`
 interface so the experiment harness can compare it directly against MV and
@@ -55,11 +64,12 @@ from repro.core.params import (
     WorkerParameters,
 )
 from repro.data.models import AnswerSet, Task, Worker
+from repro.spatial.candidates import CandidateIndex
 from repro.spatial.distance import DistanceModel
 from repro.utils.validation import clamp_probability
 
 #: Valid values of :attr:`InferenceConfig.engine`.
-EM_ENGINES = ("vectorized", "reference")
+EM_ENGINES = ("vectorized", "sparse", "reference")
 
 
 @dataclass
@@ -71,8 +81,12 @@ class InferenceConfig:
     maximum parameter change.
 
     ``engine`` selects the EM implementation: ``"vectorized"`` (default) runs
-    the batched array kernel of :mod:`repro.core.em_kernel`; ``"reference"``
-    runs the original per-record loop, kept for equivalence testing.
+    the batched array kernel of :mod:`repro.core.em_kernel`; ``"sparse"``
+    runs the same kernels but gathers per-answer distances from the CSR
+    candidate structure bounded by ``candidate_radius`` (raw coordinate
+    units; required for this engine, ``inf`` keeps every pair in radius);
+    ``"reference"`` runs the original per-record loop, kept for equivalence
+    testing.
     """
 
     function_set: DistanceFunctionSet = field(default_factory=lambda: PAPER_FUNCTION_SET)
@@ -81,11 +95,21 @@ class InferenceConfig:
     convergence_threshold: float = 0.005
     initial_p_qualified: float = 0.8
     engine: str = "vectorized"
+    candidate_radius: float | None = None
 
     def __post_init__(self) -> None:
         if self.engine not in EM_ENGINES:
             raise ValueError(
                 f"engine must be one of {EM_ENGINES}, got {self.engine!r}"
+            )
+        if self.engine == "sparse" and self.candidate_radius is None:
+            raise ValueError(
+                "engine='sparse' needs a candidate_radius (raw coordinate "
+                "units; use inf to keep every pair a candidate)"
+            )
+        if self.candidate_radius is not None and not self.candidate_radius > 0:
+            raise ValueError(
+                f"candidate_radius must be positive, got {self.candidate_radius}"
             )
         if not 0.0 <= self.alpha <= 1.0:
             raise ValueError(f"alpha must be in [0, 1], got {self.alpha}")
@@ -174,6 +198,10 @@ class LocationAwareInference(LabelInferenceModel):
             function_set=self._config.function_set, alpha=self._config.alpha
         )
         self._last_result: InferenceResult | None = None
+        # Sparse-engine candidate structure, built lazily on the first fit and
+        # topped up with tasks registered afterwards.
+        self._candidate_index: CandidateIndex | None = None
+        self._candidate_synced = 0
 
     # ------------------------------------------------------------------ props
     @property
@@ -445,6 +473,33 @@ class LocationAwareInference(LabelInferenceModel):
         )
 
     # ----------------------------------------------------------- EM internals
+    def _pair_distance_fn(self) -> "em_kernel.PairDistanceFn":
+        """The sparse engine's per-answer distance source.
+
+        Syncs the :class:`CandidateIndex` with tasks registered since the
+        last fit, then returns the closure the tensor build calls: observed
+        pairs inside the candidate radius reuse the cached exact distance,
+        pruned pairs fall back to the maximal normalised distance 1.0.
+        """
+        assert self._config.candidate_radius is not None
+        task_list = list(self._tasks.values())
+        if self._candidate_index is None:
+            self._candidate_index = CandidateIndex(
+                task_list,
+                self._distance_model,
+                self._config.candidate_radius,
+            )
+        else:
+            for task in task_list[self._candidate_synced :]:
+                self._candidate_index.add_task(task)
+        self._candidate_synced = len(task_list)
+        index = self._candidate_index
+
+        def pair_distances(worker_ids, task_ids):
+            return index.pair_distances(worker_ids, task_ids, self._workers)
+
+        return pair_distances
+
     def _build_tensor(self, answers: AnswerSet) -> AnswerTensor:
         """Flatten ``answers`` into the vectorised engine's index arrays."""
         return AnswerTensor.build(
@@ -453,6 +508,11 @@ class LocationAwareInference(LabelInferenceModel):
             self._workers,
             self._distance_model,
             self._config.function_set,
+            pair_distance_fn=(
+                self._pair_distance_fn()
+                if self._config.engine == "sparse"
+                else None
+            ),
         )
 
     def _build_records(self, answers: AnswerSet) -> list[_AnswerRecord]:

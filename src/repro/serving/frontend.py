@@ -175,6 +175,7 @@ class AssignmentFrontend:
         seed: int | None = None,
         engine: str = "vectorized",
         tracer: Tracer | None = None,
+        candidate_radius: float | None = None,
     ) -> None:
         self._assigner = build_assigner(
             strategy,
@@ -183,6 +184,8 @@ class AssignmentFrontend:
             distance_model=distance_model,
             seed=seed,
             engine=engine,
+            candidate_radius=candidate_radius,
+            metrics=tracer.metrics if tracer is not None else None,
         )
         self._snapshots = snapshots
         self._strategy = strategy

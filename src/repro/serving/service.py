@@ -67,6 +67,10 @@ class ServingConfig:
 
     strategy: str = "accopt"
     assigner_engine: str = "vectorized"
+    #: Candidate radius (raw coordinate units) for ``assigner_engine="sparse"``
+    #: and the sparse inference engine's candidate structure; ``None`` keeps
+    #: the dense paths.
+    candidate_radius: float | None = None
     tasks_per_worker: int = 2
     mean_interarrival: float = 1.0
     max_snapshots: int = 8
@@ -139,6 +143,14 @@ class ServingConfig:
         if self.trace_capacity <= 0:
             raise ValueError(
                 f"trace_capacity must be positive, got {self.trace_capacity}"
+            )
+        if self.assigner_engine == "sparse" and self.candidate_radius is None:
+            raise ValueError(
+                "assigner_engine='sparse' requires a candidate_radius"
+            )
+        if self.candidate_radius is not None and not self.candidate_radius > 0:
+            raise ValueError(
+                f"candidate_radius must be positive, got {self.candidate_radius}"
             )
 
 
@@ -357,6 +369,7 @@ class OnlineServingService:
             seed=self._config.seed,
             engine=self._config.assigner_engine,
             tracer=self._tracer,
+            candidate_radius=self._config.candidate_radius,
         )
         if self._recovery is not None:
             self._sync_recovered_universe()

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.spatial.geometry import (
     GeoPoint,
+    convex_hull_indices,
     euclidean_distance,
     euclidean_distances,
     haversine_distance,
@@ -48,27 +49,18 @@ _ARRAY_METRICS: dict[str, Callable[..., "np.ndarray"]] = {
 }
 
 
-def max_pairwise_distance(
-    points: Sequence[GeoPoint],
-    metric: MetricName = "euclidean",
-    chunk_size: int = 2048,
-) -> float:
-    """Maximum pairwise distance among ``points`` (the paper's normaliser).
+#: Below this many points the brute-force diameter scan is as fast as building
+#: a hull, so ``method="auto"`` keeps the O(N²) oracle path.
+_HULL_CUTOFF = 1024
 
-    Computed as a chunked NumPy broadcast: ``chunk_size`` rows of the full
-    pairwise matrix are materialised at a time, so the cost is O(n²) work but
-    only O(chunk_size · n) memory.  A single point (or an empty collection) has
-    no meaningful diameter; we return 0.0 and leave it to the caller to reject
-    that as a normaliser.
-    """
-    if metric not in _ARRAY_METRICS:
-        raise KeyError(metric)
-    if len(points) < 2:
-        return 0.0
-    if chunk_size <= 0:
-        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
-    distance_fn = _ARRAY_METRICS[metric]
-    xs, ys = points_to_arrays(points)
+
+def _bruteforce_diameter(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    distance_fn: Callable[..., "np.ndarray"],
+    chunk_size: int,
+) -> float:
+    """Exact diameter by chunked O(N²) broadcast over coordinate arrays."""
     best = 0.0
     for start in range(0, xs.size, chunk_size):
         stop = min(start + chunk_size, xs.size)
@@ -77,6 +69,46 @@ def max_pairwise_distance(
         )
         best = max(best, float(block.max()))
     return best
+
+
+def max_pairwise_distance(
+    points: Sequence[GeoPoint],
+    metric: MetricName = "euclidean",
+    chunk_size: int = 2048,
+    method: Literal["auto", "hull", "bruteforce"] = "auto",
+) -> float:
+    """Maximum pairwise distance among ``points`` (the paper's normaliser).
+
+    ``method="hull"`` computes the convex hull first (O(N log N)) and scans
+    only pairs of hull vertices: the two farthest points of a set are always
+    hull vertices, so the result is exact while the pair scan shrinks from N²
+    to h² (h is typically O(log N) for random point sets).  For the haversine
+    metric the hull is taken in lon/lat coordinates, which preserves the
+    farthest pair away from the poles/antimeridian — exactly the regime of the
+    paper's city/country datasets.  ``method="bruteforce"`` is the original
+    chunked O(N²) broadcast, kept as the equivalence oracle for small N and
+    selected automatically below ``1024`` points; ``method="auto"`` picks
+    between the two by size.  A single point (or an empty collection) has no
+    meaningful diameter; we return 0.0 and leave it to the caller to reject
+    that as a normaliser.
+    """
+    if metric not in _ARRAY_METRICS:
+        raise KeyError(metric)
+    if method not in ("auto", "hull", "bruteforce"):
+        raise ValueError(f"unknown method {method!r}")
+    if len(points) < 2:
+        return 0.0
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    distance_fn = _ARRAY_METRICS[metric]
+    xs, ys = points_to_arrays(points)
+    if method == "auto":
+        method = "bruteforce" if xs.size <= _HULL_CUTOFF else "hull"
+    if method == "hull":
+        hull = convex_hull_indices(xs, ys)
+        if hull.size >= 2:
+            xs, ys = xs[hull], ys[hull]
+    return _bruteforce_diameter(xs, ys, distance_fn, chunk_size)
 
 
 @dataclass
@@ -250,3 +282,70 @@ def normalised_distance_matrix(
             raw, starts[block_start:block_stop] - row_start, axis=0
         )
     return np.minimum(1.0, matrix / model.max_distance, out=matrix)
+
+
+def sparse_distance_csr(
+    worker_locations: Sequence[Sequence[GeoPoint]],
+    task_locations: Sequence[GeoPoint],
+    model: DistanceModel,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    chunk_size: int = 1 << 18,
+) -> np.ndarray:
+    """Normalised distances for the candidate pairs of a CSR structure only.
+
+    Sparse twin of :func:`normalised_distance_matrix`: ``indptr``/``indices``
+    describe, per worker row ``i``, which task columns are candidates
+    (``indices[indptr[i]:indptr[i + 1]]``), and the result is the ``(nnz,)``
+    vector of normalised worker→task distances aligned with ``indices``.  The
+    arithmetic matches the dense path exactly — same metric kernel, minimum
+    over the worker's declared locations, then ``min(1, raw / max_distance)``
+    — so a candidate pair gets a bit-identical distance to the one the dense
+    matrix would hold.  Work and memory are O(nnz · max_locations), chunked
+    over ``chunk_size`` candidate pairs.
+    """
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    indptr = np.asarray(indptr, dtype=np.intp)
+    indices = np.asarray(indices, dtype=np.intp)
+    num_workers = len(worker_locations)
+    if indptr.size != num_workers + 1:
+        raise ValueError(
+            f"indptr must have {num_workers + 1} entries, got {indptr.size}"
+        )
+    nnz = int(indptr[-1])
+    if indices.size != nnz:
+        raise ValueError(f"indices must have {nnz} entries, got {indices.size}")
+    if nnz == 0:
+        return np.empty(0, dtype=float)
+
+    flat_locations: list[GeoPoint] = []
+    loc_counts = np.empty(num_workers, dtype=np.intp)
+    for i, locations in enumerate(worker_locations):
+        materialised = list(locations)
+        if not materialised:
+            raise ValueError("a worker must declare at least one location")
+        loc_counts[i] = len(materialised)
+        flat_locations.extend(materialised)
+    wx, wy = points_to_arrays(flat_locations)
+    tx, ty = points_to_arrays(task_locations)
+    loc_starts = np.cumsum(loc_counts) - loc_counts
+
+    rows = np.repeat(np.arange(num_workers, dtype=np.intp), np.diff(indptr))
+    distance_fn = _ARRAY_METRICS[model.metric]
+    out = np.empty(nnz, dtype=float)
+    for start in range(0, nnz, chunk_size):
+        stop = min(start + chunk_size, nnz)
+        chunk_rows = rows[start:stop]
+        chunk_counts = loc_counts[chunk_rows]
+        # Expand each candidate pair into one entry per declared worker
+        # location: segment offsets via the repeat/cumsum-arange trick.
+        seg_starts = np.cumsum(chunk_counts) - chunk_counts
+        within = np.arange(int(chunk_counts.sum()), dtype=np.intp) - np.repeat(
+            seg_starts, chunk_counts
+        )
+        flat_idx = np.repeat(loc_starts[chunk_rows], chunk_counts) + within
+        task_idx = np.repeat(indices[start:stop], chunk_counts)
+        raw = distance_fn(wx[flat_idx], wy[flat_idx], tx[task_idx], ty[task_idx])
+        out[start:stop] = np.minimum.reduceat(raw, seg_starts)
+    return np.minimum(1.0, out / model.max_distance, out=out)

@@ -111,6 +111,55 @@ def points_to_arrays(points: Iterable[GeoPoint]) -> tuple[np.ndarray, np.ndarray
     return xs, ys
 
 
+def convex_hull_indices(xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+    """Indices of the convex hull of ``(xs, ys)``, counter-clockwise.
+
+    Andrew's monotone chain in O(N log N).  Collinear points on hull edges are
+    dropped, duplicates are tolerated, and degenerate inputs (all points equal
+    or collinear) reduce to the two extreme points (or a single point).  The
+    returned indices refer to the *original* arrays.
+
+    The hull is computed in the plane of the raw coordinates.  For lon/lat
+    data this is the hull in equirectangular coordinates; away from the poles
+    and the antimeridian the farthest great-circle pair still lies on that
+    hull (spherical caps are quasi-convex in lon/lat there), which is the only
+    property :func:`repro.spatial.distance.max_pairwise_distance` relies on.
+    """
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if xs.shape != ys.shape or xs.ndim != 1:
+        raise ValueError("xs and ys must be 1-D arrays of equal length")
+    n = xs.size
+    if n == 0:
+        return np.empty(0, dtype=np.intp)
+    order = np.lexsort((ys, xs))
+    # Collapse exact duplicates so the chain never stalls on repeated points.
+    keep = np.ones(order.size, dtype=bool)
+    keep[1:] = (np.diff(xs[order]) != 0.0) | (np.diff(ys[order]) != 0.0)
+    order = order[keep]
+    if order.size <= 2:
+        return order
+
+    def _chain(indices: np.ndarray) -> list[int]:
+        hull: list[int] = []
+        for idx in indices:
+            while len(hull) >= 2:
+                o, a = hull[-2], hull[-1]
+                cross = (xs[a] - xs[o]) * (ys[idx] - ys[o]) - (
+                    ys[a] - ys[o]
+                ) * (xs[idx] - xs[o])
+                if cross <= 0.0:
+                    hull.pop()
+                else:
+                    break
+            hull.append(int(idx))
+        return hull
+
+    lower = _chain(order)
+    upper = _chain(order[::-1])
+    return np.asarray(lower[:-1] + upper[:-1], dtype=np.intp)
+
+
 def centroid(points: Iterable[GeoPoint]) -> GeoPoint:
     """Arithmetic centroid of a non-empty collection of points."""
     xs, ys, count = 0.0, 0.0, 0

@@ -6,16 +6,83 @@ for the scalability experiments (Figure 14, up to 10,000 tasks and hundreds of
 workers) a simple uniform grid keeps queries cheap without pulling in external
 spatial libraries.  The index works on raw coordinates and any item type — items
 are registered with an id and a :class:`~repro.spatial.geometry.GeoPoint`.
+
+Beyond the scalar queries, the index supports *bulk* radius queries
+(:meth:`GridIndex.items_within_many`) and the CSR candidate-pair extraction
+(:meth:`GridIndex.candidate_pairs`) that feeds the sparse inference and
+assignment engines: instead of a dense ``W×T`` distance matrix, only the
+radius-bounded (worker, task) pairs are ever materialised, laid out as plain
+NumPy ``indptr``/``indices``/``data`` arrays.
 """
 
 from __future__ import annotations
 
 import math
 from collections import defaultdict
-from typing import Hashable, Iterable, Iterator
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator, Sequence
+
+import numpy as np
 
 from repro.spatial.bbox import BoundingBox
-from repro.spatial.geometry import GeoPoint, euclidean_distance
+from repro.spatial.geometry import GeoPoint, euclidean_distance, points_to_arrays
+
+
+@dataclass(frozen=True)
+class CandidatePairs:
+    """Radius-bounded (row, item) pairs in CSR layout.
+
+    ``indices[indptr[i]:indptr[i + 1]]`` are the positions (into
+    :attr:`item_ids`) of the items within the query radius of row ``i``,
+    sorted ascending, and ``data`` holds the matching raw planar Euclidean
+    distances (the grid's metric — callers needing exact model distances
+    recompute them with :func:`repro.spatial.distance.sparse_distance_csr`).
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray
+    item_ids: tuple[Hashable, ...]
+
+    @property
+    def num_rows(self) -> int:
+        return self.indptr.size - 1
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indptr[-1])
+
+    def row(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """Positions and distances of row ``i``'s candidates."""
+        lo, hi = int(self.indptr[i]), int(self.indptr[i + 1])
+        return self.indices[lo:hi], self.data[lo:hi]
+
+
+class _BulkSnapshot:
+    """Cell-key-sorted arrays backing the vectorized bulk queries.
+
+    Rebuilt lazily whenever the index mutates: item positions follow the
+    insertion order of the underlying dict, ``order`` lists those positions
+    sorted by flattened cell key (``row * cells_per_axis + col``) so each
+    grid-row window of a query is one contiguous run found by two
+    ``searchsorted`` calls.
+    """
+
+    __slots__ = ("item_ids", "xs", "ys", "order", "sorted_keys")
+
+    def __init__(
+        self,
+        item_ids: tuple[Hashable, ...],
+        xs: np.ndarray,
+        ys: np.ndarray,
+        order: np.ndarray,
+        sorted_keys: np.ndarray,
+    ) -> None:
+        self.item_ids = item_ids
+        self.xs = xs
+        self.ys = ys
+        self.order = order
+        self.sorted_keys = sorted_keys
 
 
 class GridIndex:
@@ -37,6 +104,9 @@ class GridIndex:
         self._cell_height = max(bounds.height, 1e-12) / cells_per_axis
         self._cells: dict[tuple[int, int], set[Hashable]] = defaultdict(set)
         self._locations: dict[Hashable, GeoPoint] = {}
+        self._version = 0
+        self._bulk: _BulkSnapshot | None = None
+        self._bulk_version = -1
 
     def __len__(self) -> int:
         return len(self._locations)
@@ -65,6 +135,7 @@ class GridIndex:
             self.remove(item_id)
         self._locations[item_id] = location
         self._cells[self._cell_of(location)].add(item_id)
+        self._version += 1
 
     def insert_many(self, items: Iterable[tuple[Hashable, GeoPoint]]) -> None:
         for item_id, location in items:
@@ -77,6 +148,7 @@ class GridIndex:
         self._cells[cell].discard(item_id)
         if not self._cells[cell]:
             del self._cells[cell]
+        self._version += 1
 
     def location_of(self, item_id: Hashable) -> GeoPoint:
         return self._locations[item_id]
@@ -144,16 +216,188 @@ class GridIndex:
                     yield (col, row)
 
     def items_within(self, query: GeoPoint, radius: float) -> list[Hashable]:
-        """All item ids within Euclidean ``radius`` of ``query``."""
+        """All item ids within Euclidean ``radius`` of ``query``.
+
+        Delegates to :meth:`items_within_many` with a single query; results
+        are sorted by the string form of the id for determinism.
+        """
+        _, positions, _ = self.items_within_many([query], radius)
+        snapshot = self._snapshot()
+        return sorted(
+            (snapshot.item_ids[p] for p in positions.tolist()), key=str
+        )
+
+    @property
+    def item_ids(self) -> tuple[Hashable, ...]:
+        """All item ids in insertion order — the position space of the bulk
+        queries: ``items_within_many`` / ``candidate_pairs`` return indices
+        into this tuple rather than ids, so callers can stay in NumPy."""
+        return self._snapshot().item_ids
+
+    def _snapshot(self) -> _BulkSnapshot:
+        """The cell-key-sorted bulk snapshot, rebuilt after any mutation."""
+        if self._bulk is None or self._bulk_version != self._version:
+            item_ids = tuple(self._locations)
+            xs, ys = points_to_arrays([self._locations[i] for i in item_ids])
+            if xs.size:
+                cols, rows = self._cells_of_arrays(xs, ys)
+                keys = rows * self._cells_per_axis + cols
+                order = np.argsort(keys, kind="stable").astype(np.intp)
+                sorted_keys = keys[order]
+            else:
+                order = np.empty(0, dtype=np.intp)
+                sorted_keys = np.empty(0, dtype=np.intp)
+            self._bulk = _BulkSnapshot(item_ids, xs, ys, order, sorted_keys)
+            self._bulk_version = self._version
+        return self._bulk
+
+    def _cells_of_arrays(
+        self, xs: np.ndarray, ys: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`_cell_of`: clamp to bounds, bucket, clamp cell."""
+        top = self._cells_per_axis - 1
+        cx = np.clip(xs, self._bounds.min_x, self._bounds.max_x)
+        cy = np.clip(ys, self._bounds.min_y, self._bounds.max_y)
+        cols = ((cx - self._bounds.min_x) / self._cell_width).astype(np.intp)
+        rows = ((cy - self._bounds.min_y) / self._cell_height).astype(np.intp)
+        np.clip(cols, 0, top, out=cols)
+        np.clip(rows, 0, top, out=rows)
+        return cols, rows
+
+    def items_within_many(
+        self,
+        queries: Sequence[GeoPoint],
+        radius: float,
+        chunk_size: int = 4096,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Bulk :meth:`items_within`: all items within ``radius`` per query.
+
+        Returns ``(indptr, positions, distances)`` in CSR layout over the
+        queries: ``positions[indptr[i]:indptr[i + 1]]`` are the positions
+        (into :attr:`item_ids`) of the items within Euclidean ``radius`` of
+        ``queries[i]``, sorted ascending, and ``distances`` the matching raw
+        Euclidean distances.  One pass of two ``searchsorted`` calls per
+        window grid-row replaces the per-query Python lists of the scalar
+        method; queries are processed in blocks of ``chunk_size`` to bound
+        peak memory.  ``radius`` may be ``inf`` to scan the whole grid.
+        """
         if radius < 0:
             raise ValueError(f"radius must be non-negative, got {radius}")
-        cells_x = int(math.ceil(radius / self._cell_width)) if self._cell_width else 0
-        cells_y = int(math.ceil(radius / self._cell_height)) if self._cell_height else 0
-        center_col, center_row = self._cell_of(query)
-        result = []
-        for col in range(center_col - cells_x, center_col + cells_x + 1):
-            for row in range(center_row - cells_y, center_row + cells_y + 1):
-                for item_id in self._cells.get((col, row), ()):
-                    if euclidean_distance(query, self._locations[item_id]) <= radius:
-                        result.append(item_id)
-        return sorted(result, key=str)
+        if chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        num_queries = len(queries)
+        snapshot = self._snapshot()
+        indptr = np.zeros(num_queries + 1, dtype=np.intp)
+        empty = (np.empty(0, dtype=np.intp), np.empty(0, dtype=float))
+        if num_queries == 0 or not snapshot.item_ids:
+            return (indptr, *empty)
+
+        qx, qy = points_to_arrays(queries)
+        top = self._cells_per_axis - 1
+        owners: list[np.ndarray] = []
+        positions: list[np.ndarray] = []
+        distances: list[np.ndarray] = []
+        for start in range(0, num_queries, chunk_size):
+            stop = min(start + chunk_size, num_queries)
+            cqx, cqy = qx[start:stop], qy[start:stop]
+            if math.isfinite(radius):
+                # Any in-radius item's cell lies between the (clamped) cells
+                # of the query's coordinate ± radius, because the coordinate
+                # → cell mapping is monotone.
+                lo_col, lo_row = self._cells_of_arrays(cqx - radius, cqy - radius)
+                hi_col, hi_row = self._cells_of_arrays(cqx + radius, cqy + radius)
+            else:
+                lo_col = np.zeros(cqx.size, dtype=np.intp)
+                lo_row = np.zeros(cqx.size, dtype=np.intp)
+                hi_col = np.full(cqx.size, top, dtype=np.intp)
+                hi_row = np.full(cqx.size, top, dtype=np.intp)
+            for step in range(int((hi_row - lo_row).max()) + 1):
+                row = lo_row + step
+                active = row <= hi_row
+                key_lo = row * self._cells_per_axis + lo_col
+                key_hi = row * self._cells_per_axis + hi_col
+                run_start = np.searchsorted(snapshot.sorted_keys, key_lo, "left")
+                run_end = np.searchsorted(snapshot.sorted_keys, key_hi, "right")
+                counts = np.where(active, run_end - run_start, 0)
+                total = int(counts.sum())
+                if total == 0:
+                    continue
+                owner = np.repeat(np.arange(cqx.size, dtype=np.intp), counts)
+                seg_starts = np.cumsum(counts) - counts
+                within = np.arange(total, dtype=np.intp) - np.repeat(
+                    seg_starts, counts
+                )
+                pos = snapshot.order[np.repeat(run_start, counts) + within]
+                dist = np.hypot(
+                    cqx[owner] - snapshot.xs[pos], cqy[owner] - snapshot.ys[pos]
+                )
+                keep = dist <= radius
+                owners.append(owner[keep] + start)
+                positions.append(pos[keep])
+                distances.append(dist[keep])
+
+        if not owners:
+            return (indptr, *empty)
+        all_owner = np.concatenate(owners)
+        all_pos = np.concatenate(positions)
+        all_dist = np.concatenate(distances)
+        order = np.lexsort((all_pos, all_owner))
+        counts = np.bincount(all_owner, minlength=num_queries)
+        indptr[1:] = np.cumsum(counts)
+        return indptr, all_pos[order], all_dist[order]
+
+    def candidate_pairs(
+        self,
+        worker_locations: Sequence[Sequence[GeoPoint]],
+        radius: float,
+        chunk_size: int = 4096,
+    ) -> CandidatePairs:
+        """Radius-bounded (worker, item) pairs in CSR layout.
+
+        ``worker_locations[i]`` is worker ``i``'s collection of declared
+        locations; an item is a candidate of the worker when it lies within
+        Euclidean ``radius`` of *any* of them (matching the paper's
+        min-over-locations convention), and ``data`` records the minimum such
+        distance.  Built on :meth:`items_within_many` over the flattened
+        location list, then merged per worker — never materialising anything
+        dense in the number of (worker, item) combinations.
+        """
+        num_workers = len(worker_locations)
+        flat_locations: list[GeoPoint] = []
+        loc_counts = np.empty(num_workers, dtype=np.intp)
+        for i, locations in enumerate(worker_locations):
+            materialised = list(locations)
+            if not materialised:
+                raise ValueError("a worker must declare at least one location")
+            loc_counts[i] = len(materialised)
+            flat_locations.extend(materialised)
+
+        flat_indptr, pos, dist = self.items_within_many(
+            flat_locations, radius, chunk_size=chunk_size
+        )
+        snapshot = self._snapshot()
+        indptr = np.zeros(num_workers + 1, dtype=np.intp)
+        if pos.size == 0:
+            return CandidatePairs(
+                indptr,
+                np.empty(0, dtype=np.intp),
+                np.empty(0, dtype=float),
+                snapshot.item_ids,
+            )
+        query_owner = np.repeat(np.arange(num_workers, dtype=np.intp), loc_counts)
+        owner = query_owner[
+            np.repeat(np.arange(flat_indptr.size - 1), np.diff(flat_indptr))
+        ]
+        # A worker with several declared locations can see the same item more
+        # than once; collapse to the minimum distance per (worker, item).
+        key = owner.astype(np.int64) * len(snapshot.item_ids) + pos
+        order = np.argsort(key, kind="stable")
+        sorted_key = key[order]
+        first = np.ones(sorted_key.size, dtype=bool)
+        first[1:] = sorted_key[1:] != sorted_key[:-1]
+        seg_starts = np.flatnonzero(first)
+        min_dist = np.minimum.reduceat(dist[order], seg_starts)
+        unique_owner = owner[order][seg_starts]
+        unique_pos = pos[order][seg_starts]
+        indptr[1:] = np.cumsum(np.bincount(unique_owner, minlength=num_workers))
+        return CandidatePairs(indptr, unique_pos, min_dist, snapshot.item_ids)

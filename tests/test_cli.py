@@ -140,8 +140,44 @@ class TestCampaign:
         assert code == 0
         assert "final accuracy (accopt):" in capsys.readouterr().out
 
+    def test_campaign_with_sparse_engine(self, dataset_file, capsys):
+        code = main(
+            [
+                "campaign",
+                "--dataset-file", str(dataset_file),
+                "--budget", "20",
+                "--num-workers", "8",
+                "--workers-per-round", "2",
+                "--assigner", "accopt",
+                "--assigner-engine", "sparse",
+                "--candidate-radius", "100.0",
+                "--seed", "5",
+            ]
+        )
+        assert code == 0
+        assert "final accuracy (accopt):" in capsys.readouterr().out
+
 
 class TestServeSim:
+    def test_serve_sim_with_sparse_engine(self, capsys):
+        code = main(
+            [
+                "serve-sim",
+                "--num-tasks", "15",
+                "--budget", "24",
+                "--num-workers", "8",
+                "--workers-per-round", "3",
+                "--assigner", "accopt",
+                "--assigner-engine", "sparse",
+                "--candidate-radius", "100.0",
+                "--seed", "5",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "answers ingested: 24" in output
+        assert "final labelling accuracy:" in output
+
     def test_serve_sim_replays_generated_workload(self, tmp_path, capsys):
         snapshot_path = tmp_path / "snapshot.npz"
         code = main(

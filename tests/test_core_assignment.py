@@ -24,7 +24,13 @@ def engine(request):
 @pytest.fixture()
 def assigner(small_dataset, worker_pool, distance_model, fitted_parameters, engine):
     assigner = AccOptAssigner(
-        small_dataset.tasks, worker_pool.workers, distance_model, engine=engine
+        small_dataset.tasks,
+        worker_pool.workers,
+        distance_model,
+        engine=engine,
+        # The sparse engine needs a candidate radius; a Beijing-extent
+        # covering value keeps it exactly equivalent to the dense engines.
+        candidate_radius=50.0 if engine == "sparse" else None,
     )
     assigner.update_parameters(fitted_parameters)
     return assigner

@@ -1,5 +1,7 @@
 """Tests for repro.spatial.distance."""
 
+import math
+
 import numpy as np
 import pytest
 
@@ -220,3 +222,55 @@ class TestNormalisedDistanceMatrix:
         model = DistanceModel(max_distance=1.0)
         assert normalised_distance_matrix([], [GeoPoint(0, 0)], model).shape == (0, 1)
         assert normalised_distance_matrix([[GeoPoint(0, 0)]], [], model).shape == (1, 0)
+
+
+class TestHullDiameter:
+    """The convex-hull diameter path vs the brute-force O(N^2) oracle."""
+
+    def _random_points(self, rng, count, spread=10.0):
+        return [
+            GeoPoint(float(rng.uniform(0, spread)), float(rng.uniform(0, spread)))
+            for _ in range(count)
+        ]
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    @pytest.mark.parametrize("metric", ["euclidean", "haversine"])
+    def test_hull_matches_bruteforce(self, seed, metric):
+        rng = np.random.default_rng(seed)
+        points = self._random_points(rng, 300)
+        assert max_pairwise_distance(
+            points, metric=metric, method="hull"
+        ) == pytest.approx(
+            max_pairwise_distance(points, metric=metric, method="bruteforce"),
+            rel=1e-12,
+        )
+
+    def test_auto_switches_to_hull_above_cutoff(self):
+        from repro.spatial.distance import _HULL_CUTOFF
+
+        rng = np.random.default_rng(5)
+        points = self._random_points(rng, _HULL_CUTOFF + 50)
+        assert max_pairwise_distance(points) == pytest.approx(
+            max_pairwise_distance(points, method="bruteforce"), rel=1e-12
+        )
+
+    def test_collinear_points(self):
+        points = [GeoPoint(float(i), float(i)) for i in range(50)]
+        assert max_pairwise_distance(points, method="hull") == pytest.approx(
+            49.0 * math.sqrt(2.0)
+        )
+
+    def test_duplicate_points(self):
+        points = [GeoPoint(1.0, 2.0)] * 20 + [GeoPoint(4.0, 6.0)] * 20
+        assert max_pairwise_distance(points, method="hull") == pytest.approx(5.0)
+
+    def test_degenerate_small_inputs(self):
+        assert max_pairwise_distance([], method="hull") == 0.0
+        assert max_pairwise_distance([GeoPoint(3, 3)], method="hull") == 0.0
+        assert max_pairwise_distance(
+            [GeoPoint(0, 0), GeoPoint(3, 4)], method="hull"
+        ) == pytest.approx(5.0)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            max_pairwise_distance([GeoPoint(0, 0)], method="voronoi")

@@ -89,3 +89,54 @@ class TestCentroid:
     def test_empty_raises(self):
         with pytest.raises(ValueError):
             centroid([])
+
+
+class TestConvexHull:
+    def test_square_with_interior_points(self):
+        import numpy as np
+
+        from repro.spatial.geometry import convex_hull_indices
+
+        xs = np.array([0.0, 4.0, 4.0, 0.0, 2.0, 1.0, 3.0])
+        ys = np.array([0.0, 0.0, 4.0, 4.0, 2.0, 1.0, 3.0])
+        hull = convex_hull_indices(xs, ys)
+        assert sorted(hull.tolist()) == [0, 1, 2, 3]
+
+    def test_hull_contains_extremes(self):
+        import numpy as np
+
+        from repro.spatial.geometry import convex_hull_indices
+
+        rng = np.random.default_rng(41)
+        xs = rng.uniform(-5, 5, size=200)
+        ys = rng.uniform(-5, 5, size=200)
+        hull = set(convex_hull_indices(xs, ys).tolist())
+        for extreme in (
+            int(np.argmin(xs)),
+            int(np.argmax(xs)),
+            int(np.argmin(ys)),
+            int(np.argmax(ys)),
+        ):
+            # An extreme point is always on the hull (or coincides with one).
+            assert any(
+                xs[h] == xs[extreme] and ys[h] == ys[extreme] for h in hull
+            )
+
+    def test_collinear_and_duplicates(self):
+        import numpy as np
+
+        from repro.spatial.geometry import convex_hull_indices
+
+        xs = np.array([0.0, 1.0, 2.0, 1.0, 2.0])
+        ys = np.array([0.0, 1.0, 2.0, 1.0, 2.0])
+        hull = convex_hull_indices(xs, ys)
+        hull_points = {(xs[h], ys[h]) for h in hull.tolist()}
+        assert (0.0, 0.0) in hull_points and (2.0, 2.0) in hull_points
+
+    def test_tiny_inputs_returned_as_is(self):
+        import numpy as np
+
+        from repro.spatial.geometry import convex_hull_indices
+
+        assert convex_hull_indices(np.array([]), np.array([])).size == 0
+        assert convex_hull_indices(np.array([1.0]), np.array([2.0])).tolist() == [0]

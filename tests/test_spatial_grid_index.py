@@ -123,3 +123,148 @@ class TestItemsWithin:
             if euclidean_distance(query, point) <= 2.5
         }
         assert got == expected
+
+
+class TestItemsWithinMany:
+    """The bulk CSR query must agree with a brute-force scan exactly."""
+
+    def _populated(self, bounds, rng, count=120):
+        index = GridIndex(bounds, cells_per_axis=16)
+        points = {}
+        for i in range(count):
+            point = GeoPoint(float(rng.uniform(-2, 12)), float(rng.uniform(-2, 12)))
+            points[f"p{i}"] = point
+            index.insert(f"p{i}", point)
+        return index, points
+
+    @pytest.mark.parametrize("radius", [0.0, 0.7, 3.0, float("inf")])
+    def test_matches_brute_force(self, bounds, radius):
+        rng = np.random.default_rng(11)
+        index, points = self._populated(bounds, rng)
+        queries = [
+            GeoPoint(float(rng.uniform(-3, 13)), float(rng.uniform(-3, 13)))
+            for _ in range(40)
+        ]
+        indptr, positions, distances = index.items_within_many(queries, radius)
+        item_ids = index.item_ids
+        assert indptr[0] == 0 and indptr[-1] == positions.size == distances.size
+        for i, query in enumerate(queries):
+            lo, hi = int(indptr[i]), int(indptr[i + 1])
+            got = sorted(item_ids[p] for p in positions[lo:hi])
+            expected = sorted(
+                pid
+                for pid, point in points.items()
+                if euclidean_distance(query, point) <= radius
+            )
+            assert got == expected
+            # Positions are ascending per row; distances are the raw metric.
+            assert np.all(np.diff(positions[lo:hi]) > 0)
+            for p, d in zip(positions[lo:hi], distances[lo:hi]):
+                assert d == pytest.approx(
+                    euclidean_distance(query, points[item_ids[p]])
+                )
+
+    def test_scalar_items_within_delegates(self, bounds):
+        rng = np.random.default_rng(13)
+        index, points = self._populated(bounds, rng)
+        for _ in range(10):
+            query = GeoPoint(float(rng.uniform(0, 10)), float(rng.uniform(0, 10)))
+            expected = sorted(
+                (
+                    pid
+                    for pid, point in points.items()
+                    if euclidean_distance(query, point) <= 2.0
+                ),
+                key=str,
+            )
+            assert index.items_within(query, radius=2.0) == expected
+
+    def test_snapshot_invalidated_by_mutation(self, bounds):
+        index = GridIndex(bounds)
+        index.insert("a", GeoPoint(1, 1))
+        indptr, positions, _ = index.items_within_many([GeoPoint(1, 1)], 1.0)
+        assert positions.size == 1
+        index.insert("b", GeoPoint(1.2, 1.0))
+        _, positions, _ = index.items_within_many([GeoPoint(1, 1)], 1.0)
+        assert positions.size == 2
+        index.remove("a")
+        _, positions, _ = index.items_within_many([GeoPoint(1, 1)], 1.0)
+        assert positions.size == 1
+
+    def test_empty_index_and_empty_queries(self, bounds):
+        index = GridIndex(bounds)
+        indptr, positions, distances = index.items_within_many(
+            [GeoPoint(1, 1)], 5.0
+        )
+        assert indptr.tolist() == [0, 0]
+        assert positions.size == 0 and distances.size == 0
+        index.insert("a", GeoPoint(1, 1))
+        indptr, positions, distances = index.items_within_many([], 5.0)
+        assert indptr.tolist() == [0]
+        assert positions.size == 0
+
+    def test_invalid_arguments(self, bounds):
+        index = GridIndex(bounds)
+        with pytest.raises(ValueError):
+            index.items_within_many([GeoPoint(0, 0)], -1.0)
+        with pytest.raises(ValueError):
+            index.items_within_many([GeoPoint(0, 0)], 1.0, chunk_size=0)
+
+    def test_chunked_matches_unchunked(self, bounds):
+        rng = np.random.default_rng(17)
+        index, _ = self._populated(bounds, rng)
+        queries = [
+            GeoPoint(float(rng.uniform(0, 10)), float(rng.uniform(0, 10)))
+            for _ in range(30)
+        ]
+        whole = index.items_within_many(queries, 2.0)
+        chunked = index.items_within_many(queries, 2.0, chunk_size=7)
+        for a, b in zip(whole, chunked):
+            assert np.array_equal(a, b)
+
+
+class TestCandidatePairs:
+    def test_min_over_locations_matches_brute_force(self, bounds):
+        rng = np.random.default_rng(23)
+        index = GridIndex(bounds, cells_per_axis=16)
+        points = {}
+        for j in range(60):
+            point = GeoPoint(float(rng.uniform(0, 10)), float(rng.uniform(0, 10)))
+            points[j] = point
+            index.insert(j, point)
+        worker_locations = [
+            [
+                GeoPoint(float(rng.uniform(0, 10)), float(rng.uniform(0, 10)))
+                for _ in range(int(rng.integers(1, 4)))
+            ]
+            for _ in range(15)
+        ]
+        radius = 2.0
+        pairs = index.candidate_pairs(worker_locations, radius)
+        assert pairs.num_rows == len(worker_locations)
+        for i, locations in enumerate(worker_locations):
+            cols, dists = pairs.row(i)
+            expected = {}
+            for j, point in points.items():
+                best = min(
+                    euclidean_distance(loc, point) for loc in locations
+                )
+                if best <= radius:
+                    expected[j] = best
+            got_ids = [pairs.item_ids[c] for c in cols]
+            assert sorted(got_ids) == sorted(expected)
+            for item_id, dist in zip(got_ids, dists):
+                assert dist == pytest.approx(expected[item_id])
+
+    def test_empty_worker_locations_rejected(self, bounds):
+        index = GridIndex(bounds)
+        index.insert("a", GeoPoint(1, 1))
+        with pytest.raises(ValueError):
+            index.candidate_pairs([[]], 1.0)
+
+    def test_no_items_in_radius(self, bounds):
+        index = GridIndex(bounds)
+        index.insert("a", GeoPoint(9, 9))
+        pairs = index.candidate_pairs([[GeoPoint(0, 0)]], 1.0)
+        assert pairs.nnz == 0
+        assert pairs.indptr.tolist() == [0, 0]
