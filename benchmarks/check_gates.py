@@ -87,6 +87,36 @@ GATES = [
         "max_oracle_param_diff",
         "<=",
     ),
+    (
+        "BENCH_scenario_matrix.json",
+        "clean_equivalence_delta",
+        "max_clean_equivalence_delta",
+        "<=",
+    ),
+    (
+        "BENCH_scenario_matrix.json",
+        "spam_detection_recall",
+        "min_spam_detection_recall",
+        ">=",
+    ),
+    (
+        "BENCH_scenario_matrix.json",
+        "spam_detection_precision",
+        "min_spam_detection_precision",
+        ">=",
+    ),
+    (
+        "BENCH_scenario_matrix.json",
+        "spam_false_positive_rate",
+        "max_spam_false_positive_rate",
+        "<=",
+    ),
+    (
+        "BENCH_scenario_matrix.json",
+        "drift_decayed_margin",
+        "min_drift_decayed_margin",
+        ">=",
+    ),
 ]
 
 

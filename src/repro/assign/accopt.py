@@ -152,11 +152,21 @@ class AccOptAssigner(TaskAssigner):
         self._validate_request(available_workers, h)
         if not available_workers:
             return {}
+        # Quarantined (excluded) workers get empty HITs and never participate
+        # in the greedy scoring: spending budget on a distrusted worker wastes
+        # answers the EM step would then have to down-weight anyway.
+        workers = self._assignable_workers(available_workers)
+        if not workers:
+            return {w: [] for w in available_workers}
         if self._engine == "reference":
-            return self._assign_reference(available_workers, h, answers)
-        if self._engine == "sparse":
-            return self._assign_sparse(available_workers, h, answers)
-        return self._assign_vectorized(available_workers, h, answers)
+            assignment = self._assign_reference(workers, h, answers)
+        elif self._engine == "sparse":
+            assignment = self._assign_sparse(workers, h, answers)
+        else:
+            assignment = self._assign_vectorized(workers, h, answers)
+        for worker_id in available_workers:
+            assignment.setdefault(worker_id, [])
+        return assignment
 
     # ------------------------------------------------------- vectorized engine
     def _task_parameter_arrays(self) -> tuple[np.ndarray, np.ndarray]:

@@ -50,6 +50,7 @@ from repro.data.io import load_answers, load_dataset, save_answers, save_dataset
 from repro.framework.config import FrameworkConfig
 from repro.framework.experiment import build_platform, build_worker_pool
 from repro.framework.framework import PoiLabellingFramework
+from repro.framework.scenarios import SCENARIO_NAMES
 from repro.framework.metrics import labelling_accuracy
 from repro.serving import IngestConfig, OnlineServingService, ServingConfig
 
@@ -140,12 +141,30 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--dataset-file", default=None,
                        help="dataset JSON; omitted -> a synthetic dataset is generated")
-    serve.add_argument("--num-tasks", type=int, default=100,
-                       help="task count when generating a synthetic dataset")
-    serve.add_argument("--budget", type=int, default=300)
+    serve.add_argument(
+        "--scenario",
+        choices=SCENARIO_NAMES,
+        default=None,
+        help="hostile-stream preset: generates the workload (pool, drift, "
+             "arrivals) and turns on the reputation tracker; incompatible "
+             "with --dataset-file",
+    )
+    serve.add_argument("--num-tasks", type=int, default=None,
+                       help="task count when generating a synthetic dataset "
+                            "(default 100, or the scenario's own default)")
+    serve.add_argument("--budget", type=int, default=None,
+                       help="assignment budget (default 300, or the "
+                            "scenario's own default)")
     serve.add_argument("--tasks-per-worker", type=int, default=2)
     serve.add_argument("--workers-per-round", type=int, default=5)
-    serve.add_argument("--num-workers", type=int, default=60)
+    serve.add_argument("--num-workers", type=int, default=None,
+                       help="worker pool size (default 60, or the scenario's "
+                            "own default)")
+    serve.add_argument("--stat-decay", type=float, default=None,
+                       help="per-epoch exponential decay of the EM sufficient "
+                            "statistics in (0, 1]; 1.0 = exact (default), "
+                            "<1 forgets stale evidence; scenarios may set "
+                            "their own default (drift uses 0.98)")
     serve.add_argument("--assigner", choices=ASSIGNER_NAMES, default="accopt")
     serve.add_argument(
         "--assigner-engine",
@@ -380,21 +399,51 @@ def _metrics_digest(metrics) -> str:
 
 
 def _cmd_serve_sim(args: argparse.Namespace) -> int:
-    if args.dataset_file is not None:
-        dataset = load_dataset(args.dataset_file)
+    scenario = None
+    if args.scenario is not None:
+        if args.dataset_file is not None:
+            print("--scenario generates its own dataset; drop --dataset-file",
+                  file=sys.stderr)
+            return 2
+        from repro.framework.scenarios import build_scenario
+
+        overrides = {
+            key: value
+            for key, value in (
+                ("num_tasks", args.num_tasks),
+                ("num_workers", args.num_workers),
+                ("budget", args.budget),
+            )
+            if value is not None
+        }
+        scenario = build_scenario(
+            args.scenario,
+            seed=args.seed,
+            stat_decay=args.stat_decay,
+            **overrides,
+        )
+        platform = scenario.platform
+        dataset = platform.dataset
+        budget = platform.budget.total
     else:
-        spec = DatasetSpec(name=f"ServeSim-{args.num_tasks}", num_tasks=args.num_tasks)
-        dataset = generate_dataset(spec, seed=args.seed)
-    pool = build_worker_pool(
-        dataset, spec=WorkerPoolSpec(num_workers=args.num_workers), seed=args.seed
-    )
-    platform = build_platform(
-        dataset,
-        budget=args.budget,
-        worker_pool=pool,
-        workers_per_round=args.workers_per_round,
-        seed=args.seed,
-    )
+        num_tasks = args.num_tasks if args.num_tasks is not None else 100
+        num_workers = args.num_workers if args.num_workers is not None else 60
+        budget = args.budget if args.budget is not None else 300
+        if args.dataset_file is not None:
+            dataset = load_dataset(args.dataset_file)
+        else:
+            spec = DatasetSpec(name=f"ServeSim-{num_tasks}", num_tasks=num_tasks)
+            dataset = generate_dataset(spec, seed=args.seed)
+        pool = build_worker_pool(
+            dataset, spec=WorkerPoolSpec(num_workers=num_workers), seed=args.seed
+        )
+        platform = build_platform(
+            dataset,
+            budget=budget,
+            worker_pool=pool,
+            workers_per_round=args.workers_per_round,
+            seed=args.seed,
+        )
     if args.checkpoint_interval and args.state_dir is None:
         print("--checkpoint-interval requires --state-dir", file=sys.stderr)
         return 2
@@ -409,6 +458,12 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         return 2
     from repro.serving import GuardConfig
 
+    if scenario is not None:
+        stat_decay = scenario.config.ingest.stat_decay
+    elif args.stat_decay is not None:
+        stat_decay = args.stat_decay
+    else:
+        stat_decay = 1.0
     config = ServingConfig(
         strategy=args.assigner,
         assigner_engine=args.assigner_engine,
@@ -421,6 +476,7 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
             checkpoint_interval=args.checkpoint_interval,
             pipeline=args.pipeline,
             pipeline_lag_answers=args.pipeline_lag,
+            stat_decay=stat_decay,
         ),
         holdback_worker_fraction=args.holdback_workers,
         holdback_task_fraction=args.holdback_tasks,
@@ -430,14 +486,18 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         resume=args.resume,
         journal_fsync=args.journal_fsync,
         guard=GuardConfig() if args.guard else None,
+        reputation=scenario.config.reputation if scenario is not None else None,
+        diurnal=scenario.config.diurnal if scenario is not None else None,
         metrics_dir=args.metrics_dir,
         metrics_interval=args.metrics_interval,
         trace=args.trace,
     )
     service = OnlineServingService(platform, config=config)
     durable = " (durable)" if args.state_dir else ""
+    if scenario is not None:
+        print(f"scenario {scenario.name}: {scenario.description}")
     print(
-        f"serving {dataset.name}: budget {args.budget}, strategy {args.assigner}, "
+        f"serving {dataset.name}: budget {budget}, strategy {args.assigner}, "
         f"micro-batch {args.batch_answers} answers / {args.batch_delay}s window"
         f"{durable}"
     )

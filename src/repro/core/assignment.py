@@ -38,6 +38,7 @@ class TaskAssigner(ABC):
             raise ValueError("an assigner needs at least one worker")
         self._tasks = {task.task_id: task for task in tasks}
         self._workers = {worker.worker_id: worker for worker in workers}
+        self._excluded_workers: frozenset[str] = frozenset()
 
     @property
     def tasks(self) -> dict[str, Task]:
@@ -81,6 +82,28 @@ class TaskAssigner(ABC):
         The framework calls this after every inference update so the assigner
         always works with fresh worker qualities and POI influences.
         """
+
+    # -------------------------------------------------------- trust exclusion
+    @property
+    def excluded_workers(self) -> frozenset[str]:
+        """Workers currently barred from receiving assignments."""
+        return self._excluded_workers
+
+    def set_excluded_workers(self, worker_ids) -> None:
+        """Replace the set of workers this assigner must not assign to.
+
+        The serving layer pushes quarantined workers here whenever the
+        reputation tiers change; excluded workers passed to :meth:`assign`
+        receive an empty HIT instead of raising, so a request racing a
+        quarantine transition degrades gracefully.
+        """
+        self._excluded_workers = frozenset(worker_ids)
+
+    def _assignable_workers(self, available_workers: Sequence[str]) -> list[str]:
+        """``available_workers`` minus the excluded set, order preserved."""
+        if not self._excluded_workers:
+            return list(available_workers)
+        return [w for w in available_workers if w not in self._excluded_workers]
 
     @abstractmethod
     def assign(

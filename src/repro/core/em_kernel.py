@@ -747,7 +747,9 @@ def _estep_posteriors(
 
 
 def em_step(
-    tensor: AnswerTensor, store: ArrayParameterStore
+    tensor: AnswerTensor,
+    store: ArrayParameterStore,
+    answer_weights: np.ndarray | None = None,
 ) -> tuple[ArrayParameterStore, float]:
     """One combined E+M step over the whole tensor (Equations 12 and 14).
 
@@ -755,6 +757,13 @@ def em_step(
     observed answers under the *input* parameters.  Mirrors
     ``LocationAwareInference._em_iteration`` exactly, with every per-record
     quantity promoted to an array over the N answers / M label responses.
+
+    ``answer_weights`` (one non-negative weight per answer row) turns the
+    M-step into a *weighted* maximisation: each answer contributes its weight
+    to both the posterior sums and the count denominators.  This is how
+    exponential decay (old answers fade) and trust-aware down-weighting
+    (quarantined workers count less) enter the full refresh.  ``None`` takes
+    the exact unweighted code path — bit-identical to the historical kernel.
     """
     floor = PROBABILITY_FLOOR
     p_qualified = np.clip(store.p_qualified[tensor.a_worker], floor, 1.0 - floor)
@@ -769,30 +778,73 @@ def em_step(
         pz1=pz1,
         observed_one=tensor.responses == 1,
     )
-    log_likelihood = float(np.sum(np.log(evidence)))
 
     # ---- M-step: segment sums then per-entity renormalisation ---------------
     num_workers = tensor.num_workers
     num_tasks = tensor.num_tasks
     uniform = store.function_set.uniform_weights()
 
-    z_sums = np.bincount(
-        tensor.r_label, weights=post_z1, minlength=tensor.label_offsets[-1]
-    )
-    answers_per_task = np.bincount(tensor.a_task, minlength=num_tasks)
-    new_label_probs = np.clip(
-        z_sums / np.maximum(1, answers_per_task)[tensor.task_of_label], 0.0, 1.0
-    )
+    if answer_weights is None:
+        log_likelihood = float(np.sum(np.log(evidence)))
+        z_sums = np.bincount(
+            tensor.r_label, weights=post_z1, minlength=tensor.label_offsets[-1]
+        )
+        answers_per_task = np.bincount(tensor.a_task, minlength=num_tasks)
+        new_label_probs = np.clip(
+            z_sums / np.maximum(1, answers_per_task)[tensor.task_of_label], 0.0, 1.0
+        )
 
-    labels_per_task = np.bincount(tensor.r_task, minlength=num_tasks)
-    dt_sums = _segment_sum_columns(post_dt, tensor.r_task, num_tasks)
-    new_influence = _normalise_rows(dt_sums, labels_per_task, uniform)
+        labels_per_task = np.bincount(tensor.r_task, minlength=num_tasks)
+        dt_sums = _segment_sum_columns(post_dt, tensor.r_task, num_tasks)
+        new_influence = _normalise_rows(dt_sums, labels_per_task, uniform)
 
-    labels_per_worker = np.bincount(tensor.r_worker, minlength=num_workers)
-    i_sums = np.bincount(tensor.r_worker, weights=post_i1, minlength=num_workers)
-    new_p_qualified = np.clip(i_sums / np.maximum(1, labels_per_worker), 0.0, 1.0)
-    dw_sums = _segment_sum_columns(post_dw, tensor.r_worker, num_workers)
-    new_distance_weights = _normalise_rows(dw_sums, labels_per_worker, uniform)
+        labels_per_worker = np.bincount(tensor.r_worker, minlength=num_workers)
+        i_sums = np.bincount(tensor.r_worker, weights=post_i1, minlength=num_workers)
+        new_p_qualified = np.clip(i_sums / np.maximum(1, labels_per_worker), 0.0, 1.0)
+        dw_sums = _segment_sum_columns(post_dw, tensor.r_worker, num_workers)
+        new_distance_weights = _normalise_rows(dw_sums, labels_per_worker, uniform)
+    else:
+        weights = np.asarray(answer_weights, dtype=float)
+        if weights.shape != (tensor.num_answers,):
+            raise ValueError(
+                f"answer_weights must have shape ({tensor.num_answers},), got "
+                f"{weights.shape}"
+            )
+        w_m = weights[tensor.r_answer]  # per label response
+        log_likelihood = float(np.sum(w_m * np.log(evidence)))
+        # A zero-weight task/worker divides 0 by the floor below — identical
+        # to the unweighted kernel's max(1, count) treatment of empty rows,
+        # while genuinely fractional denominators stay exact.
+        denom_floor = 1e-9
+        z_sums = np.bincount(
+            tensor.r_label, weights=post_z1 * w_m, minlength=tensor.label_offsets[-1]
+        )
+        answers_per_task = np.bincount(
+            tensor.a_task, weights=weights, minlength=num_tasks
+        )
+        new_label_probs = np.clip(
+            z_sums / np.maximum(denom_floor, answers_per_task)[tensor.task_of_label],
+            0.0,
+            1.0,
+        )
+
+        labels_per_task = np.bincount(tensor.r_task, weights=w_m, minlength=num_tasks)
+        dt_sums = _segment_sum_columns(post_dt * w_m[:, None], tensor.r_task, num_tasks)
+        new_influence = _normalise_rows(dt_sums, labels_per_task, uniform)
+
+        labels_per_worker = np.bincount(
+            tensor.r_worker, weights=w_m, minlength=num_workers
+        )
+        i_sums = np.bincount(
+            tensor.r_worker, weights=post_i1 * w_m, minlength=num_workers
+        )
+        new_p_qualified = np.clip(
+            i_sums / np.maximum(denom_floor, labels_per_worker), 0.0, 1.0
+        )
+        dw_sums = _segment_sum_columns(
+            post_dw * w_m[:, None], tensor.r_worker, num_workers
+        )
+        new_distance_weights = _normalise_rows(dw_sums, labels_per_worker, uniform)
 
     new_store = ArrayParameterStore(
         function_set=store.function_set,
@@ -1058,11 +1110,37 @@ class SufficientStatCache:
 
     The cache is bound to one ``(tensor, store)`` object pair; check
     :meth:`in_sync_with` before reuse and rebuild when either was replaced.
+
+    **Exponential decay** (``decay`` < 1): the cache additionally tracks an
+    integer *epoch*.  :meth:`decay_step` multiplies every running total *and*
+    every count denominator by ``decay`` and advances the epoch — O(W+T+S),
+    touching no rows.  Each label row remembers the epoch it arrived at
+    (``row_epoch``; pre-existing rows may be back-dated via ``row_ages``), so
+    its live contribution to the totals is ``decay^(epoch - row_epoch) ×
+    posterior``.  A fold therefore adds ``scale · (new − cached)`` with
+    ``scale = decay^(epoch - row_epoch)`` — re-aging costs O(changed rows),
+    the row's numerator stays consistent with its decayed denominator, and a
+    row that is never re-folded fades at exactly the same rate as its count.
+    ``decay == 1.0`` skips every weighting (all scales are 1) and is
+    bit-identical to the undecayed cache.
     """
 
-    def __init__(self, tensor: AnswerTensor, store: ArrayParameterStore) -> None:
+    def __init__(
+        self,
+        tensor: AnswerTensor,
+        store: ArrayParameterStore,
+        decay: float = 1.0,
+        row_ages: np.ndarray | None = None,
+    ) -> None:
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
         self.tensor = tensor
         self.store = store
+        self._decay = float(decay)
+        self._epoch = 0
+        # Empty-entity denominators divide 0 by this floor; the decayed path
+        # needs a tiny floor because legitimately faded counts sit below 1.
+        self._denom_floor = 1.0 if decay == 1.0 else 1e-9
         floor = PROBABILITY_FLOOR
         p_qualified = np.clip(store.p_qualified[tensor.a_worker], floor, 1.0 - floor)
         pz1 = np.clip(store.label_probs[tensor.r_label], 1e-9, 1.0 - 1e-9)
@@ -1083,26 +1161,95 @@ class SufficientStatCache:
         self._row_i1 = post_i1
         self._row_dw = post_dw
         self._row_dt = post_dt
-        self._slot_z = np.bincount(tensor.r_label, weights=post_z1, minlength=num_slots)
-        self._worker_i = np.bincount(
-            tensor.r_worker, weights=post_i1, minlength=num_workers
-        )
-        self._worker_dw = _segment_sum_columns(post_dw, tensor.r_worker, num_workers)
-        self._task_dt = _segment_sum_columns(post_dt, tensor.r_task, num_tasks)
-        self._worker_labels = np.bincount(
-            tensor.r_worker, minlength=num_workers
-        ).astype(float)
-        self._task_labels = np.bincount(tensor.r_task, minlength=num_tasks).astype(
-            float
-        )
-        self._task_answers = np.bincount(tensor.a_task, minlength=num_tasks).astype(
-            float
-        )
+        if decay == 1.0:
+            self._row_epoch = None
+            self._slot_z = np.bincount(
+                tensor.r_label, weights=post_z1, minlength=num_slots
+            )
+            self._worker_i = np.bincount(
+                tensor.r_worker, weights=post_i1, minlength=num_workers
+            )
+            self._worker_dw = _segment_sum_columns(
+                post_dw, tensor.r_worker, num_workers
+            )
+            self._task_dt = _segment_sum_columns(post_dt, tensor.r_task, num_tasks)
+            self._worker_labels = np.bincount(
+                tensor.r_worker, minlength=num_workers
+            ).astype(float)
+            self._task_labels = np.bincount(tensor.r_task, minlength=num_tasks).astype(
+                float
+            )
+            self._task_answers = np.bincount(
+                tensor.a_task, minlength=num_tasks
+            ).astype(float)
+        else:
+            if row_ages is None:
+                ages = np.zeros(tensor.num_answers, dtype=float)
+            else:
+                ages = np.asarray(row_ages, dtype=float)
+                if ages.shape != (tensor.num_answers,):
+                    raise ValueError(
+                        f"row_ages must have shape ({tensor.num_answers},), got "
+                        f"{ages.shape}"
+                    )
+            answer_w = self._decay**ages
+            w_m = answer_w[tensor.r_answer]
+            # A row's arrival epoch relative to epoch 0 is minus its age, so
+            # decay^(epoch - row_epoch) reproduces its weight at any epoch.
+            self._row_epoch = -ages[tensor.r_answer]
+            self._slot_z = np.bincount(
+                tensor.r_label, weights=post_z1 * w_m, minlength=num_slots
+            )
+            self._worker_i = np.bincount(
+                tensor.r_worker, weights=post_i1 * w_m, minlength=num_workers
+            )
+            self._worker_dw = _segment_sum_columns(
+                post_dw * w_m[:, None], tensor.r_worker, num_workers
+            )
+            self._task_dt = _segment_sum_columns(
+                post_dt * w_m[:, None], tensor.r_task, num_tasks
+            )
+            self._worker_labels = np.bincount(
+                tensor.r_worker, weights=w_m, minlength=num_workers
+            )
+            self._task_labels = np.bincount(
+                tensor.r_task, weights=w_m, minlength=num_tasks
+            )
+            self._task_answers = np.bincount(
+                tensor.a_task, weights=answer_w, minlength=num_tasks
+            )
         self._num_workers = num_workers
         self._num_tasks = num_tasks
         self._num_slots = num_slots
         self._synced_answers = tensor.num_answers
         self._synced_label_rows = tensor.num_label_responses
+
+    @property
+    def decay(self) -> float:
+        return self._decay
+
+    @property
+    def epoch(self) -> int:
+        """Decay steps applied since the cache was built."""
+        return self._epoch
+
+    def decay_step(self) -> None:
+        """Age every statistic by one step: totals and counts scale by decay.
+
+        O(W + T + S) multiplications, no row access.  A no-op at decay=1.0 so
+        callers can invoke it unconditionally.
+        """
+        if self._decay == 1.0:
+            return
+        gamma = self._decay
+        self._slot_z *= gamma
+        self._worker_i *= gamma
+        self._worker_dw *= gamma
+        self._task_dt *= gamma
+        self._worker_labels *= gamma
+        self._task_labels *= gamma
+        self._task_answers *= gamma
+        self._epoch += 1
 
     def in_sync_with(self, tensor: AnswerTensor, store: ArrayParameterStore) -> bool:
         """Whether the cache still describes this exact tensor/store pair."""
@@ -1129,6 +1276,9 @@ class SufficientStatCache:
             self._row_i1[old:num_rows] = 0.0
             self._row_dw[old:num_rows] = 0.0
             self._row_dt[old:num_rows] = 0.0
+            if self._row_epoch is not None:
+                self._row_epoch = _grown_buffer(self._row_epoch, num_rows)
+                self._row_epoch[old:num_rows] = float(self._epoch)
             self._synced_label_rows = num_rows
         num_workers = tensor.num_workers
         if num_workers > self._num_workers:
@@ -1213,21 +1363,35 @@ class SufficientStatCache:
             pz1=pz1,
             observed_one=responses == 1,
         )
+        if self._row_epoch is None:
+            delta_z1 = post_z1 - self._row_z1[label_rows]
+            delta_i1 = post_i1 - self._row_i1[label_rows]
+            delta_dw = post_dw - self._row_dw[label_rows]
+            delta_dt = post_dt - self._row_dt[label_rows]
+        else:
+            # Re-aging O(changed rows): the row's live weight in the totals is
+            # decay^(epoch - arrival epoch), applied to old and new posterior
+            # alike so numerator and (globally decayed) denominator agree.
+            scale = self._decay ** (self._epoch - self._row_epoch[label_rows])
+            delta_z1 = scale * (post_z1 - self._row_z1[label_rows])
+            delta_i1 = scale * (post_i1 - self._row_i1[label_rows])
+            delta_dw = scale[:, None] * (post_dw - self._row_dw[label_rows])
+            delta_dt = scale[:, None] * (post_dt - self._row_dt[label_rows])
         self._slot_z[: self._num_slots] += np.bincount(
             r_label,
-            weights=post_z1 - self._row_z1[label_rows],
+            weights=delta_z1,
             minlength=self._num_slots,
         )
         self._worker_i[: self._num_workers] += np.bincount(
             r_worker,
-            weights=post_i1 - self._row_i1[label_rows],
+            weights=delta_i1,
             minlength=self._num_workers,
         )
         self._worker_dw[: self._num_workers] += _segment_sum_columns(
-            post_dw - self._row_dw[label_rows], r_worker, self._num_workers
+            delta_dw, r_worker, self._num_workers
         )
         self._task_dt[: self._num_tasks] += _segment_sum_columns(
-            post_dt - self._row_dt[label_rows], r_task, self._num_tasks
+            delta_dt, r_task, self._num_tasks
         )
         self._row_z1[label_rows] = post_z1
         self._row_i1[label_rows] = post_i1
@@ -1251,7 +1415,8 @@ class SufficientStatCache:
         uniform = store.function_set.uniform_weights()
         if label_slots.size:
             denominators = np.maximum(
-                1.0, self._task_answers[self.tensor.task_of_label[label_slots]]
+                self._denom_floor,
+                self._task_answers[self.tensor.task_of_label[label_slots]],
             )
             store.label_probs[label_slots] = np.clip(
                 self._slot_z[label_slots] / denominators, 0.0, 1.0
@@ -1265,7 +1430,7 @@ class SufficientStatCache:
         if affected_workers.size:
             store.p_qualified[affected_workers] = np.clip(
                 self._worker_i[affected_workers]
-                / np.maximum(1.0, self._worker_labels[affected_workers]),
+                / np.maximum(self._denom_floor, self._worker_labels[affected_workers]),
                 0.0,
                 1.0,
             )

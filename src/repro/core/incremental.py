@@ -56,6 +56,9 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections.abc import Callable
+
 from repro.core import em_kernel
 from repro.core.inference import LocationAwareInference, _AnswerRecord
 from repro.core.params import (
@@ -116,6 +119,34 @@ class IncrementalUpdater:
     #: it for this many subsequent batches it appears in — its statistics
     #: keep folding, only the M-step write is deferred.  ``0`` disables.
     settle_defer_batches: int = 0
+    #: Exponential forgetting factor for the answer history.  Every applied
+    #: micro-batch advances one *decay epoch*; an answer whose batch is ``k``
+    #: epochs old contributes ``stat_decay ** k`` of its weight to both the
+    #: sufficient-stat cache (via :meth:`~repro.core.em_kernel.SufficientStatCache.decay_step`)
+    #: and the periodic full refreshes (via weighted
+    #: :func:`~repro.core.em_kernel.em_step`).  ``1.0`` (the default)
+    #: disables decay and keeps every path bit-equal to the undecayed
+    #: updater.  The epoch count is a pure function of the applied batch
+    #: stream, so crash-recovery replays age answers identically.  Requires
+    #: the vectorized engine.
+    stat_decay: float = 1.0
+    #: Optional per-worker trust weight provider (``worker_id -> weight``),
+    #: consulted when building full-refresh weights so distrusted workers'
+    #: historical answers are down-weighted.  Returning ``1.0`` for every
+    #: worker keeps the refresh on the exact unweighted path.  Vectorized
+    #: engine only.
+    trust_weight_fn: "Callable[[str], float] | None" = None
+    #: Admission prior for workers first seen on the live stream.  ``None``
+    #: keeps the footnote-3 trusted seed (``p_qualified = 1.0``) — the
+    #: historical, bit-identical behaviour — but that seed is numerically
+    #: *absorbing* under the E-step's probability clip: a worker admitted at
+    #: exactly 1.0 can never be demoted by warm EM, no matter how wrong its
+    #: answers are.  Trust-aware serving therefore sets a learnable prior
+    #: (e.g. the cold-start ``initial_p_qualified``) so the posterior can
+    #: move in both directions and the reputation tracker has a real signal.
+    #: The assigners' own footnote-3 optimism (new workers prioritised) is
+    #: unaffected — this knob only changes the *estimation* seed.
+    admission_p_qualified: float | None = None
     #: Optional registry the EM work accounting (sweeps run, entities settled
     #: by the early exit, refresh iterations/convergence) is reported into.
     metrics: "MetricsRegistry | None" = None
@@ -155,11 +186,23 @@ class IncrementalUpdater:
     )
     _worker_defer: dict[int, int] = field(default_factory=dict, init=False, repr=False)
     _task_defer: dict[int, int] = field(default_factory=dict, init=False, repr=False)
+    # Decay bookkeeping: epochs elapsed (one per applied non-empty batch when
+    # stat_decay < 1) and the capacity-doubled per-answer-row arrival stamps.
+    _decay_epoch: int = field(default=0, init=False)
+    _arrival_epochs: np.ndarray | None = field(default=None, init=False, repr=False)
+    _arrival_len: int = field(default=0, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.full_refresh_interval <= 0:
             raise ValueError(
                 f"full_refresh_interval must be positive, got {self.full_refresh_interval}"
+            )
+        if self.admission_p_qualified is not None and not (
+            0.0 < self.admission_p_qualified < 1.0
+        ):
+            raise ValueError(
+                "admission_p_qualified must lie strictly inside (0, 1), got "
+                f"{self.admission_p_qualified}"
             )
         if self.local_iterations <= 0:
             raise ValueError(
@@ -174,6 +217,18 @@ class IncrementalUpdater:
             raise ValueError(
                 f"settle_defer_batches must be non-negative, "
                 f"got {self.settle_defer_batches}"
+            )
+        if not 0.0 < self.stat_decay <= 1.0:
+            raise ValueError(
+                f"stat_decay must be in (0, 1], got {self.stat_decay}"
+            )
+        if (
+            self.inference.config.engine == "reference"
+            and (self.stat_decay < 1.0 or self.trust_weight_fn is not None)
+        ):
+            raise ValueError(
+                "stat_decay < 1 and trust weights require the vectorized "
+                "engine; the reference engine has no weighted M-step"
             )
 
     @property
@@ -275,6 +330,11 @@ class IncrementalUpdater:
                     "reference-engine full refreshes re-fit from the answer "
                     "log; pass the AnswerSet"
                 )
+            if self.trust_weight_fn is not None:
+                raise RuntimeError(
+                    "the reference engine has no weighted refresh; trust "
+                    "weights require the vectorized engine"
+                )
             initial = (
                 inference.parameters if warm and inference.is_fitted else None
             )
@@ -295,12 +355,17 @@ class IncrementalUpdater:
                 self._store = None
                 self._synced_params = None
             if new_answers:
+                if self.stat_decay < 1.0:
+                    self._decay_epoch += 1
                 result = self._tensor.append_answers(
                     new_answers,
                     inference._tasks,
                     inference._workers,
                     inference.distance_model,
                     inference.config.function_set,
+                )
+                self._stamp_arrivals(
+                    self._tensor.num_answers - self._arrival_len
                 )
                 if self._store is not None:
                     self._admit_new_entities(result)
@@ -311,6 +376,7 @@ class IncrementalUpdater:
                 self._tensor,
                 initial=params if warm else None,
                 initial_store=self._store if warm else None,
+                answer_weights=self._refresh_weights(),
             )
             # Adopt the fit's final store as the live store: it is row-aligned
             # with the tensor by construction and freshly allocated by the EM
@@ -338,17 +404,25 @@ class IncrementalUpdater:
     def capture_refresh_state(
         self, warm: bool = True
     ) -> tuple[
-        em_kernel.AnswerTensor, ModelParameters | None, ArrayParameterStore | None
+        em_kernel.AnswerTensor,
+        ModelParameters | None,
+        ArrayParameterStore | None,
+        np.ndarray | None,
     ]:
         """Frozen copies of the live state for an off-thread full fit.
 
-        Returns ``(tensor, initial, initial_store)`` ready to hand to
+        Returns ``(tensor, initial, initial_store, answer_weights)`` ready to
+        hand to
         :meth:`~repro.core.inference.LocationAwareInference.run_em_detached`:
         a :meth:`~repro.core.em_kernel.AnswerTensor.snapshot` of the live
         tensor and, on warm starts, the current estimate plus a copy of the
         live store (copied because the ingest thread's localized sweeps keep
-        mutating the original while the background fit runs).  The live state
-        itself is not touched — batches keep applying against it.
+        mutating the original while the background fit runs).
+        ``answer_weights`` is the decay × trust weighting of the snapshot's
+        rows frozen at capture time (``None`` on the exact unweighted path) —
+        batches applied mid-fit advance the live decay epoch without
+        disturbing the captured fit.  The live state itself is not touched —
+        batches keep applying against it.
         """
         inference = self.inference
         if inference.config.engine == "reference":
@@ -369,7 +443,7 @@ class IncrementalUpdater:
         store = None
         if warm and self._store is not None and self._synced_params is params:
             store = self._store.copy()
-        return tensor, (params if warm else None), store
+        return tensor, (params if warm else None), store, self._refresh_weights()
 
     def integrate_refresh_result(
         self,
@@ -409,6 +483,8 @@ class IncrementalUpdater:
                     float(old_store.p_qualified[i]),
                     old_store.distance_weights[i].copy(),
                 )
+            elif self.admission_p_qualified is not None:
+                fitted.add_worker(worker_id, p_qualified=self.admission_p_qualified)
             else:
                 fitted.add_worker(worker_id)
         for j in range(fitted.num_tasks, live.num_tasks):
@@ -485,6 +561,110 @@ class IncrementalUpdater:
         """
         self._reset_sufficient_stats()
 
+    # ----------------------------------------------------------- decayed stats
+    @property
+    def decay_epoch(self) -> int:
+        """Decay epochs elapsed so far (one per applied non-empty batch)."""
+        return self._decay_epoch
+
+    def _stamp_arrivals(self, count: int) -> None:
+        """Stamp ``count`` freshly appended answer rows at the current epoch.
+
+        Re-answers rewrite their tensor row in place, so ``count`` (the
+        tensor's row growth) may be smaller than the batch; rewritten rows
+        keep their original arrival epoch — the rewritten response simply
+        inherits the age of the answer it replaced.
+        """
+        if count <= 0:
+            return
+        needed = self._arrival_len + count
+        buffer = self._arrival_epochs
+        if buffer is None or needed > buffer.size:
+            capacity = max(needed, 2 * (buffer.size if buffer is not None else 0), 64)
+            grown = np.zeros(capacity, dtype=np.int64)
+            if buffer is not None and self._arrival_len:
+                grown[: self._arrival_len] = buffer[: self._arrival_len]
+            self._arrival_epochs = grown
+            buffer = grown
+        buffer[self._arrival_len : needed] = self._decay_epoch
+        self._arrival_len = needed
+
+    def _reset_arrival_epochs(self) -> None:
+        """Re-stamp the whole tensor at the current epoch (rebuilds lose ages)."""
+        self._arrival_len = 0
+        if self._tensor is not None:
+            self._stamp_arrivals(self._tensor.num_answers)
+
+    def _answer_ages(self) -> np.ndarray:
+        """Per-answer-row ages in decay epochs, aligned with the live tensor."""
+        if self._tensor is None or self._arrival_epochs is None:
+            return np.zeros(0, dtype=np.int64)
+        return self._decay_epoch - self._arrival_epochs[: self._tensor.num_answers]
+
+    def _refresh_weights(self) -> np.ndarray | None:
+        """Per-answer weights for a full refresh, or ``None`` for the exact path.
+
+        The product of the decay aging (``stat_decay ** age``) and the
+        per-worker trust weights.  ``None`` whenever every weight is exactly
+        1.0, which keeps the refresh on the bit-identical unweighted path.
+        """
+        tensor = self._tensor
+        if tensor is None:
+            return None
+        weights: np.ndarray | None = None
+        if self.stat_decay < 1.0:
+            ages = self._answer_ages().astype(np.float64)
+            weights = np.power(self.stat_decay, ages)
+        if self.trust_weight_fn is not None and tensor.num_workers:
+            per_worker = np.fromiter(
+                (float(self.trust_weight_fn(w)) for w in tensor.worker_ids),
+                dtype=np.float64,
+                count=tensor.num_workers,
+            )
+            if np.any(per_worker != 1.0):
+                trust = per_worker[tensor.a_worker]
+                weights = trust if weights is None else weights * trust
+        return weights
+
+    def export_decay_state(self) -> tuple[int, np.ndarray]:
+        """The decay epoch and per-answer arrival epochs (checkpoint form).
+
+        The arrival stamps are row-aligned with :meth:`export_answers`, so a
+        checkpoint carrying both restores the exact aging the crashed run
+        had via :meth:`restore_decay_state`.
+        """
+        count = self._tensor.num_answers if self._tensor is not None else 0
+        if self._arrival_epochs is None or count == 0:
+            arrivals = np.zeros(count, dtype=np.int64)
+        else:
+            arrivals = self._arrival_epochs[:count].copy()
+        return self._decay_epoch, arrivals
+
+    def restore_decay_state(
+        self, decay_epoch: int, arrival_epochs: np.ndarray
+    ) -> None:
+        """Restore checkpointed aging over an already-rebuilt live tensor.
+
+        Call after :meth:`restore_live_state`: ``arrival_epochs`` must be
+        row-aligned with the restored tensor (the :meth:`export_decay_state`
+        contract).
+        """
+        if self._tensor is None:
+            raise RuntimeError(
+                "restore the live tensor before restoring decay state"
+            )
+        arrivals = np.asarray(arrival_epochs, dtype=np.int64)
+        if arrivals.shape != (self._tensor.num_answers,):
+            raise ValueError(
+                f"arrival_epochs has shape {arrivals.shape}, expected "
+                f"({self._tensor.num_answers},) to match the live tensor"
+            )
+        self._decay_epoch = int(decay_epoch)
+        self._arrival_len = 0
+        self._stamp_arrivals(arrivals.size)
+        if arrivals.size:
+            self._arrival_epochs[: arrivals.size] = arrivals
+
     # -------------------------------------------------------------- live state
     @property
     def live_tensor(self) -> em_kernel.AnswerTensor | None:
@@ -532,6 +712,11 @@ class IncrementalUpdater:
         self._synced_params = None
         self._publish_full = True
         self._reset_sufficient_stats()
+        # A reflatten cannot recover per-row ages (the log carries no epochs),
+        # so the rebuilt history restarts at the current epoch: every answer
+        # is weighted 1.0 until batches age it again.  The checkpoint path
+        # restores exact ages afterwards via restore_decay_state.
+        self._reset_arrival_epochs()
 
     def export_answers(self) -> list[Answer]:
         """The live tensor's answer log in row order (empty before any sync).
@@ -569,6 +754,7 @@ class IncrementalUpdater:
         self._store = None
         self._synced_params = None
         self._reset_sufficient_stats()
+        self._reset_arrival_epochs()
         self._ensure_store(self.inference.parameters, force=True)
         self.answers_since_full_refresh = answers_since_full_refresh
 
@@ -585,6 +771,13 @@ class IncrementalUpdater:
         self._store = params.to_array_store(
             tensor.worker_ids, tensor.task_ids, tensor.num_labels
         )
+        if self.admission_p_qualified is not None:
+            # Workers the estimate has never judged took the footnote-3 seed
+            # in the gather; replace it with the learnable admission prior.
+            known = params.workers
+            for row, worker_id in enumerate(tensor.worker_ids):
+                if worker_id not in known:
+                    self._store.p_qualified[row] = self.admission_p_qualified
         self._refresh_carryover(params)
         self._synced_params = params
         self._publish_full = True
@@ -667,6 +860,8 @@ class IncrementalUpdater:
                 store.add_worker(
                     worker_id, carried.p_qualified, carried.distance_weights.copy()
                 )
+            elif self.admission_p_qualified is not None:
+                store.add_worker(worker_id, p_qualified=self.admission_p_qualified)
             else:
                 store.add_worker(worker_id)
         for task_id in result.new_task_ids:
@@ -878,6 +1073,11 @@ class IncrementalUpdater:
         self._ensure_store(params)
         tensor = self._tensor
         store = self._store
+        if self.stat_decay < 1.0:
+            # One epoch per applied batch, bumped before the batch's rows are
+            # stamped so they enter at age 0 — a pure function of the applied
+            # batch count, hence identical on crash-recovery replays.
+            self._decay_epoch += 1
         result = tensor.append_answers(
             new_answers,
             inference._tasks,
@@ -885,6 +1085,7 @@ class IncrementalUpdater:
             inference.distance_model,
             store.function_set,
         )
+        self._stamp_arrivals(tensor.num_answers - self._arrival_len)
         self._admit_new_entities(result)
         if self._recover_if_diverged(answers, params, chain_intact):
             # The rebuild covers the batch, so no second append is needed.
@@ -902,13 +1103,25 @@ class IncrementalUpdater:
             if cache is None or not cache.in_sync_with(tensor, store):
                 # One full E-step pass seeds the cache; every full refresh
                 # replaces the store and so pays this once per interval.
-                cache = em_kernel.SufficientStatCache(tensor, store)
+                # With decay, the seed weights each row by its current age so
+                # the rebuilt totals match the aged totals a surviving cache
+                # would carry.
+                cache = em_kernel.SufficientStatCache(
+                    tensor,
+                    store,
+                    decay=self.stat_decay,
+                    row_ages=(
+                        self._answer_ages() if self.stat_decay < 1.0 else None
+                    ),
+                )
                 self._stat_cache = cache
                 self._worker_defer.clear()
                 self._task_defer.clear()
                 if self.metrics is not None:
                     self.metrics.counter("em_statcache_rebuilds_total").inc()
             else:
+                if self.stat_decay < 1.0:
+                    cache.decay_step()
                 cache.sync_growth()
             est_w, est_t = self._defer_filter(affected_w, affected_t)
             label_slots = em_kernel.label_slots_of_tasks(store.label_offsets, est_t)

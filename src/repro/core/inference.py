@@ -247,6 +247,7 @@ class LocationAwareInference(LabelInferenceModel):
         tensor: AnswerTensor,
         initial: ModelParameters | ArrayParameterStore | None = None,
         initial_store: ArrayParameterStore | None = None,
+        answer_weights: "np.ndarray | None" = None,
     ) -> "LocationAwareInference":
         """Run full EM directly against a prebuilt (live) :class:`AnswerTensor`.
 
@@ -258,9 +259,15 @@ class LocationAwareInference(LabelInferenceModel):
         estimate already gathered into a store row-aligned with ``tensor``
         (the updater's live store), skipping the dict→array gather too.
         Vectorised engine only — the reference engine has no tensor form.
+        ``answer_weights`` (one weight per tensor answer row) runs a weighted
+        EM — the decayed/trust-aware refresh; ``None`` is the exact kernel.
         """
         self._last_result = self.run_em(
-            None, initial=initial, tensor=tensor, initial_store=initial_store
+            None,
+            initial=initial,
+            tensor=tensor,
+            initial_store=initial_store,
+            answer_weights=answer_weights,
         )
         self._parameters = self._last_result.parameters
         self._fitted = True
@@ -271,6 +278,7 @@ class LocationAwareInference(LabelInferenceModel):
         tensor: AnswerTensor,
         initial: ModelParameters | None = None,
         initial_store: ArrayParameterStore | None = None,
+        answer_weights: "np.ndarray | None" = None,
     ) -> InferenceResult:
         """Run the vectorised EM loop **without mutating this model**.
 
@@ -282,7 +290,11 @@ class LocationAwareInference(LabelInferenceModel):
         answers that arrived mid-fit) via :meth:`adopt_result`.
         """
         return self._run_em_vectorized(
-            None, initial, tensor=tensor, initial_store=initial_store
+            None,
+            initial,
+            tensor=tensor,
+            initial_store=initial_store,
+            answer_weights=answer_weights,
         )
 
     def adopt_result(self, result: InferenceResult) -> "LocationAwareInference":
@@ -343,6 +355,7 @@ class LocationAwareInference(LabelInferenceModel):
         initial: ModelParameters | ArrayParameterStore | None = None,
         tensor: AnswerTensor | None = None,
         initial_store: ArrayParameterStore | None = None,
+        answer_weights: "np.ndarray | None" = None,
     ) -> InferenceResult:
         """Run EM to convergence and return the full trace.
 
@@ -368,9 +381,18 @@ class LocationAwareInference(LabelInferenceModel):
                     "the reference engine runs per-record and cannot fit from "
                     "a prebuilt tensor; pass the AnswerSet instead"
                 )
+            if answer_weights is not None:
+                raise ValueError(
+                    "the reference engine has no weighted M-step; weighted "
+                    "refreshes are vectorised-only"
+                )
             return self._run_em_reference(answers, initial)
         return self._run_em_vectorized(
-            answers, initial, tensor=tensor, initial_store=initial_store
+            answers,
+            initial,
+            tensor=tensor,
+            initial_store=initial_store,
+            answer_weights=answer_weights,
         )
 
     def _run_em_vectorized(
@@ -379,6 +401,7 @@ class LocationAwareInference(LabelInferenceModel):
         initial: ModelParameters | None = None,
         tensor: AnswerTensor | None = None,
         initial_store: ArrayParameterStore | None = None,
+        answer_weights: "np.ndarray | None" = None,
     ) -> InferenceResult:
         """Batched EM: build (or adopt) the answer tensor, then iterate kernels."""
         if tensor is None:
@@ -416,7 +439,9 @@ class LocationAwareInference(LabelInferenceModel):
 
         for iteration in range(self._config.max_iterations):
             iterations = iteration + 1
-            new_store, log_likelihood = em_kernel.em_step(tensor, store)
+            new_store, log_likelihood = em_kernel.em_step(
+                tensor, store, answer_weights=answer_weights
+            )
             # The M-step emits parameters under the *config's* alpha and
             # function set, exactly like the reference `_em_iteration`; only
             # the first E-step sees the warm-start's own values.

@@ -15,18 +15,34 @@ interaction log synthetically:
 * :mod:`repro.crowd.platform` — the HIT lifecycle tying everything together.
 """
 
-from repro.crowd.worker_pool import WorkerPool, WorkerPoolSpec, WorkerProfile
-from repro.crowd.answer_model import AnswerSimulator
-from repro.crowd.arrival import RoundRobinArrival, UniformRandomArrival, WorkerArrivalProcess
+from repro.crowd.worker_pool import (
+    ADVERSARY_ARCHETYPES,
+    WorkerPool,
+    WorkerPoolSpec,
+    WorkerProfile,
+)
+from repro.crowd.answer_model import AnswerModelError, AnswerSimulator, QualityDrift
+from repro.crowd.arrival import (
+    ChurnArrival,
+    DiurnalPattern,
+    RoundRobinArrival,
+    UniformRandomArrival,
+    WorkerArrivalProcess,
+)
 from repro.crowd.budget import Budget, BudgetExhaustedError
 from repro.crowd.platform import CrowdPlatform
 
 __all__ = [
+    "ADVERSARY_ARCHETYPES",
     "WorkerPool",
     "WorkerPoolSpec",
     "WorkerProfile",
+    "AnswerModelError",
     "AnswerSimulator",
+    "QualityDrift",
     "WorkerArrivalProcess",
+    "ChurnArrival",
+    "DiurnalPattern",
     "RoundRobinArrival",
     "UniformRandomArrival",
     "Budget",

@@ -16,10 +16,21 @@ Figure 8.
 
 An optional ``noise`` term mixes in uniform answering so the inference model is
 not being evaluated on data drawn *exactly* from its own parametric family.
+
+Beyond the honest model, the simulator speaks the hostile-stream dialect: a
+profile's :attr:`~repro.crowd.worker_pool.WorkerProfile.archetype` switches
+answer generation to deterministic wrong answers (``always-wrong``), uniform
+coin flips (``spammer``) or ring-coordinated wrong labels (``colluder`` —
+every member of a ring submits the *same* flipped response vector for a task,
+derived from a ring/task hash so it is reproducible and worker-order
+independent).  :class:`QualityDrift` makes honest workers non-stationary by
+decaying (or cycling) their inherent quality over simulated time.
 """
 
 from __future__ import annotations
 
+import math
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -31,20 +42,89 @@ from repro.spatial.distance import DistanceModel
 from repro.utils.rng import SeedLike, default_rng
 
 
+class AnswerModelError(ValueError):
+    """Invalid generative-model input (NaN/negative counts, non-finite rates).
+
+    Raised at the boundary instead of letting NaN propagate silently into
+    answer accuracies and, from there, into the inference posteriors.
+    """
+
+
 def influence_lambda_for_reviews(review_count: int) -> float:
     """Map a Dianping-style review count to a POI influence decay rate.
 
     Mirrors the four popularity classes of the paper's Figure 8: the more
     reviews a POI has, the flatter (smaller λ) its influence curve, i.e. even
     distant workers tend to know it.
+
+    Raises :class:`AnswerModelError` for negative or non-finite counts — a
+    NaN here would otherwise flow straight through the bell curves into every
+    simulated accuracy.
     """
-    if review_count > 2500:
+    count = float(review_count)
+    if not math.isfinite(count) or count < 0:
+        raise AnswerModelError(
+            f"review_count must be a finite non-negative number, got "
+            f"{review_count!r}"
+        )
+    if count > 2500:
         return 0.1
-    if review_count > 1000:
+    if count > 1000:
         return 2.0
-    if review_count > 500:
+    if count > 500:
         return 10.0
     return 100.0
+
+
+@dataclass(frozen=True)
+class QualityDrift:
+    """Non-stationary worker quality over simulated time.
+
+    ``linear`` mode decays an honest worker's inherent quality by ``rate``
+    per simulated second down to ``floor`` (fatigue); ``cyclic`` mode
+    oscillates it with period ``period`` (quality dips by up to ``rate``
+    mid-cycle and recovers, fatigue/recovery); ``practice`` mode ramps it
+    *up* from ``floor`` by ``rate`` per second until the worker's inherent
+    quality is reached — the crowdsourcing learning curve, where a novice's
+    early answers are noisy and stale evidence misleads any model that
+    never forgets.  ``rate=0`` is stationary.
+    """
+
+    rate: float = 0.0
+    floor: float = 0.05
+    mode: str = "linear"
+    period: float = 100.0
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.rate) or self.rate < 0:
+            raise AnswerModelError(
+                f"drift rate must be finite and non-negative, got {self.rate!r}"
+            )
+        if not 0.0 <= self.floor <= 1.0:
+            raise AnswerModelError(f"floor must be in [0, 1], got {self.floor!r}")
+        if self.mode not in ("linear", "cyclic", "practice"):
+            raise AnswerModelError(
+                f"mode must be 'linear', 'cyclic' or 'practice', got {self.mode!r}"
+            )
+        if not math.isfinite(self.period) or self.period <= 0:
+            raise AnswerModelError(
+                f"period must be finite and positive, got {self.period!r}"
+            )
+
+    def effective_quality(self, base: float, time: float) -> float:
+        """The drifted inherent quality of a worker at simulated ``time``."""
+        if not math.isfinite(time):
+            raise AnswerModelError(f"time must be finite, got {time!r}")
+        if self.rate == 0.0:
+            return base
+        if self.mode == "linear":
+            drifted = base - self.rate * max(0.0, time)
+        elif self.mode == "practice":
+            drifted = min(base, self.floor + self.rate * max(0.0, time))
+        else:
+            dip = 0.5 * (1.0 - math.cos(2.0 * math.pi * time / self.period))
+            drifted = base - self.rate * dip
+        return float(min(1.0, max(self.floor, drifted)))
 
 
 @dataclass
@@ -62,11 +142,16 @@ class AnswerSimulator:
         Probability of replacing a label's sampled answer by a uniform coin
         flip.  ``0.0`` reproduces the model family exactly; small positive
         values stress-test robustness.
+    drift:
+        Optional :class:`QualityDrift` applied to honest workers' inherent
+        quality as a function of the simulated ``time`` passed to
+        :meth:`sample_answer` (``None`` keeps workers stationary).
     """
 
     distance_model: DistanceModel
     alpha: float = 0.5
     noise: float = 0.0
+    drift: QualityDrift | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.alpha <= 1.0:
@@ -74,7 +159,9 @@ class AnswerSimulator:
         if not 0.0 <= self.noise <= 1.0:
             raise ValueError(f"noise must be in [0, 1], got {self.noise}")
 
-    def correct_probability(self, profile: WorkerProfile, task: Task) -> float:
+    def correct_probability(
+        self, profile: WorkerProfile, task: Task, time: float = 0.0
+    ) -> float:
         """Probability that ``profile`` answers any single label of ``task`` correctly."""
         distance = self.distance_model.worker_task_distance(
             profile.locations, task.location
@@ -84,31 +171,85 @@ class AnswerSimulator:
             influence_lambda_for_reviews(task.poi.review_count)
         )(distance)
         qualified_accuracy = self.alpha * worker_curve + (1.0 - self.alpha) * poi_curve
-        p = profile.inherent_quality * qualified_accuracy + (
-            1.0 - profile.inherent_quality
-        ) * 0.5
+        quality = profile.inherent_quality
+        if self.drift is not None:
+            quality = self.drift.effective_quality(quality, time)
+        p = quality * qualified_accuracy + (1.0 - quality) * 0.5
         if self.noise > 0.0:
             p = (1.0 - self.noise) * p + self.noise * 0.5
         return float(min(1.0, max(0.0, p)))
 
     def sample_answer(
-        self, profile: WorkerProfile, task: Task, seed: SeedLike = None
+        self,
+        profile: WorkerProfile,
+        task: Task,
+        seed: SeedLike = None,
+        time: float = 0.0,
     ) -> Answer:
-        """Sample a full answer vector for ``task`` from ``profile``."""
-        rng = default_rng(seed)
-        p_correct = self.correct_probability(profile, task)
-        responses = []
-        for truth_value in task.truth:
-            if rng.random() < p_correct:
-                responses.append(truth_value)
-            else:
-                responses.append(1 - truth_value)
+        """Sample a full answer vector for ``task`` from ``profile``.
+
+        Honest profiles draw from the latent quality model (drifted to
+        ``time`` when a drift is configured); adversarial archetypes bypass
+        it entirely — see :func:`collusion_flip_mask` for how ring members
+        coordinate without sharing any runtime state.
+        """
+        if profile.archetype == "always-wrong":
+            responses = tuple(1 - value for value in task.truth)
+        elif profile.archetype == "spammer":
+            rng = default_rng(seed)
+            responses = tuple(int(rng.integers(0, 2)) for _ in task.truth)
+        elif profile.archetype == "colluder":
+            mask = collusion_flip_mask(
+                int(profile.collusion_ring or 0), task.task_id, len(task.truth)
+            )
+            responses = tuple(
+                (1 - value) if flip else value
+                for value, flip in zip(task.truth, mask)
+            )
+        else:
+            rng = default_rng(seed)
+            p_correct = self.correct_probability(profile, task, time=time)
+            picked = []
+            for truth_value in task.truth:
+                if rng.random() < p_correct:
+                    picked.append(truth_value)
+                else:
+                    picked.append(1 - truth_value)
+            responses = tuple(picked)
         return Answer(
             worker_id=profile.worker_id,
             task_id=task.task_id,
-            responses=tuple(responses),
+            responses=responses,
         )
 
-    def expected_answer_accuracy(self, profile: WorkerProfile, task: Task) -> float:
+    def expected_answer_accuracy(
+        self, profile: WorkerProfile, task: Task, time: float = 0.0
+    ) -> float:
         """Expected per-label accuracy (useful for analysis and tests)."""
-        return self.correct_probability(profile, task)
+        if profile.archetype == "always-wrong":
+            return 0.0
+        if profile.archetype == "spammer":
+            return 0.5
+        if profile.archetype == "colluder":
+            mask = collusion_flip_mask(
+                int(profile.collusion_ring or 0), task.task_id, len(task.truth)
+            )
+            return 1.0 - sum(mask) / max(1, len(mask))
+        return self.correct_probability(profile, task, time=time)
+
+
+def collusion_flip_mask(ring: int, task_id: str, num_labels: int) -> tuple[bool, ...]:
+    """The labels a colluding ring flips on ``task_id`` (at least one).
+
+    Derived purely from a ``crc32`` hash of the ring id and task id, so every
+    ring member computes the identical wrong answer with no shared state, in
+    any submission order, across process restarts.
+    """
+    if num_labels <= 0:
+        raise AnswerModelError(f"num_labels must be positive, got {num_labels}")
+    salt = zlib.crc32(f"ring-{ring}|{task_id}".encode("utf-8"))
+    rng = np.random.default_rng(salt)
+    mask = [bool(rng.integers(0, 2)) for _ in range(num_labels)]
+    if not any(mask):
+        mask[salt % num_labels] = True
+    return tuple(mask)

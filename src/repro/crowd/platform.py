@@ -175,14 +175,19 @@ class CrowdPlatform:
         return self._arrival.next_batch(index)
 
     def execute_assignment(
-        self, assignment: dict[str, list[str]], seed: SeedLike = None
+        self,
+        assignment: dict[str, list[str]],
+        seed: SeedLike = None,
+        time: float = 0.0,
     ) -> list[Answer]:
         """Execute an assignment ``{worker_id: [task_id, ...]}`` and collect answers.
 
         Charges the budget one unit per (worker, task) pair, simulates each
         worker's answer and appends it to the platform's answer log.  Pairs the
         worker has already answered are rejected to mirror real platforms that
-        refuse duplicate HIT completions.
+        refuse duplicate HIT completions.  ``time`` is the simulated clock of
+        the submission — the answer simulator uses it to apply worker-quality
+        drift (stationary simulators ignore it).
         """
         pairs: list[tuple[str, str]] = []
         for worker_id, task_ids in assignment.items():
@@ -201,7 +206,9 @@ class CrowdPlatform:
         rng = default_rng(seed if seed is not None else self._rng)
         collected: list[Answer] = []
         for worker_id, task_id in pairs:
-            answer = self._record_answer(worker_id, self._tasks[task_id], rng)
+            answer = self._record_answer(
+                worker_id, self._tasks[task_id], rng, time=time
+            )
             collected.append(answer)
             self._assignments.append(
                 Assignment(
@@ -215,14 +222,19 @@ class CrowdPlatform:
         return collected
 
     # ---------------------------------------------------------------- internal
-    def _record_answer(self, worker_id: str, task: Task, rng) -> Answer:
+    def _record_answer(
+        self, worker_id: str, task: Task, rng, time: float = 0.0
+    ) -> Answer:
         profile = self._pool.profile(worker_id)
         # zlib.crc32 gives a stable per-(worker, task) salt across processes,
         # unlike hash(), which Python randomises per interpreter run.
         pair_salt = zlib.crc32(f"{worker_id}|{task.task_id}".encode("utf-8"))
         answer_seed = derive_seed(self._seed, pair_salt)
         answer = self._simulator.sample_answer(
-            profile, task, seed=answer_seed if answer_seed is not None else rng
+            profile,
+            task,
+            seed=answer_seed if answer_seed is not None else rng,
+            time=time,
         )
         self._answers.add(answer)
         self._stats.answers += 1

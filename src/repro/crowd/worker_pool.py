@@ -27,6 +27,15 @@ from repro.spatial.geometry import GeoPoint
 from repro.utils.rng import SeedLike, default_rng
 
 
+#: Archetypes whose answers are generated adversarially rather than from the
+#: latent quality model: deterministic wrong answers, uniform coin flips, and
+#: colluding rings that agree on the same wrong label per task.
+ADVERSARY_ARCHETYPES = ("always-wrong", "spammer", "colluder")
+
+#: All recognised archetypes (honest workers follow the paper's latent model).
+WORKER_ARCHETYPES = ("honest",) + ADVERSARY_ARCHETYPES
+
+
 @dataclass(frozen=True)
 class WorkerProfile:
     """Latent ground-truth profile of one simulated worker."""
@@ -34,6 +43,10 @@ class WorkerProfile:
     worker: Worker
     inherent_quality: float
     distance_lambda: float
+    #: Behavioural archetype; non-honest archetypes ignore the quality model.
+    archetype: str = "honest"
+    #: Ring id shared by colluding workers (``None`` unless a colluder).
+    collusion_ring: int | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.inherent_quality <= 1.0:
@@ -44,6 +57,17 @@ class WorkerProfile:
             raise ValueError(
                 f"distance_lambda must be non-negative, got {self.distance_lambda}"
             )
+        if self.archetype not in WORKER_ARCHETYPES:
+            raise ValueError(
+                f"archetype must be one of {WORKER_ARCHETYPES}, got "
+                f"{self.archetype!r}"
+            )
+        if self.archetype == "colluder" and self.collusion_ring is None:
+            raise ValueError("colluder profiles need a collusion_ring id")
+
+    @property
+    def is_adversary(self) -> bool:
+        return self.archetype != "honest"
 
     @property
     def worker_id(self) -> str:
@@ -71,6 +95,14 @@ class WorkerPoolSpec:
     lambda_choices: tuple[float, ...] = (100.0, 10.0, 0.1)
     lambda_weights: tuple[float, ...] = (0.45, 0.35, 0.20)
     locations_per_worker: tuple[int, int] = (1, 2)
+    #: Fraction of the pool replaced by adversarial archetypes (0 disables —
+    #: and keeps the generated pool bit-identical to the pre-adversary code).
+    adversary_fraction: float = 0.0
+    #: Mixture over :data:`ADVERSARY_ARCHETYPES` for the adversarial slice.
+    adversary_weights: tuple[float, float, float] = (0.34, 0.33, 0.33)
+    #: Colluders are grouped into rings of this size (ring members agree on
+    #: the same wrong label for every task).
+    collusion_ring_size: int = 3
 
     def __post_init__(self) -> None:
         if self.num_workers <= 0:
@@ -78,6 +110,23 @@ class WorkerPoolSpec:
         if not 0.0 <= self.reliable_fraction <= 1.0:
             raise ValueError(
                 f"reliable_fraction must be in [0, 1], got {self.reliable_fraction}"
+            )
+        if not 0.0 <= self.adversary_fraction <= 1.0:
+            raise ValueError(
+                f"adversary_fraction must be in [0, 1], got {self.adversary_fraction}"
+            )
+        if len(self.adversary_weights) != len(ADVERSARY_ARCHETYPES):
+            raise ValueError(
+                f"adversary_weights must have {len(ADVERSARY_ARCHETYPES)} "
+                f"entries, got {self.adversary_weights}"
+            )
+        if any(w < 0 for w in self.adversary_weights) or (
+            abs(sum(self.adversary_weights) - 1.0) > 1e-6
+        ):
+            raise ValueError("adversary_weights must be non-negative and sum to 1")
+        if self.collusion_ring_size < 2:
+            raise ValueError(
+                f"collusion_ring_size must be >= 2, got {self.collusion_ring_size}"
             )
         if len(self.lambda_choices) != len(self.lambda_weights):
             raise ValueError("lambda_choices and lambda_weights must align")
@@ -120,6 +169,15 @@ class WorkerPool:
     def workers(self) -> list[Worker]:
         return [self._profiles[worker_id].worker for worker_id in self._order]
 
+    @property
+    def adversary_ids(self) -> list[str]:
+        """Ground-truth ids of the non-honest workers (scenario scoring)."""
+        return [
+            worker_id
+            for worker_id in self._order
+            if self._profiles[worker_id].archetype != "honest"
+        ]
+
     def profile(self, worker_id: str) -> WorkerProfile:
         return self._profiles[worker_id]
 
@@ -159,4 +217,33 @@ class WorkerPool:
                     distance_lambda=lam,
                 )
             )
+        # Adversary injection happens after the honest draws so the per-index
+        # RNG consumption — and therefore every honest profile — is identical
+        # whether or not a slice of the pool is replaced by adversaries.
+        num_adversaries = int(round(spec.num_workers * spec.adversary_fraction))
+        if num_adversaries > 0:
+            chosen = rng.choice(spec.num_workers, size=num_adversaries, replace=False)
+            weights = np.asarray(spec.adversary_weights, dtype=float)
+            weights = weights / weights.sum()
+            next_ring = 0
+            ring_slots = 0
+            for index in sorted(int(i) for i in chosen):
+                archetype = ADVERSARY_ARCHETYPES[
+                    int(rng.choice(len(ADVERSARY_ARCHETYPES), p=weights))
+                ]
+                ring = None
+                if archetype == "colluder":
+                    if ring_slots == 0:
+                        ring_slots = spec.collusion_ring_size
+                        next_ring += 1
+                    ring = next_ring - 1
+                    ring_slots -= 1
+                base = profiles[index]
+                profiles[index] = WorkerProfile(
+                    worker=base.worker,
+                    inherent_quality=base.inherent_quality,
+                    distance_lambda=base.distance_lambda,
+                    archetype=archetype,
+                    collusion_ring=ring,
+                )
         return cls(profiles)

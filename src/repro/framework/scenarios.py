@@ -1,0 +1,215 @@
+"""Named hostile-stream scenarios for the serving subsystem.
+
+Each scenario assembles a :class:`~repro.crowd.platform.CrowdPlatform` plus a
+matching :class:`~repro.serving.service.ServingConfig` so the CLI
+(``repro-poi serve-sim --scenario NAME``), the scenario-matrix benchmark and
+the tests all exercise exactly the same workloads:
+
+``clean``
+    An all-reliable honest pool with the reputation tracker **on**.  Because
+    no worker ever crosses a demotion threshold, the trust weights stay at
+    1.0, the decayed-statistics path stays on its exact branch, and the run
+    is bit-identical to a reputation-blind session — the false-positive-free
+    baseline every other scenario is judged against.
+``spam``
+    25% of the pool replaced by always-wrong and uniform-random adversaries
+    (no colluders).  The honest remainder is fully reliable so every
+    quarantine of a non-adversary is a genuine false positive.
+``collusion``
+    25% of the pool replaced by colluding rings (ring members agree on the
+    same wrong label for every task), honest remainder fully reliable.
+``drift``
+    Honest workers on a practice curve: every worker starts the session as
+    a near-coin novice and ramps up to full competence with simulated time.
+    Ingestion runs with ``stat_decay < 1`` so the model's sufficient
+    statistics forget the misleading novice-phase evidence; re-running with
+    ``stat_decay=1.0`` gives the frozen baseline the benchmark compares
+    against.
+``churn``
+    A mixed-quality pool cycling through active/away sessions
+    (:class:`~repro.crowd.arrival.ChurnArrival`) under bursty diurnal
+    traffic — the availability stressor.
+
+Scenario generation is a pure function of ``(name, knobs, seed)``: dataset,
+pool, arrival and platform RNGs are derived from the one seed with fixed
+salts, so two calls with the same arguments replay byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crowd.answer_model import AnswerSimulator, QualityDrift
+from repro.crowd.arrival import (
+    ChurnArrival,
+    DiurnalPattern,
+    UniformRandomArrival,
+    WorkerArrivalProcess,
+)
+from repro.crowd.budget import Budget
+from repro.crowd.platform import CrowdPlatform
+from repro.crowd.worker_pool import WorkerPool, WorkerPoolSpec
+from repro.data.generators import DatasetSpec, generate_dataset
+from repro.framework.experiment import build_distance_model, build_worker_pool
+from repro.serving import IngestConfig, ReputationConfig, ServingConfig
+from repro.utils.rng import derive_seed
+
+#: The scenario presets, in the order the benchmark matrix runs them.
+SCENARIO_NAMES = ("clean", "spam", "collusion", "drift", "churn")
+
+#: Seed salts (arbitrary distinct constants) — one independent stream per
+#: stochastic component so adding a component never perturbs the others.
+_SALT_DATASET = 11
+_SALT_POOL = 12
+_SALT_ARRIVAL = 13
+_SALT_PLATFORM = 14
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A ready-to-serve workload: the platform plus its serving config."""
+
+    name: str
+    description: str
+    platform: CrowdPlatform
+    config: ServingConfig
+
+
+def build_scenario(
+    name: str,
+    *,
+    num_tasks: int = 80,
+    num_workers: int = 40,
+    budget: int = 1500,
+    seed: int = 42,
+    stat_decay: float | None = None,
+    reputation: bool = True,
+) -> Scenario:
+    """Assemble the named scenario.
+
+    ``stat_decay=None`` keeps each scenario's own default (0.98 for ``drift``,
+    1.0 — exact statistics — everywhere else); pass an explicit value to
+    override it, e.g. ``stat_decay=1.0`` for the frozen-statistics baseline of
+    the drift benchmark.  ``reputation=False`` serves reputation-blind, the
+    control arm for the clean-scenario equivalence gate.
+    """
+    if name not in SCENARIO_NAMES:
+        raise ValueError(
+            f"unknown scenario {name!r}; expected one of {SCENARIO_NAMES}"
+        )
+    dataset = generate_dataset(
+        DatasetSpec(name=f"Scenario-{name}-{num_tasks}", num_tasks=num_tasks),
+        seed=derive_seed(seed, _SALT_DATASET),
+    )
+    pool = build_worker_pool(
+        dataset, spec=_pool_spec(name, num_workers), seed=derive_seed(seed, _SALT_POOL)
+    )
+    distance_model = build_distance_model(dataset)
+
+    drift: QualityDrift | None = None
+    diurnal: DiurnalPattern | None = None
+    decay = 1.0
+    if name == "drift":
+        # Practice-curve drift: every honest worker starts the session as a
+        # near-coin novice (quality 0.15) and ramps to full competence over
+        # the first ~70 simulated seconds.  This is the non-stationarity
+        # where decayed statistics *provably* help: the stale novice-phase
+        # evidence actively misleads a never-forgetting model, while under
+        # fatigue-style decay-to-floor drift the most recent answers are the
+        # worst ones and forgetting can only lose label evidence.
+        drift = QualityDrift(rate=0.01, floor=0.15, mode="practice")
+        decay = 0.98
+    elif name == "churn":
+        diurnal = DiurnalPattern(
+            period=30.0, amplitude=0.5, burst_probability=0.1, burst_factor=4.0
+        )
+    if stat_decay is not None:
+        decay = stat_decay
+
+    simulator = AnswerSimulator(distance_model, noise=0.05, drift=drift)
+    arrival = _arrival_process(name, pool, seed)
+    platform = CrowdPlatform(
+        dataset=dataset,
+        worker_pool=pool,
+        budget=Budget(total=budget),
+        distance_model=distance_model,
+        answer_simulator=simulator,
+        arrival_process=arrival,
+        seed=derive_seed(seed, _SALT_PLATFORM),
+    )
+    config = ServingConfig(
+        seed=seed,
+        # Every scenario — the reputation-off control arms included — uses the
+        # learnable admission prior instead of the absorbing footnote-3 seed
+        # and the trust-probe assignment cadence, so reputation on/off
+        # comparisons isolate the tracker itself.
+        ingest=IngestConfig(
+            stat_decay=decay,
+            admission_p_qualified=0.8,
+            full_refresh_interval=100,
+        ),
+        # ``min_answers=20``: below ~20 answers the leave-one-out consensus a
+        # worker is judged against is still thin enough to be wrong, and the
+        # transient quarantines it hands out break the clean scenario's
+        # bit-equivalence with the reputation-off arm.
+        reputation=ReputationConfig(min_answers=20) if reputation else None,
+        diurnal=diurnal,
+        probe_interval=2,
+    )
+    return Scenario(
+        name=name,
+        description=_DESCRIPTIONS[name],
+        platform=platform,
+        config=config,
+    )
+
+
+def _pool_spec(name: str, num_workers: int) -> WorkerPoolSpec:
+    if name == "spam":
+        # Fully reliable honest remainder: any quarantined non-adversary is a
+        # true false positive, which keeps the precision gate meaningful.
+        # The always-wrong share stays below the label-flip tipping point —
+        # past roughly 15% of the pool, coordinated inversion drags EM into
+        # the inverted-label local optimum before detection can bite.
+        return WorkerPoolSpec(
+            num_workers=num_workers,
+            reliable_fraction=1.0,
+            adversary_fraction=0.25,
+            adversary_weights=(0.3, 0.7, 0.0),
+        )
+    if name == "collusion":
+        return WorkerPoolSpec(
+            num_workers=num_workers,
+            reliable_fraction=1.0,
+            adversary_fraction=0.25,
+            adversary_weights=(0.0, 0.0, 1.0),
+            collusion_ring_size=3,
+        )
+    if name in ("clean", "drift"):
+        return WorkerPoolSpec(num_workers=num_workers, reliable_fraction=1.0)
+    # churn keeps the default mixed-quality population.
+    return WorkerPoolSpec(num_workers=num_workers)
+
+
+def _arrival_process(name: str, pool: WorkerPool, seed: int) -> WorkerArrivalProcess:
+    batch_size = min(5, len(pool))
+    if name == "churn":
+        return ChurnArrival(
+            pool,
+            batch_size=batch_size,
+            cycle_rounds=20,
+            active_rounds=12,
+            seed=derive_seed(seed, _SALT_ARRIVAL),
+        )
+    return UniformRandomArrival(
+        pool, batch_size=batch_size, seed=derive_seed(seed, _SALT_ARRIVAL)
+    )
+
+
+_DESCRIPTIONS = {
+    "clean": "all-reliable honest pool, reputation on (false-positive baseline)",
+    "spam": "25% always-wrong/random spammers over a reliable honest pool",
+    "collusion": "25% colluding rings over a reliable honest pool",
+    "drift": "honest pool on a novice practice curve, decayed statistics",
+    "churn": "mixed pool with session churn under bursty diurnal traffic",
+}

@@ -137,6 +137,53 @@ known at startup — new entities flow through every layer as they arrive:
    and the report records how much of the stream came from entities absent at
    startup.
 
+**Threat model and degradation ladder.**  The stream is assumed *hostile*:
+beyond malformed events (the guard's domain), the crowd itself may contain
+always-wrong label inverters, coin-flipping spammers and colluding rings
+(:data:`~repro.crowd.worker_pool.ADVERSARY_ARCHETYPES`), and even honest
+workers' quality drifts over the session
+(:class:`~repro.crowd.answer_model.QualityDrift`).  Defences are layered so
+each one degrades the attacker's influence further without ever taxing a
+clean stream:
+
+1. **Evidence.**  :func:`~repro.serving.guard.trust_scores` judges every
+   worker against the *leave-one-out unweighted majority* of the other
+   workers on each firm label cell, scored through a distance-decayed
+   honest-reference curve whose floor is exactly 0.5 — far-task rows carry
+   no evidence (an honest local worker and a coin are indistinguishable
+   there), so the frontend's *trust probes* (``ServingConfig.probe_interval``)
+   keep swapping one optimiser pick per cycle for the worker's nearest
+   unanswered task, guaranteeing the near-task evidence detection needs.
+2. **Judgement.**  The :class:`~repro.serving.guard.ReputationTracker` walks
+   workers down (and back up) the ``trusted → probation → quarantined``
+   ladder with hysteresis: a ``min_answers`` evidence gate, smoothed
+   posteriors, consecutive-evaluation patience on every transition, and a
+   dead band so re-admission only happens through sustained recovery — a
+   falsely quarantined worker keeps being scored against the consensus and
+   can earn their way back.
+3. **Degradation.**  Quarantine bites at three layers at once: the intake
+   rejects the worker's new events (counted separately from guard
+   quarantines), full EM refreshes down-weight their *historical* answers by
+   ``ReputationConfig.quarantined_weight`` (nonzero, so their own posterior
+   can still recover), and the assignment frontend refuses them HITs and
+   strikes them from the optimiser's worker universe.  Their votes are also
+   struck from the trust consensus itself, so a caught coin stops
+   randomising the majority everyone else is judged by.
+4. **Drift.**  ``IngestConfig.stat_decay < 1`` ages sufficient statistics
+   per applied batch so the model tracks non-stationary workers;
+   ``stat_decay=1.0`` keeps the exact historical path bit-for-bit, and the
+   whole ladder state (tiers, streaks, posteriors) rides the checkpoint /
+   journal-replay cycle, so crash recovery restores the trust view of the
+   world bit-equal.
+
+The named workloads in :mod:`repro.framework.scenarios` (``clean``,
+``spam``, ``collusion``, ``drift``, ``churn`` — CLI
+``repro-poi serve-sim --scenario NAME``) pin this behaviour down, and
+``benchmarks/bench_scenario_matrix.py`` gates it in CI: the clean stream
+must be indistinguishable from a reputation-blind run, spam detection must
+hit 90% recall at 90% precision, and decayed statistics must beat frozen
+ones on the practice-curve drift stream.
+
 **Observability.**  The whole pipeline reports into the dependency-free
 telemetry substrate of :mod:`repro.obs` — one
 :class:`~repro.obs.metrics.MetricsRegistry` per service, one
@@ -248,9 +295,22 @@ from repro.serving.snapshots import (
 )
 from repro.serving.journal import AnswerJournal, RecoveryReport, recover_ingestor
 from repro.serving.pipeline import PendingRefresh, RefreshOutcome, RefreshWorker
-from repro.serving.guard import EventGuard, GuardConfig, GuardStats, QuarantinedEvent
+from repro.serving.guard import (
+    TRUST_TIERS,
+    EventGuard,
+    GuardConfig,
+    GuardStats,
+    QuarantinedEvent,
+    ReputationConfig,
+    ReputationTracker,
+)
 from repro.serving.faults import FaultInjector, InjectedFault, SimulatedCrash
-from repro.serving.service import OnlineServingService, ServingConfig, ServingReport
+from repro.serving.service import (
+    OnlineServingService,
+    ServingConfig,
+    ServingReport,
+    TrustReport,
+)
 
 __all__ = [
     "AnswerEvent",
@@ -278,11 +338,15 @@ __all__ = [
     "RecoveryReport",
     "RefreshOutcome",
     "RefreshWorker",
+    "ReputationConfig",
+    "ReputationTracker",
     "ServingConfig",
     "ServingReport",
     "ServingStateError",
     "SimulatedCrash",
     "SnapshotIntegrityError",
     "SnapshotStore",
+    "TRUST_TIERS",
+    "TrustReport",
     "load_snapshot",
 ]

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -30,6 +31,9 @@ from repro.obs.metrics import Histogram
 from repro.obs.trace import Tracer
 from repro.serving.snapshots import SnapshotStore
 from repro.spatial.distance import DistanceModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.guard import ReputationTracker
 
 #: Version reported while no snapshot has been published yet.
 NO_SNAPSHOT = -1
@@ -138,6 +142,14 @@ class FrontendStats:
     #: snapshot instead of a fresh estimate.  Nonzero means the frontend kept
     #: answering through a fault storm; it never raises for staleness.
     stale_serves: int = 0
+    #: Requests from quarantined workers refused with an empty HIT — the
+    #: reputation tracker demoted the worker and the frontend stopped spending
+    #: assignment budget on them (they may still be serving probation answers
+    #: through the ingest path at reduced weight).
+    blocked_requests: int = 0
+    #: Assignments where one optimiser-picked task was swapped for the
+    #: worker's nearest unanswered task (a trust probe).
+    probes: int = 0
     latencies: LatencyReservoir = field(default_factory=LatencyReservoir)
 
     @property
@@ -176,6 +188,8 @@ class AssignmentFrontend:
         engine: str = "vectorized",
         tracer: Tracer | None = None,
         candidate_radius: float | None = None,
+        reputation: "ReputationTracker | None" = None,
+        probe_interval: int = 0,
     ) -> None:
         self._assigner = build_assigner(
             strategy,
@@ -190,6 +204,21 @@ class AssignmentFrontend:
         self._snapshots = snapshots
         self._strategy = strategy
         self._seen_version: int | None = None
+        self._reputation = reputation
+        # Trust probes: every ``probe_interval``-th request per worker swaps
+        # one optimiser-picked task for the worker's nearest unanswered task.
+        # Near-task behaviour is the only evidence that separates a *local*
+        # honest profile from an adversarial coin (far from a task, both are
+        # statistically coins under the paper's bell-function family), so the
+        # platform has to actively collect it for every worker — the
+        # optimiser alone can starve a worker of near tasks indefinitely.
+        self._probe_interval = probe_interval
+        self._distance_model = distance_model
+        self._probe_tasks: dict[str, Task] = {t.task_id: t for t in tasks}
+        self._probe_workers: dict[str, Worker] = {w.worker_id: w for w in workers}
+        # Tracker version whose quarantine set was last pushed into the
+        # assigner's exclusion list; synced lazily per request.
+        self._seen_reputation_version: int | None = None
         self._stats = FrontendStats()
         # The registry histogram is the authoritative percentile source when
         # telemetry is wired; the reservoir stays as a compatibility view.
@@ -232,11 +261,49 @@ class AssignmentFrontend:
         cached distance matrix for AccOpt) grow with it; until the inference
         catches up, the new task scores with its footnote-3 prior.
         """
-        return self._assigner.add_task(task)
+        admitted = self._assigner.add_task(task)
+        if admitted:
+            self._probe_tasks[task.task_id] = task
+        return admitted
 
     def add_worker(self, worker: Worker) -> bool:
         """Admit a worker who joined after startup into the assignment universe."""
-        return self._assigner.add_worker(worker)
+        admitted = self._assigner.add_worker(worker)
+        if admitted:
+            self._probe_workers[worker.worker_id] = worker
+        return admitted
+
+    # ------------------------------------------------------------ trust probes
+    def _maybe_probe(
+        self, worker_id: str, h: int, task_ids: tuple[str, ...], answers: AnswerSet
+    ) -> tuple[str, ...]:
+        """Swap the last optimiser pick for the nearest unanswered task.
+
+        Fires on every ``probe_interval``-th request per worker, counted as a
+        pure function of the worker's *answered-task* total (``len(answered)
+        // h``), not in-memory request counters — a recovered session derives
+        the identical probe schedule from the replayed answer log.
+        """
+        answered = answers.tasks_of_worker(worker_id)
+        if (len(answered) // max(h, 1)) % self._probe_interval != 0:
+            return task_ids
+        worker = self._probe_workers.get(worker_id)
+        if worker is None:
+            return task_ids
+        best_id: str | None = None
+        best_distance = float("inf")
+        for task_id, task in self._probe_tasks.items():
+            if task_id in answered:
+                continue
+            distance = self._distance_model.worker_task_distance(
+                worker.locations, task.location
+            )
+            if distance < best_distance:
+                best_id, best_distance = task_id, distance
+        if best_id is None or best_id in task_ids:
+            return task_ids
+        self._stats.probes += 1
+        return task_ids[:-1] + (best_id,)
 
     def assign(self, worker_id: str, h: int, answers: AnswerSet) -> AssignmentResponse:
         """Assign up to ``h`` tasks to the arriving ``worker_id``.
@@ -249,6 +316,27 @@ class AssignmentFrontend:
         trades freshness for availability, never raising at the read side.
         """
         started = time.perf_counter()
+        if self._reputation is not None:
+            if self._reputation.version != self._seen_reputation_version:
+                self._assigner.set_excluded_workers(self._reputation.quarantined_ids)
+                self._seen_reputation_version = self._reputation.version
+            if self._reputation.is_quarantined(worker_id):
+                # Refuse the HIT outright: a quarantined worker's answers are
+                # (at best) heavily down-weighted by the EM step, so spending
+                # assignment budget on them buys nothing.  The request is
+                # answered (empty), never raised, and counted separately from
+                # assigner-empty responses.
+                snapshot = self._snapshots.latest()
+                self._stats.requests += 1
+                self._stats.blocked_requests += 1
+                return AssignmentResponse(
+                    worker_id=worker_id,
+                    task_ids=(),
+                    snapshot_version=(
+                        snapshot.version if snapshot is not None else NO_SNAPSHOT
+                    ),
+                    latency_ms=(time.perf_counter() - started) * 1000.0,
+                )
         snapshot = self._snapshots.latest()
         if self._snapshots.degraded:
             self._stats.stale_serves += 1
@@ -261,6 +349,8 @@ class AssignmentFrontend:
                 self._stats.parameter_refreshes += 1
         assignment = self._assigner.assign([worker_id], h, answers)
         task_ids = tuple(assignment.get(worker_id, ()))
+        if self._probe_interval > 0 and task_ids:
+            task_ids = self._maybe_probe(worker_id, h, task_ids, answers)
         latency_ms = (time.perf_counter() - started) * 1000.0
 
         # Age of the *served* snapshot — the one this request's parameters

@@ -58,6 +58,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
+import numpy as np
+
 from repro.core.incremental import IncrementalUpdater
 from repro.core.inference import LocationAwareInference
 from repro.data.models import Answer, AnswerSet, Task, Worker
@@ -65,7 +67,7 @@ from repro.obs.trace import Tracer
 from repro.serving.faults import FaultInjector
 from repro.serving.pipeline import PendingRefresh, RefreshWorker
 from repro.utils.timing import Timer
-from repro.serving.guard import EventGuard
+from repro.serving.guard import EventGuard, ReputationTracker, trust_scores
 from repro.serving.journal import AnswerJournal
 from repro.serving.snapshots import (
     CheckpointManager,
@@ -142,6 +144,19 @@ class IngestConfig:
     #: Batches a per-entity-converged (settled) entity sits out of the M-step
     #: before being re-estimated (0 disables deferral).
     settle_defer_batches: int = 2
+    #: Exponential decay applied to the sufficient statistics per applied
+    #: micro-batch (see
+    #: :attr:`~repro.core.incremental.IncrementalUpdater.stat_decay`): an
+    #: answer ``k`` batches old contributes ``stat_decay**k`` of its original
+    #: evidence, so the estimate tracks workers whose quality *drifts*.  The
+    #: default ``1.0`` keeps the exact historical path bit-for-bit.
+    stat_decay: float = 1.0
+    #: Admission prior for workers first seen on the stream (see
+    #: :attr:`~repro.core.incremental.IncrementalUpdater.admission_p_qualified`).
+    #: ``None`` keeps the footnote-3 trusted seed, which is numerically
+    #: absorbing — reputation tracking needs a learnable prior here to see
+    #: adversaries at all.
+    admission_p_qualified: float | None = None
     #: Write a checkpoint every this many applied answers (0 disables; only
     #: effective when the ingestor was built with a ``checkpoints`` manager).
     checkpoint_interval: int = 0
@@ -211,6 +226,17 @@ class IngestConfig:
                 f"settle_defer_batches must be non-negative, "
                 f"got {self.settle_defer_batches}"
             )
+        if self.admission_p_qualified is not None and not (
+            0.0 < self.admission_p_qualified < 1.0
+        ):
+            raise ValueError(
+                "admission_p_qualified must lie strictly inside (0, 1), got "
+                f"{self.admission_p_qualified}"
+            )
+        if not 0.0 < self.stat_decay <= 1.0:
+            raise ValueError(
+                f"stat_decay must be in (0, 1], got {self.stat_decay}"
+            )
 
 
 @dataclass
@@ -231,6 +257,10 @@ class IngestStats:
     update_seconds: float = 0.0
     #: Events the guard rejected at the intake boundary (never journaled).
     events_quarantined: int = 0
+    #: Events refused because their worker is reputation-quarantined — a
+    #: subset of the guard's ``reputation`` reason counter, kept separately so
+    #: the trust degradation ladder is visible without a guard attached.
+    events_rejected_reputation: int = 0
     #: Events made durable in the write-ahead journal.
     journal_appends: int = 0
     #: Events dropped because the journal append itself failed (an event that
@@ -326,6 +356,7 @@ class AnswerIngestor:
         faults: FaultInjector | None = None,
         checkpoints: CheckpointManager | None = None,
         tracer: Tracer | None = None,
+        reputation: ReputationTracker | None = None,
     ) -> None:
         self._inference = inference
         self._snapshots = snapshots
@@ -334,6 +365,13 @@ class AnswerIngestor:
         self._guard = guard
         self._faults = faults
         self._checkpoints = checkpoints
+        self._reputation = reputation
+        if reputation is not None and inference.config.engine == "reference":
+            raise ValueError(
+                "reputation tracking requires the vectorized engine: the "
+                "reference path has no per-answer weighting to down-weight "
+                "quarantined workers with"
+            )
         # A metricless tracer keeps the span/record call sites branch-free;
         # it observes nothing and costs one no-op call per micro-batch.
         self._tracer = tracer if tracer is not None else Tracer()
@@ -349,6 +387,8 @@ class AnswerIngestor:
                 journal.bind_metrics(metrics)
             if faults is not None:
                 faults.bind_metrics(metrics)
+            if reputation is not None:
+                reputation.bind_metrics(metrics)
             snapshots.bind_metrics(metrics)
         #: Journal seq of the newest event handed to :meth:`flush` (pending)
         #: and of the newest event whose batch has been flushed (applied).
@@ -376,7 +416,13 @@ class AnswerIngestor:
             metrics=self._tracer.metrics,
             sufficient_stats=self._config.sufficient_stats,
             settle_defer_batches=self._config.settle_defer_batches,
+            stat_decay=self._config.stat_decay,
+            admission_p_qualified=self._config.admission_p_qualified,
         )
+        if reputation is not None:
+            # Full refreshes down-weight quarantined workers' *historical*
+            # answers (their new submissions are refused at intake).
+            self._updater.trust_weight_fn = reputation.trust_weight
         # Pipelined refreshes need a tensor to snapshot — the reference
         # engine has none, so it always runs the serial loop.
         self._pipeline = (
@@ -435,6 +481,10 @@ class AnswerIngestor:
         return self._guard
 
     @property
+    def reputation(self) -> ReputationTracker | None:
+        return self._reputation
+
+    @property
     def checkpoints(self) -> CheckpointManager | None:
         return self._checkpoints
 
@@ -465,6 +515,21 @@ class AnswerIngestor:
         """
         if self._faults is not None:
             self._faults.check("ingest.submit")
+        if self._reputation is not None and self._reputation.is_quarantined(
+            event.answer.worker_id
+        ):
+            # A quarantined worker's new submissions never reach the journal:
+            # replay then reproduces the same accepted stream without needing
+            # the tracker's state at the moment of each rejection.
+            self._stats.events_rejected_reputation += 1
+            self._stats.events_quarantined += 1
+            if self._guard is not None:
+                self._guard.reject(
+                    event,
+                    "reputation",
+                    f"worker {event.answer.worker_id!r} is quarantined",
+                )
+            return None
         if self._guard is not None:
             self._guard_timer.start()
             try:
@@ -694,9 +759,43 @@ class AnswerIngestor:
             )
             return None
         self._snapshots.clear_degraded()
+        self._evaluate_reputation()
         self._maybe_checkpoint(snapshot)
         self._maybe_reset_stat_epoch()
         return snapshot
+
+    def _evaluate_reputation(self) -> None:
+        """Re-judge every worker's trust tier from the fresh live estimate.
+
+        Runs after each successful flush, against the live store's
+        ``p_qualified`` posteriors and per-worker answer counts taken straight
+        off the live tensor — pure functions of the applied answer stream, so
+        a journal replay re-walks the exact same tier transitions.  Evaluated
+        *before* the checkpoint cut so the persisted tracker state matches
+        the persisted answer log.
+        """
+        tracker = self._reputation
+        if tracker is None:
+            return
+        tensor = self._updater.live_tensor
+        store = self._updater.live_store
+        if tensor is None or store is None or not tensor.num_answers:
+            return
+        counts = np.bincount(tensor.a_worker, minlength=tensor.num_workers)
+        answer_counts = {
+            worker_id: int(count)
+            for worker_id, count in zip(tensor.worker_ids, counts)
+        }
+        with self._tracer.span("reputation"):
+            # Trust score per worker: a distance-aware likelihood-ratio test
+            # of the worker's agreement with the *other* workers' firm
+            # leave-one-out majority votes (see
+            # :func:`repro.serving.guard.trust_scores` for why neither the
+            # EM's mean-form ``p_qualified`` nor its weighted label
+            # posterior is used here).  A pure function of the live tensor,
+            # so crash recovery replays re-walk identical tier transitions.
+            scores = trust_scores(tensor, excluded=tracker.quarantined_ids)
+            tracker.evaluate(tensor.worker_ids, scores, answer_counts)
 
     def _maybe_reset_stat_epoch(self) -> None:
         """Re-seed the sufficient-stat cache on the checkpoint cadence.
@@ -733,8 +832,8 @@ class AnswerIngestor:
         watermark = self._stats.answers
 
         def capture_and_launch() -> None:
-            tensor, initial, initial_store = self._updater.capture_refresh_state(
-                warm=warm
+            tensor, initial, initial_store, weights = (
+                self._updater.capture_refresh_state(warm=warm)
             )
             faults = self._faults
             inference = self._inference
@@ -745,7 +844,10 @@ class AnswerIngestor:
                 if faults is not None:
                     faults.check("refresh.background")
                 return inference.run_em_detached(
-                    tensor, initial=initial, initial_store=initial_store
+                    tensor,
+                    initial=initial,
+                    initial_store=initial_store,
+                    answer_weights=weights,
                 )
 
             self._refresh_worker.launch(fit)
@@ -907,6 +1009,7 @@ class AnswerIngestor:
         "workers_registered",
         "tasks_registered",
         "events_quarantined",
+        "events_rejected_reputation",
         "journal_appends",
         "refreshes_overlapped",
         "answers_reconciled",
@@ -984,6 +1087,17 @@ class AnswerIngestor:
         counters: dict[str, float] = {
             name: getattr(self._stats, name) for name in self._CHECKPOINTED_COUNTERS
         }
+        extra: dict = {}
+        if self._config.stat_decay < 1.0 and self._updater.live_tensor is not None:
+            decay_epoch, arrival_epochs = self._updater.export_decay_state()
+            extra["decay_epoch"] = decay_epoch
+            extra["arrival_epochs"] = arrival_epochs.tolist()
+        if self._guard is not None and self._guard.stats.reasons:
+            # Quarantined events are never journaled; replay cannot recount
+            # them, so the per-reason totals travel with the checkpoint.
+            extra["guard_reasons"] = dict(self._guard.stats.reasons)
+        if self._reputation is not None:
+            extra["reputation"] = self._reputation.state_dict()
         state = CheckpointState(
             store=snapshot.store,
             journal_seq=self._applied_seq,
@@ -994,6 +1108,7 @@ class AnswerIngestor:
             tasks=list(self._inference._tasks.values()),
             answers_since_full_refresh=self._updater.answers_since_full_refresh,
             counters=counters,
+            extra=extra,
         )
         self._checkpoints.save(state)
         self._stats.checkpoints_written += 1
@@ -1032,6 +1147,16 @@ class AnswerIngestor:
         self._stats.log_flattens = self._updater.tensor_rebuilds
         if self._guard is not None:
             self._guard.seed_history(state.answers)
+        extra = state.extra
+        if "decay_epoch" in extra:
+            self._updater.restore_decay_state(
+                int(extra["decay_epoch"]),
+                np.asarray(extra.get("arrival_epochs", []), dtype=np.int64),
+            )
+        if self._guard is not None and extra.get("guard_reasons"):
+            self._guard.restore_quarantine_stats(extra["guard_reasons"])
+        if self._reputation is not None and "reputation" in extra:
+            self._reputation.restore_state(extra["reputation"])
         self._pending_seq = state.journal_seq
         self._applied_seq = state.journal_seq
         self._answers_at_checkpoint = self._stats.answers

@@ -53,7 +53,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.obs.metrics import Histogram, MetricsRegistry
     from repro.obs.trace import Tracer
     from repro.serving.faults import FaultInjector
-    from repro.serving.guard import EventGuard
+    from repro.serving.guard import EventGuard, ReputationTracker
     from repro.serving.ingest import AnswerEvent, AnswerIngestor, IngestConfig
     from repro.serving.snapshots import SnapshotStore
 
@@ -391,6 +391,7 @@ def recover_ingestor(
     journal_fsync: bool = False,
     journal_segment_records: int = 1024,
     tracer: "Tracer | None" = None,
+    reputation: "ReputationTracker | None" = None,
 ) -> tuple["AnswerIngestor", RecoveryReport]:
     """Rebuild a crashed serving session's ingestion state from ``state_dir``.
 
@@ -452,6 +453,7 @@ def recover_ingestor(
         faults=faults,
         checkpoints=checkpoints,
         tracer=tracer,
+        reputation=reputation,
     )
     if state is not None:
         ingestor.restore(state)

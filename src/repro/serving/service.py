@@ -30,14 +30,19 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core.inference import InferenceConfig, LocationAwareInference
-from repro.crowd.arrival import TimedArrivalSchedule
+from repro.crowd.arrival import DiurnalPattern, TimedArrivalSchedule
 from repro.crowd.platform import CrowdPlatform
 from repro.framework.metrics import labelling_accuracy
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import PhaseBreakdown, PhaseTimeline, Tracer
 from repro.serving.faults import FaultInjector
 from repro.serving.frontend import AssignmentFrontend, FrontendStats
-from repro.serving.guard import EventGuard, GuardConfig
+from repro.serving.guard import (
+    EventGuard,
+    GuardConfig,
+    ReputationConfig,
+    ReputationTracker,
+)
 from repro.serving.ingest import AnswerEvent, AnswerIngestor, IngestConfig, IngestStats
 from repro.serving.journal import AnswerJournal, RecoveryReport, recover_ingestor
 from repro.serving.snapshots import CheckpointManager, ParameterSnapshot, SnapshotStore
@@ -72,6 +77,13 @@ class ServingConfig:
     #: the dense paths.
     candidate_radius: float | None = None
     tasks_per_worker: int = 2
+    #: Every this-many assignment requests per worker, one optimiser-picked
+    #: task is swapped for the worker's nearest unanswered task (a trust
+    #: probe) — guaranteeing near-task evidence for the reputation tracker's
+    #: trust score, which cannot tell a local honest worker from a coin
+    #: spammer on far tasks alone.  0 disables probing (the historical
+    #: assignment stream, bit-identical).
+    probe_interval: int = 0
     mean_interarrival: float = 1.0
     max_snapshots: int = 8
     ingest: IngestConfig = field(default_factory=IngestConfig)
@@ -94,6 +106,15 @@ class ServingConfig:
     journal_segment_records: int = 1024
     #: Event validation policy; None serves unguarded (trusted input).
     guard: GuardConfig | None = None
+    #: Trust-tier policy; a :class:`~repro.serving.guard.ReputationConfig`
+    #: turns on the full degradation ladder (worker tiers re-judged after
+    #: every flush, quarantined workers refused at the frontend and the
+    #: intake, their history down-weighted at full refreshes).  ``None``
+    #: serves reputation-blind (the historical behaviour).
+    reputation: ReputationConfig | None = None
+    #: Bursty/diurnal modulation of the arrival schedule; ``None`` keeps the
+    #: homogeneous Poisson-like stream (bit-identical to the historical path).
+    diurnal: DiurnalPattern | None = None
     #: Deterministic fault injector for chaos tests; None in production.
     faults: FaultInjector | None = None
     #: Directory for telemetry exports: ``metrics.jsonl`` snapshots, a final
@@ -117,6 +138,10 @@ class ServingConfig:
         if self.mean_interarrival <= 0:
             raise ValueError(
                 f"mean_interarrival must be positive, got {self.mean_interarrival}"
+            )
+        if self.probe_interval < 0:
+            raise ValueError(
+                f"probe_interval must be non-negative, got {self.probe_interval}"
             )
         for name in ("holdback_worker_fraction", "holdback_task_fraction"):
             value = getattr(self, name)
@@ -155,6 +180,62 @@ class ServingConfig:
 
 
 @dataclass
+class TrustReport:
+    """Closing state of the reputation ladder, plus detection quality.
+
+    ``true_positives`` counts quarantined workers that really are platform
+    adversaries (known only in simulation, where
+    :attr:`~repro.crowd.worker_pool.WorkerPool.adversary_ids` is ground
+    truth); precision and recall follow the usual 0.0-on-empty contract.
+    """
+
+    #: Tracked workers per non-trusted tier, e.g. ``{"probation": 1, ...}``.
+    tiers: dict = field(default_factory=dict)
+    #: Total tier transitions applied over the session.
+    transitions: int = 0
+    #: Assignment requests refused because the worker was quarantined.
+    blocked_requests: int = 0
+    #: Answer events refused at intake for the same reason.
+    rejected_events: int = 0
+    #: Ground-truth adversarial workers in the platform's pool.
+    adversaries: int = 0
+    #: Quarantined workers that are ground-truth adversaries.
+    true_positives: int = 0
+    #: Workers quarantined at session end.
+    quarantined: int = 0
+
+    @property
+    def detection_precision(self) -> float:
+        """Share of quarantined workers that are real adversaries (0.0 if none)."""
+        if self.quarantined <= 0:
+            return 0.0
+        return self.true_positives / self.quarantined
+
+    @property
+    def detection_recall(self) -> float:
+        """Share of real adversaries that ended up quarantined (0.0 if none)."""
+        if self.adversaries <= 0:
+            return 0.0
+        return self.true_positives / self.adversaries
+
+    def summary_line(self) -> str:
+        tiers = ", ".join(f"{count} {tier}" for tier, count in sorted(self.tiers.items()))
+        line = (
+            f"trust: {tiers or 'all trusted'} ({self.transitions} transitions), "
+            f"{self.blocked_requests} requests blocked, "
+            f"{self.rejected_events} events rejected"
+        )
+        if self.adversaries:
+            line += (
+                f"; adversary detection: recall "
+                f"{self.detection_recall:.0%}, precision "
+                f"{self.detection_precision:.0%} "
+                f"({self.true_positives}/{self.adversaries} caught)"
+            )
+        return line
+
+
+@dataclass
 class ServingReport:
     """Everything a serve-sim run reports: ingestion, assignment and accuracy."""
 
@@ -185,6 +266,8 @@ class ServingReport:
     #: Contract: exactly ``0.0`` when no requests were served.
     assign_p50_ms: float = 0.0
     assign_p95_ms: float = 0.0
+    #: Closing trust-ladder state (None when reputation tracking was off).
+    trust: TrustReport | None = None
 
     @property
     def ingest_answers_per_second(self) -> float:
@@ -267,6 +350,8 @@ class ServingReport:
                 f"{self.frontend.stale_serves} stale serves over "
                 f"{self.degraded_marks} degraded episodes"
             )
+        if self.trust is not None:
+            lines.append(self.trust.summary_line())
         if self.phases is not None and self.phases.quarters:
             lines.append("phase breakdown (share of wall time per stream quarter):")
             lines.append(self.phases.render())
@@ -325,6 +410,11 @@ class OnlineServingService:
             self._inference.warm_start(initial_snapshot.store)
         self._recovery: RecoveryReport | None = None
         guard = EventGuard(self._config.guard) if self._config.guard is not None else None
+        self._reputation = (
+            ReputationTracker(self._config.reputation)
+            if self._config.reputation is not None
+            else None
+        )
         if self._config.state_dir is not None and self._config.resume:
             self._ingestor, self._recovery = recover_ingestor(
                 Path(self._config.state_dir),
@@ -337,6 +427,7 @@ class OnlineServingService:
                 journal_fsync=self._config.journal_fsync,
                 journal_segment_records=self._config.journal_segment_records,
                 tracer=self._tracer,
+                reputation=self._reputation,
             )
         else:
             journal = None
@@ -359,6 +450,7 @@ class OnlineServingService:
                 faults=self._config.faults,
                 checkpoints=checkpoints,
                 tracer=self._tracer,
+                reputation=self._reputation,
             )
         self._frontend = AssignmentFrontend(
             startup_tasks,
@@ -370,6 +462,8 @@ class OnlineServingService:
             engine=self._config.assigner_engine,
             tracer=self._tracer,
             candidate_radius=self._config.candidate_radius,
+            reputation=self._reputation,
+            probe_interval=self._config.probe_interval,
         )
         if self._recovery is not None:
             self._sync_recovered_universe()
@@ -377,6 +471,7 @@ class OnlineServingService:
             platform.arrival_process,
             mean_interarrival=self._config.mean_interarrival,
             seed=self._config.seed,
+            pattern=self._config.diurnal,
         )
 
     def _sync_recovered_universe(self) -> None:
@@ -460,6 +555,11 @@ class OnlineServingService:
         return self._recovery
 
     @property
+    def reputation(self) -> ReputationTracker | None:
+        """The trust-tier tracker (None when reputation tracking is off)."""
+        return self._reputation
+
+    @property
     def metrics(self) -> MetricsRegistry:
         """The session-wide registry every pipeline component reports into."""
         return self._metrics
@@ -507,7 +607,7 @@ class OnlineServingService:
                 if not response.task_ids:
                     continue
                 collected = platform.execute_assignment(
-                    {worker_id: list(response.task_ids)}
+                    {worker_id: list(response.task_ids)}, time=batch.time
                 )
                 workers_served += 1
                 assigned_in_round += len(collected)
@@ -550,6 +650,21 @@ class OnlineServingService:
             accuracy = labelling_accuracy(self._inference.predict_all(), tasks)
         else:
             accuracy = 0.5
+        trust: TrustReport | None = None
+        if self._reputation is not None:
+            quarantined = self._reputation.quarantined_ids
+            adversaries = frozenset(
+                getattr(platform.worker_pool, "adversary_ids", frozenset())
+            )
+            trust = TrustReport(
+                tiers=self._reputation.tier_counts(),
+                transitions=self._reputation.transitions,
+                blocked_requests=self._frontend.stats.blocked_requests,
+                rejected_events=self._ingestor.stats.events_rejected_reputation,
+                adversaries=len(adversaries),
+                true_positives=len(quarantined & adversaries),
+                quarantined=len(quarantined),
+            )
         return ServingReport(
             rounds=rounds,
             workers_served=workers_served,
@@ -570,6 +685,7 @@ class OnlineServingService:
             phases=phases,
             assign_p50_ms=self._frontend.latency_percentile_ms(50.0),
             assign_p95_ms=self._frontend.latency_percentile_ms(95.0),
+            trust=trust,
         )
 
     # ------------------------------------------------------------- telemetry

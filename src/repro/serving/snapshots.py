@@ -475,6 +475,11 @@ class CheckpointState:
     tasks: list[Task] = field(default_factory=list)
     answers_since_full_refresh: int = 0
     counters: dict = field(default_factory=dict)
+    #: Free-form JSON-serializable state carried by optional subsystems
+    #: (decayed-statistic epochs, reputation tiers, guard quarantine totals).
+    #: Absent from checkpoints written before these subsystems existed —
+    #: loading such a file yields an empty dict.
+    extra: dict = field(default_factory=dict)
 
 
 class CheckpointManager:
@@ -545,6 +550,9 @@ class CheckpointManager:
         payload["counters_json"] = np.asarray(
             json.dumps(state.counters), dtype=np.str_
         )
+        payload["extra_json"] = np.asarray(
+            json.dumps(state.extra), dtype=np.str_
+        )
         with open(path, "wb") as handle:
             np.savez(handle, **payload)
         crc = zlib.crc32(path.read_bytes())
@@ -595,6 +603,11 @@ class CheckpointManager:
                     json.loads(str(np.asarray(data["tasks_json"])))
                 )
                 counters = json.loads(str(np.asarray(data["counters_json"])))
+                extra = (
+                    json.loads(str(np.asarray(data["extra_json"])))
+                    if "extra_json" in data.files
+                    else {}
+                )
         except CheckpointCorruptionError:
             raise
         except Exception as error:
@@ -613,6 +626,7 @@ class CheckpointManager:
             tasks=tasks,
             answers_since_full_refresh=since_refresh,
             counters=counters,
+            extra=extra,
         )
 
     def load_latest(self) -> tuple[CheckpointState | None, int]:

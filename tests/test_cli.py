@@ -217,3 +217,38 @@ class TestServeSim:
         output = capsys.readouterr().out
         assert "snapshots:" in output
         assert "answers ingested: 16" in output
+
+
+class TestServeSimScenario:
+    def test_scenario_runs_end_to_end(self, capsys):
+        code = main(
+            [
+                "serve-sim",
+                "--scenario", "spam",
+                "--num-tasks", "12",
+                "--num-workers", "10",
+                "--budget", "40",
+                "--seed", "3",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "scenario spam:" in output
+        assert "answers ingested: 40" in output
+        assert "trust:" in output
+        assert "final labelling accuracy:" in output
+
+    def test_scenario_rejects_dataset_file(self, dataset_file, capsys):
+        code = main(
+            [
+                "serve-sim",
+                "--scenario", "clean",
+                "--dataset-file", str(dataset_file),
+            ]
+        )
+        assert code == 2
+        assert "drop --dataset-file" in capsys.readouterr().err
+
+    def test_unknown_scenario_fails(self):
+        with pytest.raises(SystemExit):
+            main(["serve-sim", "--scenario", "mystery"])

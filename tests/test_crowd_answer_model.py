@@ -120,3 +120,53 @@ class TestAnswerSimulator:
         assert simulator.expected_answer_accuracy(profile, task) == pytest.approx(
             simulator.correct_probability(profile, task)
         )
+
+
+class TestQualityDrift:
+    def test_zero_rate_is_stationary(self):
+        from repro.crowd.answer_model import QualityDrift
+
+        drift = QualityDrift()
+        assert drift.effective_quality(0.9, 1e6) == 0.9
+
+    def test_linear_fatigue_decays_to_floor(self):
+        from repro.crowd.answer_model import QualityDrift
+
+        drift = QualityDrift(rate=0.01, floor=0.2, mode="linear")
+        assert drift.effective_quality(0.9, 0.0) == 0.9
+        assert drift.effective_quality(0.9, 10.0) == pytest.approx(0.8)
+        assert drift.effective_quality(0.9, 1000.0) == 0.2  # clamped at floor
+
+    def test_practice_ramps_from_floor_to_base(self):
+        from repro.crowd.answer_model import QualityDrift
+
+        drift = QualityDrift(rate=0.01, floor=0.2, mode="practice")
+        assert drift.effective_quality(0.9, 0.0) == pytest.approx(0.2)
+        assert drift.effective_quality(0.9, 30.0) == pytest.approx(0.5)
+        assert drift.effective_quality(0.9, 1000.0) == 0.9  # capped at base
+        # A novice phase never *lowers* an already-poor worker below base.
+        assert drift.effective_quality(0.1, 0.0) == pytest.approx(0.2)
+
+    def test_cyclic_dips_and_recovers(self):
+        from repro.crowd.answer_model import QualityDrift
+
+        drift = QualityDrift(rate=0.2, floor=0.1, mode="cyclic", period=100.0)
+        assert drift.effective_quality(0.9, 0.0) == pytest.approx(0.9)
+        assert drift.effective_quality(0.9, 50.0) == pytest.approx(0.7)  # mid-dip
+        assert drift.effective_quality(0.9, 100.0) == pytest.approx(0.9)
+
+    def test_validation_raises_typed_errors(self):
+        from repro.crowd.answer_model import AnswerModelError, QualityDrift
+
+        with pytest.raises(AnswerModelError):
+            QualityDrift(rate=-0.1)
+        with pytest.raises(AnswerModelError):
+            QualityDrift(rate=float("nan"))
+        with pytest.raises(AnswerModelError):
+            QualityDrift(floor=1.5)
+        with pytest.raises(AnswerModelError):
+            QualityDrift(mode="sawtooth")
+        with pytest.raises(AnswerModelError):
+            QualityDrift(period=0.0)
+        with pytest.raises(AnswerModelError):
+            QualityDrift(rate=0.1).effective_quality(0.9, float("inf"))

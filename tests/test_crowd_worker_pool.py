@@ -113,3 +113,68 @@ class TestWorkerPoolGenerate:
         spec = WorkerPoolSpec(num_workers=25, locations_per_worker=(2, 3))
         pool = WorkerPool.generate(self.BOUNDS, spec=spec, seed=4)
         assert all(2 <= len(p.locations) <= 3 for p in pool)
+
+
+class TestAdversaryInjection:
+    BOUNDS = BoundingBox(0.0, 0.0, 10.0, 10.0)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            WorkerPoolSpec(adversary_fraction=1.2)
+        with pytest.raises(ValueError):
+            WorkerPoolSpec(adversary_weights=(0.5, 0.5))
+        with pytest.raises(ValueError):
+            WorkerPoolSpec(adversary_weights=(-0.5, 0.75, 0.75))
+        with pytest.raises(ValueError):
+            WorkerPoolSpec(collusion_ring_size=1)
+
+    def test_fraction_controls_adversary_count(self):
+        spec = WorkerPoolSpec(num_workers=20, adversary_fraction=0.25)
+        pool = WorkerPool.generate(self.BOUNDS, spec=spec, seed=3)
+        assert len(pool.adversary_ids) == 5
+        assert all(pool.profile(w).is_adversary for w in pool.adversary_ids)
+
+    def test_weights_select_archetypes(self):
+        spec = WorkerPoolSpec(
+            num_workers=20,
+            adversary_fraction=0.5,
+            adversary_weights=(1.0, 0.0, 0.0),
+        )
+        pool = WorkerPool.generate(self.BOUNDS, spec=spec, seed=3)
+        archetypes = {pool.profile(w).archetype for w in pool.adversary_ids}
+        assert archetypes == {"always-wrong"}
+
+    def test_colluders_are_grouped_into_rings(self):
+        spec = WorkerPoolSpec(
+            num_workers=12,
+            adversary_fraction=0.5,
+            adversary_weights=(0.0, 0.0, 1.0),
+            collusion_ring_size=3,
+        )
+        pool = WorkerPool.generate(self.BOUNDS, spec=spec, seed=3)
+        rings = [pool.profile(w).collusion_ring for w in pool.adversary_ids]
+        assert len(rings) == 6
+        assert all(ring is not None for ring in rings)
+        sizes = [rings.count(ring) for ring in set(rings)]
+        assert max(sizes) == 3
+
+    def test_honest_pool_is_unperturbed_by_injection(self):
+        # The adversary slice replaces profiles *after* the honest draws, so
+        # the honest remainder is bit-identical with injection on or off.
+        clean = WorkerPool.generate(
+            self.BOUNDS, spec=WorkerPoolSpec(num_workers=20), seed=9
+        )
+        spiked = WorkerPool.generate(
+            self.BOUNDS,
+            spec=WorkerPoolSpec(num_workers=20, adversary_fraction=0.25),
+            seed=9,
+        )
+        adversaries = set(spiked.adversary_ids)
+        for profile in clean:
+            if profile.worker_id in adversaries:
+                continue
+            twin = spiked.profile(profile.worker_id)
+            assert twin.inherent_quality == profile.inherent_quality
+            assert twin.distance_lambda == profile.distance_lambda
+            assert twin.locations == profile.locations
+            assert twin.archetype == "honest"

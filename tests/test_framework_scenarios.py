@@ -1,0 +1,94 @@
+"""Tests for repro.framework.scenarios (named hostile-stream workloads)."""
+
+import pytest
+
+from repro.crowd.arrival import ChurnArrival, UniformRandomArrival
+from repro.framework.scenarios import SCENARIO_NAMES, build_scenario
+
+
+def small(name, **overrides):
+    """A scenario sized for unit tests rather than the benchmark matrix."""
+    kwargs = dict(num_tasks=16, num_workers=12, budget=60, seed=5)
+    kwargs.update(overrides)
+    return build_scenario(name, **kwargs)
+
+
+class TestBuildScenario:
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            build_scenario("mystery")
+
+    @pytest.mark.parametrize("name", SCENARIO_NAMES)
+    def test_every_preset_assembles(self, name):
+        scenario = small(name)
+        assert scenario.name == name
+        assert scenario.description
+        assert scenario.platform.budget.total == 60
+        assert len(scenario.platform.worker_pool) == 12
+        assert scenario.config.reputation is not None
+        assert scenario.config.probe_interval == 2
+
+    def test_same_seed_replays_byte_for_byte(self):
+        first = small("spam")
+        second = small("spam")
+        assert (
+            first.platform.worker_pool.adversary_ids
+            == second.platform.worker_pool.adversary_ids
+        )
+        assert [t.task_id for t in first.platform.dataset.tasks] == [
+            t.task_id for t in second.platform.dataset.tasks
+        ]
+        assert [t.location for t in first.platform.dataset.tasks] == [
+            t.location for t in second.platform.dataset.tasks
+        ]
+        firsts = {p.worker_id: p.inherent_quality for p in first.platform.worker_pool}
+        seconds = {p.worker_id: p.inherent_quality for p in second.platform.worker_pool}
+        assert firsts == seconds
+
+    def test_different_seeds_differ(self):
+        first = small("spam", seed=5)
+        second = small("spam", seed=6)
+        assert [t.location for t in first.platform.dataset.tasks] != [
+            t.location for t in second.platform.dataset.tasks
+        ]
+
+    def test_spam_pool_composition(self):
+        pool = small("spam").platform.worker_pool
+        adversaries = pool.adversary_ids
+        assert len(adversaries) == 3  # round(0.25 * 12)
+        archetypes = {pool.profile(w).archetype for w in adversaries}
+        assert archetypes <= {"always-wrong", "spammer"}  # no colluders
+
+    def test_collusion_pool_has_rings(self):
+        pool = small("collusion").platform.worker_pool
+        adversaries = pool.adversary_ids
+        assert len(adversaries) == 3
+        rings = [pool.profile(w).collusion_ring for w in adversaries]
+        assert all(ring is not None for ring in rings)
+        for ring in set(rings):
+            assert rings.count(ring) <= 3
+
+    def test_drift_uses_practice_curve_and_decay(self):
+        scenario = small("drift")
+        drift = scenario.platform.answer_simulator.drift
+        assert drift is not None
+        assert drift.mode == "practice"
+        assert scenario.config.ingest.stat_decay == 0.98
+
+    def test_stat_decay_override(self):
+        scenario = small("drift", stat_decay=1.0)
+        assert scenario.config.ingest.stat_decay == 1.0
+
+    def test_reputation_off_control_arm(self):
+        scenario = small("clean", reputation=False)
+        assert scenario.config.reputation is None
+
+    def test_churn_arrival_and_diurnal(self):
+        scenario = small("churn")
+        assert isinstance(scenario.platform.arrival_process, ChurnArrival)
+        assert scenario.config.diurnal is not None
+
+    def test_non_churn_uses_uniform_arrival(self):
+        scenario = small("clean")
+        assert isinstance(scenario.platform.arrival_process, UniformRandomArrival)
+        assert scenario.config.diurnal is None

@@ -364,9 +364,10 @@ class TestCaptureIsolation:
         events = make_events(small_dataset, worker_pool, distance_model, 16)
         for event in events[:8]:
             ingest.submit(event)
-        tensor, initial, initial_store = ingest._updater.capture_refresh_state(
-            warm=True
+        tensor, initial, initial_store, weights = (
+            ingest._updater.capture_refresh_state(warm=True)
         )
+        assert weights is None
         assert tensor.num_answers == 8
         assert initial is not None
         assert initial_store is not None

@@ -234,3 +234,104 @@ class TestLatencyReservoir:
         levels = (1, 25, 50, 75, 90, 99)
         reported = [reservoir.percentile(level) for level in levels]
         assert reported == sorted(reported)
+
+
+# ------------------------------------------------------------ trust probes
+def nearest_unanswered_task(small_dataset, worker_pool, distance_model, worker_id, answered=()):
+    worker = next(w for w in worker_pool.workers if w.worker_id == worker_id)
+    best_id, best_distance = None, float("inf")
+    for task in small_dataset.tasks:
+        if task.task_id in answered:
+            continue
+        distance = distance_model.worker_task_distance(worker.locations, task.location)
+        if distance < best_distance:
+            best_id, best_distance = task.task_id, distance
+    return best_id
+
+
+class TestTrustProbes:
+    def test_probe_serves_nearest_unanswered_task(
+        self, small_dataset, worker_pool, distance_model
+    ):
+        frontend = make_frontend(
+            small_dataset, worker_pool, distance_model, SnapshotStore(),
+            probe_interval=1,
+        )
+        worker_id = worker_pool.worker_ids[0]
+        response = frontend.assign(worker_id, 2, AnswerSet())
+        nearest = nearest_unanswered_task(
+            small_dataset, worker_pool, distance_model, worker_id
+        )
+        assert nearest in response.task_ids
+
+    def test_probe_swap_and_cadence(
+        self, small_dataset, worker_pool, distance_model
+    ):
+        from repro.crowd.answer_model import AnswerSimulator
+
+        frontend = make_frontend(
+            small_dataset, worker_pool, distance_model, SnapshotStore(),
+            probe_interval=2,
+        )
+        profile = next(iter(worker_pool))
+        worker_id = profile.worker_id
+        nearest = nearest_unanswered_task(
+            small_dataset, worker_pool, distance_model, worker_id
+        )
+        decoys = tuple(
+            t.task_id for t in small_dataset.tasks if t.task_id != nearest
+        )[:2]
+
+        # Request 0 of the worker's probe cycle: the last pick is swapped for
+        # the nearest unanswered task and the probe is counted.
+        probed = frontend._maybe_probe(worker_id, 2, decoys, AnswerSet())
+        assert probed == decoys[:1] + (nearest,)
+        assert frontend.stats.probes == 1
+
+        # After h answered tasks the cadence counter is odd: no probe fires.
+        simulator = AnswerSimulator(distance_model, noise=0.0)
+        answers = AnswerSet()
+        for index in range(2):
+            answers.add(
+                simulator.sample_answer(
+                    profile, small_dataset.tasks[index], seed=900 + index
+                )
+            )
+        unprobed = frontend._maybe_probe(worker_id, 2, decoys, answers)
+        assert unprobed == decoys
+        assert frontend.stats.probes == 1
+
+    def test_probes_disabled_by_default(
+        self, small_dataset, worker_pool, distance_model
+    ):
+        frontend = make_frontend(
+            small_dataset, worker_pool, distance_model, SnapshotStore()
+        )
+        frontend.assign(worker_pool.worker_ids[0], 2, AnswerSet())
+        assert frontend.stats.probes == 0
+
+
+class TestReputationAtTheFrontend:
+    def test_quarantined_worker_is_refused(
+        self, small_dataset, worker_pool, distance_model
+    ):
+        from repro.serving import ReputationConfig, ReputationTracker
+
+        tracker = ReputationTracker(
+            ReputationConfig(min_answers=1, demote_patience=1)
+        )
+        worker_id = worker_pool.worker_ids[0]
+        tracker.evaluate([worker_id], [0.01], {worker_id: 50})
+        assert tracker.is_quarantined(worker_id)
+
+        frontend = make_frontend(
+            small_dataset, worker_pool, distance_model, SnapshotStore(),
+            reputation=tracker,
+        )
+        response = frontend.assign(worker_id, 2, AnswerSet())
+        assert response.task_ids == ()
+        assert frontend.stats.blocked_requests == 1
+        # Everyone else keeps being served.
+        other = worker_pool.worker_ids[1]
+        assert frontend.assign(other, 2, AnswerSet()).task_ids
+        assert frontend.stats.blocked_requests == 1

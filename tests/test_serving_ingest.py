@@ -249,3 +249,51 @@ class TestRefreshPolicy:
             assert model_view.tasks[task_id].label_probs == pytest.approx(
                 inference_params.tasks[task_id].label_probs
             )
+
+
+class TestStatDecay:
+    def _run(self, small_dataset, worker_pool, distance_model, stat_decay):
+        inference = LocationAwareInference(
+            small_dataset.tasks, worker_pool.workers, distance_model
+        )
+        ingestor = AnswerIngestor(
+            inference,
+            SnapshotStore(),
+            config=IngestConfig(
+                max_batch_answers=8,
+                max_batch_delay=10.0,
+                full_refresh_interval=30,
+                stat_decay=stat_decay,
+            ),
+        )
+        for event in make_events(small_dataset, worker_pool, distance_model, 72):
+            ingestor.submit(event)
+        ingestor.flush()
+        return ingestor._updater.live_store
+
+    def test_invalid_decay_rejected(self):
+        with pytest.raises(ValueError):
+            IngestConfig(stat_decay=0.0)
+        with pytest.raises(ValueError):
+            IngestConfig(stat_decay=1.5)
+
+    def test_near_one_decay_matches_exact_path(
+        self, small_dataset, worker_pool, distance_model
+    ):
+        # ``stat_decay < 1`` routes every update through the aging machinery
+        # (per-row arrival epochs, decay**age evidence weights).  With the
+        # decay infinitesimally below 1 those weights are all ~1, so the
+        # decayed path must reproduce the exact historical path to <= 1e-9 —
+        # the acceptance bound on the decay subsystem itself.
+        exact = self._run(small_dataset, worker_pool, distance_model, 1.0)
+        decayed = self._run(
+            small_dataset, worker_pool, distance_model, 1.0 - 1e-12
+        )
+        assert exact.max_difference(decayed) <= 1e-9
+
+    def test_aggressive_decay_actually_forgets(
+        self, small_dataset, worker_pool, distance_model
+    ):
+        exact = self._run(small_dataset, worker_pool, distance_model, 1.0)
+        decayed = self._run(small_dataset, worker_pool, distance_model, 0.5)
+        assert exact.max_difference(decayed) > 1e-6
